@@ -1,0 +1,1 @@
+bench/experiments.ml: Array Cost_model Format Fun Kex_sim Kexclusion List Measure Memory Printf Runner

@@ -1,0 +1,1 @@
+bench/measure.ml: Cost_model Format Fun Kex_sim Kexclusion List Memory Printf Runner String

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Instance Kex_resilient Kex_runtime List Measure Staged Test Time Toolkit

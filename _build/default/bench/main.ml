@@ -1,0 +1,28 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md, section 4, for the experiment index) plus
+   Bechamel microbenchmarks of the real-atomics runtime.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- thm3 fig3    # selected experiments
+     dune exec bench/main.exe -- --list       # available ids *)
+
+let () =
+  let available = List.map fst Experiments.all @ [ "micro" ] in
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--list" args then
+    List.iter print_endline available
+  else begin
+    let selected = if args = [] then available else args in
+    List.iter
+      (fun id ->
+        match List.assoc_opt id Experiments.all with
+        | Some f -> f ()
+        | None ->
+            if id = "micro" then Micro.run ()
+            else begin
+              Printf.eprintf "unknown experiment %S; use --list\n" id;
+              exit 2
+            end)
+      selected;
+    Format.printf "@.done.@."
+  end

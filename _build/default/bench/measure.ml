@@ -1,0 +1,61 @@
+(* Simulator-side measurement helpers shared by every experiment.  The
+   measured quantity is the paper's own metric: remote memory references per
+   critical-section acquisition (entry + exit), max and mean over all
+   completed acquisitions. *)
+
+open Kexclusion.Import
+
+type point = { max : int; mean : float }
+
+let pp_point ppf p = Format.fprintf ppf "max %3d mean %6.1f" p.max p.mean
+
+let run_workload ?(iterations = 3) ?(cs_delay = 2) ?(budget = 0) ?failures ~model ~n ~k ~c
+    build =
+  let mem = Memory.create () in
+  let workload = build mem in
+  let cost = Cost_model.create model ~n_procs:n in
+  let cfg =
+    Runner.config ~n ~k ~iterations ~cs_delay ?failures
+      ~participants:(List.init c Fun.id) ~step_budget:budget ()
+  in
+  Runner.run cfg mem cost workload
+
+let check label (res : Runner.result) =
+  if not res.ok then
+    failwith
+      (Printf.sprintf "experiment %s: run failed (%s)" label
+         (if res.stalled then "stalled" else String.concat "; " res.violations))
+
+let point_of res =
+  let s = Kex_sim.Stats.summarize res in
+  { max = s.Kex_sim.Stats.max_remote; mean = s.mean_remote }
+
+let refs ?iterations ?cs_delay ?budget ~model algo ~n ~k ~c () =
+  let res =
+    run_workload ?iterations ?cs_delay ?budget ~model ~n ~k ~c (fun mem ->
+        Kexclusion.Protocol.workload (Kexclusion.Registry.build mem ~model algo ~n ~k))
+  in
+  check (Kexclusion.Registry.algo_name algo) res;
+  point_of res
+
+let refs_assignment ?iterations ?cs_delay ?budget ~model algo ~n ~k ~c () =
+  let res =
+    run_workload ?iterations ?cs_delay ?budget ~model ~n ~k ~c (fun mem ->
+        Kexclusion.Protocol.named_workload
+          (Kexclusion.Registry.build_assignment mem ~model algo ~n ~k))
+  in
+  check (Kexclusion.Registry.algo_name algo ^ "+assignment") res;
+  point_of res
+
+let section title =
+  Format.printf "@.=== %s ===@." title
+
+let row fmt = Format.printf fmt
+
+let ok_str within = if within then "ok" else "EXCEEDED"
+
+let bound_row ~label ~measured ~bound =
+  row "  %-24s measured %-22s bound %4d   [%s]@." label
+    (Format.asprintf "%a" pp_point measured)
+    bound
+    (ok_str (measured.max <= bound))

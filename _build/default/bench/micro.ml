@@ -1,0 +1,90 @@
+(* Bechamel microbenchmarks of the real-atomics runtime: single-domain
+   acquire/release latency of every lock algorithm, renaming, the universal
+   construction and the full resilient object.
+
+   One Test.make per measured operation; all grouped into a single run.  On
+   a one-core container these are uncontended latencies — the scalability
+   story lives in the simulator experiments (the paper's own metric). *)
+
+module Out = Measure
+open Bechamel
+open Toolkit
+
+let lock_test name algo =
+  let lock = Kex_runtime.Kex_lock.create ~algo ~n:64 ~k:4 () in
+  Test.make ~name
+    (Staged.stage (fun () ->
+         Kex_runtime.Kex_lock.acquire lock ~pid:7;
+         Kex_runtime.Kex_lock.release lock ~pid:7))
+
+let assignment_test () =
+  let asg = Kex_runtime.Kex_lock.Assignment.create ~n:64 ~k:4 () in
+  Test.make ~name:"assignment acquire/release"
+    (Staged.stage (fun () ->
+         let name = Kex_runtime.Kex_lock.Assignment.acquire asg ~pid:7 in
+         Kex_runtime.Kex_lock.Assignment.release asg ~pid:7 ~name))
+
+let renaming_test () =
+  let r = Kex_runtime.Renaming.create ~k:4 in
+  Test.make ~name:"renaming acquire/release"
+    (Staged.stage (fun () ->
+         let name = Kex_runtime.Renaming.acquire r in
+         Kex_runtime.Renaming.release r ~name))
+
+let universal_test () =
+  let u =
+    Kex_resilient.Universal.create ~k:4 ~init:0 ~apply:(fun s (`Add d) -> (s + d, s + d))
+  in
+  Test.make ~name:"universal op"
+    (Staged.stage (fun () -> ignore (Kex_resilient.Universal.perform u ~tid:1 (`Add 1))))
+
+let resilient_test () =
+  let obj =
+    Kex_resilient.Resilient.create ~n:64 ~k:4 ~init:0
+      ~apply:(fun s (`Add d) -> (s + d, s + d))
+      ()
+  in
+  Test.make ~name:"resilient object op"
+    (Staged.stage (fun () -> ignore (Kex_resilient.Resilient.perform obj ~pid:7 (`Add 1))))
+
+let mcs_test () =
+  let lock = Kex_runtime.Mcs.create ~n:64 in
+  Test.make ~name:"mcs lock (k=1 target)"
+    (Staged.stage (fun () ->
+         Kex_runtime.Mcs.acquire lock ~pid:7;
+         Kex_runtime.Mcs.release lock ~pid:7))
+
+let tests () =
+  Test.make_grouped ~name:"runtime"
+    [ mcs_test ();
+      lock_test "lock naive" Kex_runtime.Kex_lock.Naive;
+      lock_test "lock inductive" Kex_runtime.Kex_lock.Inductive;
+      lock_test "lock tree" Kex_runtime.Kex_lock.Tree;
+      lock_test "lock fastpath" Kex_runtime.Kex_lock.Fast_path;
+      lock_test "lock dsm-fastpath (fig6)" Kex_runtime.Kex_lock.Dsm_fast_path;
+      lock_test "lock graceful" Kex_runtime.Kex_lock.Graceful;
+      assignment_test ();
+      renaming_test ();
+      universal_test ();
+      resilient_test () ]
+
+let run () =
+  Out.section "RT: Bechamel microbenchmarks (single-domain latency, ns/op)";
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns =
+          match Analyze.OLS.estimates est with Some (v :: _) -> v | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  List.iter
+    (fun (name, ns) -> Out.row "  %-32s %10.1f ns/op@." name ns)
+    (List.sort compare rows)

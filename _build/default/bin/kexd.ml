@@ -1,0 +1,223 @@
+(* kexd — command-line driver for the k-exclusion simulator and model
+   checker.
+
+     kexd run    --algo fastpath --model cc --n 32 --k 4 --contention 8
+     kexd sweep  --algo tree --model dsm --k 4 --over n --values 8,16,32,64
+     kexd verify --figure fig2 --n 3 --crashes 2
+
+   See DESIGN.md for the experiment catalogue these commands back. *)
+
+open Cmdliner
+open Kexclusion.Import
+
+(* ------------------------------ shared args ----------------------------- *)
+
+let model_conv =
+  let parse = function
+    | "cc" | "cache-coherent" -> Ok Cost_model.Cache_coherent
+    | "dsm" | "distributed" -> Ok Cost_model.Distributed
+    | s -> Error (`Msg (Printf.sprintf "unknown model %S (use cc or dsm)" s))
+  in
+  let print ppf m = Cost_model.pp_model ppf m in
+  Arg.conv (parse, print)
+
+let algo_conv =
+  let parse s =
+    match Kexclusion.Registry.algo_of_string s with
+    | Some a -> Ok a
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown algorithm %S (use %s)" s
+               (String.concat ", " (List.map Kexclusion.Registry.algo_name Kexclusion.Registry.all))))
+  in
+  let print ppf a = Format.pp_print_string ppf (Kexclusion.Registry.algo_name a) in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(value & opt model_conv Cost_model.Cache_coherent & info [ "model" ] ~doc:"cc or dsm")
+
+let algo_arg =
+  Arg.(
+    value
+    & opt algo_conv Kexclusion.Registry.Fast_path
+    & info [ "algo" ] ~doc:"queue | bakery | inductive | tree | fastpath | graceful")
+
+let n_arg = Arg.(value & opt int 32 & info [ "n"; "procs" ] ~doc:"number of processes")
+let k_arg = Arg.(value & opt int 4 & info [ "k"; "degree" ] ~doc:"exclusion degree")
+let iters_arg = Arg.(value & opt int 3 & info [ "iterations" ] ~doc:"acquisitions per process")
+let seed_arg = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"random scheduler seed")
+
+let contention_arg =
+  Arg.(value & opt (some int) None & info [ "contention"; "c" ] ~doc:"participating processes")
+
+let assignment_arg =
+  Arg.(value & flag & info [ "assignment" ] ~doc:"wrap in (N,k)-assignment (Figure 7 renaming)")
+
+(* ------------------------------- run ------------------------------------ *)
+
+let measure ~model ~algo ~n ~k ~c ~iterations ~seed ~assignment =
+  let mem = Memory.create () in
+  let workload =
+    if assignment then
+      Kexclusion.Protocol.named_workload
+        (Kexclusion.Registry.build_assignment mem ~model algo ~n ~k)
+    else Kexclusion.Protocol.workload (Kexclusion.Registry.build mem ~model algo ~n ~k)
+  in
+  let cost = Cost_model.create model ~n_procs:n in
+  let scheduler = Option.map (fun seed -> Kex_sim.Scheduler.random ~seed) seed in
+  let cfg =
+    Runner.config ~n ~k ~iterations ~cs_delay:2 ?scheduler
+      ~participants:(List.init c Fun.id) ()
+  in
+  Runner.run cfg mem cost workload
+
+let run_cmd =
+  let doc = "run one algorithm under the simulator and report remote references" in
+  let run model algo n k iterations seed c assignment =
+    let c = Option.value c ~default:n in
+    let res = measure ~model ~algo ~n ~k ~c ~iterations ~seed ~assignment in
+    let s = Kex_sim.Stats.summarize res in
+    Format.printf "algorithm   : %s%s@." (Kexclusion.Registry.algo_name algo)
+      (if assignment then " + assignment" else "");
+    Format.printf "model       : %a@." Cost_model.pp_model model;
+    Format.printf "n=%d k=%d contention<=%d iterations=%d@." n k c iterations;
+    Format.printf "result      : %s@."
+      (if res.Runner.ok then "ok"
+       else if res.stalled then "STALLED"
+       else "VIOLATIONS: " ^ String.concat "; " res.violations);
+    Format.printf "remote refs : max %d, mean %.1f per acquisition (%d acquisitions)@."
+      s.Kex_sim.Stats.max_remote s.mean_remote s.acquisitions;
+    (match Kexclusion.Registry.bound ~model algo ~n ~k ~c with
+    | Some b -> Format.printf "paper bound : %d%s@." b (if assignment then Printf.sprintf " + %d (renaming)" k else "")
+    | None -> Format.printf "paper bound : unbounded under contention@.");
+    if res.Runner.ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      const run $ model_arg $ algo_arg $ n_arg $ k_arg $ iters_arg $ seed_arg $ contention_arg
+      $ assignment_arg)
+
+(* ------------------------------- sweep ---------------------------------- *)
+
+let sweep_cmd =
+  let doc = "sweep N or contention and print remote-reference series" in
+  let over_conv =
+    Arg.conv
+      ( (function
+        | "n" -> Ok `N
+        | "contention" | "c" -> Ok `C
+        | s -> Error (`Msg (Printf.sprintf "unknown sweep variable %S (use n or contention)" s))),
+        fun ppf v -> Format.pp_print_string ppf (match v with `N -> "n" | `C -> "contention") )
+  in
+  let over_arg = Arg.(value & opt over_conv `N & info [ "over" ] ~doc:"n or contention") in
+  let values_arg =
+    Arg.(
+      value
+      & opt (list int) [ 8; 16; 32; 64 ]
+      & info [ "values" ] ~doc:"comma-separated sweep values")
+  in
+  let run model algo n k iterations seed over values =
+    Format.printf "%-8s %10s %10s %10s@." "value" "max" "mean" "bound";
+    List.iter
+      (fun v ->
+        let n, c = match over with `N -> (v, v) | `C -> (n, v) in
+        let res = measure ~model ~algo ~n ~k ~c ~iterations ~seed ~assignment:false in
+        if not res.Runner.ok then Format.printf "%-8d (run failed)@." v
+        else begin
+          let s = Kex_sim.Stats.summarize res in
+          Format.printf "%-8d %10d %10.1f %10s@." v s.Kex_sim.Stats.max_remote s.mean_remote
+            (match Kexclusion.Registry.bound ~model algo ~n ~k ~c with
+            | Some b -> string_of_int b
+            | None -> "-")
+        end)
+      values;
+    0
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc)
+    Term.(
+      const run $ model_arg $ algo_arg $ n_arg $ k_arg $ iters_arg $ seed_arg $ over_arg
+      $ values_arg)
+
+(* ------------------------------- verify --------------------------------- *)
+
+let verify_cmd =
+  let doc = "exhaustively model-check a figure of the paper at small N" in
+  let figure_arg =
+    Arg.(value & opt string "fig2" & info [ "figure" ] ~doc:"fig2, fig4, fig5, fig6 or fig7")
+  in
+  let crashes_arg = Arg.(value & opt int 1 & info [ "crashes" ] ~doc:"crash budget") in
+  let small_n_arg = Arg.(value & opt int 3 & info [ "n"; "procs" ] ~doc:"processes (keep small)") in
+  let run figure n crashes =
+    let report (type s) name (m : (module Kex_verify.System.MODEL with type state = s)) =
+      let r = Kex_verify.Explore.check m () in
+      Format.printf "%s: %d states, %d transitions, %s@." name r.Kex_verify.Explore.states
+        r.transitions
+        (match r.violation with
+        | None -> if r.complete then "all invariants hold" else "no violation (capped)"
+        | Some v -> "VIOLATION of " ^ v.property);
+      match r.violation with None -> 0 | Some _ -> 1
+    in
+    match figure with
+    | "fig2" -> report "fig2" (Kex_verify.Fig2_model.model ~n ~max_crashes:crashes ())
+    | "fig4" ->
+        report "fig4"
+          (Kex_verify.Fig4_model.model ~n ~k:(max 1 (n - 2)) ~max_crashes:crashes ())
+    | "fig5" ->
+        report "fig5" (Kex_verify.Fig5_model.model ~n:(min n 3) ~rounds:2 ~max_crashes:crashes ())
+    | "fig6" -> report "fig6" (Kex_verify.Fig6_model.model ~n:(min n 2) ~max_crashes:crashes ())
+    | "fig7" -> report "fig7" (Kex_verify.Fig7_model.model ~procs:n ~k:n ~max_crashes:crashes ())
+    | s ->
+        Format.eprintf "unknown figure %S@." s;
+        2
+  in
+  Cmd.v (Cmd.info "verify" ~doc) Term.(const run $ figure_arg $ small_n_arg $ crashes_arg)
+
+(* -------------------------------- hunt ----------------------------------- *)
+
+let hunt_cmd =
+  let doc = "randomized deep-violation search on a figure's model" in
+  let figure_arg = Arg.(value & opt string "fig2" & info [ "figure" ] ~doc:"fig2, fig4, fig6 or fig7") in
+  let small_n_arg = Arg.(value & opt int 3 & info [ "n"; "procs" ] ~doc:"processes") in
+  let crashes_arg = Arg.(value & opt int 1 & info [ "crashes" ] ~doc:"crash budget") in
+  let walks_arg = Arg.(value & opt int 200 & info [ "walks" ] ~doc:"random walks") in
+  let steps_arg = Arg.(value & opt int 2000 & info [ "steps" ] ~doc:"steps per walk") in
+  let run figure n crashes walks steps =
+    let hunt (type s) (m : (module Kex_verify.System.MODEL with type state = s))
+        (pp : Format.formatter -> s -> unit) =
+      match Kex_verify.Explore.hunt m ~seeds:(List.init walks Fun.id) ~steps () with
+      | None ->
+          Format.printf "no violation found in %d walks x %d steps@." walks steps;
+          0
+      | Some v ->
+          Format.printf "%a" (Kex_verify.Explore.pp_violation pp) v;
+          1
+    in
+    match figure with
+    | "fig2" ->
+        let (module M) = Kex_verify.Fig2_model.model ~n ~max_crashes:crashes () in
+        hunt (module M) M.pp
+    | "fig4" ->
+        let (module M) = Kex_verify.Fig4_model.model ~n ~k:(max 1 (n - 2)) ~max_crashes:crashes () in
+        hunt (module M) M.pp
+    | "fig6" ->
+        let (module M) = Kex_verify.Fig6_model.model ~n:(min n 3) ~max_crashes:crashes () in
+        hunt (module M) M.pp
+    | "fig7" ->
+        let (module M) = Kex_verify.Fig7_model.model ~procs:n ~k:n ~max_crashes:crashes () in
+        hunt (module M) M.pp
+    | s ->
+        Format.eprintf "unknown figure %S@." s;
+        2
+  in
+  Cmd.v (Cmd.info "hunt" ~doc)
+    Term.(const run $ figure_arg $ small_n_arg $ crashes_arg $ walks_arg $ steps_arg)
+
+(* -------------------------------- main ----------------------------------- *)
+
+let () =
+  let doc = "k-exclusion algorithms (Anderson & Moir, PODC 1994) — simulator and checker" in
+  let info = Cmd.info "kexd" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; sweep_cmd; verify_cmd; hunt_cmd ]))

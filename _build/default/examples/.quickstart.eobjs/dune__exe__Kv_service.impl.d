@@ -1,0 +1,1 @@
+examples/kv_service.ml: Atomic Domain Kex_resilient Kex_runtime List Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomic Domain Kex_runtime List Printf

@@ -1,0 +1,1 @@
+examples/resilient_counter.ml: Domain Kex_resilient Kex_runtime List Printf

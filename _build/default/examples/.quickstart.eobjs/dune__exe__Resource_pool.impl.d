@@ -1,0 +1,1 @@
+examples/resource_pool.ml: Array Atomic Domain Kex_runtime List Printf

@@ -1,0 +1,1 @@
+examples/sim_tour.ml: Cost_model Fun Kex_sim Kexclusion List Memory Printf Runner

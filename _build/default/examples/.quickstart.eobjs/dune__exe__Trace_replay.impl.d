@@ -1,0 +1,1 @@
+examples/trace_replay.ml: Cost_model Format Kex_sim Kexclusion Memory Printf Runner

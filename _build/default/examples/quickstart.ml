@@ -1,0 +1,37 @@
+(* Quickstart: a k-exclusion lock shared by N domains.
+
+   At most k domains are ever inside the critical section, and the lock
+   stays usable even if up to k-1 holders never return (see the
+   resource_pool example for that).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let n = 4 and k = 2 and iterations = 2_000 in
+  let lock = Kex_runtime.Kex_lock.create ~n ~k () in
+  let in_cs = Atomic.make 0 in
+  let max_seen = Atomic.make 0 in
+  let record_occupancy () =
+    let now = 1 + Atomic.fetch_and_add in_cs 1 in
+    let rec bump () =
+      let m = Atomic.get max_seen in
+      if now > m && not (Atomic.compare_and_set max_seen m now) then bump ()
+    in
+    bump ()
+  in
+  let worker pid () =
+    for _ = 1 to iterations do
+      Kex_runtime.Kex_lock.with_lock lock ~pid (fun () ->
+          record_occupancy ();
+          Domain.cpu_relax ();
+          ignore (Atomic.fetch_and_add in_cs (-1)))
+    done
+  in
+  let domains = List.init n (fun pid -> Domain.spawn (worker pid)) in
+  List.iter Domain.join domains;
+  Printf.printf "algorithm        : %s\n" (Kex_runtime.Kex_lock.name lock);
+  Printf.printf "domains          : %d (k = %d)\n" n k;
+  Printf.printf "acquisitions     : %d\n" (n * iterations);
+  Printf.printf "max concurrently : %d (must be <= %d)\n" (Atomic.get max_seen) k;
+  assert (Atomic.get max_seen <= k);
+  print_endline "ok"

@@ -1,0 +1,39 @@
+(* A tour of the simulator: every algorithm of the paper, on both machine
+   models, with remote references per acquisition at three contention
+   levels — a miniature of Table 1.
+
+   Run with: dune exec examples/sim_tour.exe *)
+
+open Kexclusion.Import
+
+let measure ~model algo ~n ~k ~c =
+  let mem = Memory.create () in
+  let p = Kexclusion.Registry.build mem ~model algo ~n ~k in
+  let cost = Cost_model.create model ~n_procs:n in
+  let cfg =
+    Runner.config ~n ~k ~iterations:3 ~cs_delay:2 ~participants:(List.init c Fun.id) ()
+  in
+  let res = Runner.run cfg mem cost (Kexclusion.Protocol.workload p) in
+  assert (res.Runner.ok);
+  (Kex_sim.Stats.summarize res).Kex_sim.Stats.max_remote
+
+let () =
+  let n = 16 and k = 4 in
+  Printf.printf "Remote references per acquisition (max), n=%d k=%d\n" n k;
+  Printf.printf "%-12s %-6s %8s %8s %8s   paper bound at full contention\n" "algorithm"
+    "model" "c=1" "c=k" "c=n";
+  List.iter
+    (fun algo ->
+      List.iter
+        (fun (model, mname) ->
+          let m c = measure ~model algo ~n ~k ~c in
+          let bound =
+            match Kexclusion.Registry.bound ~model algo ~n ~k ~c:n with
+            | Some b -> string_of_int b
+            | None -> "unbounded"
+          in
+          Printf.printf "%-12s %-6s %8d %8d %8d   %s\n"
+            (Kexclusion.Registry.algo_name algo)
+            mname (m 1) (m k) (m n) bound)
+        [ (Cost_model.Cache_coherent, "CC"); (Cost_model.Distributed, "DSM") ])
+    Kexclusion.Registry.all

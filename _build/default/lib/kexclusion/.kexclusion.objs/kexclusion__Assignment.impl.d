@@ -1,0 +1,1 @@
+lib/kexclusion/assignment.ml: Import Op Printf Protocol Renaming

@@ -1,0 +1,1 @@
+lib/kexclusion/assignment.mli: Import Memory Protocol

@@ -1,0 +1,1 @@
+lib/kexclusion/baseline_bakery.ml: Import Memory Op Printf Protocol

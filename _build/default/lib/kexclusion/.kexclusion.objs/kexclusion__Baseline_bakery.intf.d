@@ -1,0 +1,1 @@
+lib/kexclusion/baseline_bakery.mli: Import Memory Protocol

@@ -1,0 +1,1 @@
+lib/kexclusion/cc_block.ml: Import Memory Op Printf Protocol

@@ -1,0 +1,1 @@
+lib/kexclusion/cc_block.mli: Import Memory Protocol

@@ -1,0 +1,1 @@
+lib/kexclusion/dsm_block.ml: Import Memory Op Pid_state Printf Protocol

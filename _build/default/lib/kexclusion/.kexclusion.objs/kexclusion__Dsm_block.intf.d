@@ -1,0 +1,1 @@
+lib/kexclusion/dsm_block.mli: Import Memory Protocol

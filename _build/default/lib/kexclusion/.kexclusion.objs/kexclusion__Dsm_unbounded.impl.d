@@ -1,0 +1,1 @@
+lib/kexclusion/dsm_unbounded.ml: Import Memory Op Printf Protocol

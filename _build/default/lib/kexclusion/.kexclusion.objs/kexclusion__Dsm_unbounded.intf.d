@@ -1,0 +1,1 @@
+lib/kexclusion/dsm_unbounded.mli: Import Memory Protocol

@@ -1,0 +1,1 @@
+lib/kexclusion/fast_path.ml: Import Inductive Memory Op Pid_state Printf Protocol Tree Trivial

@@ -1,0 +1,1 @@
+lib/kexclusion/fast_path.mli: Import Memory Protocol

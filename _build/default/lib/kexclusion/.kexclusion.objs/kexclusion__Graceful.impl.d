@@ -1,0 +1,1 @@
+lib/kexclusion/graceful.ml: Fast_path Inductive Printf Protocol

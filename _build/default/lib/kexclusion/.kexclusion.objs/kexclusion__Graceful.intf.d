@@ -1,0 +1,1 @@
+lib/kexclusion/graceful.mli: Import Memory Protocol

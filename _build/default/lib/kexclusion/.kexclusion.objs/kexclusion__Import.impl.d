@@ -1,0 +1,1 @@
+lib/kexclusion/import.ml: Kex_sim

@@ -1,0 +1,1 @@
+lib/kexclusion/inductive.ml: Printf Protocol Trivial

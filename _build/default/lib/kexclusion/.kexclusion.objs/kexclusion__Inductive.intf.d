@@ -1,0 +1,1 @@
+lib/kexclusion/inductive.mli: Import Memory Protocol

@@ -1,0 +1,1 @@
+lib/kexclusion/mcs_lock.ml: Array Import Memory Op Printf Protocol

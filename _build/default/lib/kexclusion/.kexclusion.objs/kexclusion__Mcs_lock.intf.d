@@ -1,0 +1,1 @@
+lib/kexclusion/mcs_lock.mli: Import Memory Protocol

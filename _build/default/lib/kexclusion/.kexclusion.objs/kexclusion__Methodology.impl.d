@@ -1,0 +1,1 @@
+lib/kexclusion/methodology.ml: Import Op Protocol Registry Runner Universal_sim

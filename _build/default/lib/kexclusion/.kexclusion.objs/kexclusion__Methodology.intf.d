@@ -1,0 +1,1 @@
+lib/kexclusion/methodology.mli: Cost_model Import Memory Registry Runner Universal_sim

@@ -1,0 +1,1 @@
+lib/kexclusion/peterson.ml: Array Import Memory Op Printf Protocol Spec

@@ -1,0 +1,1 @@
+lib/kexclusion/peterson.mli: Import Memory Protocol

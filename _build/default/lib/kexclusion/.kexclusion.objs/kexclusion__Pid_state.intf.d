@@ -1,0 +1,1 @@
+lib/kexclusion/pid_state.mli:

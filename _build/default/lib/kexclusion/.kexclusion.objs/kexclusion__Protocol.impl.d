@@ -1,0 +1,1 @@
+lib/kexclusion/protocol.ml: Import Memory Op Runner

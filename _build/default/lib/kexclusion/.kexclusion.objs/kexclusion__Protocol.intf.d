@@ -1,0 +1,1 @@
+lib/kexclusion/protocol.mli: Import Memory Op Runner

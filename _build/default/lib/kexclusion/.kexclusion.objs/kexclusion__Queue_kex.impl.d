@@ -1,0 +1,1 @@
+lib/kexclusion/queue_kex.ml: Import Memory Op Printf Protocol

@@ -1,0 +1,1 @@
+lib/kexclusion/queue_kex.mli: Import Memory Protocol

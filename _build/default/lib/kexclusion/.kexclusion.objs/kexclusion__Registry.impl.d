@@ -1,0 +1,1 @@
+lib/kexclusion/registry.ml: Assignment Baseline_bakery Cc_block Cost_model Dsm_block Fast_path Graceful Import Inductive List Queue_kex Spec String Tree

@@ -1,0 +1,1 @@
+lib/kexclusion/registry.mli: Cost_model Import Memory Protocol

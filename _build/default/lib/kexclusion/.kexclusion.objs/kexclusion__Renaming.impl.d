@@ -1,0 +1,1 @@
+lib/kexclusion/renaming.ml: Import Memory Op

@@ -1,0 +1,1 @@
+lib/kexclusion/renaming.mli: Import Memory Op

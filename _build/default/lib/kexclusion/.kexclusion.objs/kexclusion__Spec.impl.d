@@ -1,0 +1,1 @@
+lib/kexclusion/spec.ml:

@@ -1,0 +1,1 @@
+lib/kexclusion/splitter_renaming.ml: Import Memory Op

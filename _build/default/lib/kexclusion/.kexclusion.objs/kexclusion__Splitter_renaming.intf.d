@@ -1,0 +1,1 @@
+lib/kexclusion/splitter_renaming.mli: Import Memory Op

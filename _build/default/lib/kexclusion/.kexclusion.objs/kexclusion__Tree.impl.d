@@ -1,0 +1,1 @@
+lib/kexclusion/tree.ml: Array Import Inductive List Op Printf Protocol Trivial

@@ -1,0 +1,1 @@
+lib/kexclusion/tree.mli: Import Memory Protocol

@@ -1,0 +1,1 @@
+lib/kexclusion/trivial.mli: Protocol

@@ -1,0 +1,1 @@
+lib/kexclusion/universal_sim.ml: Import Memory Op Pid_state

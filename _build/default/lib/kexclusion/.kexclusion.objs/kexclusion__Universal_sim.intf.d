@@ -1,0 +1,1 @@
+lib/kexclusion/universal_sim.mli: Import Memory Op

@@ -1,0 +1,10 @@
+(** (N,k)-assignment (Section 4, Figure 7): k-exclusion extended so that
+    each process in its critical section holds a distinct name in [0..k-1].
+
+    Composes any (N,k)-exclusion protocol with the long-lived renaming of
+    {!Renaming}; Theorems 9 and 10 bound the extra cost by k remote
+    references on both machine models. *)
+
+open Import
+
+val create : Memory.t -> kex:Protocol.t -> k:int -> Protocol.named

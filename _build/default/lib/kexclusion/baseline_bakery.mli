@@ -1,0 +1,19 @@
+(** A bakery-style (N,k)-exclusion using only atomic reads and writes.
+
+    This is the repository's stand-in for the prior read/write algorithms of
+    Table 1 (Afek et al.'s first-in-first-enabled l-exclusion [1], and the
+    O(N^2) safe-bits algorithm [8]): tickets generalise Lamport's bakery so
+    that a process may proceed once fewer than k processes precede it.
+
+    Complexity matches the Table 1 row shapes: O(N) remote references per
+    acquisition without contention (two scans of the ticket arrays), and
+    unbounded remote references under contention, because waiting re-scans
+    shared variables that other processes keep writing.  A process that
+    crashes inside its critical section merely occupies one of the k slots;
+    a crash while choosing a ticket, however, can block the others — the
+    baseline is not failure-resilient in the entry section, which the paper's
+    algorithms are (see DESIGN.md). *)
+
+open Import
+
+val create : Memory.t -> n:int -> k:int -> Protocol.t

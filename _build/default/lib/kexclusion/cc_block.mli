@@ -1,0 +1,17 @@
+(** Figure 2 of the paper: the (N,k)-exclusion building block for
+    cache-coherent machines.
+
+    Shared state is a slot counter [X] (initially k) and a single spin
+    location [Q].  A process that finds no free slot publishes its id in [Q]
+    and spins locally (in its cache) until [Q] changes.  Correctness relies
+    on the inner (N,k+1)-exclusion admitting at most k+1 processes, so at
+    most one process ever waits — the key insight of Section 3.
+
+    Entry + exit generate at most 7 remote references on a cache-coherent
+    machine (Theorem 1's per-level constant). *)
+
+open Import
+
+val create : Memory.t -> n:int -> k:int -> inner:Protocol.t -> Protocol.t
+(** [create mem ~n ~k ~inner] allocates X and Q and returns the protocol.
+    [inner] must implement (n,k+1)-exclusion (skip when k+1 >= n). *)

@@ -1,0 +1,19 @@
+(** Figure 6 of the paper: the (N,k)-exclusion building block for
+    distributed shared-memory machines with a {e bounded} number of spin
+    locations — k+2 per process.
+
+    Compared with Figure 5, each process recycles spin locations
+    [P[p][0..k+1]].  The counters [R[p][v]] record how many processes have
+    read [(p, v)] from [Q] and might still write [P[p][v]]; a process picks a
+    fresh location by scanning (locally) for [R[p][v] = 0], and helpers
+    announce themselves by incrementing [R] before touching [P] and re-reading
+    [Q] afterwards (statements 8–9 and 18–19).  This is the feedback
+    mechanism Section 3.2 introduces to make bounded reuse safe.
+
+    Entry + exit generate at most 14 remote references per level on a DSM
+    machine (Theorem 5's constant). *)
+
+open Import
+
+val create : Memory.t -> n:int -> k:int -> inner:Protocol.t -> Protocol.t
+(** [inner] must implement (n,k+1)-exclusion. *)

@@ -1,0 +1,11 @@
+(** Theorems 4 and 8: (N,k)-exclusion whose cost degrades gracefully —
+    proportionally to contention — by implementing Figure 4's slow path with
+    nested fast paths (Figure 3(b)).
+
+    A process under contention c falls through about ceil(c/k) gate levels,
+    each costing one gate access plus one (2k,k) block: ceil(c/k)·(7k+2)
+    remote references on cache-coherent machines, ceil(c/k)·(14k+2) on DSM. *)
+
+open Import
+
+val create : Memory.t -> block:Protocol.block -> n:int -> k:int -> Protocol.t

@@ -1,0 +1,6 @@
+(** Short aliases for the simulator modules used throughout this library. *)
+
+module Op = Kex_sim.Op
+module Memory = Kex_sim.Memory
+module Cost_model = Kex_sim.Cost_model
+module Runner = Kex_sim.Runner

@@ -1,0 +1,12 @@
+(** The inductive composition of Theorems 1 and 5: (N,k)-exclusion is built
+    from a building block over (N,k+1)-exclusion, bottoming out in the
+    trivial protocol when k reaches N.
+
+    With the Figure 2 block this costs at most 7(N-k) remote references on a
+    cache-coherent machine (Theorem 1); with the Figure 6 block, 14(N-k) on
+    DSM (Theorem 5).  Its role in practice is as the (2k,k) building block —
+    cost 7k (resp. 14k) — that the tree and fast-path constructions stack. *)
+
+open Import
+
+val create : Memory.t -> block:Protocol.block -> n:int -> k:int -> Protocol.t

@@ -1,0 +1,18 @@
+(** The MCS queue lock (Mellor-Crummey & Scott, reference [12] of the
+    paper) — mutual exclusion only (k = 1).
+
+    The paper's concluding section sets this as the efficiency target: a
+    k-exclusion algorithm should approach "the fastest spin-lock algorithms"
+    as k approaches 1.  This local-spin lock is that target: O(1) remote
+    references per acquisition on both machine models, achieved with
+    fetch-and-store and compare-and-swap and one spin cell per process.
+
+    It is {e not} failure-resilient: a crashed waiter blocks its queue
+    successors forever (tested) — which is precisely the trade the paper's
+    k-exclusion algorithms avoid while staying within a constant factor of
+    this cost (see the ablation benchmark). *)
+
+open Import
+
+val create : Memory.t -> n:int -> Protocol.t
+(** (n,1)-exclusion.  Remote references per acquisition: at most 7. *)

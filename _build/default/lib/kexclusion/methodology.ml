@@ -1,0 +1,20 @@
+open Import
+
+type t = { assignment : Protocol.named; obj : Universal_sim.t; op : pid:int -> int }
+
+let create mem ~model ~algo ~n ~k ~init ~apply ~op =
+  { assignment = Registry.build_assignment mem ~model algo ~n ~k;
+    obj = Universal_sim.create mem ~k ~init ~apply;
+    op }
+
+let workload t =
+  { Runner.acquire = t.assignment.Protocol.acquire;
+    release = t.assignment.Protocol.release;
+    check_names = true;
+    cs_body =
+      Some
+        (fun ~pid ~name ->
+          Op.map ignore (Universal_sim.perform t.obj ~tid:name ~op:(t.op ~pid))) }
+
+let inner t = t.obj
+let peek t mem = Universal_sim.peek t.obj mem

@@ -1,0 +1,32 @@
+(** Section 1 of the paper, assembled inside the simulator: a wait-free
+    k-process object ({!Universal_sim}) encased in an (N,k)-assignment
+    wrapper, delivering an N-process, (k-1)-resilient object whose cost is
+    measurable in remote references under the CC/DSM models.
+
+    Each acquisition of the runner performs one object operation in its
+    critical section, using the name handed out by renaming as the thread
+    id inside the wait-free layer. *)
+
+open Import
+
+type t
+
+val create :
+  Memory.t ->
+  model:Cost_model.model ->
+  algo:Registry.algo ->
+  n:int ->
+  k:int ->
+  init:int ->
+  apply:(int -> int -> int * int) ->
+  op:(pid:int -> int) ->
+  t
+(** [op ~pid] chooses the operation each acquisition performs. *)
+
+val workload : t -> Runner.workload
+(** Acquire a slot+name, perform the operation inside the critical section,
+    release.  Remote references per acquisition measure the {e whole}
+    resilient-object operation. *)
+
+val inner : t -> Universal_sim.t
+val peek : t -> Memory.t -> int

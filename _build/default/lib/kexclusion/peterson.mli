@@ -1,0 +1,19 @@
+(** A tournament tree of Peterson two-process locks: the classic
+    read/write-only mutual exclusion (k = 1) baseline.
+
+    Included for the instruction-set axis of Table 1 at k = 1: like the
+    bakery it needs only atomic reads and writes, but its cost is
+    O(log N) rather than O(N) — each process climbs log2(N) two-process
+    matches.  Busy-waiting is on shared per-match cells, so under the DSM
+    model (no caching) its contended cost is unbounded, and it is the
+    lineage that reference [14] (Yang & Anderson) refined into a local-spin
+    algorithm.  Not failure-resilient: a crashed holder blocks everyone
+    (k - 1 = 0). *)
+
+open Import
+
+val create : Memory.t -> n:int -> Protocol.t
+(** (n,1)-exclusion using only reads and writes. *)
+
+val levels : n:int -> int
+(** ceil(log2 n): matches played per acquisition. *)

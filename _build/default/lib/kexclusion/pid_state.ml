@@ -1,0 +1,13 @@
+type 'a t = { init : int -> 'a; tbl : (int, 'a) Hashtbl.t }
+
+let create init = { init; tbl = Hashtbl.create 16 }
+
+let get t pid =
+  match Hashtbl.find_opt t.tbl pid with
+  | Some v -> v
+  | None ->
+      let v = t.init pid in
+      Hashtbl.add t.tbl pid v;
+      v
+
+let set t pid v = Hashtbl.replace t.tbl pid v

@@ -1,0 +1,15 @@
+(** Per-process private state for protocol instances.
+
+    Building blocks such as Figures 4 and 6 keep a private variable per
+    process ([slow], [last], the P/R cell banks).  When a block is used
+    inside a tree or nested fast path, the processes that reach it carry
+    their {e global} ids, so the state is keyed by pid and materialised on
+    first use rather than pre-sized to the instance's capacity. *)
+
+type 'a t
+
+val create : (int -> 'a) -> 'a t
+(** [create init]: [init pid] produces the initial state for [pid]. *)
+
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit

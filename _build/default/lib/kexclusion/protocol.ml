@@ -1,0 +1,24 @@
+open Import
+
+type t = {
+  name : string;
+  entry : pid:int -> unit Op.t;
+  exit : pid:int -> unit Op.t;
+}
+
+type named = {
+  assignment_name : string;
+  acquire : pid:int -> int Op.t;
+  release : pid:int -> name:int -> unit Op.t;
+}
+
+type block = Memory.t -> n:int -> k:int -> inner:t -> t
+
+let workload p =
+  Runner.plain_workload
+    ~acquire:(fun ~pid -> Op.map (fun () -> 0) (p.entry ~pid))
+    ~release:(fun ~pid ~name:_ -> p.exit ~pid)
+    ~check_names:false
+
+let named_workload p =
+  Runner.plain_workload ~acquire:p.acquire ~release:p.release ~check_names:true

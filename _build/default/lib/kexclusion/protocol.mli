@@ -1,0 +1,34 @@
+(** The (N,k)-exclusion and (N,k)-assignment protocol interfaces.
+
+    A protocol is a pair of entry/exit programs per process.  Protocols
+    compose: the paper's Figures 2, 5 and 6 take an inner (N,k+1)-exclusion
+    ["Acquire"/"Release"] protocol, and the tree / fast-path constructions
+    stack whole protocols. *)
+
+open Import
+
+type t = {
+  name : string;
+  entry : pid:int -> unit Op.t;  (** the paper's [Acquire] *)
+  exit : pid:int -> unit Op.t;  (** the paper's [Release] *)
+}
+
+type named = {
+  assignment_name : string;
+  acquire : pid:int -> int Op.t;
+      (** entry section returning a name in [0..k-1], held through the
+          critical section *)
+  release : pid:int -> name:int -> unit Op.t;
+}
+
+type block = Memory.t -> n:int -> k:int -> inner:t -> t
+(** A building-block constructor: given an inner (n,k+1)-exclusion, produce
+    an (n,k)-exclusion.  {!Cc_block.create} (Figure 2) and
+    {!Dsm_block.create} (Figure 6) have this shape. *)
+
+val workload : t -> Runner.workload
+(** Lift a plain exclusion protocol to a runner workload (name 0, no
+    uniqueness checking). *)
+
+val named_workload : named -> Runner.workload
+(** Lift a k-assignment protocol; the monitor will check name uniqueness. *)

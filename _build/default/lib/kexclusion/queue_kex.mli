@@ -1,0 +1,13 @@
+(** Figure 1 of the paper: the "obvious" (N,k)-exclusion built from a slot
+    counter and a FIFO queue of waiters, with multi-statement atomic blocks.
+
+    This is the idealized algorithm the paper uses to frame the problem — and
+    the stand-in for the "large critical sections" rows of Table 1 ([9],
+    [10]).  Its atomic blocks are deliberately unrealistic (they touch several
+    shared variables at once), and a process that fails while enqueued blocks
+    every process behind it, which is exactly the flaw the paper's
+    (k+1)-exclusion insight removes.  Tests demonstrate both properties. *)
+
+open Import
+
+val create : Memory.t -> n:int -> k:int -> Protocol.t

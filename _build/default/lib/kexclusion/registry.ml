@@ -1,0 +1,49 @@
+open Import
+
+type algo = Queue | Bakery | Inductive | Tree | Fast_path | Graceful
+
+let all = [ Queue; Bakery; Inductive; Tree; Fast_path; Graceful ]
+
+let algo_name = function
+  | Queue -> "queue"
+  | Bakery -> "bakery"
+  | Inductive -> "inductive"
+  | Tree -> "tree"
+  | Fast_path -> "fastpath"
+  | Graceful -> "graceful"
+
+let algo_of_string s =
+  List.find_opt (fun a -> String.equal (algo_name a) (String.lowercase_ascii s)) all
+
+let block_for = function
+  | Cost_model.Cache_coherent -> Cc_block.create
+  | Cost_model.Distributed -> Dsm_block.create
+
+let build mem ~model algo ~n ~k =
+  let block = block_for model in
+  match algo with
+  | Queue -> Queue_kex.create mem ~n ~k
+  | Bakery -> Baseline_bakery.create mem ~n ~k
+  | Inductive -> Inductive.create mem ~block ~n ~k
+  | Tree -> Tree.create mem ~block ~n ~k
+  | Fast_path -> Fast_path.with_tree mem ~block ~n ~k
+  | Graceful -> Graceful.create mem ~block ~n ~k
+
+let build_assignment mem ~model algo ~n ~k =
+  let kex = build mem ~model algo ~n ~k in
+  Assignment.create mem ~kex ~k
+
+let bound ~model algo ~n ~k ~c =
+  let low_contention = c <= k in
+  match (model, algo) with
+  | _, (Queue | Bakery) -> None
+  | Cost_model.Cache_coherent, Inductive -> Some (Spec.thm1 ~n ~k)
+  | Cost_model.Cache_coherent, Tree -> Some (Spec.thm2 ~n ~k)
+  | Cost_model.Cache_coherent, Fast_path ->
+      Some (if low_contention then Spec.thm3_low ~k else Spec.thm3_high ~n ~k)
+  | Cost_model.Cache_coherent, Graceful -> Some (Spec.thm4 ~k ~c)
+  | Cost_model.Distributed, Inductive -> Some (Spec.thm5 ~n ~k)
+  | Cost_model.Distributed, Tree -> Some (Spec.thm6 ~n ~k)
+  | Cost_model.Distributed, Fast_path ->
+      Some (if low_contention then Spec.thm7_low ~k else Spec.thm7_high ~n ~k)
+  | Cost_model.Distributed, Graceful -> Some (Spec.thm8 ~k ~c)

@@ -1,0 +1,22 @@
+let ceil_div a b = (a + b - 1) / b
+
+let ceil_log2 m =
+  assert (m >= 1);
+  let rec go acc pow = if pow >= m then acc else go (acc + 1) (pow * 2) in
+  go 0 1
+
+let tree_levels ~n ~k = ceil_log2 (ceil_div n k)
+let thm1 ~n ~k = 7 * (n - k)
+let thm2 ~n ~k = 7 * k * tree_levels ~n ~k
+let thm3_low ~k = (7 * k) + 2
+let thm3_high ~n ~k = (7 * k * (tree_levels ~n ~k + 1)) + 2
+let thm4 ~k ~c = ceil_div c k * ((7 * k) + 2)
+let thm5 ~n ~k = 14 * (n - k)
+let thm6 ~n ~k = 14 * k * tree_levels ~n ~k
+let thm7_low ~k = (14 * k) + 2
+let thm7_high ~n ~k = (14 * k * (tree_levels ~n ~k + 1)) + 2
+let thm8 ~k ~c = ceil_div c k * ((14 * k) + 2)
+let thm9_low ~k = thm3_low ~k + k
+let thm9_high ~n ~k = thm3_high ~n ~k + k
+let thm10_low ~k = thm7_low ~k + k
+let thm10_high ~n ~k = thm7_high ~n ~k + k

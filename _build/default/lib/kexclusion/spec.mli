@@ -1,0 +1,51 @@
+(** The paper's analytic remote-reference bounds (Theorems 1–10), as
+    executable formulas.  Tests and benchmarks compare measured remote
+    references per acquisition against these. *)
+
+val ceil_log2 : int -> int
+(** [ceil_log2 m] = ceil(log2 m) for m >= 1. *)
+
+val ceil_div : int -> int -> int
+
+val thm1 : n:int -> k:int -> int
+(** CC inductive: 7(N-k). *)
+
+val thm2 : n:int -> k:int -> int
+(** CC tree: 7k·ceil(log2⌈N/k⌉). *)
+
+val thm3_low : k:int -> int
+(** CC fast path, contention <= k: 7k+2. *)
+
+val thm3_high : n:int -> k:int -> int
+(** CC fast path, contention > k: 7k(ceil(log2⌈N/k⌉)+1)+2. *)
+
+val thm4 : k:int -> c:int -> int
+(** CC graceful, contention <= c: ⌈c/k⌉(7k+2). *)
+
+val thm5 : n:int -> k:int -> int
+(** DSM inductive: 14(N-k). *)
+
+val thm6 : n:int -> k:int -> int
+(** DSM tree: 14k·ceil(log2⌈N/k⌉). *)
+
+val thm7_low : k:int -> int
+(** DSM fast path, contention <= k: 14k+2. *)
+
+val thm7_high : n:int -> k:int -> int
+(** DSM fast path, contention > k: 14(k·ceil(log2⌈N/k⌉)+k)+2... the paper
+    states 14k(log2⌈N/k⌉+1)+2. *)
+
+val thm8 : k:int -> c:int -> int
+(** DSM graceful: ⌈c/k⌉(14k+2). *)
+
+val thm9_low : k:int -> int
+(** CC k-assignment, contention <= k: 7k+k+2. *)
+
+val thm9_high : n:int -> k:int -> int
+(** CC k-assignment, contention > k: 7k(ceil(log2⌈N/k⌉)+1)+k+2. *)
+
+val thm10_low : k:int -> int
+(** DSM k-assignment, contention <= k: 14k+k+2. *)
+
+val thm10_high : n:int -> k:int -> int
+(** DSM k-assignment, contention > k: 14k(ceil(log2⌈N/k⌉)+1)+k+2. *)

@@ -1,0 +1,49 @@
+open Import
+open Op
+
+(* Grid positions (r, d) with r + d <= k-1: r right-moves, d down-moves.
+   Each splitter owns two cells: X (holds pid+1, 0 = none) and Y (bool).
+   Triangular index: row d holds k-d splitters. *)
+type t = { mem_base : Op.addr; k : int }
+
+let name_space ~k = k * (k + 1) / 2
+
+let index ~k ~r ~d =
+  (* positions of rows 0..d-1, then r within row d *)
+  (d * k) - (d * (d - 1) / 2) + r
+
+let create mem ~k =
+  let base = Memory.alloc mem ~init:0 (2 * name_space ~k) in
+  { mem_base = base; k }
+
+let x_cell t ~r ~d = t.mem_base + (2 * index ~k:t.k ~r ~d)
+let y_cell t ~r ~d = t.mem_base + (2 * index ~k:t.k ~r ~d) + 1
+
+(* Lamport's splitter: stop / right / down, one atomic access per line. *)
+let splitter t ~pid ~r ~d =
+  let* () = write (x_cell t ~r ~d) (pid + 1) in
+  let* y = read (y_cell t ~r ~d) in
+  if y = 1 then return `Right
+  else
+    let* () = write (y_cell t ~r ~d) 1 in
+    let* x = read (x_cell t ~r ~d) in
+    if x = pid + 1 then return `Stop else return `Down
+
+let acquire t ~pid =
+  let rec move ~r ~d =
+    let* outcome = splitter t ~pid ~r ~d in
+    match outcome with
+    | `Stop -> return (index ~k:t.k ~r ~d)
+    | (`Right | `Down) as dir ->
+        if r + d >= t.k - 1 then
+          (* Unreachable when at most k processes participate: a process on
+             the last diagonal is alone at its splitter and must stop.
+             Surface a precondition violation as an out-of-range name. *)
+          return (name_space ~k:t.k)
+        else begin
+          match dir with `Right -> move ~r:(r + 1) ~d | `Down -> move ~r ~d:(d + 1)
+        end
+  in
+  move ~r:0 ~d:0
+
+let k t = t.k

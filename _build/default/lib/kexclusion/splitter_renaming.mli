@@ -1,0 +1,34 @@
+(** One-shot renaming via a grid of splitters, after Moir & Anderson's
+    companion paper [13] ("Fast, Long-Lived Renaming"), which Section 4
+    cites for the detailed treatment of renaming.
+
+    This is the {e read/write-only} alternative to Figure 7's test-and-set
+    scan: k processes move through a triangular grid of splitters (Lamport's
+    fast-path mechanism); each splitter "stops" at most one process, and a
+    process stops within k-1 moves, acquiring the name of the splitter that
+    stopped it.  Properties (tested and, being read/write only, relevant to
+    Table 1's instruction-set comparisons):
+
+    - wait-free: at most 2(k-1) shared accesses, no waiting whatsoever;
+    - name space k(k+1)/2 — larger than Figure 7's optimal k, the price of
+      dropping test-and-set;
+    - one-shot: names cannot be released (the long-lived variant of [13]
+      needs resettable splitters, out of scope here; Figure 7 is the paper's
+      long-lived solution).
+
+    Precondition as in the paper: at most k processes participate. *)
+
+open Import
+
+type t
+
+val create : Memory.t -> k:int -> t
+
+val name_space : k:int -> int
+(** k(k+1)/2. *)
+
+val acquire : t -> pid:int -> int Op.t
+(** A name in [0 .. k(k+1)/2 - 1], distinct from every other acquired name.
+    Each pid may acquire at most once (one-shot). *)
+
+val k : t -> int

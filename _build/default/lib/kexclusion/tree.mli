@@ -1,0 +1,18 @@
+(** The arbitration tree of Theorems 2 and 6 (Figure 3(a)).
+
+    Processes are grouped into (2k,k)-exclusion building blocks that halve
+    the number of surviving processes at each level until only k remain: the
+    leaves partition the N processes into groups of 2k; level l+1's block j
+    admits the survivors of level l's blocks 2j and 2j+1.  A process acquires
+    the blocks on its leaf-to-root path in order and releases them in
+    reverse.
+
+    Cost: one (2k,k) block per level, so 7k·ceil(log2(N/k)) remote references
+    on cache-coherent machines and 14k·ceil(log2(N/k)) on DSM. *)
+
+open Import
+
+val create : Memory.t -> block:Protocol.block -> n:int -> k:int -> Protocol.t
+
+val levels : n:int -> k:int -> int
+(** Number of tree levels a process traverses; 0 when k >= n. *)

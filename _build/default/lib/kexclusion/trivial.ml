@@ -1,0 +1,6 @@
+open Import
+
+let create () =
+  { Protocol.name = "trivial";
+    entry = (fun ~pid:_ -> Op.return ());
+    exit = (fun ~pid:_ -> Op.return ()) }

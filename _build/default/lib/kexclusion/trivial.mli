@@ -1,0 +1,4 @@
+(** The trivial (N,k)-exclusion for k >= N: entry and exit are skip.  The
+    base case of the paper's inductive constructions (Theorems 1 and 5). *)
+
+val create : unit -> Protocol.t

@@ -1,0 +1,95 @@
+open Import
+open Op
+
+(* Version-block layout (2 + 2k cells): [seq; state; applied[k]; results[k]].
+   [head] holds the address of the current block.  Announce slots per tid:
+   [op; phase] — op written before phase, helpers read phase before op. *)
+type t = {
+  mem : Memory.t;
+  k : int;
+  apply : int -> int -> int * int;
+  head : Op.addr;
+  ann_op : Op.addr;  (* k cells *)
+  ann_phase : Op.addr;  (* k cells *)
+  phases : int Pid_state.t;  (* private per-tid phase counters *)
+}
+
+let block_size k = 2 + (2 * k)
+
+let create mem ~k ~init ~apply =
+  let first = Memory.alloc mem ~init:0 (block_size k) in
+  Memory.set mem (first + 1) init;
+  let head = Memory.alloc mem ~init:first 1 in
+  let ann_op = Memory.alloc mem ~init:0 k in
+  let ann_phase = Memory.alloc mem ~init:0 k in
+  { mem; k; apply; head; ann_op; ann_phase; phases = Pid_state.create (fun _ -> 0) }
+
+let seq_of b = b
+let state_of b = b + 1
+let applied_of _t b tid = b + 2 + tid
+let result_of t b tid = b + 2 + t.k + tid
+
+let announce t ~tid ~op =
+  let phase = Pid_state.get t.phases tid + 1 in
+  Pid_state.set t.phases tid phase;
+  let* () = write (t.ann_op + tid) op in
+  let* () = write (t.ann_phase + tid) phase in
+  return phase
+
+(* Help one pending operation on top of block [b]: the designated
+   beneficiary rotates with the sequence number (wait-freedom), falling back
+   to a scan for any pending announcement (progress). *)
+let try_advance t b =
+  let* seq = read (seq_of b) in
+  let pending tid k_found k_none =
+    let* ph = read (t.ann_phase + tid) in
+    let* ap = read (applied_of t b tid) in
+    if ph > ap then k_found tid ph else k_none ()
+  in
+  let designated = (seq + 1) mod t.k in
+  let rec scan i k_found k_none =
+    if i >= t.k then k_none ()
+    else pending i k_found (fun () -> scan (i + 1) k_found k_none)
+  in
+  let apply_req tid phase =
+    let* op = read (t.ann_op + tid) in
+    let* st = read (state_of b) in
+    let st', res = t.apply st op in
+    (* Build the successor block: copy applied/results, then overwrite the
+       helped tid's entries.  The block is private until the CAS. *)
+    let nb = Memory.alloc t.mem ~init:0 (block_size t.k) in
+    let* () = write (seq_of nb) (seq + 1) in
+    let* () = write (state_of nb) st' in
+    let rec copy i =
+      if i >= t.k then return ()
+      else
+        let* a = read (applied_of t b i) in
+        let* () = write (applied_of t nb i) a in
+        let* r = read (result_of t b i) in
+        let* () = write (result_of t nb i) r in
+        copy (i + 1)
+    in
+    let* () = copy 0 in
+    let* () = write (applied_of t nb tid) phase in
+    let* () = write (result_of t nb tid) res in
+    let* _ = cas t.head ~expected:b ~desired:nb in
+    return ()
+  in
+  pending designated apply_req (fun () -> scan 0 apply_req (fun () -> return ()))
+
+let perform t ~tid ~op =
+  let* phase = announce t ~tid ~op in
+  let rec loop () =
+    let* b = read t.head in
+    let* a = read (applied_of t b tid) in
+    if a >= phase then read (result_of t b tid)
+    else
+      let* () = try_advance t b in
+      loop ()
+  in
+  loop ()
+
+let announce_only t ~tid ~op = Op.map ignore (announce t ~tid ~op)
+let peek t mem = Memory.get mem (state_of (Memory.get mem t.head))
+let applied_count t mem = Memory.get mem (seq_of (Memory.get mem t.head))
+let k t = t.k

@@ -1,0 +1,35 @@
+(** The wait-free k-process universal construction, implemented {e inside the
+    simulator's cost model} — announce array plus rotating-beneficiary
+    helping over CAS, with every shared access an atomic step.
+
+    This closes the loop on Section 1: the full methodology (k-exclusion +
+    renaming wrapper around a wait-free k-process object) can be run under
+    the CC/DSM cost models, measured in remote references, and subjected to
+    crash injection {e in the middle of an operation}.
+
+    The object state is a single integer (e.g. a counter); [apply] must be
+    pure.  Version blocks are laid out as flat cell runs
+    [seq; state; applied[k]; results[k]] and installed by CAS on a head
+    pointer, so one operation costs O(k) remote references — the price of
+    wait-freedom the paper's methodology confines to k instead of N. *)
+
+open Import
+
+type t
+
+val create : Memory.t -> k:int -> init:int -> apply:(int -> int -> int * int) -> t
+(** [apply state op] returns [(state', result)]. *)
+
+val perform : t -> tid:int -> op:int -> int Op.t
+(** Announce, help until applied, return the linearized result.  At most one
+    operation per tid in flight (the assignment wrapper guarantees it). *)
+
+val announce_only : t -> tid:int -> op:int -> unit Op.t
+(** Announce and stop — the crash-mid-operation hook: the operation will be
+    completed by any other tid's next [perform]s. *)
+
+val peek : t -> Memory.t -> int
+(** Committed state, read directly (tests/benchmarks only — not a step). *)
+
+val applied_count : t -> Memory.t -> int
+val k : t -> int

@@ -1,0 +1,1 @@
+lib/resilient/history.ml: Array Atomic Hashtbl List Mutex

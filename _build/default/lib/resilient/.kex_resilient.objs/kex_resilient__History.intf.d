@@ -1,0 +1,1 @@
+lib/resilient/history.mli:

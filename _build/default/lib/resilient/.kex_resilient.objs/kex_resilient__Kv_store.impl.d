@@ -1,0 +1,1 @@
+lib/resilient/kv_store.ml: Map Resilient String

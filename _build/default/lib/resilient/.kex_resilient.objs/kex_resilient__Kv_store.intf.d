@@ -1,0 +1,1 @@
+lib/resilient/kv_store.mli: Kex_runtime

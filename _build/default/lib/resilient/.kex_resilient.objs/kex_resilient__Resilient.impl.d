@@ -1,0 +1,1 @@
+lib/resilient/resilient.ml: Kex_runtime Universal

@@ -1,0 +1,1 @@
+lib/resilient/resilient.mli: Kex_runtime Universal

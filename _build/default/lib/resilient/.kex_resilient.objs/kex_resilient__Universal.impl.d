@@ -1,0 +1,1 @@
+lib/resilient/universal.ml: Array Atomic Printf

@@ -1,0 +1,1 @@
+lib/resilient/wf_register.mli:

@@ -1,0 +1,53 @@
+type ('op, 'r) event = { tid : int; op : 'op; result : 'r; invoked : int; responded : int }
+
+type ('op, 'r) t = {
+  clock : int Atomic.t;
+  lock : Mutex.t;
+  mutable recorded : ('op, 'r) event list;
+}
+
+let create () = { clock = Atomic.make 0; lock = Mutex.create (); recorded = [] }
+
+let record t ~tid ~op ~f =
+  let invoked = Atomic.fetch_and_add t.clock 1 in
+  let result = f () in
+  let responded = Atomic.fetch_and_add t.clock 1 in
+  Mutex.lock t.lock;
+  t.recorded <- { tid; op; result; invoked; responded } :: t.recorded;
+  Mutex.unlock t.lock;
+  result
+
+let events t = List.rev t.recorded
+let length t = List.length t.recorded
+
+let linearizable ~init ~apply t =
+  let evs = Array.of_list (events t) in
+  let n = Array.length evs in
+  if n > 62 then invalid_arg "History.linearizable: history too long (max 62 events)";
+  let full = (1 lsl n) - 1 in
+  let seen = Hashtbl.create 4096 in
+  let rec go mask state =
+    if mask = full then true
+    else if Hashtbl.mem seen (mask, state) then false
+    else begin
+      Hashtbl.add seen (mask, state) ();
+      (* An untaken event may linearize next iff no other untaken event
+         responded before it was invoked (real-time order). *)
+      let min_responded = ref max_int in
+      for i = 0 to n - 1 do
+        if mask land (1 lsl i) = 0 && evs.(i).responded < !min_responded then
+          min_responded := evs.(i).responded
+      done;
+      let rec try_candidates i =
+        if i >= n then false
+        else if mask land (1 lsl i) = 0 && evs.(i).invoked <= !min_responded then begin
+          let state', result = apply state evs.(i).op in
+          (result = evs.(i).result && go (mask lor (1 lsl i)) state')
+          || try_candidates (i + 1)
+        end
+        else try_candidates (i + 1)
+      in
+      try_candidates 0
+    end
+  in
+  go 0 init

@@ -1,0 +1,34 @@
+(** Concurrent-history recording and linearizability checking.
+
+    The resilient-object stack rests on the claim that the universal
+    construction linearizes every operation.  This module lets tests check
+    that claim directly: domains record timestamped invocation/response
+    intervals, and {!linearizable} searches (Wing & Gong style) for a
+    sequential order of the operations that (a) respects real-time
+    precedence and (b) reproduces every observed result under the
+    sequential [apply]. *)
+
+type ('op, 'r) event = {
+  tid : int;
+  op : 'op;
+  result : 'r;
+  invoked : int;  (** global timestamp at invocation *)
+  responded : int;  (** global timestamp at response *)
+}
+
+type ('op, 'r) t
+
+val create : unit -> ('op, 'r) t
+
+val record : ('op, 'r) t -> tid:int -> op:'op -> f:(unit -> 'r) -> 'r
+(** Runs [f ()], timestamping around it; safe to call from multiple domains
+    concurrently. *)
+
+val events : ('op, 'r) t -> ('op, 'r) event list
+val length : ('op, 'r) t -> int
+
+val linearizable :
+  init:'s -> apply:('s -> 'op -> 's * 'r) -> ('op, 'r) t -> bool
+(** Exhaustive search with memoization; exponential in the worst case, so
+    keep recorded histories small (up to ~60 events works well when
+    concurrency is a few threads). *)

@@ -1,0 +1,43 @@
+module Smap = Map.Make (String)
+
+type op =
+  | Set of string * string
+  | Get of string
+  | Delete of string
+  | Update of string * (string option -> string option)
+
+type result = Unit | Value of string option | Existed of bool
+
+type t = (string Smap.t, op, result) Resilient.t
+
+let apply m = function
+  | Set (key, v) -> (Smap.add key v m, Unit)
+  | Get key -> (m, Value (Smap.find_opt key m))
+  | Delete key -> (Smap.remove key m, Existed (Smap.mem key m))
+  | Update (key, f) -> (
+      match f (Smap.find_opt key m) with
+      | Some v -> (Smap.add key v m, Unit)
+      | None -> (Smap.remove key m, Unit))
+
+let create ?algo ~n ~k () = Resilient.create ?algo ~n ~k ~init:Smap.empty ~apply ()
+
+let set t ~pid ~key v =
+  match Resilient.perform t ~pid (Set (key, v)) with Unit -> () | Value _ | Existed _ -> assert false
+
+let get t ~pid ~key =
+  match Resilient.perform t ~pid (Get key) with Value v -> v | Unit | Existed _ -> assert false
+
+let delete t ~pid ~key =
+  match Resilient.perform t ~pid (Delete key) with
+  | Existed b -> b
+  | Unit | Value _ -> assert false
+
+let update t ~pid ~key f =
+  match Resilient.perform t ~pid (Update (key, f)) with
+  | Unit -> ()
+  | Value _ | Existed _ -> assert false
+
+let size t = Smap.cardinal (Resilient.peek t)
+let snapshot t = Smap.bindings (Resilient.peek t)
+let operations t = Resilient.operations t
+let assignment t = Resilient.assignment t

@@ -1,0 +1,28 @@
+(** A (k-1)-resilient in-memory key-value store for N processes — the
+    methodology applied to a realistic shared object.
+
+    All operations are linearizable; up to k-1 client processes may crash
+    anywhere (including mid-operation) without affecting availability; when
+    at most k clients operate concurrently, operations never wait. *)
+
+type t
+
+val create : ?algo:Kex_runtime.Kex_lock.algo -> n:int -> k:int -> unit -> t
+
+val set : t -> pid:int -> key:string -> string -> unit
+val get : t -> pid:int -> key:string -> string option
+val delete : t -> pid:int -> key:string -> bool
+(** [true] iff the key existed. *)
+
+val update : t -> pid:int -> key:string -> (string option -> string option) -> unit
+(** Atomic read-modify-write of one binding; [None] deletes.  The function
+    must be pure (helpers may re-run it). *)
+
+val size : t -> int
+val snapshot : t -> (string * string) list
+(** Committed bindings, sorted by key (linearized read, no slot needed). *)
+
+val operations : t -> int
+
+val assignment : t -> Kex_runtime.Kex_lock.Assignment.t
+(** The admission wrapper — exposed for failure-injection demos and tests. *)

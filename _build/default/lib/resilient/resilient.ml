@@ -1,0 +1,23 @@
+type ('s, 'op, 'r) t = {
+  assignment : Kex_runtime.Kex_lock.Assignment.t;
+  obj : ('s, 'op, 'r) Universal.t;
+  n : int;
+  k : int;
+}
+
+let create ?algo ~n ~k ~init ~apply () =
+  { assignment = Kex_runtime.Kex_lock.Assignment.create ?algo ~n ~k ();
+    obj = Universal.create ~k ~init ~apply;
+    n;
+    k }
+
+let perform t ~pid op =
+  Kex_runtime.Kex_lock.Assignment.with_name t.assignment ~pid (fun name ->
+      Universal.perform t.obj ~tid:name op)
+
+let peek t = Universal.state t.obj
+let operations t = Universal.applied_count t.obj
+let n t = t.n
+let k t = t.k
+let inner t = t.obj
+let assignment t = t.assignment

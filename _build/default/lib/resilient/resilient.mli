@@ -1,0 +1,46 @@
+(** The paper's methodology, end to end (Section 1): a (k-1)-resilient,
+    N-process shared object built by encasing a wait-free k-process
+    implementation inside an (N,k)-assignment wrapper.
+
+    The wrapper admits at most k processes at a time and hands each a unique
+    name in [0..k-1], which serves as its thread id inside the wait-free
+    inner object.  Consequences, exactly as the paper argues:
+
+    - up to k-1 processes may fail undetectably {e anywhere} — even inside
+      an operation — and every other process still completes every
+      operation: a dead name-holder costs one name/slot, and its half-done
+      inner operation is finished by helpers;
+    - when contention stays at or below k, nobody ever waits at the wrapper,
+      so the object is effectively wait-free at a cost independent of N;
+    - resiliency (k) is chosen from expected contention, not from N — the
+      knob wait-freedom does not offer. *)
+
+type ('s, 'op, 'r) t
+
+val create :
+  ?algo:Kex_runtime.Kex_lock.algo ->
+  n:int ->
+  k:int ->
+  init:'s ->
+  apply:('s -> 'op -> 's * 'r) ->
+  unit ->
+  ('s, 'op, 'r) t
+(** [apply] must be pure (helpers may re-execute it). *)
+
+val perform : ('s, 'op, 'r) t -> pid:int -> 'op -> 'r
+(** Linearize [op] on behalf of process [pid] (0 <= pid < n). *)
+
+val peek : ('s, 'op, 'r) t -> 's
+(** Latest committed state, without acquiring a slot. *)
+
+val operations : ('s, 'op, 'r) t -> int
+(** Operations linearized so far. *)
+
+val n : ('s, 'op, 'r) t -> int
+val k : ('s, 'op, 'r) t -> int
+
+val inner : ('s, 'op, 'r) t -> ('s, 'op, 'r) Universal.t
+(** The wait-free inner object — exposed for failure-injection tests. *)
+
+val assignment : ('s, 'op, 'r) t -> Kex_runtime.Kex_lock.Assignment.t
+(** The wrapper — exposed for failure-injection tests and examples. *)

@@ -1,0 +1,88 @@
+type ('s, 'r) cell = {
+  seq : int;
+  state : 's;
+  applied : int array;  (* last applied phase, per tid *)
+  results : 'r option array;  (* result of that application, per tid *)
+}
+
+type 'op request = { op : 'op; phase : int; tid : int }
+
+type ('s, 'op, 'r) t = {
+  k : int;
+  apply : 's -> 'op -> 's * 'r;
+  head : ('s, 'r) cell Atomic.t;
+  announce : 'op request option Atomic.t array;
+  phases : int array;  (* private per-tid phase counters *)
+}
+
+let create ~k ~init ~apply =
+  if k <= 0 then invalid_arg "Universal.create: k must be positive";
+  { k;
+    apply;
+    head =
+      Atomic.make
+        { seq = 0; state = init; applied = Array.make k 0; results = Array.make k None };
+    announce = Array.init k (fun _ -> Atomic.make None);
+    phases = Array.make k 0 }
+
+let check_tid t tid =
+  if tid < 0 || tid >= t.k then
+    invalid_arg (Printf.sprintf "Universal: tid %d out of range 0..%d" tid (t.k - 1))
+
+let announce t ~tid op =
+  let phase = t.phases.(tid) + 1 in
+  t.phases.(tid) <- phase;
+  Atomic.set t.announce.(tid) (Some { op; phase; tid });
+  phase
+
+(* Attempt to linearize one pending request on top of [h].  The designated
+   beneficiary rotates with the sequence number, which is what makes the
+   construction wait-free: within k successful appends every pending
+   announcement is helped. *)
+let try_advance t h =
+  let pending tid =
+    match Atomic.get t.announce.(tid) with
+    | Some r when r.phase > h.applied.(tid) -> Some r
+    | Some _ | None -> None
+  in
+  let designated = (h.seq + 1) mod t.k in
+  let req =
+    match pending designated with
+    | Some r -> Some r
+    | None ->
+        let rec scan i = if i >= t.k then None else (match pending i with Some r -> Some r | None -> scan (i + 1)) in
+        scan 0
+  in
+  match req with
+  | None -> false
+  | Some r ->
+      let state, result = t.apply h.state r.op in
+      let applied = Array.copy h.applied in
+      let results = Array.copy h.results in
+      applied.(r.tid) <- r.phase;
+      results.(r.tid) <- Some result;
+      Atomic.compare_and_set t.head h { seq = h.seq + 1; state; applied; results }
+
+let perform t ~tid op =
+  check_tid t tid;
+  let phase = announce t ~tid op in
+  let rec loop () =
+    let h = Atomic.get t.head in
+    if h.applied.(tid) >= phase then begin
+      Atomic.set t.announce.(tid) None;
+      match h.results.(tid) with Some r -> r | None -> assert false
+    end
+    else begin
+      ignore (try_advance t h);
+      loop ()
+    end
+  in
+  loop ()
+
+let announce_only t ~tid op =
+  check_tid t tid;
+  ignore (announce t ~tid op)
+
+let state t = (Atomic.get t.head).state
+let applied_count t = (Atomic.get t.head).seq
+let k t = t.k

@@ -1,0 +1,7 @@
+type t = int Atomic.t
+
+let create ?(init = 0) () = Atomic.make init
+let add t d = ignore (Atomic.fetch_and_add t d)
+let incr t = add t 1
+let get t = Atomic.get t
+let add_and_get t d = Atomic.fetch_and_add t d + d

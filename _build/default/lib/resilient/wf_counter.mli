@@ -1,0 +1,16 @@
+(** A wait-free shared counter.
+
+    Hardware fetch-and-add is wait-free on its own, so this object needs no
+    universal construction — it exists as the simplest instance of the
+    "wait-free k-process object" the methodology wraps, and as the object
+    used by the resilient-counter example. *)
+
+type t
+
+val create : ?init:int -> unit -> t
+val add : t -> int -> unit
+val incr : t -> unit
+val get : t -> int
+
+val add_and_get : t -> int -> int
+(** Returns the post-addition value. *)

@@ -1,0 +1,13 @@
+(** A wait-free FIFO queue for k processes, built on the universal
+    construction (functional two-list queue as the sequential object). *)
+
+type 'a t
+
+val create : k:int -> 'a t
+
+val enqueue : 'a t -> tid:int -> 'a -> unit
+val dequeue : 'a t -> tid:int -> 'a option
+val length : 'a t -> int
+val peek : 'a t -> 'a option
+val to_list : 'a t -> 'a list
+(** Front-first snapshot of the committed state. *)

@@ -1,0 +1,21 @@
+(** A wait-free k-process register with read-modify-write operations.
+
+    A plain [Atomic.t] is already a wait-free read/write register; what the
+    universal construction adds is arbitrary {e compound} operations
+    (read-modify-write beyond what hardware offers) linearized wait-free,
+    e.g. conditional updates and bounded increments. *)
+
+type 'a t
+
+val create : k:int -> init:'a -> 'a t
+val read : 'a t -> 'a
+(** Linearized read of the committed value (no announcement needed). *)
+
+val write : 'a t -> tid:int -> 'a -> unit
+
+val modify : 'a t -> tid:int -> ('a -> 'a) -> 'a
+(** Atomically replace the value by [f value]; returns the {e previous}
+    value.  [f] must be pure (helpers may re-run it). *)
+
+val compare_and_swap : 'a t -> tid:int -> expected:'a -> desired:'a -> bool
+(** Structural-equality CAS as a linearized operation. *)

@@ -1,0 +1,12 @@
+(** A wait-free LIFO stack for k processes, built on the universal
+    construction. *)
+
+type 'a t
+
+val create : k:int -> 'a t
+val push : 'a t -> tid:int -> 'a -> unit
+val pop : 'a t -> tid:int -> 'a option
+val top : 'a t -> 'a option
+val length : 'a t -> int
+val to_list : 'a t -> 'a list
+(** Top-first snapshot of the committed state. *)

@@ -1,0 +1,1 @@
+lib/runtime/atomic_ext.mli: Atomic

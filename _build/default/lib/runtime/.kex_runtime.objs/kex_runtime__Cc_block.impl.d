@@ -1,0 +1,1 @@
+lib/runtime/cc_block.ml: Atomic Domain Printf Protocol

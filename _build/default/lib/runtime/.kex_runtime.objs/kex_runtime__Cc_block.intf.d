@@ -1,0 +1,1 @@
+lib/runtime/cc_block.mli: Protocol

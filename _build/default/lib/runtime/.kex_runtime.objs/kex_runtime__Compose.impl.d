@@ -1,0 +1,1 @@
+lib/runtime/compose.ml: Array Atomic Atomic_ext Cc_block Dsm_block Printf Protocol

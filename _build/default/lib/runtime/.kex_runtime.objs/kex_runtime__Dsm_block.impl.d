@@ -1,0 +1,1 @@
+lib/runtime/dsm_block.ml: Array Atomic Domain Printf Protocol

@@ -1,0 +1,1 @@
+lib/runtime/dsm_block.mli: Protocol

@@ -1,0 +1,1 @@
+lib/runtime/kex_lock.ml: Compose Printf Protocol Renaming Semaphore_naive

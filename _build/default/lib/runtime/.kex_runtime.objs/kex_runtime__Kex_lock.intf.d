@@ -1,0 +1,1 @@
+lib/runtime/kex_lock.mli:

@@ -1,0 +1,1 @@
+lib/runtime/mcs.ml: Array Atomic Domain Protocol

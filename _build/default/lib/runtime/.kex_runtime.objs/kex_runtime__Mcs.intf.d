@@ -1,0 +1,1 @@
+lib/runtime/mcs.mli: Protocol

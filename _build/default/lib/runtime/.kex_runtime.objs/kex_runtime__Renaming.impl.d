@@ -1,0 +1,1 @@
+lib/runtime/renaming.ml: Array Atomic Atomic_ext

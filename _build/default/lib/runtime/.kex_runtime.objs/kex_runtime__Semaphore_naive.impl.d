@@ -1,0 +1,1 @@
+lib/runtime/semaphore_naive.ml: Atomic Domain Printf Protocol

@@ -1,0 +1,1 @@
+lib/runtime/semaphore_naive.mli: Protocol

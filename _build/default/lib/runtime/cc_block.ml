@@ -1,0 +1,28 @@
+(* Statement numbers follow Figure 2 of the paper. *)
+let create ~k ~inner =
+  let x = Atomic.make k in
+  let q = Atomic.make (-1) in
+  let entry pid =
+    inner.Protocol.entry pid;
+    (* 1 *)
+    if Atomic.fetch_and_add x (-1) = 0 then begin
+      (* 2 *)
+      Atomic.set q pid;
+      (* 3 *)
+      if Atomic.get x < 0 then
+        (* 4 *)
+        while Atomic.get q = pid do
+          (* 5 *)
+          Domain.cpu_relax ()
+        done
+    end
+  in
+  let exit pid =
+    ignore (Atomic.fetch_and_add x 1);
+    (* 6 *)
+    Atomic.set q pid;
+    (* 7 *)
+    inner.Protocol.exit pid
+    (* 8 *)
+  in
+  { Protocol.name = Printf.sprintf "fig2[k=%d]" k; entry; exit }

@@ -1,0 +1,8 @@
+(** Figure 2 on real atomics: the (N,k)-exclusion building block.
+
+    On a cache-coherent machine (i.e. any machine OCaml 5 runs on), the
+    single spin location [Q] migrates into the waiting core's cache, so the
+    busy-wait loop costs two coherence misses per release — the property the
+    paper's complexity analysis is built on. *)
+
+val create : k:int -> inner:Protocol.t -> Protocol.t

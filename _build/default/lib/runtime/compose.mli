@@ -1,0 +1,39 @@
+(** The paper's composition layer on real atomics: inductive stacking
+    (Theorems 1/5), arbitration trees (Theorems 2/6, Figure 3(a)), fast
+    paths (Theorems 3/7, Figure 4) and graceful degradation (Theorems 4/8,
+    Figure 3(b)) — generic over the building block.
+
+    [universe] is the total number of processes that may ever call the
+    protocol (pids range over [0..universe-1]); [n] is the capacity of the
+    particular sub-protocol being built, which shrinks inside nested
+    constructions. *)
+
+type block = k:int -> inner:Protocol.t -> Protocol.t
+(** Builds an (n,k)-exclusion from an (n,k+1)-exclusion. *)
+
+val cc_block : block
+(** Figure 2 (the default). *)
+
+val fig6_block : universe:int -> block
+(** Figure 6 — the bounded-space DSM block ({!Dsm_block}). *)
+
+val inductive_of : block:block -> n:int -> k:int -> Protocol.t
+val tree_of : block:block -> universe:int -> n:int -> k:int -> Protocol.t
+val fast_path_of : block:block -> universe:int -> k:int -> slow:Protocol.t -> Protocol.t
+val fast_path_tree_of : block:block -> universe:int -> n:int -> k:int -> Protocol.t
+val graceful_of : block:block -> universe:int -> n:int -> k:int -> Protocol.t
+
+(** Figure 2 instantiations (what {!Kex_lock} uses by default): *)
+
+val inductive : n:int -> k:int -> Protocol.t
+(** Cost 7(n-k). *)
+
+val tree : universe:int -> n:int -> k:int -> Protocol.t
+(** Cost 7k·ceil(log2(n/k)). *)
+
+val fast_path : universe:int -> k:int -> slow:Protocol.t -> Protocol.t
+val fast_path_tree : universe:int -> n:int -> k:int -> Protocol.t
+(** Theorem 3: 7k+2 while contention <= k. *)
+
+val graceful : universe:int -> n:int -> k:int -> Protocol.t
+(** Theorem 4: cost proportional to contention. *)

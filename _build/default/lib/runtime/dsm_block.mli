@@ -1,0 +1,11 @@
+(** Figure 6 on real atomics: the bounded-space DSM building block.
+
+    Correct on any machine (it only assumes the primitives); on a NUMA or
+    software-DSM deployment the per-process P/R banks would be placed in the
+    owner's partition, which is what bounds remote traffic.  On an SMP it
+    behaves like a per-process-spin variant of Figure 2.  Ported mainly so
+    the full DSM family of the paper exists as running code, and exercised
+    by the same domain stress tests as the CC family. *)
+
+val create : universe:int -> k:int -> inner:Protocol.t -> Protocol.t
+(** [universe] bounds the pids that may enter. *)

@@ -1,0 +1,57 @@
+(** The packaged user-facing API: k-exclusion locks and k-assignment (named
+    slots) for OCaml 5 domains.
+
+    A [Kex_lock.t] admits up to [k] holders at once and tolerates up to
+    [k-1] holders that never release (crashed, hung, or deadlocked
+    downstream): the remaining slots keep circulating.  This is the paper's
+    resiliency-vs-contention trade — pick [k] from expected contention, not
+    from the process count.
+
+    {[
+      let lock = Kex_lock.create ~n:ndomains ~k:4 () in
+      Kex_lock.with_lock lock ~pid (fun () -> (* at most 4 domains here *) ...)
+    ]} *)
+
+type algo =
+  | Naive  (** global-spin semaphore baseline *)
+  | Inductive  (** Theorem 1: 7(N-k) worst case *)
+  | Tree  (** Theorem 2: 7k·log2(N/k) *)
+  | Fast_path  (** Theorem 3: 7k+2 while contention <= k (default) *)
+  | Graceful  (** Theorem 4: degrades proportionally to contention *)
+  | Dsm_fast_path
+      (** Theorem 7: the fast path built from Figure 6 blocks — each waiter
+          spins on its own cell (per-process spin locations), the right
+          choice for NUMA placement *)
+
+type t
+
+val create : ?algo:algo -> n:int -> k:int -> unit -> t
+(** [n] is the number of processes (pids [0..n-1]); [k] the admission bound.
+    Default algorithm: [Fast_path]. *)
+
+val acquire : t -> pid:int -> unit
+val release : t -> pid:int -> unit
+val with_lock : t -> pid:int -> (unit -> 'a) -> 'a
+(** Releases on exception.  Note: per the k-exclusion model, a [pid] must not
+    acquire re-entrantly. *)
+
+val name : t -> string
+val k : t -> int
+val n : t -> int
+
+(** k-assignment: k-exclusion plus a unique name in [0..k-1] per holder —
+    e.g. an index into a pool of k resources. *)
+module Assignment : sig
+  type lock := t
+  type t
+
+  val create : ?algo:algo -> n:int -> k:int -> unit -> t
+  val of_lock : lock -> t
+  val acquire : t -> pid:int -> int
+  val release : t -> pid:int -> name:int -> unit
+
+  val with_name : t -> pid:int -> (int -> 'a) -> 'a
+  (** Releases the name on exception. *)
+
+  val k : t -> int
+end

@@ -1,0 +1,3 @@
+type t = { name : string; entry : int -> unit; exit : int -> unit }
+
+let trivial = { name = "trivial"; entry = ignore; exit = ignore }

@@ -1,0 +1,15 @@
+(** Real-hardware (OCaml 5 multicore) counterpart of the simulator protocol
+    interface: entry/exit procedures over [Atomic.t] shared state.
+
+    On real hardware the machine is cache-coherent, so this library ports the
+    paper's CC family (Figure 2 blocks, trees, fast paths); the local-spin
+    discipline translates directly to spinning on a cached line. *)
+
+type t = {
+  name : string;
+  entry : int -> unit;  (** [entry pid] — the paper's Acquire *)
+  exit : int -> unit;  (** [exit pid] — the paper's Release *)
+}
+
+val trivial : t
+(** Skip protocol: the (N,k) base case for k >= N. *)

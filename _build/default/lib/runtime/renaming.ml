@@ -1,0 +1,14 @@
+type t = { bits : bool Atomic.t array; k : int }
+
+let create ~k = { bits = Array.init (max 1 (k - 1)) (fun _ -> Atomic.make false); k }
+
+let acquire t =
+  let rec go name =
+    if name >= t.k - 1 then t.k - 1
+    else if Atomic_ext.test_and_set t.bits.(name) then name
+    else go (name + 1)
+  in
+  go 0
+
+let release t ~name = if name < t.k - 1 then Atomic_ext.clear t.bits.(name)
+let k t = t.k

@@ -1,0 +1,15 @@
+(** Figure 7's long-lived renaming on real atomics.
+
+    Precondition: at most [k] processes are concurrently between [acquire]
+    and [release] — guaranteed by an enclosing k-exclusion ({!Assignment}
+    composes the two). *)
+
+type t
+
+val create : k:int -> t
+
+val acquire : t -> int
+(** A free name in [0..k-1]; at most k-1 test-and-sets. *)
+
+val release : t -> name:int -> unit
+val k : t -> int

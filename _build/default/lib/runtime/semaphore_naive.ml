@@ -1,0 +1,18 @@
+let create ~n:_ ~k =
+  let x = Atomic.make k in
+  let rec acquire () =
+    let v = Atomic.get x in
+    if v > 0 then begin
+      if not (Atomic.compare_and_set x v (v - 1)) then begin
+        Domain.cpu_relax ();
+        acquire ()
+      end
+    end
+    else begin
+      Domain.cpu_relax ();
+      acquire ()
+    end
+  in
+  { Protocol.name = Printf.sprintf "naive-semaphore[k=%d]" k;
+    entry = (fun _ -> acquire ());
+    exit = (fun _ -> ignore (Atomic.fetch_and_add x 1)) }

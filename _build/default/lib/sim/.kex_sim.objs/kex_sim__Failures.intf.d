@@ -1,0 +1,1 @@
+lib/sim/failures.mli: Monitor

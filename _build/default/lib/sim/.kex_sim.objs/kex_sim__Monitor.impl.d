@@ -1,0 +1,1 @@
+lib/sim/monitor.ml: Array Format Op

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Cost_model Failures Fun List Memory Monitor Op Scheduler Trace

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Cost_model Failures Memory Op Scheduler Trace

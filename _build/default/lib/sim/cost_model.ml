@@ -1,0 +1,69 @@
+type kind = Local | Remote
+type model = Cache_coherent | Distributed
+
+type t = {
+  which : model;
+  n_procs : int;
+  mutable valid : Bytes.t array;  (* CC: valid.(pid) has one byte per cell *)
+}
+
+let create which ~n_procs =
+  { which; n_procs; valid = Array.init n_procs (fun _ -> Bytes.make 64 '\000') }
+
+let model t = t.which
+
+let ensure t a =
+  let cap = Bytes.length t.valid.(0) in
+  if a >= cap then begin
+    let cap' = max (2 * cap) (a + 1) in
+    t.valid <-
+      Array.map
+        (fun b ->
+          let b' = Bytes.make cap' '\000' in
+          Bytes.blit b 0 b' 0 (Bytes.length b);
+          b')
+        t.valid
+  end
+
+let cc_read t ~pid a =
+  ensure t a;
+  if Bytes.get t.valid.(pid) a = '\001' then Local
+  else begin
+    Bytes.set t.valid.(pid) a '\001';
+    Remote
+  end
+
+(* A write or read-modify-write claims the line: it invalidates every other
+   copy, leaves the writer with a valid copy, and always costs one remote
+   reference (the paper counts every write statement as remote). *)
+let cc_write t ~pid a =
+  ensure t a;
+  for q = 0 to t.n_procs - 1 do
+    Bytes.set t.valid.(q) a (if q = pid then '\001' else '\000')
+  done;
+  Remote
+
+let dsm_access mem ~pid a =
+  match Memory.owner mem a with Some p when p = pid -> Local | Some _ | None -> Remote
+
+let charge t mem ~pid (step : Op.step) =
+  match t.which with
+  | Cache_coherent -> (
+      match step with
+      | Op.Read a -> cc_read t ~pid a
+      | Op.Write (a, _) | Op.Faa (a, _) | Op.Bounded_faa (a, _, _, _)
+      | Op.Cas (a, _, _) | Op.Tas a | Op.Swap (a, _) ->
+          cc_write t ~pid a
+      | Op.Delay -> Local
+      | Op.Atomic_block _ -> Remote)
+  | Distributed -> (
+      match step with
+      | Op.Read a | Op.Write (a, _) | Op.Faa (a, _) | Op.Bounded_faa (a, _, _, _)
+      | Op.Cas (a, _, _) | Op.Tas a | Op.Swap (a, _) ->
+          dsm_access mem ~pid a
+      | Op.Delay -> Local
+      | Op.Atomic_block _ -> Remote)
+
+let pp_model ppf = function
+  | Cache_coherent -> Format.pp_print_string ppf "cache-coherent"
+  | Distributed -> Format.pp_print_string ppf "distributed shared-memory"

@@ -1,0 +1,33 @@
+(** Remote-reference accounting, following Section 2 of the paper.
+
+    The paper measures time complexity as the number of {e remote} references
+    of shared memory per critical-section acquisition, under two machine
+    models:
+
+    - {b Cache-coherent (CC)}: every cell can be cached.  A read hits the
+      local cache if the process holds a valid copy, otherwise it is remote
+      and installs a copy.  Every write (and read-modify-write) is remote and
+      invalidates all other copies.  Consequently a spin loop
+      [while Q = p do od] generates at most two remote references per release
+      of the waiter — exactly the paper's assumption.
+
+    - {b Distributed shared memory (DSM)}: each cell resides in one
+      processor's memory partition.  Accesses by the owner are local; all
+      others are remote.  Unowned cells are remote to everyone. *)
+
+type kind = Local | Remote
+
+type model = Cache_coherent | Distributed
+(** Which machine the complexity is measured on. *)
+
+type t
+
+val create : model -> n_procs:int -> t
+val model : t -> model
+
+val charge : t -> Memory.t -> pid:int -> Op.step -> kind
+(** Account for one atomic step by process [pid] and report whether it was a
+    local or a remote reference.  [Delay] and non-memory steps are local.
+    [Atomic_block] is charged as one remote reference. *)
+
+val pp_model : Format.formatter -> model -> unit

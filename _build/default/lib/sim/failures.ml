@@ -1,0 +1,32 @@
+type trigger =
+  | At_step of int
+  | In_cs of int
+  | In_cs_after of { acquisition : int; after_steps : int }
+  | In_entry of { acquisition : int; after_steps : int }
+  | In_exit of { acquisition : int; after_steps : int }
+
+type plan = (int * trigger) list
+type t = { plan : (int, trigger) Hashtbl.t }
+
+let create plan =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (pid, trig) -> if not (Hashtbl.mem tbl pid) then Hashtbl.add tbl pid trig) plan;
+  { plan = tbl }
+
+(* [acquisition] is the count of already-completed critical sections, as
+   reported by the monitor (incremented at Cs_exit).  So during the n-th
+   (1-based) entry section or critical section it equals n - 1, and during
+   the n-th exit section it equals n. *)
+let should_fail t ~pid ~steps_taken ~phase ~acquisition ~steps_in_phase =
+  match Hashtbl.find_opt t.plan pid with
+  | None -> false
+  | Some trig -> (
+      match trig with
+      | At_step n -> steps_taken >= n && phase <> Monitor.Noncrit
+      | In_cs n -> phase = Monitor.Critical && acquisition = n - 1
+      | In_cs_after { acquisition = n; after_steps } ->
+          phase = Monitor.Critical && acquisition = n - 1 && steps_in_phase >= after_steps
+      | In_entry { acquisition = n; after_steps } ->
+          phase = Monitor.Entry && acquisition = n - 1 && steps_in_phase >= after_steps
+      | In_exit { acquisition = n; after_steps } ->
+          phase = Monitor.Exit && acquisition = n && steps_in_phase >= after_steps)

@@ -1,0 +1,42 @@
+(** Crash-stop failure injection.
+
+    A faulty process, in the paper's sense, is one that stops executing
+    statements while outside its noncritical section.  The k-exclusion
+    progress property must hold provided at most [k - 1] processes are
+    faulty; these plans let tests and benchmarks exercise exactly that. *)
+
+type trigger =
+  | At_step of int
+      (** stop before the process's n-th overall step (0-based) if it is
+          outside its noncritical section at that point; otherwise stop at
+          the first later opportunity outside the noncritical section *)
+  | In_cs of int
+      (** stop inside the critical section of the n-th acquisition
+          (1-based) — the crashed process holds one of the k slots forever *)
+  | In_cs_after of { acquisition : int; after_steps : int }
+      (** stop inside the critical section of the given acquisition after
+          executing [after_steps] of its steps — crash in the middle of an
+          in-CS operation (e.g. half-way through a wait-free object op) *)
+  | In_entry of { acquisition : int; after_steps : int }
+      (** stop during the entry section of the given acquisition (1-based),
+          after executing [after_steps] entry-section steps *)
+  | In_exit of { acquisition : int; after_steps : int }
+      (** stop during the exit section of the given acquisition (1-based) *)
+
+type plan = (int * trigger) list
+(** Pairs of (pid, trigger).  At most one trigger per pid is honoured. *)
+
+type t
+
+val create : plan -> t
+
+val should_fail :
+  t ->
+  pid:int ->
+  steps_taken:int ->
+  phase:Monitor.phase ->
+  acquisition:int ->
+  steps_in_phase:int ->
+  bool
+(** Consulted by the runner before each step of [pid]; [true] means the
+    process crashes now (it executes no further steps). *)

@@ -1,0 +1,46 @@
+type t = {
+  mutable values : int array;
+  mutable owners : int array;  (* -1 = unowned *)
+  mutable len : int;
+}
+
+let create () = { values = Array.make 64 0; owners = Array.make 64 (-1); len = 0 }
+
+let ensure m n =
+  let cap = Array.length m.values in
+  if m.len + n > cap then begin
+    let cap' = max (2 * cap) (m.len + n) in
+    let values = Array.make cap' 0 and owners = Array.make cap' (-1) in
+    Array.blit m.values 0 values 0 m.len;
+    Array.blit m.owners 0 owners 0 m.len;
+    m.values <- values;
+    m.owners <- owners
+  end
+
+let alloc m ?owner ~init n =
+  ensure m n;
+  let base = m.len in
+  let o = match owner with None -> -1 | Some p -> p in
+  for i = base to base + n - 1 do
+    m.values.(i) <- init;
+    m.owners.(i) <- o
+  done;
+  m.len <- m.len + n;
+  base
+
+let size m = m.len
+
+let get m a =
+  assert (a >= 0 && a < m.len);
+  m.values.(a)
+
+let set m a v =
+  assert (a >= 0 && a < m.len);
+  m.values.(a) <- v
+
+let owner m a =
+  assert (a >= 0 && a < m.len);
+  let o = m.owners.(a) in
+  if o < 0 then None else Some o
+
+let snapshot m = Array.sub m.values 0 m.len

@@ -1,0 +1,24 @@
+(** A flat heap of shared-memory cells.
+
+    Each cell optionally has a DSM {e owner}: a process for which accesses to
+    that cell are local (it lives in that processor's memory partition).
+    Ownership is ignored by the cache-coherent cost model. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> ?owner:int -> init:Op.value -> int -> Op.addr
+(** [alloc mem ~owner ~init n] allocates [n] consecutive cells initialised to
+    [init] and returns the address of the first.  Allocation may happen
+    mid-run (Figure 5 allocates a fresh spin location per acquisition). *)
+
+val size : t -> int
+val get : t -> Op.addr -> Op.value
+val set : t -> Op.addr -> Op.value -> unit
+
+val owner : t -> Op.addr -> int option
+(** DSM owner of the cell, if any. *)
+
+val snapshot : t -> Op.value array
+(** Copy of all cell values; used by tests and the model checker. *)

@@ -1,0 +1,77 @@
+type phase = Noncrit | Entry | Critical | Exit
+
+type t = {
+  n : int;
+  k : int;
+  check_names : bool;
+  phases : phase array;
+  names : int array;  (* name held while in CS; -1 otherwise *)
+  acq : int array;
+  mutable in_cs : int;
+  mutable max_in_cs : int;
+  mutable outside_noncrit : int;
+  mutable max_contention : int;
+  mutable violations : string list;
+}
+
+let create ~n ~k ~check_names =
+  { n; k; check_names;
+    phases = Array.make n Noncrit;
+    names = Array.make n (-1);
+    acq = Array.make n 0;
+    in_cs = 0; max_in_cs = 0; outside_noncrit = 0; max_contention = 0; violations = [] }
+
+let violation t fmt = Format.kasprintf (fun s -> t.violations <- s :: t.violations) fmt
+
+let pp_phase ppf = function
+  | Noncrit -> Format.pp_print_string ppf "noncritical"
+  | Entry -> Format.pp_print_string ppf "entry"
+  | Critical -> Format.pp_print_string ppf "critical"
+  | Exit -> Format.pp_print_string ppf "exit"
+
+let expect t ~pid want event =
+  if t.phases.(pid) <> want then
+    violation t "process %d: event %s in phase %a" pid event pp_phase t.phases.(pid)
+
+let on_event t ~pid (e : Op.event) =
+  match e with
+  | Note _ -> ()
+  | Entry_begin ->
+      expect t ~pid Noncrit "Entry_begin";
+      t.phases.(pid) <- Entry;
+      t.outside_noncrit <- t.outside_noncrit + 1;
+      if t.outside_noncrit > t.max_contention then t.max_contention <- t.outside_noncrit
+  | Cs_enter name ->
+      expect t ~pid Entry "Cs_enter";
+      t.phases.(pid) <- Critical;
+      t.names.(pid) <- name;
+      t.in_cs <- t.in_cs + 1;
+      if t.in_cs > t.max_in_cs then t.max_in_cs <- t.in_cs;
+      if t.in_cs > t.k then
+        violation t "k-exclusion violated: %d processes in CS (k = %d)" t.in_cs t.k;
+      if t.check_names then begin
+        if name < 0 || name >= t.k then
+          violation t "process %d acquired out-of-range name %d (k = %d)" pid name t.k;
+        for q = 0 to t.n - 1 do
+          if q <> pid && t.phases.(q) = Critical && t.names.(q) = name then
+            violation t "name collision: processes %d and %d both hold name %d" pid q name
+        done
+      end
+  | Cs_exit ->
+      expect t ~pid Critical "Cs_exit";
+      t.phases.(pid) <- Exit;
+      t.names.(pid) <- -1;
+      t.in_cs <- t.in_cs - 1;
+      t.acq.(pid) <- t.acq.(pid) + 1
+  | Exit_end ->
+      expect t ~pid Exit "Exit_end";
+      t.phases.(pid) <- Noncrit;
+      t.outside_noncrit <- t.outside_noncrit - 1
+
+let phase t ~pid = t.phases.(pid)
+let acquisitions t ~pid = t.acq.(pid)
+let in_cs t = t.in_cs
+let max_in_cs t = t.max_in_cs
+let contention t = t.outside_noncrit
+let max_contention t = t.max_contention
+let violations t = t.violations

@@ -1,0 +1,36 @@
+(** Online safety monitor for k-exclusion and k-assignment runs.
+
+    Checks, at every event, the two safety properties of the paper:
+    - {b k-Exclusion}: at most [k] processes are in their critical sections
+      ([invariant |{p :: p@CS}| <= k]);
+    - {b name uniqueness} (k-assignment only): distinct processes in their
+      critical sections hold distinct names from [0..k-1]. *)
+
+type phase = Noncrit | Entry | Critical | Exit
+
+type t
+
+val create : n:int -> k:int -> check_names:bool -> t
+val on_event : t -> pid:int -> Op.event -> unit
+val phase : t -> pid:int -> phase
+val acquisitions : t -> pid:int -> int
+(** Completed critical-section entries so far. *)
+
+val in_cs : t -> int
+(** Number of processes currently in their critical sections. *)
+
+val max_in_cs : t -> int
+(** High-water mark of {!in_cs} — for a correct protocol, never exceeds k. *)
+
+val contention : t -> int
+(** Number of processes currently outside their noncritical sections — the
+    paper's Section 2 definition of contention. *)
+
+val max_contention : t -> int
+(** High-water mark of {!contention} over the run; the "contention at most
+    c" premise of Theorems 3, 4, 7 and 8 is [max_contention <= c]. *)
+
+val violations : t -> string list
+(** Safety violations recorded so far, newest first; empty means safe. *)
+
+val pp_phase : Format.formatter -> phase -> unit

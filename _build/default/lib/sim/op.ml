@@ -1,0 +1,65 @@
+type value = int
+type addr = int
+
+type step =
+  | Read of addr
+  | Write of addr * value
+  | Faa of addr * int
+  | Bounded_faa of addr * int * int * int
+  | Cas of addr * value * value
+  | Tas of addr
+  | Swap of addr * value
+  | Delay
+  | Atomic_block of string * (read:(addr -> value) -> write:(addr -> value -> unit) -> value)
+
+type event =
+  | Entry_begin
+  | Cs_enter of int
+  | Cs_exit
+  | Exit_end
+  | Note of string
+
+type 'a t =
+  | Return of 'a
+  | Step of step * (value -> 'a t)
+  | Mark of event * (unit -> 'a t)
+
+let return x = Return x
+
+let rec bind m f =
+  match m with
+  | Return x -> f x
+  | Step (s, k) -> Step (s, fun v -> bind (k v) f)
+  | Mark (e, k) -> Mark (e, fun () -> bind (k ()) f)
+
+let map f m = bind m (fun x -> return (f x))
+let ( let* ) = bind
+let ( >>= ) = bind
+let read a = Step (Read a, return)
+let write a v = Step (Write (a, v), fun _ -> return ())
+let faa a d = Step (Faa (a, d), return)
+let bounded_faa a d ~lo ~hi = Step (Bounded_faa (a, d, lo, hi), return)
+
+let cas a ~expected ~desired =
+  Step (Cas (a, expected, desired), fun v -> return (v = 1))
+
+let tas a = Step (Tas a, fun old -> return (old = 0))
+let swap a v = Step (Swap (a, v), return)
+
+let rec delay n = if n <= 0 then return () else Step (Delay, fun _ -> delay (n - 1))
+
+let mark e = Mark (e, return)
+let note s = mark (Note s)
+let atomic_block name f = Step (Atomic_block (name, f), return)
+
+let await a p =
+  let rec loop () = Step (Read a, fun v -> if p v then return () else loop ()) in
+  loop ()
+
+let await_eq a v = await a (Int.equal v)
+let await_ne a v = await a (fun x -> x <> v)
+let rec seq = function [] -> return () | m :: ms -> bind m (fun () -> seq ms)
+
+let repeat n f =
+  let rec go i = if i >= n then return () else bind (f i) (fun () -> go (i + 1)) in
+  go 0

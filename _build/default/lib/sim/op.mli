@@ -1,0 +1,98 @@
+(** Atomic-step programs over simulated shared memory.
+
+    A value of type ['a t] is a program whose every [Step] node performs
+    exactly one atomic access to shared memory, mirroring the paper's model
+    in which each numbered statement is atomic and complexity is measured as
+    the number of (remote) shared-memory references.  All private-variable
+    manipulation lives inside continuations and is free, exactly like the
+    paper's cost accounting. *)
+
+type value = int
+(** Shared cells hold integers.  Booleans are encoded as 0 / 1. *)
+
+type addr = int
+(** Index of a cell in a {!Memory.t} heap. *)
+
+(** One atomic shared-memory access. *)
+type step =
+  | Read of addr  (** returns the cell value *)
+  | Write of addr * value  (** returns 0 *)
+  | Faa of addr * int
+      (** fetch-and-increment by an arbitrary delta; returns the {e old}
+          value *)
+  | Bounded_faa of addr * int * int * int
+      (** [Bounded_faa (a, delta, lo, hi)]: the non-underflowing
+          fetch-and-increment assumed by footnote 2 of the paper (Figure 4).
+          Adds [delta] only if the result stays within [lo..hi]; always
+          returns the old value. *)
+  | Cas of addr * value * value
+      (** [Cas (a, expected, desired)] returns 1 and stores [desired] iff the
+          cell holds [expected]; otherwise returns 0. *)
+  | Tas of addr  (** test-and-set: stores 1, returns the old value *)
+  | Swap of addr * value
+      (** fetch-and-store: stores the value, returns the old one (used by the
+          MCS queue-lock baseline of references [11,12]) *)
+  | Delay
+      (** consumes a scheduling turn without touching shared memory; used to
+          model noncritical-section and critical-section dwell time *)
+  | Atomic_block of string * (read:(addr -> value) -> write:(addr -> value -> unit) -> value)
+      (** an arbitrary multi-access atomic block, charged as a single remote
+          reference.  This is deliberately {e unrealistic}: it exists only to
+          express the idealized queue algorithm of Figure 1 (the paper's
+          stand-in for the "large critical sections" rows of Table 1). *)
+
+(** Free annotations consumed by the run-time monitor. *)
+type event =
+  | Entry_begin  (** the process leaves its noncritical section *)
+  | Cs_enter of int  (** enters the critical section, holding this name *)
+  | Cs_exit  (** leaves the critical section *)
+  | Exit_end  (** completes its exit section, back to noncritical *)
+  | Note of string  (** free-form trace annotation *)
+
+type 'a t =
+  | Return of 'a
+  | Step of step * (value -> 'a t)
+  | Mark of event * (unit -> 'a t)
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val ( >>= ) : 'a t -> ('a -> 'b t) -> 'b t
+
+val read : addr -> value t
+val write : addr -> value -> unit t
+val faa : addr -> int -> value t
+val bounded_faa : addr -> int -> lo:int -> hi:int -> value t
+val cas : addr -> expected:value -> desired:value -> bool t
+val tas : addr -> bool t
+(** [tas a] returns [true] iff the test-and-set {e succeeded}, i.e. the bit
+    was previously clear. *)
+
+val swap : addr -> value -> value t
+(** Fetch-and-store: returns the previous value. *)
+
+val delay : int -> unit t
+(** [delay n] consumes [n] scheduling turns. *)
+
+val mark : event -> unit t
+val note : string -> unit t
+
+val atomic_block :
+  string -> (read:(addr -> value) -> write:(addr -> value -> unit) -> value) -> value t
+
+val await : addr -> (value -> bool) -> unit t
+(** [await a p] busy-waits, one read per turn, until the value of [a]
+    satisfies [p].  Under the cache-coherent cost model this is the paper's
+    "local spin" (at most two remote references per release of the waiter);
+    under the DSM model it is free iff the caller owns [a]. *)
+
+val await_eq : addr -> value -> unit t
+val await_ne : addr -> value -> unit t
+
+val seq : unit t list -> unit t
+(** Run programs in order. *)
+
+val repeat : int -> (int -> unit t) -> unit t
+(** [repeat n f] runs [f 0; ...; f (n-1)] in order. *)

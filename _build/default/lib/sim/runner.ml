@@ -1,0 +1,246 @@
+type workload = {
+  acquire : pid:int -> int Op.t;
+  release : pid:int -> name:int -> unit Op.t;
+  check_names : bool;
+  cs_body : (pid:int -> name:int -> unit Op.t) option;
+}
+
+let plain_workload ~acquire ~release ~check_names = { acquire; release; check_names; cs_body = None }
+
+type config = {
+  n : int;
+  k : int;
+  iterations : int;
+  cs_delay : int;
+  noncrit_delay : int;
+  scheduler : Scheduler.t;
+  failures : Failures.plan;
+  participants : int list option;
+  step_budget : int;
+  tracer : Trace.t option;
+}
+
+let config ?(iterations = 3) ?(cs_delay = 2) ?(noncrit_delay = 0) ?scheduler ?(failures = [])
+    ?participants ?(step_budget = 0) ?tracer ~n ~k () =
+  let scheduler = match scheduler with Some s -> s | None -> Scheduler.round_robin () in
+  { n; k; iterations; cs_delay; noncrit_delay; scheduler; failures; participants; step_budget;
+    tracer }
+
+type proc_stats = {
+  participated : bool;
+  completed : bool;
+  faulty : bool;
+  acquisitions : int;
+  remote_per_acq : int array;
+  total_remote : int;
+  total_local : int;
+  steps : int;
+}
+
+type result = {
+  ok : bool;
+  violations : string list;
+  stalled : bool;
+  total_steps : int;
+  max_in_cs : int;
+  max_contention : int;
+  procs : proc_stats array;
+}
+
+let exec_step mem (s : Op.step) : Op.value =
+  match s with
+  | Read a -> Memory.get mem a
+  | Write (a, v) ->
+      Memory.set mem a v;
+      0
+  | Faa (a, d) ->
+      let old = Memory.get mem a in
+      Memory.set mem a (old + d);
+      old
+  | Bounded_faa (a, d, lo, hi) ->
+      let old = Memory.get mem a in
+      let v = old + d in
+      if v >= lo && v <= hi then Memory.set mem a v;
+      old
+  | Cas (a, expected, desired) ->
+      if Memory.get mem a = expected then begin
+        Memory.set mem a desired;
+        1
+      end
+      else 0
+  | Tas a ->
+      let old = Memory.get mem a in
+      Memory.set mem a 1;
+      old
+  | Swap (a, v) ->
+      let old = Memory.get mem a in
+      Memory.set mem a v;
+      old
+  | Delay -> 0
+  | Atomic_block (_, f) -> f ~read:(Memory.get mem) ~write:(Memory.set mem)
+
+type pstate = {
+  mutable prog : unit Op.t;
+  mutable finished : bool;
+  mutable failed : bool;
+  mutable steps : int;
+  mutable steps_in_phase : int;
+  mutable remote : int;
+  mutable local : int;
+  mutable acq_remote : int;
+  mutable acq_list : int list;  (* reversed *)
+  participated : bool;
+}
+
+let driver cfg wl ~pid : unit Op.t =
+  let open Op in
+  let rec iter i =
+    if i >= cfg.iterations then return ()
+    else
+      let* () = delay cfg.noncrit_delay in
+      let* () = mark Entry_begin in
+      let* name = wl.acquire ~pid in
+      let* () = mark (Cs_enter name) in
+      let* () = delay cfg.cs_delay in
+      let* () = (match wl.cs_body with Some body -> body ~pid ~name | None -> return ()) in
+      let* () = mark Cs_exit in
+      let* () = wl.release ~pid ~name in
+      let* () = mark Exit_end in
+      iter (i + 1)
+  in
+  iter 0
+
+let run cfg mem cost wl =
+  let monitor = Monitor.create ~n:cfg.n ~k:cfg.k ~check_names:wl.check_names in
+  let failures = Failures.create cfg.failures in
+  let is_participant =
+    match cfg.participants with
+    | None -> fun _ -> true
+    | Some ps -> fun pid -> List.mem pid ps
+  in
+  let procs =
+    Array.init cfg.n (fun pid ->
+        let participated = is_participant pid in
+        { prog = (if participated then driver cfg wl ~pid else Op.return ());
+          finished = not participated;
+          failed = false;
+          steps = 0; steps_in_phase = 0;
+          remote = 0; local = 0;
+          acq_remote = 0; acq_list = [];
+          participated })
+  in
+  let budget =
+    if cfg.step_budget > 0 then cfg.step_budget
+    else
+      (* Generous default: per-acquisition protocol work plus every other
+         process spinning through this one's critical-section dwell. *)
+      10_000
+      + (cfg.iterations * cfg.n * (500 + (50 * cfg.n)))
+      + (cfg.iterations * cfg.n * (cfg.cs_delay + cfg.noncrit_delay) * (cfg.n + 2))
+  in
+  let runnable = ref [] in
+  let dirty = ref true in
+  let refresh () =
+    if !dirty then begin
+      runnable :=
+        List.filter
+          (fun pid -> (not procs.(pid).finished) && not procs.(pid).failed)
+          (List.init cfg.n Fun.id);
+      dirty := false
+    end
+  in
+  let on_event ps pid e =
+    Monitor.on_event monitor ~pid e;
+    (match cfg.tracer with Some tr -> Trace.record_event tr ~pid ~event:e | None -> ());
+    match (e : Op.event) with
+    | Entry_begin | Cs_enter _ | Cs_exit -> ps.steps_in_phase <- 0
+    | Exit_end ->
+        ps.steps_in_phase <- 0;
+        ps.acq_list <- ps.acq_remote :: ps.acq_list;
+        ps.acq_remote <- 0
+    | Note _ -> ()
+  in
+  let rec flush ps pid =
+    match ps.prog with
+    | Op.Mark (e, k) ->
+        on_event ps pid e;
+        ps.prog <- k ();
+        flush ps pid
+    | Op.Return () -> if not ps.finished then begin ps.finished <- true; dirty := true end
+    | Op.Step _ -> ()
+  in
+  let total_steps = ref 0 in
+  let stalled = ref false in
+  let running = ref true in
+  while !running do
+    refresh ();
+    match Scheduler.next cfg.scheduler ~runnable:!runnable with
+    | None -> running := false
+    | Some pid ->
+        let ps = procs.(pid) in
+        flush ps pid;
+        if ps.finished then ()
+        else if
+          Failures.should_fail failures ~pid ~steps_taken:ps.steps
+            ~phase:(Monitor.phase monitor ~pid)
+            ~acquisition:(Monitor.acquisitions monitor ~pid)
+            ~steps_in_phase:ps.steps_in_phase
+        then begin
+          ps.failed <- true;
+          (match cfg.tracer with Some tr -> Trace.record_crash tr ~pid | None -> ());
+          dirty := true
+        end
+        else begin
+          (match ps.prog with
+          | Op.Step (s, k) ->
+              let phase_now = Monitor.phase monitor ~pid in
+              let kind = Cost_model.charge cost mem ~pid s in
+              let v = exec_step mem s in
+              ps.steps <- ps.steps + 1;
+              ps.steps_in_phase <- ps.steps_in_phase + 1;
+              (match kind with
+              | Cost_model.Remote ->
+                  ps.remote <- ps.remote + 1;
+                  if phase_now <> Monitor.Noncrit then ps.acq_remote <- ps.acq_remote + 1
+              | Cost_model.Local -> ps.local <- ps.local + 1);
+              (match cfg.tracer with
+              | Some tr ->
+                  Trace.record_step tr ~pid ~step:s ~value:v
+                    ~remote:(kind = Cost_model.Remote)
+              | None -> ());
+              ps.prog <- k v;
+              flush ps pid
+          | Op.Return () | Op.Mark _ -> assert false);
+          incr total_steps;
+          if !total_steps >= budget then begin
+            stalled := true;
+            running := false
+          end
+        end
+  done;
+  let procs_stats =
+    Array.map
+      (fun ps ->
+        { participated = ps.participated;
+          completed = ps.finished && ps.participated;
+          faulty = ps.failed;
+          acquisitions = List.length ps.acq_list;
+          remote_per_acq = Array.of_list (List.rev ps.acq_list);
+          total_remote = ps.remote;
+          total_local = ps.local;
+          steps = ps.steps })
+      procs
+  in
+  let violations = Monitor.violations monitor in
+  let all_done =
+    Array.for_all
+      (fun (p : proc_stats) -> (not p.participated) || p.completed || p.faulty)
+      procs_stats
+  in
+  { ok = violations = [] && (not !stalled) && all_done;
+    violations;
+    stalled = !stalled;
+    total_steps = !total_steps;
+    max_in_cs = Monitor.max_in_cs monitor;
+    max_contention = Monitor.max_contention monitor;
+    procs = procs_stats }

@@ -1,0 +1,81 @@
+type strategy =
+  | Round_robin of { mutable last : int }
+  | Random of Random.State.t
+  | Burst of { rng : Random.State.t; max_burst : int; mutable pid : int; mutable left : int }
+  | Antisocial of { rng : Random.State.t; mutable recent : int array }
+  | Replay of { mutable upcoming : int list; fallback : strategy }
+
+type t = { strategy : strategy; name : string }
+
+let round_robin () = { strategy = Round_robin { last = -1 }; name = "round-robin" }
+
+let random ~seed =
+  { strategy = Random (Random.State.make [| seed |]); name = Printf.sprintf "random(%d)" seed }
+
+let burst ~seed ~max_burst =
+  { strategy = Burst { rng = Random.State.make [| seed |]; max_burst; pid = -1; left = 0 };
+    name = Printf.sprintf "burst(%d,%d)" seed max_burst }
+
+let antisocial ~seed =
+  { strategy = Antisocial { rng = Random.State.make [| seed |]; recent = Array.make 0 0 };
+    name = Printf.sprintf "antisocial(%d)" seed }
+
+let replay ~schedule =
+  { strategy = Replay { upcoming = schedule; fallback = Round_robin { last = -1 } };
+    name = "replay" }
+
+let pick_random rng runnable = List.nth runnable (Random.State.int rng (List.length runnable))
+
+let next t ~runnable =
+  let rec dispatch strategy runnable =
+    match runnable with
+    | [] -> None
+    | _ -> (
+      match strategy with
+      | Replay s -> (
+          let rec pop () =
+            match s.upcoming with
+            | [] -> dispatch s.fallback runnable
+            | pid :: rest ->
+                s.upcoming <- rest;
+                if List.mem pid runnable then Some pid else pop ()
+          in
+          pop ())
+      | Round_robin s ->
+          let after = List.filter (fun p -> p > s.last) runnable in
+          let p = match after with p :: _ -> p | [] -> List.hd runnable in
+          s.last <- p;
+          Some p
+      | Random rng -> Some (pick_random rng runnable)
+      | Burst s ->
+          if s.left > 0 && List.mem s.pid runnable then begin
+            s.left <- s.left - 1;
+            Some s.pid
+          end
+          else begin
+            let p = pick_random s.rng runnable in
+            s.pid <- p;
+            s.left <- Random.State.int s.rng s.max_burst;
+            Some p
+          end
+      | Antisocial s ->
+          let max_pid = List.fold_left max 0 runnable in
+          if Array.length s.recent <= max_pid then begin
+            let recent = Array.make (max_pid + 1) 0 in
+            Array.blit s.recent 0 recent 0 (Array.length s.recent);
+            s.recent <- recent
+          end;
+          (* Mostly re-run the most recently active process; occasionally the
+             least recent one, so every process is chosen infinitely often. *)
+          let by cmp =
+            List.fold_left
+              (fun best p -> if cmp s.recent.(p) s.recent.(best) then p else best)
+              (List.hd runnable) runnable
+          in
+          let p = if Random.State.int s.rng 8 = 0 then by ( < ) else by ( > ) in
+          s.recent.(p) <- s.recent.(p) + 1;
+          Some p)
+  in
+  dispatch t.strategy runnable
+
+let name t = t.name

@@ -1,0 +1,37 @@
+(** Interleaving schedulers for the simulator.
+
+    A scheduler picks, at each simulated instant, which runnable process
+    executes its next atomic step.  Round-robin is (weakly) fair, which is
+    what the paper's progress properties assume; the seeded random and
+    adversarial schedulers stress safety under arbitrary interleavings. *)
+
+type t
+
+val round_robin : unit -> t
+(** Cycle through runnable processes in pid order. *)
+
+val random : seed:int -> t
+(** Uniform choice among runnable processes, deterministic in [seed]. *)
+
+val burst : seed:int -> max_burst:int -> t
+(** Random choice, but the chosen process keeps running for a random burst of
+    up to [max_burst] steps.  Produces long solo runs and abrupt handoffs,
+    a good stress for algorithms with release races. *)
+
+val antisocial : seed:int -> t
+(** Prefers to run processes that most recently touched shared memory, which
+    starves waiters as long as fairness permits.  Safety-only stress: it is
+    still fair in the limit (every runnable process is eventually chosen). *)
+
+val replay : schedule:int list -> t
+(** Plays back a recorded schedule (see {!Trace.schedule}): at each turn the
+    next pid of the list is chosen if runnable, otherwise skipped; when the
+    schedule is exhausted, falls back to round-robin.  Replaying the
+    schedule of a deterministic run against the same configuration
+    reproduces it exactly. *)
+
+val next : t -> runnable:int list -> int option
+(** Pick the next process among [runnable] (sorted ascending); [None] iff
+    [runnable] is empty. *)
+
+val name : t -> string

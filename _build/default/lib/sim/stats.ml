@@ -1,0 +1,33 @@
+type summary = {
+  acquisitions : int;
+  max_remote : int;
+  mean_remote : float;
+  total_remote : int;
+  total_steps : int;
+}
+
+let per_acquisition (r : Runner.result) =
+  Array.concat (Array.to_list (Array.map (fun p -> p.Runner.remote_per_acq) r.procs))
+
+let percentile data p =
+  let n = Array.length data in
+  if n = 0 then 0
+  else begin
+    let sorted = Array.copy data in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (p *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let summarize (r : Runner.result) =
+  let per = per_acquisition r in
+  let acquisitions = Array.length per in
+  let max_remote = Array.fold_left max 0 per in
+  let sum = Array.fold_left ( + ) 0 per in
+  let mean_remote = if acquisitions = 0 then 0. else float_of_int sum /. float_of_int acquisitions in
+  let total_remote = Array.fold_left (fun acc p -> acc + p.Runner.total_remote) 0 r.procs in
+  { acquisitions; max_remote; mean_remote; total_remote; total_steps = r.total_steps }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "%d acq, remote/acq max %d mean %.1f (total remote %d, steps %d)"
+    s.acquisitions s.max_remote s.mean_remote s.total_remote s.total_steps

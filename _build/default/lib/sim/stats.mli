@@ -1,0 +1,20 @@
+(** Aggregation of remote-reference measurements produced by {!Runner}. *)
+
+type summary = {
+  acquisitions : int;  (** total completed acquisitions across processes *)
+  max_remote : int;  (** worst entry+exit remote references of any acquisition *)
+  mean_remote : float;  (** mean entry+exit remote references per acquisition *)
+  total_remote : int;  (** all remote references, any phase *)
+  total_steps : int;
+}
+
+val per_acquisition : Runner.result -> int array
+(** Entry+exit remote references of every completed acquisition, flattened
+    across processes. *)
+
+val percentile : int array -> float -> int
+(** [percentile data p] with p in [0..1]; nearest-rank on sorted data;
+    0 on empty input. *)
+
+val summarize : Runner.result -> summary
+val pp_summary : Format.formatter -> summary -> unit

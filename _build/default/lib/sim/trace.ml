@@ -1,0 +1,70 @@
+type entry =
+  | Stepped of { pid : int; step : string; value : int; remote : bool }
+  | Event of { pid : int; event : string }
+  | Crashed of { pid : int }
+
+type t = {
+  capacity : int;
+  mutable ring : entry array;
+  mutable next : int;  (* total entries ever recorded *)
+  mutable sched : int list;  (* reversed *)
+}
+
+let create ?(capacity = 100_000) () =
+  { capacity = max 1 capacity; ring = [||]; next = 0; sched = [] }
+
+let push t e =
+  if Array.length t.ring = 0 then t.ring <- Array.make t.capacity e;
+  t.ring.(t.next mod t.capacity) <- e;
+  t.next <- t.next + 1
+
+let string_of_step (s : Op.step) =
+  match s with
+  | Op.Read a -> Printf.sprintf "read[%d]" a
+  | Op.Write (a, v) -> Printf.sprintf "write[%d]:=%d" a v
+  | Op.Faa (a, d) -> Printf.sprintf "faa[%d]%+d" a d
+  | Op.Bounded_faa (a, d, lo, hi) -> Printf.sprintf "bfaa[%d]%+d(%d..%d)" a d lo hi
+  | Op.Cas (a, e, d) -> Printf.sprintf "cas[%d]%d->%d" a e d
+  | Op.Tas a -> Printf.sprintf "tas[%d]" a
+  | Op.Swap (a, v) -> Printf.sprintf "swap[%d]:=%d" a v
+  | Op.Delay -> "delay"
+  | Op.Atomic_block (name, _) -> Printf.sprintf "<%s>" name
+
+let string_of_event (e : Op.event) =
+  match e with
+  | Op.Entry_begin -> "entry-begin"
+  | Op.Cs_enter name -> Printf.sprintf "cs-enter(name=%d)" name
+  | Op.Cs_exit -> "cs-exit"
+  | Op.Exit_end -> "exit-end"
+  | Op.Note s -> "note:" ^ s
+
+let record_step t ~pid ~step ~value ~remote =
+  push t (Stepped { pid; step = string_of_step step; value; remote });
+  t.sched <- pid :: t.sched
+
+let record_event t ~pid ~event = push t (Event { pid; event = string_of_event event })
+let record_crash t ~pid = push t (Crashed { pid })
+
+let entries t =
+  let kept = min t.next t.capacity in
+  List.init kept (fun i -> t.ring.((t.next - kept + i) mod t.capacity))
+
+let length t = t.next
+let schedule t = List.rev t.sched
+
+let pp_entry ppf = function
+  | Stepped { pid; step; value; remote } ->
+      Format.fprintf ppf "p%d %s -> %d%s" pid step value (if remote then " (remote)" else "")
+  | Event { pid; event } -> Format.fprintf ppf "p%d [%s]" pid event
+  | Crashed { pid } -> Format.fprintf ppf "p%d CRASHED" pid
+
+let pp ?last ppf t =
+  let es = entries t in
+  let es =
+    match last with
+    | None -> es
+    | Some n ->
+        let len = List.length es in
+        if len <= n then es else List.filteri (fun i _ -> i >= len - n) es
+  in
+  List.iter (fun e -> Format.fprintf ppf "%a@." pp_entry e) es

@@ -1,0 +1,35 @@
+(** Execution trace recording and schedule replay.
+
+    A trace records, in order, every atomic step (with its value and
+    local/remote classification) and every monitor event of a run.  The
+    extracted {!schedule} — the sequence of pids that took steps — can be
+    replayed with {!Scheduler.replay} to reproduce an interleaving exactly,
+    e.g. to shrink or re-examine a failure found under a random scheduler. *)
+
+type entry =
+  | Stepped of { pid : int; step : string; value : int; remote : bool }
+  | Event of { pid : int; event : string }
+  | Crashed of { pid : int }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Keeps the most recent [capacity] entries (default 100_000); the
+    {!schedule} is kept in full regardless. *)
+
+val record_step : t -> pid:int -> step:Op.step -> value:int -> remote:bool -> unit
+val record_event : t -> pid:int -> event:Op.event -> unit
+val record_crash : t -> pid:int -> unit
+
+val entries : t -> entry list
+(** Oldest first (within the retained window). *)
+
+val length : t -> int
+(** Total entries recorded (including evicted ones). *)
+
+val schedule : t -> int list
+(** The pid of every executed step, in execution order — feed to
+    {!Scheduler.replay}. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+val pp : ?last:int -> Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/verify/explore.ml: Array Format Hashtbl List Option Queue Random System

@@ -1,0 +1,1 @@
+lib/verify/explore.mli: Format System

@@ -1,0 +1,1 @@
+lib/verify/fig2_model.ml: Array Buffer Char Format Fun Printf String System

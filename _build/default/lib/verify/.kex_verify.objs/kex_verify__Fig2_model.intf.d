@@ -1,0 +1,1 @@
+lib/verify/fig2_model.mli: System

@@ -1,0 +1,1 @@
+lib/verify/fig4_model.mli: System

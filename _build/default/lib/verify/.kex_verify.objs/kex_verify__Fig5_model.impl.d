@@ -1,0 +1,1 @@
+lib/verify/fig5_model.ml: Array Buffer Format Printf String System

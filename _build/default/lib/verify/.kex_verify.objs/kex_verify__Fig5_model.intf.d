@@ -1,0 +1,1 @@
+lib/verify/fig5_model.mli: System

@@ -1,0 +1,1 @@
+lib/verify/fig6_model.mli: System

@@ -1,0 +1,1 @@
+lib/verify/fig7_model.ml: Array Buffer Format Printf String System

@@ -1,0 +1,1 @@
+lib/verify/fig7_model.mli: System

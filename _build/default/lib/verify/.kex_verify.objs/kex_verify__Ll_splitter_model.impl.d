@@ -1,0 +1,1 @@
+lib/verify/ll_splitter_model.ml: Array Buffer Format List Printf String System

@@ -1,0 +1,1 @@
+lib/verify/ll_splitter_model.mli: System

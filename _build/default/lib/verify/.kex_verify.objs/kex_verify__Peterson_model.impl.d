@@ -1,0 +1,1 @@
+lib/verify/peterson_model.ml: Array Format Printf System

@@ -1,0 +1,1 @@
+lib/verify/peterson_model.mli: System

@@ -1,0 +1,1 @@
+lib/verify/system.mli: Format

@@ -1,0 +1,201 @@
+type 'state violation = { property : string; trace : (string * 'state) list }
+
+type 'state report = {
+  states : int;
+  transitions : int;
+  complete : bool;
+  violation : 'state violation option;
+}
+
+(* Internal BFS bookkeeping: state index -> (predecessor index, label). *)
+let bfs (type s) (module M : System.MODEL with type state = s) ~max_states ~on_state ~on_edge =
+  let index : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let states : s array ref = ref (Array.make 1024 (List.hd M.initial)) in
+  let parents = ref (Array.make 1024 (-1, "init")) in
+  let n = ref 0 in
+  let edges = ref [] in
+  let transitions = ref 0 in
+  let queue = Queue.create () in
+  let push parent label s =
+    let key = M.encode s in
+    match Hashtbl.find_opt index key with
+    | Some i ->
+        if parent >= 0 then edges := (parent, i) :: !edges;
+        Some i
+    | None ->
+        if !n >= max_states then None
+        else begin
+          if !n >= Array.length !states then begin
+            let grow a fill =
+              let a' = Array.make (2 * Array.length a) fill in
+              Array.blit a 0 a' 0 (Array.length a);
+              a'
+            in
+            states := grow !states s;
+            parents := grow !parents (-1, "init")
+          end;
+          let i = !n in
+          Hashtbl.add index key i;
+          !states.(i) <- s;
+          !parents.(i) <- (parent, label);
+          incr n;
+          if parent >= 0 then edges := (parent, i) :: !edges;
+          Queue.push i queue;
+          Some i
+        end
+  in
+  let capped = ref false in
+  let stop = ref false in
+  List.iter
+    (fun s ->
+      match push (-1) "init" s with
+      | Some i -> if on_state i s = `Stop then stop := true
+      | None -> capped := true)
+    M.initial;
+  while (not !stop) && not (Queue.is_empty queue) do
+    let i = Queue.pop queue in
+    let s = !states.(i) in
+    List.iter
+      (fun (label, s') ->
+        if not !stop then begin
+          incr transitions;
+          match push i label s' with
+          | Some j ->
+              if on_edge i s label s' = `Stop then stop := true
+              else if
+                (* only check state invariants the first time we see j *)
+                j = !n - 1 && on_state j s' = `Stop
+              then stop := true
+          | None -> capped := true
+        end)
+      (M.next s)
+  done;
+  let trace_to i =
+    let rec go i acc =
+      if i < 0 then acc
+      else
+        let parent, label = !parents.(i) in
+        go parent ((label, !states.(i)) :: acc)
+    in
+    go i []
+  in
+  (!n, !transitions, not !capped, Array.sub !states 0 !n, !edges, trace_to)
+
+let check (type s) (module M : System.MODEL with type state = s) ?(max_states = 2_000_000) () =
+  let violation = ref None in
+  let check_state i s =
+    match List.find_opt (fun (_, p) -> not (p s)) M.invariants with
+    | Some (name, _) ->
+        violation := Some (name, `State i);
+        `Stop
+    | None -> `Continue
+  in
+  let check_edge i _s _label s' =
+    (* step invariants get the *target* trace; the label is included there *)
+    match List.find_opt (fun (_, p) -> not (p _s s')) M.step_invariants with
+    | Some (name, _) ->
+        violation := Some (name, `Edge (i, _label, s'));
+        `Stop
+    | None -> `Continue
+  in
+  let states, transitions, complete, _all, _edges, trace_to =
+    bfs (module M) ~max_states ~on_state:check_state ~on_edge:check_edge
+  in
+  let violation =
+    match !violation with
+    | None -> None
+    | Some (property, `State i) -> Some { property; trace = trace_to i }
+    | Some (property, `Edge (i, label, s')) ->
+        Some { property; trace = trace_to i @ [ (label, s') ] }
+  in
+  { states; transitions; complete; violation }
+
+let reachable (type s) (module M : System.MODEL with type state = s) ?(max_states = 2_000_000)
+    () =
+  let states, _, complete, all, edges, _ =
+    bfs (module M) ~max_states
+      ~on_state:(fun _ _ -> `Continue)
+      ~on_edge:(fun _ _ _ _ -> `Continue)
+  in
+  if not complete then failwith (M.name ^ ": state space exceeds max_states");
+  ignore states;
+  (all, edges)
+
+let progress_on_graph states preds ~waiting ~goal =
+  let n = Array.length states in
+  let can_reach_goal = Array.make n false in
+  let queue = Queue.create () in
+  Array.iteri
+    (fun i s ->
+      if goal s then begin
+        can_reach_goal.(i) <- true;
+        Queue.push i queue
+      end)
+    states;
+  while not (Queue.is_empty queue) do
+    let j = Queue.pop queue in
+    List.iter
+      (fun i ->
+        if not can_reach_goal.(i) then begin
+          can_reach_goal.(i) <- true;
+          Queue.push i queue
+        end)
+      preds.(j)
+  done;
+  let stuck = ref None in
+  Array.iteri
+    (fun i s -> if !stuck = None && waiting s && not can_reach_goal.(i) then stuck := Some (s, i))
+    states;
+  !stuck
+
+let predecessors states edges =
+  let preds = Array.make (Array.length states) [] in
+  List.iter (fun (i, j) -> preds.(j) <- i :: preds.(j)) edges;
+  preds
+
+let possible_progress (type s) (module M : System.MODEL with type state = s) ?max_states
+    ~waiting ~goal () =
+  let states, edges = reachable (module M) ?max_states () in
+  progress_on_graph states (predecessors states edges) ~waiting ~goal
+
+let possible_progress_many (type s) (module M : System.MODEL with type state = s) ?max_states
+    ~cases () =
+  let states, edges = reachable (module M) ?max_states () in
+  let preds = predecessors states edges in
+  List.map (fun (waiting, goal) -> progress_on_graph states preds ~waiting ~goal) cases
+
+let hunt (type s) (module M : System.MODEL with type state = s) ~seeds ~steps () =
+  let bad_state s =
+    List.find_opt (fun (_, p) -> not (p s)) M.invariants |> Option.map fst
+  in
+  let bad_step s s' =
+    List.find_opt (fun (_, p) -> not (p s s')) M.step_invariants |> Option.map fst
+  in
+  let walk seed =
+    let rng = Random.State.make [| seed |] in
+    let rec go s trace remaining =
+      match bad_state s with
+      | Some property -> Some { property; trace = List.rev trace }
+      | None ->
+          if remaining = 0 then None
+          else begin
+            match M.next s with
+            | [] -> None
+            | moves ->
+                let label, s' = List.nth moves (Random.State.int rng (List.length moves)) in
+                let trace = (label, s') :: trace in
+                (match bad_step s s' with
+                | Some property -> Some { property; trace = List.rev trace }
+                | None -> go s' trace (remaining - 1))
+          end
+    in
+    let init = List.nth M.initial (Random.State.int rng (List.length M.initial)) in
+    go init [ ("init", init) ] steps
+  in
+  List.fold_left (fun acc seed -> match acc with Some _ -> acc | None -> walk seed) None seeds
+
+let pp_violation pp_state ppf { property; trace } =
+  Format.fprintf ppf "violated: %s@." property;
+  List.iteri
+    (fun i (label, s) -> Format.fprintf ppf "  %2d. [%s] %a@." i label pp_state s)
+    trace

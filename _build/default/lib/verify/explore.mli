@@ -1,0 +1,63 @@
+(** Breadth-first exhaustive exploration with invariant checking and
+    counterexample extraction. *)
+
+type 'state violation = {
+  property : string;  (** name of the violated invariant *)
+  trace : (string * 'state) list;
+      (** transition labels and states from an initial state to the bad one;
+          the first label is ["init"] *)
+}
+
+type 'state report = {
+  states : int;  (** distinct reachable states *)
+  transitions : int;  (** explored transitions *)
+  complete : bool;  (** false if the [max_states] cap was hit *)
+  violation : 'state violation option;  (** first violation found, if any *)
+}
+
+val check :
+  (module System.MODEL with type state = 's) -> ?max_states:int -> unit -> 's report
+(** Explore breadth-first from the initial states, checking every state
+    invariant on every state and every step invariant on every transition.
+    Stops at the first violation.  Default cap: 2_000_000 states. *)
+
+val reachable :
+  (module System.MODEL with type state = 's) -> ?max_states:int -> unit ->
+  's array * (int * int) list
+(** The reachable state graph: states (index order = discovery order) and
+    directed edges as index pairs.  Used for possible-progress analyses. *)
+
+val possible_progress :
+  (module System.MODEL with type state = 's) ->
+  ?max_states:int ->
+  waiting:('s -> bool) ->
+  goal:('s -> bool) ->
+  unit ->
+  ('s * int) option
+(** Checks that from every reachable state satisfying [waiting] there exists
+    a path to a state satisfying [goal].  Returns a stuck state (and its
+    index) if one exists — i.e. a reachable configuration from which the goal
+    is unreachable, witnessing a possible deadlock/lockout. *)
+
+val possible_progress_many :
+  (module System.MODEL with type state = 's) ->
+  ?max_states:int ->
+  cases:(('s -> bool) * ('s -> bool)) list ->
+  unit ->
+  ('s * int) option list
+(** {!possible_progress} for several (waiting, goal) pairs over a single
+    construction of the reachable graph. *)
+
+val hunt :
+  (module System.MODEL with type state = 's) ->
+  seeds:int list ->
+  steps:int ->
+  unit ->
+  's violation option
+(** Randomized safety search: one random walk per seed, [steps] transitions
+    long, checking every invariant along the way.  Finds deep violations that
+    exhaustive search cannot reach (used against mutants whose bugs need
+    long schedules); returns the full violating trace. *)
+
+val pp_violation :
+  (Format.formatter -> 's -> unit) -> Format.formatter -> 's violation -> unit

@@ -1,0 +1,29 @@
+(** Hand-translated explicit-state model of Figure 2 in its building-block
+    configuration (N = k+1, inner Acquire/Release = skip), with crash
+    transitions.
+
+    Verified properties (see {!Explore}):
+    - the paper's invariants (I2), (I3) and k-Exclusion (I4);
+    - the unless property (U1): [p@5 /\ Q <> p unless p@6];
+    - possible progress: with at most [max_crashes <= k-1] crashes, from
+      every reachable state each live entering process can still reach its
+      critical section. *)
+
+type variant =
+  | Faithful
+  | No_release_write  (** mutant: exit section omits statement 7 (Q := p) *)
+  | Broken_gate
+      (** mutant: statement 2 admits the process even when no slot is free *)
+
+type state
+
+val model :
+  ?variant:variant -> n:int -> max_crashes:int -> unit ->
+  (module System.MODEL with type state = state)
+(** [n] processes implementing (n, n-1)-exclusion — the Theorem 1 basis. *)
+
+val in_cs : state -> int -> bool
+val live_entering : state -> int -> bool
+(** The process is in its entry section and has not crashed. *)
+
+val crash_count : state -> int

@@ -1,0 +1,30 @@
+(** Explicit-state model of the Figure 4 composition: the bounded
+    fetch-and-increment gate, an abstract correct (N-k,k)-exclusion slow
+    path, and the final (2k,k)-exclusion implemented as the real stack of k
+    Figure 2 layers (Theorem 1's induction).
+
+    The building blocks are verified separately ({!Fig2_model}); what this
+    model checks exhaustively is the {e composition} argument of Theorem 3:
+    at most k processes pass the gate, at most k come through the slow path,
+    so at most 2k ever enter the final block, whose admission is then at
+    most k.  Crash and retirement transitions included. *)
+
+type variant =
+  | Faithful
+  | Leaky_gate
+      (** mutant: the gate uses a plain (underflowing) fetch-and-increment
+          instead of footnote 2's bounded one, so the fast-path slot count
+          is corrupted under contention *)
+  | No_slow_path
+      (** mutant: losers of the gate skip the slow path and walk straight
+          into the final (2k,k) block, breaking its 2k admission bound *)
+
+type state
+
+val model :
+  ?variant:variant -> n:int -> k:int -> max_crashes:int -> unit ->
+  (module System.MODEL with type state = state)
+
+val in_cs : state -> int -> bool
+val live_entering : state -> int -> bool
+val crash_count : state -> int

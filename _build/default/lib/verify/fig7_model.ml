@@ -1,0 +1,112 @@
+type variant = Faithful | No_clear
+
+(* pc 0: noncritical; pc 1: scanning (testing bit [name]); pc 2: holding. *)
+type state = {
+  pc : int array;
+  crashed : bool array;
+  name : int array;  (* scan cursor / held name *)
+  bits : bool array;  (* X[0..k-2] *)
+}
+
+let holding s pid = s.pc.(pid) = 2
+let scanning s pid = (not s.crashed.(pid)) && s.pc.(pid) = 1
+let crash_count s = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 s.crashed
+
+let model ?(variant = Faithful) ~procs ~k ~max_crashes () :
+    (module System.MODEL with type state = state) =
+  (module struct
+    type nonrec state = state
+
+    let name =
+      Printf.sprintf "fig7[procs=%d,k=%d,crashes<=%d%s]" procs k max_crashes
+        (match variant with Faithful -> "" | No_clear -> ",no-clear")
+
+    let initial =
+      [ { pc = Array.make procs 0;
+          crashed = Array.make procs false;
+          name = Array.make procs 0;
+          bits = Array.make (max 1 (k - 1)) false } ]
+
+    let set_arr a i v = (let a = Array.copy a in a.(i) <- v; a)
+
+    let next s =
+      let moves = ref [] in
+      let add label s' = moves := (label, s') :: !moves in
+      for pid = 0 to procs - 1 do
+        if not s.crashed.(pid) then begin
+          let lbl fmt = Printf.sprintf ("p%d: " ^^ fmt) pid in
+          (match s.pc.(pid) with
+          | 0 ->
+              add (lbl "start scan")
+                { s with pc = set_arr s.pc pid 1; name = set_arr s.name pid 0 };
+              add (lbl "retire") { s with pc = set_arr s.pc pid 99 }
+          | 99 -> ()
+          | 1 ->
+              let i = s.name.(pid) in
+              if i >= k - 1 then
+                (* Name k-1 needs no bit: at most one process reaches it. *)
+                add (lbl "take last name %d" i) { s with pc = set_arr s.pc pid 2 }
+              else if not s.bits.(i) then
+                add (lbl "tas X[%d] wins" i)
+                  { s with pc = set_arr s.pc pid 2; bits = set_arr s.bits i true }
+              else add (lbl "tas X[%d] loses" i) { s with name = set_arr s.name pid (i + 1) }
+          | 2 ->
+              let i = s.name.(pid) in
+              let bits =
+                match variant with
+                | No_clear -> s.bits
+                | Faithful -> if i < k - 1 then set_arr s.bits i false else s.bits
+              in
+              add (lbl "release name %d" i) { s with pc = set_arr s.pc pid 0; bits }
+          | _ -> assert false);
+          if s.pc.(pid) <> 0 && s.pc.(pid) <> 99 && crash_count s < max_crashes then
+            add (lbl "crash@%d" s.pc.(pid)) { s with crashed = set_arr s.crashed pid true }
+        end
+      done;
+      !moves
+
+    let encode s =
+      let b = Buffer.create 32 in
+      Array.iteri
+        (fun i pc ->
+          Buffer.add_string b (string_of_int pc);
+          Buffer.add_char b (if s.crashed.(i) then 'X' else ':');
+          Buffer.add_string b (string_of_int s.name.(i));
+          Buffer.add_char b ',')
+        s.pc;
+      Array.iter (fun bit -> Buffer.add_char b (if bit then '1' else '0')) s.bits;
+      Buffer.contents b
+
+    let pp ppf s =
+      Format.fprintf ppf "pc=[%s] names=[%s] bits=[%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_int s.pc)))
+        (String.concat ";" (Array.to_list (Array.map string_of_int s.name)))
+        (String.concat "" (Array.to_list (Array.map (fun v -> if v then "1" else "0") s.bits)))
+
+    let invariants =
+      [ ( "names in range",
+          fun s ->
+            let ok = ref true in
+            Array.iteri (fun pid pc -> if pc = 2 && (s.name.(pid) < 0 || s.name.(pid) >= k) then ok := false) s.pc;
+            !ok );
+        ( "names unique among holders",
+          fun s ->
+            let seen = Array.make k false in
+            let ok = ref true in
+            Array.iteri
+              (fun pid pc ->
+                if pc = 2 then begin
+                  let nm = s.name.(pid) in
+                  if nm >= 0 && nm < k then
+                    if seen.(nm) then ok := false else seen.(nm) <- true
+                end)
+              s.pc;
+            !ok );
+        ( "scan cursor within bits",
+          fun s ->
+            let ok = ref true in
+            Array.iteri (fun pid pc -> if pc = 1 && s.name.(pid) > k - 1 then ok := false) s.pc;
+            !ok ) ]
+
+    let step_invariants = []
+  end)

@@ -1,0 +1,25 @@
+(** Explicit-state model of Figure 7's long-lived renaming (the test-and-set
+    name scan), with crash transitions.
+
+    The model runs [procs] concurrent processes against a name space of size
+    [k].  With [procs <= k] — the precondition the enclosing k-exclusion
+    establishes — names are unique, in range, and every scan terminates
+    within the bits.  Running the model with [procs = k+1] (precondition
+    broken) exhibits a name collision: the executable justification for the
+    k-exclusion wrapper. *)
+
+type variant =
+  | Faithful
+  | No_clear  (** mutant: release does not clear the name's bit *)
+
+type state
+
+val model :
+  ?variant:variant -> procs:int -> k:int -> max_crashes:int -> unit ->
+  (module System.MODEL with type state = state)
+
+val holding : state -> int -> bool
+(** The process is in its critical section holding a name. *)
+
+val scanning : state -> int -> bool
+val crash_count : state -> int

@@ -1,0 +1,11 @@
+(** Explicit-state model of the two-process Peterson lock (the node of the
+    read/write tournament baseline).  Verifies mutual exclusion and freedom
+    from lockout for crash-free runs, and demonstrates the baseline's
+    non-resilience: one crash anywhere blocks the rival. *)
+
+type state
+
+val model : ?max_crashes:int -> unit -> (module System.MODEL with type state = state)
+
+val in_cs : state -> int -> bool
+val live_entering : state -> int -> bool

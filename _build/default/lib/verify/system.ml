@@ -1,0 +1,11 @@
+module type MODEL = sig
+  type state
+
+  val name : string
+  val initial : state list
+  val next : state -> (string * state) list
+  val encode : state -> string
+  val pp : Format.formatter -> state -> unit
+  val invariants : (string * (state -> bool)) list
+  val step_invariants : (string * (state -> state -> bool)) list
+end

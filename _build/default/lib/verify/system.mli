@@ -1,0 +1,30 @@
+(** Explicit-state transition systems for model checking the paper's
+    algorithms at small N and k.
+
+    Unlike the simulator (closures, not hashable), these models are
+    hand-translated from the paper's numbered figures into first-order state
+    records, so the reachable state space can be enumerated exactly —
+    including crash transitions. *)
+
+module type MODEL = sig
+  type state
+
+  val name : string
+  val initial : state list
+
+  val next : state -> (string * state) list
+  (** All atomic transitions enabled in a state, with human-readable labels
+      (used in counterexample traces). *)
+
+  val encode : state -> string
+  (** Injective encoding; used as the hash key for visited-state sets. *)
+
+  val pp : Format.formatter -> state -> unit
+
+  val invariants : (string * (state -> bool)) list
+  (** State invariants; checked on every reachable state. *)
+
+  val step_invariants : (string * (state -> state -> bool)) list
+  (** Two-state (unless-style) properties; checked on every explored
+      transition. *)
+end

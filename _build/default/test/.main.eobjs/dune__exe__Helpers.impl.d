@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Cost_model Fun Kex_sim Kexclusion List Memory Printf Runner

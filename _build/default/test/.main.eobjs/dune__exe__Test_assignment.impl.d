@@ -1,0 +1,1 @@
+test/test_assignment.ml: Alcotest Array Helpers Kex_sim Kexclusion List Printf Registry Runner Scheduler Spec

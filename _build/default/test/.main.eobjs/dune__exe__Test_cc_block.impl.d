@@ -1,0 +1,1 @@
+test/test_cc_block.ml: Alcotest Cc_block Helpers Inductive Kex_sim Kexclusion List Printf Runner

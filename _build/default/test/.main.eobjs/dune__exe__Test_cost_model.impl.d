@@ -1,0 +1,1 @@
+test/test_cost_model.ml: Alcotest Cost_model Format Helpers Kex_sim Memory Op

@@ -1,0 +1,1 @@
+test/test_dsm_blocks.ml: Alcotest Cost_model Dsm_block Dsm_unbounded Helpers Inductive Kex_sim Kexclusion List Memory Printf Protocol Runner

@@ -1,0 +1,1 @@
+test/test_failures.ml: Alcotest Failures Helpers Kex_sim Monitor

@@ -1,0 +1,1 @@
+test/test_fast_path.ml: Alcotest Cost_model Fast_path Helpers Kex_sim Kexclusion List Memory Printf Protocol Registry Runner Spec

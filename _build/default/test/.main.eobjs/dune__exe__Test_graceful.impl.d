@@ -1,0 +1,1 @@
+test/test_graceful.ml: Alcotest Graceful Helpers Kex_sim Kexclusion List Printf Registry Spec

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Domain Helpers History Kex_resilient List Resilient Universal Wf_queue

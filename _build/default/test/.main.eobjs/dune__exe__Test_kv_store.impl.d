@@ -1,0 +1,1 @@
+test/test_kv_store.ml: Alcotest Domain Helpers Kex_resilient Kex_runtime Kv_store List Option Printf

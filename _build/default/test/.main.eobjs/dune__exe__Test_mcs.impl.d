@@ -1,0 +1,1 @@
+test/test_mcs.ml: Alcotest Array Atomic Domain Helpers Kex_runtime Kex_sim Kexclusion List Mcs_lock Printf Runner

@@ -1,0 +1,1 @@
+test/test_memory.ml: Alcotest Array Helpers Kex_sim List Memory

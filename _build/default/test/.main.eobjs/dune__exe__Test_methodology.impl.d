@@ -1,0 +1,1 @@
+test/test_methodology.ml: Alcotest Array Cost_model Helpers Kex_sim Kexclusion List Memory Methodology Op Printf Registry Runner Scheduler Spec Universal_sim

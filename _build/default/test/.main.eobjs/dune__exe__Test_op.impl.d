@@ -1,0 +1,1 @@
+test/test_op.ml: Alcotest Array Helpers Kex_sim Memory Op Runner

@@ -1,0 +1,1 @@
+test/test_peterson.ml: Alcotest Explore Helpers Kex_sim Kex_verify Kexclusion List Option Peterson Peterson_model Printf Runner

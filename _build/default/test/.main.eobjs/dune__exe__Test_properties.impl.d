@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Helpers Kex_sim Kexclusion List Printf QCheck2 QCheck_alcotest Registry Scheduler String

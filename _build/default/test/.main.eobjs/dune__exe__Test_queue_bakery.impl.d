@@ -1,0 +1,1 @@
+test/test_queue_bakery.ml: Alcotest Array Baseline_bakery Cost_model Helpers Kex_sim Kexclusion List Memory Printf Protocol Queue_kex Runner

@@ -1,0 +1,1 @@
+test/test_renaming.ml: Alcotest Array Cost_model Helpers Kex_sim Kexclusion List Memory Op Printf Protocol Renaming Runner Scheduler

@@ -1,0 +1,1 @@
+test/test_resilient.ml: Alcotest Array Atomic Domain Helpers Kex_resilient Kex_runtime List Resilient Universal Wf_counter Wf_queue Wf_register Wf_stack

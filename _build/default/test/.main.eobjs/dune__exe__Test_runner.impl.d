@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Array Cost_model Failures Helpers Kex_sim Memory Op Printf Runner Scheduler Stats

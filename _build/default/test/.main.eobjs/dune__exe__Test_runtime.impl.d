@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Atomic Atomic_ext Domain Helpers Kex_lock Kex_runtime List Printf Renaming

@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Helpers Kex_sim List Option Printf Scheduler

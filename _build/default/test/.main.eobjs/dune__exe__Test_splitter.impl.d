@@ -1,0 +1,1 @@
+test/test_splitter.ml: Alcotest Array Cost_model Hashtbl Helpers Kexclusion List Memory Op Printf QCheck2 QCheck_alcotest Runner Scheduler Splitter_renaming

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Helpers Kex_sim Kexclusion Printf QCheck2 QCheck_alcotest Spec

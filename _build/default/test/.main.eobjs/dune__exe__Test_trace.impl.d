@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Cost_model Format Helpers Kex_sim Kexclusion List Memory Protocol Registry Runner Scheduler String

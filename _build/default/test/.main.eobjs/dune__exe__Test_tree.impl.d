@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Helpers Kex_sim Kexclusion List Printf Registry Spec Tree

@@ -1,0 +1,1 @@
+test/test_verify.ml: Alcotest Explore Fig2_model Fig4_model Fig5_model Fig6_model Fig7_model Format Fun Helpers Kex_verify List Ll_splitter_model Option Printf System

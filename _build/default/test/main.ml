@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "kexclusion"
+    [ ("op", Test_op.suite);
+      ("memory", Test_memory.suite);
+      ("cost-model", Test_cost_model.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("monitor", Test_monitor.suite);
+      ("failures", Test_failures.suite);
+      ("runner", Test_runner.suite);
+      ("cc-block", Test_cc_block.suite);
+      ("dsm-blocks", Test_dsm_blocks.suite);
+      ("tree", Test_tree.suite);
+      ("fast-path", Test_fast_path.suite);
+      ("graceful", Test_graceful.suite);
+      ("baselines", Test_queue_bakery.suite);
+      ("renaming", Test_renaming.suite);
+      ("assignment", Test_assignment.suite);
+      ("bounds", Test_bounds.suite);
+      ("properties", Test_properties.suite);
+      ("verify", Test_verify.suite);
+      ("runtime", Test_runtime.suite);
+      ("resilient", Test_resilient.suite);
+      ("mcs", Test_mcs.suite);
+      ("trace", Test_trace.suite);
+      ("splitter", Test_splitter.suite);
+      ("history", Test_history.suite);
+      ("stats-spec", Test_stats.suite);
+      ("methodology", Test_methodology.suite);
+      ("kv-store", Test_kv_store.suite);
+      ("peterson", Test_peterson.suite) ]

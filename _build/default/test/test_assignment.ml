@@ -1,0 +1,110 @@
+(* (N,k)-assignment: every paper algorithm wrapped with Figure 7 renaming.
+   The monitor checks name uniqueness and range on every critical section. *)
+
+open Kexclusion
+open Kexclusion.Import
+open Helpers
+
+let asg ~model algo ~n ~k mem = `Assignment (Registry.build_assignment mem ~model algo ~n ~k)
+
+let batteries =
+  Registry.all
+  |> List.concat_map (fun algo ->
+         [ (cc, 8, 2); (dsm, 6, 3) ]
+         |> List.map (fun (model, n, k) ->
+                let name =
+                  Printf.sprintf "%s %s (%d,%d): names unique under contention"
+                    (Registry.algo_name algo)
+                    (if model = cc then "CC" else "DSM")
+                    n k
+                in
+                tc name (fun () ->
+                    List.iter
+                      (fun scheduler ->
+                        let res =
+                          run ~iterations:4 ~cs_delay:3 ~scheduler ~model ~n ~k
+                            (asg ~model algo ~n ~k)
+                        in
+                        assert_ok ~ctx:(Scheduler.name scheduler) res)
+                      (fresh_schedulers ()))))
+
+let test_concurrent_holders_reach_k () =
+  let res =
+    run ~iterations:5 ~cs_delay:8 ~model:cc ~n:8 ~k:3 (asg ~model:cc Registry.Fast_path ~n:8 ~k:3)
+  in
+  assert_ok res;
+  Alcotest.(check int) "k names out simultaneously" 3 res.Runner.max_in_cs
+
+let test_thm9_bound () =
+  (* CC k-assignment with fast path: 7k+k+2 when contention <= k. *)
+  let n = 16 and k = 3 in
+  let res =
+    run ~iterations:5 ~participants:(participants k) ~model:cc ~n ~k
+      (asg ~model:cc Registry.Fast_path ~n ~k)
+  in
+  assert_ok res;
+  Alcotest.(check bool)
+    (Printf.sprintf "low contention %d <= %d" (max_remote res) (Spec.thm9_low ~k))
+    true
+    (max_remote res <= Spec.thm9_low ~k);
+  let res = run ~iterations:4 ~model:cc ~n ~k (asg ~model:cc Registry.Fast_path ~n ~k) in
+  assert_ok res;
+  Alcotest.(check bool)
+    (Printf.sprintf "high contention %d <= %d" (max_remote res) (Spec.thm9_high ~n ~k))
+    true
+    (max_remote res <= Spec.thm9_high ~n ~k)
+
+let test_thm10_bound () =
+  let n = 16 and k = 3 in
+  let res =
+    run ~iterations:5 ~participants:(participants k) ~model:dsm ~n ~k
+      (asg ~model:dsm Registry.Fast_path ~n ~k)
+  in
+  assert_ok res;
+  Alcotest.(check bool)
+    (Printf.sprintf "low contention %d <= %d" (max_remote res) (Spec.thm10_low ~k))
+    true
+    (max_remote res <= Spec.thm10_low ~k);
+  let res = run ~iterations:4 ~model:dsm ~n ~k (asg ~model:dsm Registry.Fast_path ~n ~k) in
+  assert_ok res;
+  Alcotest.(check bool)
+    (Printf.sprintf "high contention %d <= %d" (max_remote res) (Spec.thm10_high ~n ~k))
+    true
+    (max_remote res <= Spec.thm10_high ~n ~k)
+
+let test_resilient_with_names () =
+  (* The headline methodology property: with f <= k-1 crashes (even while
+     holding names), every surviving process keeps acquiring valid unique
+     names. *)
+  List.iter
+    (fun model ->
+      let res =
+        run ~iterations:4 ~cs_delay:2
+          ~failures:[ (0, Kex_sim.Failures.In_cs 1) ]
+          ~model ~n:6 ~k:2
+          (asg ~model Registry.Graceful ~n:6 ~k:2)
+      in
+      Alcotest.(check (list string)) "no violations" [] res.Runner.violations;
+      Alcotest.(check bool) "no stall" false res.stalled;
+      Array.iteri
+        (fun pid (p : Runner.proc_stats) ->
+          if (not p.faulty) && p.participated then
+            Alcotest.(check bool) (Printf.sprintf "pid %d done" pid) true p.completed)
+        res.procs)
+    [ cc; dsm ]
+
+let test_k_equals_one_is_mutex () =
+  (* k = 1 degenerates to mutual exclusion with a single name 0. *)
+  let res =
+    run ~iterations:4 ~cs_delay:2 ~model:cc ~n:5 ~k:1 (asg ~model:cc Registry.Tree ~n:5 ~k:1)
+  in
+  assert_ok res;
+  Alcotest.(check int) "never two in CS" 1 res.Runner.max_in_cs
+
+let suite =
+  batteries
+  @ [ tc "k concurrent name holders" test_concurrent_holders_reach_k;
+      tc "theorem 9 bound (CC)" test_thm9_bound;
+      tc "theorem 10 bound (DSM)" test_thm10_bound;
+      tc "resilient naming with k-1 crashes" test_resilient_with_names;
+      tc "k=1 degenerates to mutex" test_k_equals_one_is_mutex ]

@@ -1,0 +1,35 @@
+(* Systematic theorem-bound conformance: for every algorithm with a stated
+   bound, measured remote references per acquisition never exceed it, at
+   contention 1, k and N, on both machine models (the Table 1 claim). *)
+
+open Helpers
+
+let check_bound ~model algo ~n ~k ~c =
+  let res =
+    run ~iterations:3 ~cs_delay:2 ~participants:(participants c) ~model ~n ~k (fun mem ->
+        `Exclusion (Registry.build mem ~model algo ~n ~k))
+  in
+  assert_ok
+    ~ctx:(Printf.sprintf "%s n=%d k=%d c=%d" (Registry.algo_name algo) n k c)
+    res;
+  match Registry.bound ~model algo ~n ~k ~c with
+  | None -> ()
+  | Some b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s n=%d k=%d c=%d: %d <= %d" (Registry.algo_name algo) n k c
+           (max_remote res) b)
+        true
+        (max_remote res <= b)
+
+let sweep ~model algo () =
+  List.iter
+    (fun (n, k) -> List.iter (fun c -> check_bound ~model algo ~n ~k ~c) [ 1; k; n ])
+    [ (4, 1); (6, 2); (8, 2); (12, 4); (9, 3) ]
+
+let suite =
+  Registry.all
+  |> List.concat_map (fun algo ->
+         [ tc (Printf.sprintf "%s within paper bounds (CC)" (Registry.algo_name algo))
+             (sweep ~model:cc algo);
+           tc (Printf.sprintf "%s within paper bounds (DSM)" (Registry.algo_name algo))
+             (sweep ~model:dsm algo) ])

@@ -1,0 +1,114 @@
+(* The cost models must implement Section 2's accounting exactly: these tests
+   pin down cache behaviour (miss, hit, invalidate) and DSM locality. *)
+
+open Kex_sim
+
+let kind = Alcotest.testable (fun ppf -> function
+  | Cost_model.Local -> Format.pp_print_string ppf "local"
+  | Cost_model.Remote -> Format.pp_print_string ppf "remote")
+  ( = )
+
+let setup model =
+  let mem = Memory.create () in
+  let a = Memory.alloc mem ~init:0 1 in
+  let b = Memory.alloc mem ~owner:1 ~init:0 1 in
+  let cost = Cost_model.create model ~n_procs:4 in
+  (mem, cost, a, b)
+
+let charge cost mem ~pid step = Cost_model.charge cost mem ~pid step
+
+let test_cc_read_miss_then_hit () =
+  let mem, cost, a, _ = setup Cost_model.Cache_coherent in
+  Alcotest.check kind "first read misses" Cost_model.Remote (charge cost mem ~pid:0 (Op.Read a));
+  Alcotest.check kind "second read hits" Cost_model.Local (charge cost mem ~pid:0 (Op.Read a));
+  Alcotest.check kind "other process misses" Cost_model.Remote (charge cost mem ~pid:1 (Op.Read a))
+
+let test_cc_write_invalidates () =
+  let mem, cost, a, _ = setup Cost_model.Cache_coherent in
+  ignore (charge cost mem ~pid:0 (Op.Read a));
+  ignore (charge cost mem ~pid:1 (Op.Read a));
+  Alcotest.check kind "write is remote" Cost_model.Remote (charge cost mem ~pid:2 (Op.Write (a, 1)));
+  Alcotest.check kind "p0 invalidated" Cost_model.Remote (charge cost mem ~pid:0 (Op.Read a));
+  Alcotest.check kind "p1 invalidated" Cost_model.Remote (charge cost mem ~pid:1 (Op.Read a));
+  (* The writer keeps a valid copy. *)
+  Alcotest.check kind "writer hits" Cost_model.Local (charge cost mem ~pid:2 (Op.Read a))
+
+let test_cc_spin_loop_two_refs () =
+  (* The paper's Section 2 assumption: a spin loop generates at most two
+     remote references — one to load the line, one after invalidation. *)
+  let mem, cost, a, _ = setup Cost_model.Cache_coherent in
+  let remote = ref 0 in
+  let poll () =
+    match charge cost mem ~pid:0 (Op.Read a) with
+    | Cost_model.Remote -> incr remote
+    | Cost_model.Local -> ()
+  in
+  poll (); poll (); poll (); poll ();
+  ignore (charge cost mem ~pid:1 (Op.Write (a, 1)));
+  poll (); poll ();
+  Alcotest.(check int) "exactly two remote refs" 2 !remote
+
+let test_cc_rmw_counts_as_write () =
+  let mem, cost, a, _ = setup Cost_model.Cache_coherent in
+  ignore (charge cost mem ~pid:0 (Op.Read a));
+  Alcotest.check kind "faa remote" Cost_model.Remote (charge cost mem ~pid:1 (Op.Faa (a, 1)));
+  Alcotest.check kind "p0 invalidated by faa" Cost_model.Remote (charge cost mem ~pid:0 (Op.Read a));
+  Alcotest.check kind "cas remote" Cost_model.Remote (charge cost mem ~pid:0 (Op.Cas (a, 0, 1)));
+  Alcotest.check kind "tas remote" Cost_model.Remote (charge cost mem ~pid:0 (Op.Tas a));
+  Alcotest.check kind "bounded faa remote" Cost_model.Remote
+    (charge cost mem ~pid:0 (Op.Bounded_faa (a, 1, 0, 5)))
+
+let test_dsm_owner_local () =
+  let mem, cost, _, b = setup Cost_model.Distributed in
+  Alcotest.check kind "owner read local" Cost_model.Local (charge cost mem ~pid:1 (Op.Read b));
+  Alcotest.check kind "owner write local" Cost_model.Local (charge cost mem ~pid:1 (Op.Write (b, 1)));
+  Alcotest.check kind "owner rmw local" Cost_model.Local (charge cost mem ~pid:1 (Op.Faa (b, 1)));
+  Alcotest.check kind "other read remote" Cost_model.Remote (charge cost mem ~pid:0 (Op.Read b));
+  Alcotest.check kind "other write remote" Cost_model.Remote (charge cost mem ~pid:2 (Op.Write (b, 1)))
+
+let test_dsm_unowned_remote_to_all () =
+  let mem, cost, a, _ = setup Cost_model.Distributed in
+  for pid = 0 to 3 do
+    Alcotest.check kind "unowned remote" Cost_model.Remote (charge cost mem ~pid (Op.Read a))
+  done
+
+let test_dsm_no_caching () =
+  let mem, cost, _, b = setup Cost_model.Distributed in
+  (* Unlike CC, repeated remote reads stay remote: there is no cache. *)
+  Alcotest.check kind "remote" Cost_model.Remote (charge cost mem ~pid:0 (Op.Read b));
+  Alcotest.check kind "still remote" Cost_model.Remote (charge cost mem ~pid:0 (Op.Read b))
+
+let test_delay_free () =
+  let mem, cost, _, _ = setup Cost_model.Cache_coherent in
+  Alcotest.check kind "delay local (CC)" Cost_model.Local (charge cost mem ~pid:0 Op.Delay);
+  let mem, cost, _, _ = setup Cost_model.Distributed in
+  Alcotest.check kind "delay local (DSM)" Cost_model.Local (charge cost mem ~pid:0 Op.Delay)
+
+let test_atomic_block_charged_remote () =
+  let mem, cost, _, _ = setup Cost_model.Cache_coherent in
+  let blk = Op.Atomic_block ("x", fun ~read:_ ~write:_ -> 0) in
+  Alcotest.check kind "atomic block remote" Cost_model.Remote (charge cost mem ~pid:0 blk)
+
+let test_cc_grows_with_memory () =
+  let mem = Memory.create () in
+  let cost = Cost_model.create Cost_model.Cache_coherent ~n_procs:2 in
+  let _ = Memory.alloc mem ~init:0 10 in
+  ignore (charge cost mem ~pid:0 (Op.Read 5));
+  (* Allocate far beyond the initial cache capacity mid-run (Figure 5 does
+     this), then access the new cell. *)
+  let big = Memory.alloc mem ~init:0 500 in
+  let last = big + 499 in
+  Alcotest.check kind "fresh cell misses" Cost_model.Remote (charge cost mem ~pid:0 (Op.Read last));
+  Alcotest.check kind "then hits" Cost_model.Local (charge cost mem ~pid:0 (Op.Read last))
+
+let suite =
+  [ Helpers.tc "CC: read miss then hit" test_cc_read_miss_then_hit;
+    Helpers.tc "CC: write invalidates other copies" test_cc_write_invalidates;
+    Helpers.tc "CC: spin loop costs two remote refs" test_cc_spin_loop_two_refs;
+    Helpers.tc "CC: RMW counts as write" test_cc_rmw_counts_as_write;
+    Helpers.tc "DSM: owner accesses are local" test_dsm_owner_local;
+    Helpers.tc "DSM: unowned cells remote to all" test_dsm_unowned_remote_to_all;
+    Helpers.tc "DSM: no caching of remote reads" test_dsm_no_caching;
+    Helpers.tc "delay is free in both models" test_delay_free;
+    Helpers.tc "atomic block charged one remote ref" test_atomic_block_charged_remote;
+    Helpers.tc "CC valid-bits grow with the heap" test_cc_grows_with_memory ]

@@ -1,0 +1,58 @@
+open Kex_sim
+
+let check t ~pid ~steps_taken ~phase ~acquisition ~steps_in_phase =
+  Failures.should_fail t ~pid ~steps_taken ~phase ~acquisition ~steps_in_phase
+
+let test_no_plan_never_fails () =
+  let t = Failures.create [] in
+  Alcotest.(check bool) "never" false
+    (check t ~pid:0 ~steps_taken:100 ~phase:Monitor.Critical ~acquisition:3 ~steps_in_phase:5)
+
+let test_at_step_waits_for_noncrit_exit () =
+  let t = Failures.create [ (1, Failures.At_step 10) ] in
+  Alcotest.(check bool) "not yet" false
+    (check t ~pid:1 ~steps_taken:9 ~phase:Monitor.Entry ~acquisition:0 ~steps_in_phase:9);
+  Alcotest.(check bool) "not in noncrit" false
+    (check t ~pid:1 ~steps_taken:12 ~phase:Monitor.Noncrit ~acquisition:0 ~steps_in_phase:0);
+  Alcotest.(check bool) "fires outside noncrit" true
+    (check t ~pid:1 ~steps_taken:10 ~phase:Monitor.Entry ~acquisition:0 ~steps_in_phase:2);
+  Alcotest.(check bool) "other pid unaffected" false
+    (check t ~pid:0 ~steps_taken:50 ~phase:Monitor.Entry ~acquisition:0 ~steps_in_phase:2)
+
+let test_in_cs_matches_acquisition () =
+  let t = Failures.create [ (0, Failures.In_cs 2) ] in
+  Alcotest.(check bool) "first CS survives" false
+    (check t ~pid:0 ~steps_taken:5 ~phase:Monitor.Critical ~acquisition:0 ~steps_in_phase:1);
+  Alcotest.(check bool) "second CS dies" true
+    (check t ~pid:0 ~steps_taken:9 ~phase:Monitor.Critical ~acquisition:1 ~steps_in_phase:0)
+
+let test_in_entry () =
+  let t = Failures.create [ (0, Failures.In_entry { acquisition = 1; after_steps = 3 }) ] in
+  Alcotest.(check bool) "too early" false
+    (check t ~pid:0 ~steps_taken:2 ~phase:Monitor.Entry ~acquisition:0 ~steps_in_phase:2);
+  Alcotest.(check bool) "fires after 3 entry steps" true
+    (check t ~pid:0 ~steps_taken:3 ~phase:Monitor.Entry ~acquisition:0 ~steps_in_phase:3);
+  Alcotest.(check bool) "not in CS" false
+    (check t ~pid:0 ~steps_taken:9 ~phase:Monitor.Critical ~acquisition:0 ~steps_in_phase:9)
+
+let test_in_exit () =
+  let t = Failures.create [ (0, Failures.In_exit { acquisition = 1; after_steps = 0 }) ] in
+  (* During the exit section of acquisition 1, the monitor already counts one
+     completed acquisition. *)
+  Alcotest.(check bool) "fires in exit" true
+    (check t ~pid:0 ~steps_taken:9 ~phase:Monitor.Exit ~acquisition:1 ~steps_in_phase:0);
+  Alcotest.(check bool) "not in entry" false
+    (check t ~pid:0 ~steps_taken:9 ~phase:Monitor.Entry ~acquisition:0 ~steps_in_phase:4)
+
+let test_first_trigger_wins () =
+  let t = Failures.create [ (0, Failures.In_cs 1); (0, Failures.In_cs 5) ] in
+  Alcotest.(check bool) "first plan entry honoured" true
+    (check t ~pid:0 ~steps_taken:1 ~phase:Monitor.Critical ~acquisition:0 ~steps_in_phase:0)
+
+let suite =
+  [ Helpers.tc "empty plan never fails" test_no_plan_never_fails;
+    Helpers.tc "At_step defers to outside noncritical" test_at_step_waits_for_noncrit_exit;
+    Helpers.tc "In_cs matches the right acquisition" test_in_cs_matches_acquisition;
+    Helpers.tc "In_entry fires after given entry steps" test_in_entry;
+    Helpers.tc "In_exit fires in the exit section" test_in_exit;
+    Helpers.tc "first trigger per pid wins" test_first_trigger_wins ]

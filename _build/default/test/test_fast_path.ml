@@ -1,0 +1,96 @@
+(* Theorems 3 and 7: the fast-path construction (Figure 4). *)
+
+open Kexclusion
+open Kexclusion.Import
+open Helpers
+
+let fp ~model ~n ~k mem =
+  `Exclusion (Fast_path.with_tree mem ~block:(Registry.block_for model) ~n ~k)
+
+let batteries =
+  [ (cc, 8, 2); (dsm, 8, 2); (cc, 12, 3); (dsm, 9, 4) ]
+  |> List.concat_map (fun (model, n, k) ->
+         let mname = if model = cc then "CC" else "DSM" in
+         [ tc
+             (Printf.sprintf "%s (%d,%d): safety+progress" mname n k)
+             (exclusion_battery ~model ~n ~k (fp ~model ~n ~k));
+           tc
+             (Printf.sprintf "%s (%d,%d): k-way concurrency" mname n k)
+             (utilisation_battery ~model ~n ~k (fp ~model ~n ~k)) ])
+
+(* Theorem 3/7 low-contention regime: when at most k processes participate,
+   the slow path is never taken and the cost is the gate plus one (2k,k)
+   block. *)
+let test_low_contention model bound () =
+  List.iter
+    (fun (n, k) ->
+      List.iter
+        (fun c ->
+          let res =
+            run ~iterations:5 ~participants:(participants c) ~model ~n ~k (fp ~model ~n ~k)
+          in
+          assert_ok res;
+          let b = bound ~k in
+          Alcotest.(check bool)
+            (Printf.sprintf "(%d,%d) c=%d: %d <= %d" n k c (max_remote res) b)
+            true
+            (max_remote res <= b))
+        [ 1; k ])
+    [ (8, 2); (16, 2); (32, 4); (12, 3) ]
+
+let test_high_contention model bound () =
+  List.iter
+    (fun (n, k) ->
+      let res = run ~iterations:4 ~model ~n ~k (fp ~model ~n ~k) in
+      assert_ok res;
+      let b = bound ~n ~k in
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d,%d) full contention: %d <= %d" n k (max_remote res) b)
+        true
+        (max_remote res <= b))
+    [ (8, 2); (16, 2); (16, 4) ]
+
+let test_fast_slots_recover () =
+  (* After a burst of full contention drains, the gate must be back to k free
+     slots: a subsequent solo run pays the low-contention price again. *)
+  let model = cc and n = 8 and k = 2 in
+  let mem = Memory.create () in
+  let p = Fast_path.with_tree mem ~block:(Registry.block_for model) ~n ~k in
+  let cost = Cost_model.create model ~n_procs:n in
+  let storm = Runner.config ~n ~k ~iterations:4 ~cs_delay:2 () in
+  let res = Runner.run storm mem cost (Protocol.workload p) in
+  assert_ok ~ctx:"storm" res;
+  let solo = Runner.config ~n ~k ~iterations:4 ~cs_delay:2 ~participants:[ 5 ] () in
+  let res = Runner.run solo mem cost (Protocol.workload p) in
+  assert_ok ~ctx:"solo after storm" res;
+  Alcotest.(check bool)
+    (Printf.sprintf "fast path restored (%d <= %d)" (max_remote res) (Spec.thm3_low ~k))
+    true
+    (max_remote res <= Spec.thm3_low ~k)
+
+let test_resilience () =
+  resilience_battery ~model:cc ~n:8 ~k:2
+    ~failures:[ (1, Kex_sim.Failures.In_cs 1) ]
+    (fp ~model:cc ~n:8 ~k:2) ();
+  resilience_battery ~model:dsm ~n:8 ~k:3
+    ~failures:
+      [ (0, Kex_sim.Failures.In_cs 2);
+        (4, Kex_sim.Failures.In_entry { acquisition = 1; after_steps = 1 }) ]
+    (fp ~model:dsm ~n:8 ~k:3) ()
+
+let test_saturation () = saturation_battery ~model:cc ~n:6 ~k:2 (fp ~model:cc ~n:6 ~k:2) ()
+
+let suite =
+  batteries
+  @ [ tc "thm 3 low-contention cost (CC)" (test_low_contention cc (fun ~k -> Spec.thm3_low ~k));
+      tc "thm 7 low-contention cost (DSM)" (test_low_contention dsm (fun ~k -> Spec.thm7_low ~k));
+      tc "thm 3 high-contention cost (CC)"
+        (test_high_contention cc (fun ~n ~k -> Spec.thm3_high ~n ~k));
+      tc "thm 7 high-contention cost (DSM)"
+        (test_high_contention dsm (fun ~n ~k -> Spec.thm7_high ~n ~k));
+      tc "fast slots recover after contention storm" test_fast_slots_recover;
+      tc "CC churn (rising and falling contention)"
+        (churn_battery ~model:cc ~n:8 ~k:2 (fp ~model:cc ~n:8 ~k:2));
+      tc "DSM churn" (churn_battery ~model:dsm ~n:8 ~k:2 (fp ~model:dsm ~n:8 ~k:2));
+      tc "tolerates k-1 failures" test_resilience;
+      tc "k failures exhaust slots" test_saturation ]

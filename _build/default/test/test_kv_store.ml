@@ -1,0 +1,69 @@
+(* The resilient key-value store: the methodology applied to a realistic
+   shared object. *)
+
+open Kex_resilient
+
+let test_basic_crud () =
+  let s = Kv_store.create ~n:2 ~k:2 () in
+  Alcotest.(check (option string)) "missing" None (Kv_store.get s ~pid:0 ~key:"a");
+  Kv_store.set s ~pid:0 ~key:"a" "1";
+  Kv_store.set s ~pid:1 ~key:"b" "2";
+  Alcotest.(check (option string)) "present" (Some "1") (Kv_store.get s ~pid:1 ~key:"a");
+  Alcotest.(check int) "size" 2 (Kv_store.size s);
+  Alcotest.(check bool) "delete existing" true (Kv_store.delete s ~pid:0 ~key:"a");
+  Alcotest.(check bool) "delete missing" false (Kv_store.delete s ~pid:0 ~key:"a");
+  Alcotest.(check (list (pair string string))) "snapshot" [ ("b", "2") ] (Kv_store.snapshot s)
+
+let test_set_overwrites () =
+  let s = Kv_store.create ~n:1 ~k:1 () in
+  Kv_store.set s ~pid:0 ~key:"x" "old";
+  Kv_store.set s ~pid:0 ~key:"x" "new";
+  Alcotest.(check (option string)) "latest wins" (Some "new") (Kv_store.get s ~pid:0 ~key:"x");
+  Alcotest.(check int) "one key" 1 (Kv_store.size s)
+
+let test_update_atomic () =
+  let s = Kv_store.create ~n:1 ~k:1 () in
+  Kv_store.update s ~pid:0 ~key:"c" (fun _ -> Some "0");
+  Kv_store.update s ~pid:0 ~key:"c" (fun v ->
+      Some (string_of_int (1 + int_of_string (Option.get v))));
+  Alcotest.(check (option string)) "incremented" (Some "1") (Kv_store.get s ~pid:0 ~key:"c");
+  Kv_store.update s ~pid:0 ~key:"c" (fun _ -> None);
+  Alcotest.(check (option string)) "deleted via update" None (Kv_store.get s ~pid:0 ~key:"c")
+
+let test_concurrent_counters () =
+  (* n domains increment 8 shared per-key counters: no update may be lost. *)
+  let n = 4 and k = 2 and per = 100 in
+  let s = Kv_store.create ~n ~k () in
+  let worker pid () =
+    for i = 1 to per do
+      let key = Printf.sprintf "k%d" (i mod 8) in
+      Kv_store.update s ~pid ~key (fun v ->
+          Some (string_of_int (1 + match v with Some x -> int_of_string x | None -> 0)))
+    done
+  in
+  let ds = List.init n (fun pid -> Domain.spawn (worker pid)) in
+  List.iter Domain.join ds;
+  let total = List.fold_left (fun acc (_, v) -> acc + int_of_string v) 0 (Kv_store.snapshot s) in
+  Alcotest.(check int) "no lost updates" (n * per) total;
+  Alcotest.(check int) "all operations linearized" (n * per) (Kv_store.operations s)
+
+let test_available_with_wedged_client () =
+  let n = 4 and k = 2 in
+  let s = Kv_store.create ~n ~k () in
+  (* pid 0 "crashes" holding an admission slot. *)
+  let _name = Kex_runtime.Kex_lock.Assignment.acquire (Kv_store.assignment s) ~pid:0 in
+  let worker pid () =
+    for i = 1 to 50 do
+      Kv_store.set s ~pid ~key:(Printf.sprintf "p%d-%d" pid i) "v"
+    done
+  in
+  let ds = List.init (n - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all writes landed" (3 * 50) (Kv_store.size s)
+
+let suite =
+  [ Helpers.tc "basic CRUD" test_basic_crud;
+    Helpers.tc "set overwrites" test_set_overwrites;
+    Helpers.tc "update is a linearized RMW" test_update_atomic;
+    Helpers.tc "no lost updates under domains" test_concurrent_counters;
+    Helpers.tc "available with a wedged client" test_available_with_wedged_client ]

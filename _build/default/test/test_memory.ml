@@ -1,0 +1,58 @@
+open Kex_sim
+
+let test_alloc_contiguous () =
+  let m = Memory.create () in
+  let a = Memory.alloc m ~init:3 4 in
+  let b = Memory.alloc m ~init:9 2 in
+  Alcotest.(check int) "first base" 0 a;
+  Alcotest.(check int) "second base after first" 4 b;
+  Alcotest.(check int) "size" 6 (Memory.size m);
+  for i = 0 to 3 do
+    Alcotest.(check int) "init a" 3 (Memory.get m (a + i))
+  done;
+  for i = 0 to 1 do
+    Alcotest.(check int) "init b" 9 (Memory.get m (b + i))
+  done
+
+let test_owner () =
+  let m = Memory.create () in
+  let a = Memory.alloc m ~owner:5 ~init:0 2 in
+  let b = Memory.alloc m ~init:0 1 in
+  Alcotest.(check (option int)) "owned" (Some 5) (Memory.owner m a);
+  Alcotest.(check (option int)) "owned second cell" (Some 5) (Memory.owner m (a + 1));
+  Alcotest.(check (option int)) "unowned" None (Memory.owner m b)
+
+let test_growth () =
+  (* Force several capacity doublings and check values survive. *)
+  let m = Memory.create () in
+  let bases = List.init 50 (fun i -> (Memory.alloc m ~init:i 17, i)) in
+  List.iter
+    (fun (base, i) ->
+      for j = 0 to 16 do
+        Alcotest.(check int) "survived growth" i (Memory.get m (base + j))
+      done)
+    bases;
+  Alcotest.(check int) "total size" (50 * 17) (Memory.size m)
+
+let test_set_get () =
+  let m = Memory.create () in
+  let a = Memory.alloc m ~init:0 1 in
+  Memory.set m a 42;
+  Alcotest.(check int) "set/get" 42 (Memory.get m a)
+
+let test_snapshot () =
+  let m = Memory.create () in
+  let a = Memory.alloc m ~init:1 3 in
+  Memory.set m (a + 1) 7;
+  let s = Memory.snapshot m in
+  Alcotest.(check (array int)) "snapshot" [| 1; 7; 1 |] s;
+  (* Snapshot is a copy. *)
+  Memory.set m a 99;
+  Alcotest.(check int) "copy unaffected" 1 s.(0)
+
+let suite =
+  [ Helpers.tc "alloc is contiguous and initialised" test_alloc_contiguous;
+    Helpers.tc "ownership is per-cell" test_owner;
+    Helpers.tc "values survive growth" test_growth;
+    Helpers.tc "set/get" test_set_get;
+    Helpers.tc "snapshot copies" test_snapshot ]

@@ -1,0 +1,175 @@
+(* Section 1's methodology inside the simulator: the wait-free k-process
+   universal construction under the cost model, wrapped in (N,k)-assignment,
+   measured in remote references and crash-injected mid-operation. *)
+
+open Kexclusion
+open Kexclusion.Import
+open Helpers
+
+let counter_apply st op = (st + op, st + op)
+
+(* ------------------------- Universal_sim alone -------------------------- *)
+
+(* Run tids as "processes" directly performing ops (no exclusion wrapper):
+   at most k participants, matching the k-process object's contract. *)
+let run_universal ?(iterations = 4) ?(scheduler = Scheduler.round_robin ()) ?failures ~k ~c ()
+    =
+  let mem = Memory.create () in
+  let u = Universal_sim.create mem ~k ~init:0 ~apply:counter_apply in
+  let wl =
+    { Runner.acquire = (fun ~pid -> Universal_sim.perform u ~tid:pid ~op:1);
+      release = (fun ~pid:_ ~name:_ -> Op.return ());
+      check_names = false;
+      cs_body = None }
+  in
+  let cost = Cost_model.create cc ~n_procs:c in
+  let cfg =
+    Runner.config ~n:c ~k:c ~iterations ~cs_delay:1 ~scheduler ?failures
+      ~step_budget:2_000_000 ()
+  in
+  let res = Runner.run cfg mem cost wl in
+  (res, u, mem)
+
+let test_sequential_counter () =
+  let res, u, mem = run_universal ~k:3 ~c:1 () in
+  assert_ok res;
+  Alcotest.(check int) "four increments" 4 (Universal_sim.peek u mem);
+  Alcotest.(check int) "four ops linearized" 4 (Universal_sim.applied_count u mem)
+
+let test_concurrent_counter_all_schedulers () =
+  List.iter
+    (fun scheduler ->
+      let res, u, mem = run_universal ~scheduler ~k:3 ~c:3 () in
+      assert_ok ~ctx:(Scheduler.name scheduler) res;
+      Alcotest.(check int)
+        (Scheduler.name scheduler ^ ": all increments linearized")
+        12
+        (Universal_sim.peek u mem))
+    (fresh_schedulers ())
+
+let test_wait_free_bounded_refs () =
+  (* The construction is wait-free: even under full k contention, an
+     operation's cost is bounded (O(k) per helping round, bounded rounds),
+     and in particular never grows with how long anyone else dwells. *)
+  let res, _, _ = run_universal ~k:3 ~c:3 () in
+  assert_ok res;
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded cost (max %d)" (max_remote res))
+    true
+    (max_remote res <= 200)
+
+let test_crashed_announcer_helped () =
+  (* A tid announces and crashes before taking another step; the others'
+     operations must complete, and the dead op is linearized by helpers. *)
+  let mem = Memory.create () in
+  let u = Universal_sim.create mem ~k:2 ~init:0 ~apply:counter_apply in
+  let announced = ref false in
+  let wl =
+    { Runner.acquire =
+        (fun ~pid ->
+          if pid = 0 then
+            if !announced then Op.return 0
+            else begin
+              announced := true;
+              (* announce once and never take another object step — the
+                 crash; at most one op per tid may ever be in flight *)
+              Op.map (fun () -> 0) (Universal_sim.announce_only u ~tid:0 ~op:100)
+            end
+          else Universal_sim.perform u ~tid:pid ~op:1);
+      release = (fun ~pid:_ ~name:_ -> Op.return ());
+      check_names = false;
+      cs_body = None }
+  in
+  let cost = Cost_model.create cc ~n_procs:2 in
+  let cfg = Runner.config ~n:2 ~k:2 ~iterations:4 ~cs_delay:1 () in
+  let res = Runner.run cfg mem cost wl in
+  assert_ok res;
+  Alcotest.(check int) "dead op helped + live ops" (100 + 4) (Universal_sim.peek u mem)
+
+(* --------------------------- Full methodology --------------------------- *)
+
+let run_methodology ?(iterations = 3) ?(scheduler = Scheduler.round_robin ()) ?failures ~model
+    ~n ~k ~c () =
+  let mem = Memory.create () in
+  let m =
+    Methodology.create mem ~model ~algo:Registry.Fast_path ~n ~k ~init:0 ~apply:counter_apply
+      ~op:(fun ~pid:_ -> 1)
+  in
+  let cost = Cost_model.create model ~n_procs:n in
+  let cfg =
+    Runner.config ~n ~k ~iterations ~cs_delay:1 ~scheduler ?failures
+      ~participants:(participants c) ~step_budget:5_000_000 ()
+  in
+  let res = Runner.run cfg mem cost (Methodology.workload m) in
+  (res, m, mem)
+
+let test_methodology_counts () =
+  List.iter
+    (fun model ->
+      let res, m, mem = run_methodology ~model ~n:8 ~k:3 ~c:8 () in
+      assert_ok res;
+      Alcotest.(check int) "every operation linearized exactly once" 24 (Methodology.peek m mem))
+    [ cc; dsm ]
+
+let test_methodology_names_unique () =
+  List.iter
+    (fun scheduler ->
+      let res, _, _ = run_methodology ~scheduler ~model:cc ~n:6 ~k:2 ~c:6 () in
+      assert_ok ~ctx:(Scheduler.name scheduler) res)
+    (fresh_schedulers ())
+
+let test_effectively_wait_free_when_c_le_k () =
+  (* The headline: with contention <= k, the whole resilient operation costs
+     a bounded number of remote refs — wrapper (7k+2+k) plus one wait-free
+     op (O(k)). *)
+  let res, _, _ = run_methodology ~model:cc ~n:32 ~k:4 ~c:4 () in
+  assert_ok res;
+  let bound = Spec.thm9_low ~k:4 + 100 (* O(k) object op, generous constant *) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded op cost (max %d <= %d)" (max_remote res) bound)
+    true
+    (max_remote res <= bound)
+
+let test_crash_mid_operation () =
+  (* The worst case the methodology must survive: a process dies half-way
+     through its in-CS object operation.  It holds a slot+name forever (one
+     of k), and its announced op is completed by helpers.  Every survivor
+     completes; the final count includes the survivors' ops and possibly the
+     half-done one. *)
+  let failures = [ (0, Kex_sim.Failures.In_cs_after { acquisition = 1; after_steps = 3 }) ] in
+  let res, m, mem = run_methodology ~failures ~model:cc ~n:6 ~k:2 ~c:6 ~iterations:3 () in
+  Alcotest.(check (list string)) "no violations" [] res.Runner.violations;
+  Alcotest.(check bool) "no stall" false res.stalled;
+  Array.iteri
+    (fun pid (p : Runner.proc_stats) ->
+      if pid <> 0 then Alcotest.(check bool) (Printf.sprintf "pid %d done" pid) true p.completed)
+    res.procs;
+  let v = Methodology.peek m mem in
+  Alcotest.(check bool)
+    (Printf.sprintf "count %d in [15,16]" v)
+    true
+    (v = 15 || v = 16)
+
+let test_beyond_resilience_blocks () =
+  (* k crashes inside operations exhaust the wrapper: survivors block.  The
+     boundary is exactly k-1, as for plain k-exclusion. *)
+  let failures =
+    [ (0, Kex_sim.Failures.In_cs_after { acquisition = 1; after_steps = 2 });
+      (1, Kex_sim.Failures.In_cs_after { acquisition = 1; after_steps = 4 }) ]
+  in
+  let res, _, _ = run_methodology ~failures ~model:cc ~n:5 ~k:2 ~c:5 () in
+  Alcotest.(check (list string)) "still safe" [] res.Runner.violations;
+  Alcotest.(check bool) "blocked" true res.stalled
+
+let suite =
+  [ tc "universal (sim): sequential counter" test_sequential_counter;
+    tc "universal (sim): concurrent counter across schedulers"
+      test_concurrent_counter_all_schedulers;
+    tc "universal (sim): wait-free bounded cost" test_wait_free_bounded_refs;
+    tc "universal (sim): crashed announcer is helped" test_crashed_announcer_helped;
+    tc "methodology: exact linearization on both models" test_methodology_counts;
+    tc "methodology: names unique across schedulers" test_methodology_names_unique;
+    tc "methodology: effectively wait-free when contention <= k"
+      test_effectively_wait_free_when_c_le_k;
+    tc "methodology: survives a crash mid-operation" test_crash_mid_operation;
+    tc "methodology: k crashes exhaust the wrapper" test_beyond_resilience_blocks ]

@@ -1,0 +1,105 @@
+open Kex_sim
+
+let ev m pid e = Monitor.on_event m ~pid e
+
+let test_counts_cs () =
+  let m = Monitor.create ~n:3 ~k:2 ~check_names:false in
+  ev m 0 Op.Entry_begin;
+  ev m 0 (Op.Cs_enter 0);
+  Alcotest.(check int) "one in CS" 1 (Monitor.in_cs m);
+  ev m 1 Op.Entry_begin;
+  ev m 1 (Op.Cs_enter 0);
+  Alcotest.(check int) "two in CS" 2 (Monitor.in_cs m);
+  Alcotest.(check (list string)) "no violation at k" [] (Monitor.violations m);
+  ev m 0 Op.Cs_exit;
+  ev m 0 Op.Exit_end;
+  Alcotest.(check int) "one left" 1 (Monitor.in_cs m);
+  Alcotest.(check int) "max recorded" 2 (Monitor.max_in_cs m);
+  Alcotest.(check int) "acquisition counted" 1 (Monitor.acquisitions m ~pid:0)
+
+let test_detects_k_violation () =
+  let m = Monitor.create ~n:3 ~k:1 ~check_names:false in
+  ev m 0 Op.Entry_begin;
+  ev m 0 (Op.Cs_enter 0);
+  ev m 1 Op.Entry_begin;
+  ev m 1 (Op.Cs_enter 0);
+  Alcotest.(check bool) "violation recorded" true (Monitor.violations m <> [])
+
+let test_detects_name_collision () =
+  let m = Monitor.create ~n:4 ~k:2 ~check_names:true in
+  ev m 0 Op.Entry_begin;
+  ev m 0 (Op.Cs_enter 1);
+  ev m 2 Op.Entry_begin;
+  ev m 2 (Op.Cs_enter 1);
+  Alcotest.(check bool) "collision detected" true (Monitor.violations m <> [])
+
+let test_distinct_names_fine () =
+  let m = Monitor.create ~n:4 ~k:2 ~check_names:true in
+  ev m 0 Op.Entry_begin;
+  ev m 0 (Op.Cs_enter 0);
+  ev m 2 Op.Entry_begin;
+  ev m 2 (Op.Cs_enter 1);
+  Alcotest.(check (list string)) "no violation" [] (Monitor.violations m)
+
+let test_out_of_range_name () =
+  let m = Monitor.create ~n:2 ~k:2 ~check_names:true in
+  ev m 0 Op.Entry_begin;
+  ev m 0 (Op.Cs_enter 2);
+  Alcotest.(check bool) "out-of-range name flagged" true (Monitor.violations m <> [])
+
+let test_name_ignored_without_checking () =
+  let m = Monitor.create ~n:2 ~k:2 ~check_names:false in
+  ev m 0 Op.Entry_begin;
+  ev m 0 (Op.Cs_enter 7);
+  ev m 1 Op.Entry_begin;
+  ev m 1 (Op.Cs_enter 7);
+  Alcotest.(check (list string)) "names ignored" [] (Monitor.violations m)
+
+let test_phase_discipline () =
+  let m = Monitor.create ~n:1 ~k:1 ~check_names:false in
+  (* Cs_enter without Entry_begin is a protocol-structure violation. *)
+  ev m 0 (Op.Cs_enter 0);
+  Alcotest.(check bool) "bad phase flagged" true (Monitor.violations m <> [])
+
+let test_phases_reported () =
+  let m = Monitor.create ~n:1 ~k:1 ~check_names:false in
+  Alcotest.(check bool) "starts noncritical" true (Monitor.phase m ~pid:0 = Monitor.Noncrit);
+  ev m 0 Op.Entry_begin;
+  Alcotest.(check bool) "entry" true (Monitor.phase m ~pid:0 = Monitor.Entry);
+  ev m 0 (Op.Cs_enter 0);
+  Alcotest.(check bool) "critical" true (Monitor.phase m ~pid:0 = Monitor.Critical);
+  ev m 0 Op.Cs_exit;
+  Alcotest.(check bool) "exit" true (Monitor.phase m ~pid:0 = Monitor.Exit);
+  ev m 0 Op.Exit_end;
+  Alcotest.(check bool) "noncritical again" true (Monitor.phase m ~pid:0 = Monitor.Noncrit)
+
+let test_contention_tracking () =
+  let m = Monitor.create ~n:4 ~k:4 ~check_names:false in
+  Alcotest.(check int) "initially zero" 0 (Monitor.contention m);
+  ev m 0 Op.Entry_begin;
+  ev m 1 Op.Entry_begin;
+  Alcotest.(check int) "two outside noncrit" 2 (Monitor.contention m);
+  ev m 0 (Op.Cs_enter 0);
+  Alcotest.(check int) "CS still counts" 2 (Monitor.contention m);
+  ev m 0 Op.Cs_exit;
+  ev m 0 Op.Exit_end;
+  Alcotest.(check int) "back to one" 1 (Monitor.contention m);
+  Alcotest.(check int) "peak recorded" 2 (Monitor.max_contention m)
+
+let test_notes_are_free () =
+  let m = Monitor.create ~n:1 ~k:1 ~check_names:false in
+  ev m 0 (Op.Note "hello");
+  Alcotest.(check (list string)) "no effect" [] (Monitor.violations m);
+  Alcotest.(check int) "no CS" 0 (Monitor.in_cs m)
+
+let suite =
+  [ Helpers.tc "counts critical sections" test_counts_cs;
+    Helpers.tc "detects k-exclusion violation" test_detects_k_violation;
+    Helpers.tc "detects name collisions" test_detects_name_collision;
+    Helpers.tc "distinct names pass" test_distinct_names_fine;
+    Helpers.tc "flags out-of-range names" test_out_of_range_name;
+    Helpers.tc "names ignored for plain exclusion" test_name_ignored_without_checking;
+    Helpers.tc "flags phase-discipline breaches" test_phase_discipline;
+    Helpers.tc "reports phases" test_phases_reported;
+    Helpers.tc "tracks the paper's contention measure" test_contention_tracking;
+    Helpers.tc "notes are free" test_notes_are_free ]

@@ -1,0 +1,143 @@
+(* Unit tests for the atomic-step DSL: monad laws in the observable sense
+   (step traces), primitive semantics via Runner.exec_step, and the helpers. *)
+
+open Kex_sim
+
+(* Interpret a program against a raw memory, sequentially, collecting the
+   number of steps taken. *)
+let interp mem prog =
+  let steps = ref 0 in
+  let rec go = function
+    | Op.Return x -> x
+    | Op.Step (s, k) ->
+        incr steps;
+        go (k (Runner.exec_step mem s))
+    | Op.Mark (_, k) -> go (k ())
+  in
+  let v = go prog in
+  (v, !steps)
+
+let mem_with values =
+  let m = Memory.create () in
+  let base = Memory.alloc m ~init:0 (Array.length values) in
+  Array.iteri (fun i v -> Memory.set m (base + i) v) values;
+  (m, base)
+
+let test_read_write () =
+  let m, a = mem_with [| 5; 6 |] in
+  let prog =
+    let open Op in
+    let* v = read a in
+    let* () = write (a + 1) (v * 2) in
+    read (a + 1)
+  in
+  let v, steps = interp m prog in
+  Alcotest.(check int) "value" 10 v;
+  Alcotest.(check int) "steps" 3 steps
+
+let test_faa_returns_old () =
+  let m, a = mem_with [| 7 |] in
+  let v, _ = interp m (Op.faa a (-3)) in
+  Alcotest.(check int) "old value" 7 v;
+  Alcotest.(check int) "new value" 4 (Memory.get m a)
+
+let test_bounded_faa_saturates () =
+  let m, a = mem_with [| 0 |] in
+  let v, _ = interp m (Op.bounded_faa a (-1) ~lo:0 ~hi:5) in
+  Alcotest.(check int) "old value returned" 0 v;
+  Alcotest.(check int) "cell unchanged on underflow" 0 (Memory.get m a);
+  let v2, _ = interp m (Op.bounded_faa a 1 ~lo:0 ~hi:5) in
+  Alcotest.(check int) "old on increment" 0 v2;
+  Alcotest.(check int) "incremented" 1 (Memory.get m a)
+
+let test_bounded_faa_overflow () =
+  let m, a = mem_with [| 5 |] in
+  let _ = interp m (Op.bounded_faa a 1 ~lo:0 ~hi:5) in
+  Alcotest.(check int) "cell unchanged on overflow" 5 (Memory.get m a)
+
+let test_cas_success_failure () =
+  let m, a = mem_with [| 3 |] in
+  let ok, _ = interp m (Op.cas a ~expected:3 ~desired:9) in
+  Alcotest.(check bool) "cas succeeds" true ok;
+  Alcotest.(check int) "stored" 9 (Memory.get m a);
+  let ok2, _ = interp m (Op.cas a ~expected:3 ~desired:1) in
+  Alcotest.(check bool) "cas fails" false ok2;
+  Alcotest.(check int) "unchanged" 9 (Memory.get m a)
+
+let test_tas () =
+  let m, a = mem_with [| 0 |] in
+  let won, _ = interp m (Op.tas a) in
+  Alcotest.(check bool) "first tas wins" true won;
+  let won2, _ = interp m (Op.tas a) in
+  Alcotest.(check bool) "second tas loses" false won2;
+  Alcotest.(check int) "bit set" 1 (Memory.get m a)
+
+let test_await () =
+  (* await consumes exactly one read per poll; seed the cell so it exits on
+     the third poll. *)
+  let m, a = mem_with [| 0 |] in
+  let polls = ref 0 in
+  let prog =
+    Op.await a (fun v ->
+        incr polls;
+        if !polls = 3 then true else v = 99)
+  in
+  let (), steps = interp m prog in
+  Alcotest.(check int) "three reads" 3 steps
+
+let test_seq_and_repeat () =
+  let m, a = mem_with [| 0 |] in
+  let prog = Op.seq [ Op.write a 1; Op.write a 2; Op.write a 3 ] in
+  let (), steps = interp m prog in
+  Alcotest.(check int) "three writes" 3 steps;
+  Alcotest.(check int) "last wins" 3 (Memory.get m a);
+  let prog = Op.repeat 4 (fun i -> Op.write a i) in
+  let (), steps = interp m prog in
+  Alcotest.(check int) "four writes" 4 steps;
+  Alcotest.(check int) "last index" 3 (Memory.get m a)
+
+let test_bind_associativity_observable () =
+  (* (m >>= f) >>= g and m >>= (fun x -> f x >>= g) produce identical step
+     traces and results. *)
+  let mk () = mem_with [| 1; 2; 3 |] in
+  let open Op in
+  let m0 = read 0 in
+  let f x = Op.map (fun y -> x + y) (read 1) in
+  let g x = Op.map (fun y -> x * y) (read 2) in
+  let m1, _ = mk () and m2, _ = mk () in
+  let left = interp m1 (bind (bind m0 f) g) in
+  let right = interp m2 (bind m0 (fun x -> bind (f x) g)) in
+  Alcotest.(check (pair int int)) "associativity" left right
+
+let test_delay_steps () =
+  let m, _ = mem_with [| 0 |] in
+  let (), steps = interp m (Op.delay 5) in
+  Alcotest.(check int) "five turns" 5 steps
+
+let test_atomic_block_multi_access () =
+  let m, a = mem_with [| 10; 20 |] in
+  let prog =
+    Op.atomic_block "swap" (fun ~read ~write ->
+        let x = read a and y = read (a + 1) in
+        write a y;
+        write (a + 1) x;
+        x + y)
+  in
+  let v, steps = interp m prog in
+  Alcotest.(check int) "returned" 30 v;
+  Alcotest.(check int) "one step only" 1 steps;
+  Alcotest.(check int) "swapped lo" 20 (Memory.get m a);
+  Alcotest.(check int) "swapped hi" 10 (Memory.get m (a + 1))
+
+let suite =
+  [ Helpers.tc "read/write/bind" test_read_write;
+    Helpers.tc "faa returns old value" test_faa_returns_old;
+    Helpers.tc "bounded faa saturates at lo" test_bounded_faa_saturates;
+    Helpers.tc "bounded faa saturates at hi" test_bounded_faa_overflow;
+    Helpers.tc "cas success and failure" test_cas_success_failure;
+    Helpers.tc "tas wins once" test_tas;
+    Helpers.tc "await polls one read per turn" test_await;
+    Helpers.tc "seq and repeat" test_seq_and_repeat;
+    Helpers.tc "bind is associative (observably)" test_bind_associativity_observable;
+    Helpers.tc "delay consumes turns" test_delay_steps;
+    Helpers.tc "atomic block is a single step" test_atomic_block_multi_access ]

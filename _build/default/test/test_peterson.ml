@@ -1,0 +1,97 @@
+(* The Peterson tournament tree: read/write-only mutual exclusion baseline
+   (the lineage of reference [14]), in the simulator and the model checker. *)
+
+open Kexclusion
+open Kexclusion.Import
+open Helpers
+open Kex_verify
+
+let pt ~n mem = `Exclusion (Peterson.create mem ~n)
+
+let batteries =
+  [ 2; 3; 5; 8 ]
+  |> List.concat_map (fun n ->
+         [ tc
+             (Printf.sprintf "sim (%d,1): safety+progress CC" n)
+             (exclusion_battery ~model:cc ~n ~k:1 (pt ~n)) ])
+
+let test_levels () =
+  Alcotest.(check int) "n=1" 0 (Peterson.levels ~n:1);
+  Alcotest.(check int) "n=2" 1 (Peterson.levels ~n:2);
+  Alcotest.(check int) "n=5" 3 (Peterson.levels ~n:5);
+  Alcotest.(check int) "n=8" 3 (Peterson.levels ~n:8)
+
+let test_logarithmic_cost_solo () =
+  (* Solo cost is one match per level: 2 writes + 1 read, plus the exit
+     write — about 4 refs per level on CC. *)
+  List.iter
+    (fun n ->
+      let res = run ~iterations:4 ~participants:[ 0 ] ~model:cc ~n ~k:1 (pt ~n) in
+      assert_ok res;
+      let bound = (5 * Peterson.levels ~n) + 1 in
+      Alcotest.(check bool)
+        (Printf.sprintf "n=%d solo %d <= %d" n (max_remote res) bound)
+        true
+        (max_remote res <= bound))
+    [ 2; 4; 8; 16; 32 ]
+
+let test_unbounded_under_dsm () =
+  (* Spinning is on shared match cells: under DSM the contended cost grows
+     with dwell — exactly what [14]'s local-spin refinement removes. *)
+  let cost dwell =
+    let res = run ~iterations:3 ~cs_delay:dwell ~model:dsm ~n:4 ~k:1 (pt ~n:4) in
+    assert_ok res;
+    max_remote res
+  in
+  let short = cost 4 and long = cost 80 in
+  Alcotest.(check bool) (Printf.sprintf "grows (%d -> %d)" short long) true (long >= 2 * short)
+
+let test_not_resilient () =
+  let res =
+    run ~iterations:3 ~cs_delay:4 ~step_budget:200_000
+      ~failures:[ (0, Kex_sim.Failures.In_cs 1) ]
+      ~model:cc ~n:4 ~k:1 (pt ~n:4)
+  in
+  Alcotest.(check (list string)) "safe" [] res.Runner.violations;
+  Alcotest.(check bool) "but blocked" true res.stalled
+
+(* ------------------------------- model ---------------------------------- *)
+
+let test_model_mutual_exclusion () =
+  let r = Explore.check (Peterson_model.model ()) () in
+  Alcotest.(check bool) "complete" true r.Explore.complete;
+  Alcotest.(check bool) "no violation" true (r.violation = None)
+
+let test_model_progress () =
+  let m = Peterson_model.model () in
+  let cases =
+    List.map
+      (fun pid ->
+        ((fun s -> Peterson_model.live_entering s pid), fun s -> Peterson_model.in_cs s pid))
+      [ 0; 1 ]
+  in
+  List.iter
+    (fun outcome -> Alcotest.(check bool) "no lockout (crash-free)" true (outcome = None))
+    (Explore.possible_progress_many m ~cases ())
+
+let test_model_crash_blocks () =
+  (* One crash suffices to lock the rival out: k-1 = 0 resilience. *)
+  let m = Peterson_model.model ~max_crashes:1 () in
+  let stuck =
+    List.exists Option.is_some
+      (Explore.possible_progress_many m
+         ~cases:
+           [ ((fun s -> Peterson_model.live_entering s 0), fun s -> Peterson_model.in_cs s 0) ]
+         ())
+  in
+  Alcotest.(check bool) "a single crash can block" true stuck
+
+let suite =
+  batteries
+  @ [ tc "tournament levels" test_levels;
+      tc "O(log N) solo cost" test_logarithmic_cost_solo;
+      tc "unbounded under DSM contention (why [14] exists)" test_unbounded_under_dsm;
+      tc "not failure-resilient" test_not_resilient;
+      tc "model: mutual exclusion (exhaustive)" test_model_mutual_exclusion;
+      tc "model: no lockout crash-free" test_model_progress;
+      tc "model: one crash blocks the rival" test_model_crash_blocks ]

@@ -1,0 +1,178 @@
+(* Property-based tests (qcheck): safety, progress, resilience and bound
+   conformance over randomly drawn configurations, schedulers and failure
+   plans. *)
+
+open Helpers
+module Q = QCheck2
+
+let algo_gen = Q.Gen.oneofl Registry.all
+let model_gen = Q.Gen.oneofl [ cc; dsm ]
+
+type config = {
+  algo : Registry.algo;
+  model : Kexclusion.Import.Cost_model.model;
+  n : int;
+  k : int;
+  c : int;
+  seed : int;
+  cs_delay : int;
+  iterations : int;
+}
+
+let config_gen =
+  let open Q.Gen in
+  let* algo = algo_gen in
+  let* model = model_gen in
+  let* n = int_range 2 10 in
+  let* k = int_range 1 (n - 1) in
+  let* c = int_range 1 n in
+  let* seed = int_range 0 10_000 in
+  let* cs_delay = int_range 0 4 in
+  let* iterations = int_range 1 3 in
+  return { algo; model; n; k; c; seed; cs_delay; iterations }
+
+let print_config cfg =
+  Printf.sprintf "{%s %s n=%d k=%d c=%d seed=%d cs=%d it=%d}"
+    (Registry.algo_name cfg.algo)
+    (if cfg.model = cc then "CC" else "DSM")
+    cfg.n cfg.k cfg.c cfg.seed cfg.cs_delay cfg.iterations
+
+let run_cfg ?failures cfg =
+  run ?failures ~iterations:cfg.iterations ~cs_delay:cfg.cs_delay
+    ~scheduler:(Scheduler.random ~seed:cfg.seed)
+    ~participants:(participants cfg.c) ~model:cfg.model ~n:cfg.n ~k:cfg.k
+    (fun mem -> `Exclusion (Registry.build mem ~model:cfg.model cfg.algo ~n:cfg.n ~k:cfg.k))
+
+let prop_safety_and_progress =
+  Q.Test.make ~name:"any config: safe, live, and within k concurrency" ~count:120
+    ~print:print_config config_gen (fun cfg ->
+      let res = run_cfg cfg in
+      res.Kexclusion.Import.Runner.ok && res.max_in_cs <= cfg.k)
+
+let prop_bound_conformance =
+  Q.Test.make ~name:"any config: measured cost within the paper's bound" ~count:80
+    ~print:print_config config_gen (fun cfg ->
+      let res = run_cfg cfg in
+      res.Kexclusion.Import.Runner.ok
+      &&
+      match Registry.bound ~model:cfg.model cfg.algo ~n:cfg.n ~k:cfg.k ~c:cfg.c with
+      | None -> true
+      | Some b -> max_remote res <= b)
+
+(* Random failure plans with at most k-1 crashes among the participants;
+   baselines are excluded (the queue burns slots for dead waiters and the
+   bakery can block on a crash while choosing — both documented). *)
+let resilient_algos = [ Registry.Inductive; Registry.Tree; Registry.Fast_path; Registry.Graceful ]
+
+let failure_config_gen =
+  let open Q.Gen in
+  let* algo = oneofl resilient_algos in
+  let* model = model_gen in
+  let* n = int_range 3 9 in
+  let* k = int_range 2 (n - 1) in
+  let* seed = int_range 0 10_000 in
+  let* cs_delay = int_range 0 3 in
+  let* n_failures = int_range 1 (k - 1) in
+  let* victims =
+    (* distinct pids among 0..n-1 *)
+    let rec pick acc = function
+      | 0 -> return acc
+      | m ->
+          let* p = int_range 0 (n - 1) in
+          if List.mem p acc then pick acc m else pick (p :: acc) (m - 1)
+    in
+    pick [] n_failures
+  in
+  let* triggers =
+    flatten_l
+      (List.map
+         (fun pid ->
+           let* which = int_range 0 2 in
+           let* acq = int_range 1 2 in
+           let* steps = int_range 0 5 in
+           return
+             ( pid,
+               match which with
+               | 0 -> Kex_sim.Failures.In_cs acq
+               | 1 -> Kex_sim.Failures.In_entry { acquisition = acq; after_steps = steps }
+               | _ -> Kex_sim.Failures.In_exit { acquisition = acq; after_steps = steps } ))
+         victims)
+  in
+  return ({ algo; model; n; k; c = n; seed; cs_delay; iterations = 3 }, triggers)
+
+let print_failure_config (cfg, plan) =
+  Printf.sprintf "%s + %d failures [%s]" (print_config cfg) (List.length plan)
+    (String.concat ";"
+       (List.map
+          (fun (pid, t) ->
+            Printf.sprintf "%d:%s" pid
+              (match t with
+              | Kex_sim.Failures.In_cs a -> Printf.sprintf "cs%d" a
+              | Kex_sim.Failures.In_entry { acquisition; after_steps } ->
+                  Printf.sprintf "entry%d+%d" acquisition after_steps
+              | Kex_sim.Failures.In_exit { acquisition; after_steps } ->
+                  Printf.sprintf "exit%d+%d" acquisition after_steps
+              | Kex_sim.Failures.In_cs_after { acquisition; after_steps } ->
+                  Printf.sprintf "cs%d+%d" acquisition after_steps
+              | Kex_sim.Failures.At_step s -> Printf.sprintf "step%d" s))
+          plan))
+
+let prop_resilience =
+  Q.Test.make ~name:"k-1 random crashes never block the survivors" ~count:120
+    ~print:print_failure_config failure_config_gen (fun (cfg, failures) ->
+      let res = run_cfg ~failures cfg in
+      res.Kexclusion.Import.Runner.violations = []
+      && (not res.stalled)
+      && Array.for_all
+           (fun (p : Kexclusion.Import.Runner.proc_stats) ->
+             (not p.participated) || p.faulty || p.completed)
+           res.procs)
+
+let prop_assignment_names =
+  Q.Test.make ~name:"assignment: names always unique and in range" ~count:80
+    ~print:print_config config_gen (fun cfg ->
+      let res =
+        run ~iterations:cfg.iterations ~cs_delay:cfg.cs_delay
+          ~scheduler:(Scheduler.random ~seed:cfg.seed)
+          ~participants:(participants cfg.c) ~model:cfg.model ~n:cfg.n ~k:cfg.k
+          (fun mem ->
+            `Assignment
+              (Registry.build_assignment mem ~model:cfg.model cfg.algo ~n:cfg.n ~k:cfg.k))
+      in
+      res.Kexclusion.Import.Runner.ok)
+
+(* The full methodology on random configurations: safe, live, and the
+   object's final state equals the number of linearized increments. *)
+let prop_methodology_exact =
+  Q.Test.make ~name:"methodology: every op linearized exactly once" ~count:60
+    ~print:(fun (model, n, k, c, seed) ->
+      Printf.sprintf "%s n=%d k=%d c=%d seed=%d"
+        (if model = cc then "CC" else "DSM")
+        n k c seed)
+    Q.Gen.(
+      let* model = model_gen in
+      let* n = int_range 2 8 in
+      let* k = int_range 1 (n - 1) in
+      let* c = int_range 1 n in
+      let* seed = int_range 0 10_000 in
+      return (model, n, k, c, seed))
+    (fun (model, n, k, c, seed) ->
+      let mem = Kexclusion.Import.Memory.create () in
+      let m =
+        Kexclusion.Methodology.create mem ~model ~algo:Registry.Graceful ~n ~k ~init:0
+          ~apply:(fun st op -> (st + op, st + op))
+          ~op:(fun ~pid:_ -> 1)
+      in
+      let cost = Kexclusion.Import.Cost_model.create model ~n_procs:n in
+      let cfg =
+        Kexclusion.Import.Runner.config ~n ~k ~iterations:2 ~cs_delay:1
+          ~scheduler:(Scheduler.random ~seed) ~participants:(participants c)
+          ~step_budget:5_000_000 ()
+      in
+      let res = Kexclusion.Import.Runner.run cfg mem cost (Kexclusion.Methodology.workload m) in
+      res.Kexclusion.Import.Runner.ok && Kexclusion.Methodology.peek m mem = 2 * c)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_safety_and_progress; prop_bound_conformance; prop_resilience; prop_assignment_names;
+      prop_methodology_exact ]

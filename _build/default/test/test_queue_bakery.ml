@@ -1,0 +1,138 @@
+(* The two baselines: Figure 1's idealized queue (rows [9]/[10] of Table 1)
+   and the read/write bakery (rows [1]/[8]). *)
+
+open Kexclusion
+open Kexclusion.Import
+open Helpers
+
+let queue ~n ~k mem = `Exclusion (Queue_kex.create mem ~n ~k)
+let bakery ~n ~k mem = `Exclusion (Baseline_bakery.create mem ~n ~k)
+
+let batteries name build =
+  [ (4, 1); (6, 2); (8, 3) ]
+  |> List.concat_map (fun (n, k) ->
+         [ tc
+             (Printf.sprintf "%s (%d,%d): safety+progress" name n k)
+             (exclusion_battery ~model:cc ~n ~k (build ~n ~k));
+           tc
+             (Printf.sprintf "%s (%d,%d): k-way concurrency" name n k)
+             (utilisation_battery ~model:cc ~n ~k (build ~n ~k)) ])
+
+let test_queue_is_fifo () =
+  (* With a single slot and round-robin arrivals, grants follow arrival
+     order; nobody overtakes, so per-process acquisition counts stay within
+     one of each other throughout.  We check the end state: all complete. *)
+  let res = run ~iterations:5 ~cs_delay:3 ~model:cc ~n:5 ~k:1 (queue ~n:5 ~k:1) in
+  assert_ok res;
+  Array.iter
+    (fun (p : Runner.proc_stats) -> Alcotest.(check int) "all 5 acquisitions" 5 p.acquisitions)
+    res.Runner.procs
+
+let test_queue_cs_failures_tolerated () =
+  (* Failures inside the CS only burn slots: with k = 3 and 2 such failures
+     the queue still serves everyone else. *)
+  resilience_battery ~model:cc ~n:6 ~k:3
+    ~failures:[ (0, Kex_sim.Failures.In_cs 1); (1, Kex_sim.Failures.In_cs 1) ]
+    (queue ~n:6 ~k:3) ()
+
+let test_queue_waiter_failure_burns_slot () =
+  (* The flaw motivating the paper's approach: a process that dies while
+     queued is eventually dequeued, and the slot handed to it is lost
+     forever.  With k = 1 that one loss deadlocks the system. *)
+  let res =
+    run ~iterations:3 ~cs_delay:6 ~step_budget:200_000
+      ~failures:[ (1, Kex_sim.Failures.In_entry { acquisition = 1; after_steps = 1 }) ]
+      ~model:cc ~n:3 ~k:1 (queue ~n:3 ~k:1)
+  in
+  assert_safe_but_stuck ~ctx:"queue with dead waiter" res
+
+let test_queue_uses_atomic_blocks () =
+  (* Every entry/exit reference of the queue algorithm is an Atomic_block,
+     charged remote: without contention, exactly 1 entry + 1 exit. *)
+  let res = run ~iterations:4 ~participants:[ 0 ] ~model:cc ~n:4 ~k:2 (queue ~n:4 ~k:2) in
+  assert_ok res;
+  Alcotest.(check int) "two refs solo" 2 (max_remote res)
+
+let test_queue_polling_grows_with_contention () =
+  let cost c =
+    let res =
+      run ~iterations:3 ~cs_delay:6 ~participants:(participants c) ~model:cc ~n:8 ~k:1
+        (queue ~n:8 ~k:1)
+    in
+    assert_ok res;
+    max_remote res
+  in
+  let low = cost 1 and high = cost 8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "polling cost grows (%d -> %d)" low high)
+    true (high > 3 * low)
+
+let test_bakery_model_independent () =
+  List.iter
+    (fun model ->
+      let res = run ~iterations:3 ~model ~n:6 ~k:2 (bakery ~n:6 ~k:2) in
+      assert_ok res)
+    [ cc; dsm ]
+
+let test_bakery_solo_cost_linear_in_n () =
+  (* O(N) without contention: one max-scan plus one predecessor scan. *)
+  let cost n =
+    let res = run ~iterations:4 ~participants:[ 0 ] ~model:dsm ~n ~k:2 (bakery ~n ~k:2) in
+    assert_ok res;
+    max_remote res
+  in
+  let c8 = cost 8 and c16 = cost 16 and c32 = cost 32 in
+  Alcotest.(check bool) (Printf.sprintf "monotone in N (%d %d %d)" c8 c16 c32) true
+    (c8 < c16 && c16 < c32);
+  (* Doubling N roughly doubles the cost. *)
+  Alcotest.(check bool) "roughly linear" true (c32 - c16 >= 16 && c32 <= 5 * 32)
+
+let test_bakery_unbounded_under_contention () =
+  (* Remote references per acquisition grow with critical-section dwell time
+     when others are busy-waiting on shared cells — the "infinity" entries of
+     Table 1.  The paper's DSM algorithms pass the same test with a constant
+     (see test_dsm_blocks). *)
+  let cost dwell =
+    let res = run ~iterations:3 ~cs_delay:dwell ~model:dsm ~n:4 ~k:1 (bakery ~n:4 ~k:1) in
+    assert_ok res;
+    max_remote res
+  in
+  let short = cost 4 and long = cost 80 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cost grows with dwell (%d -> %d)" short long)
+    true
+    (long >= 2 * short)
+
+let test_bakery_cs_failures_tolerated () =
+  resilience_battery ~model:cc ~n:5 ~k:2
+    ~failures:[ (0, Kex_sim.Failures.In_cs 1) ]
+    (bakery ~n:5 ~k:2) ()
+
+let test_bakery_tickets_reset () =
+  (* After a full run, all number[] cells are back to 0 (exit clears them). *)
+  let mem = Memory.create () in
+  let p = Baseline_bakery.create mem ~n:4 ~k:2 in
+  let cost = Cost_model.create cc ~n_procs:4 in
+  let cfg = Runner.config ~n:4 ~k:2 ~iterations:3 ~cs_delay:2 () in
+  let res = Runner.run cfg mem cost (Protocol.workload p) in
+  assert_ok res;
+  let snap = Memory.snapshot mem in
+  (* layout: choosing[0..3] then number[0..3] *)
+  for i = 0 to 7 do
+    Alcotest.(check int) (Printf.sprintf "cell %d clear" i) 0 snap.(i)
+  done
+
+let suite =
+  batteries "queue" queue
+  @ batteries "bakery" bakery
+  @ [ tc "queue serves FIFO under round-robin" test_queue_is_fifo;
+      tc "queue tolerates CS failures" test_queue_cs_failures_tolerated;
+      tc "queue: dead waiter burns its slot (paper's motivation)"
+        test_queue_waiter_failure_burns_slot;
+      tc "queue solo cost is 2 atomic blocks" test_queue_uses_atomic_blocks;
+      tc "queue polling cost grows with contention" test_queue_polling_grows_with_contention;
+      tc "bakery runs on both models" test_bakery_model_independent;
+      tc "bakery solo cost is O(N)" test_bakery_solo_cost_linear_in_n;
+      tc "bakery cost unbounded under contention" test_bakery_unbounded_under_contention;
+      tc "bakery tolerates CS failures" test_bakery_cs_failures_tolerated;
+      tc "bakery clears tickets on exit" test_bakery_tickets_reset ]

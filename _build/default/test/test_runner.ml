@@ -1,0 +1,136 @@
+(* Runner semantics: driver structure, contention via participants, phase
+   attribution of remote references, step budgets and failure handling, on
+   hand-rolled micro-workloads (no k-exclusion algorithm involved). *)
+
+open Kex_sim
+
+(* A do-nothing "protocol" with one remote faa in entry and one in exit. *)
+let counter_workload mem =
+  let c = Memory.alloc mem ~init:0 1 in
+  { Runner.acquire =
+      (fun ~pid:_ ->
+        let open Op in
+        let* _ = faa c 1 in
+        return 0);
+    release =
+      (fun ~pid:_ ~name:_ ->
+        let open Op in
+        let* _ = faa c (-1) in
+        return ());
+    check_names = false; cs_body = None }
+
+let run ?(n = 4) ?(k = 4) ?(iterations = 3) ?cs_delay ?noncrit_delay ?scheduler ?failures
+    ?participants ?step_budget mk =
+  let mem = Memory.create () in
+  let wl = mk mem in
+  let cost = Cost_model.create Cost_model.Cache_coherent ~n_procs:n in
+  let cfg =
+    Runner.config ~n ~k ~iterations ?cs_delay ?noncrit_delay ?scheduler ?failures ?participants
+      ?step_budget ()
+  in
+  Runner.run cfg mem cost wl
+
+let test_basic_completion () =
+  let res = run counter_workload in
+  Alcotest.(check bool) "ok" true res.Runner.ok;
+  Array.iter
+    (fun (p : Runner.proc_stats) ->
+      Alcotest.(check bool) "completed" true p.completed;
+      Alcotest.(check int) "three acquisitions" 3 p.acquisitions)
+    res.procs
+
+let test_remote_attribution () =
+  (* Each acquisition performs exactly one remote faa in entry and one in
+     exit: remote_per_acq must be [|2;2;2|] for every process. *)
+  let res = run counter_workload in
+  Array.iter
+    (fun (p : Runner.proc_stats) ->
+      Alcotest.(check (array int)) "2 remote refs per acquisition" [| 2; 2; 2 |] p.remote_per_acq)
+    res.procs
+
+let test_participants_limit_contention () =
+  let res = run ~n:6 ~cs_delay:3 ~participants:[ 0; 3 ] counter_workload in
+  Alcotest.(check bool) "ok" true res.Runner.ok;
+  Alcotest.(check bool) "contention bounded by participants" true (res.max_in_cs <= 2);
+  Array.iteri
+    (fun pid (p : Runner.proc_stats) ->
+      let expected = pid = 0 || pid = 3 in
+      Alcotest.(check bool) (Printf.sprintf "participated %d" pid) expected p.participated;
+      if not expected then Alcotest.(check int) "no steps" 0 p.steps)
+    res.procs
+
+let test_full_contention_reaches_k () =
+  (* With no exclusion protocol and a dwell time, all n processes overlap in
+     the critical section under round-robin. *)
+  let res = run ~n:5 ~k:5 ~cs_delay:4 counter_workload in
+  Alcotest.(check int) "all overlap" 5 res.Runner.max_in_cs
+
+let test_monitor_catches_violations () =
+  (* k = 2 with no real exclusion: the monitor must flag > 2 in CS. *)
+  let res = run ~n:5 ~k:2 ~cs_delay:4 counter_workload in
+  Alcotest.(check bool) "violations recorded" true (res.Runner.violations <> []);
+  Alcotest.(check bool) "not ok" false res.ok
+
+let test_step_budget_stalls () =
+  let stuck mem =
+    let c = Memory.alloc mem ~init:0 1 in
+    { Runner.acquire =
+        (fun ~pid:_ -> Op.map (fun () -> 0) (Op.await_eq c 1) (* never set *));
+      release = (fun ~pid:_ ~name:_ -> Op.return ());
+      check_names = false; cs_body = None }
+  in
+  let res = run ~step_budget:2_000 stuck in
+  Alcotest.(check bool) "stalled" true res.Runner.stalled;
+  Alcotest.(check bool) "not ok" false res.ok;
+  Alcotest.(check (list string)) "but safe" [] res.violations
+
+let test_failure_in_cs () =
+  let res = run ~n:3 ~cs_delay:2 ~failures:[ (1, Failures.In_cs 2) ] counter_workload in
+  Alcotest.(check bool) "ok despite failure" true res.Runner.ok;
+  Alcotest.(check bool) "pid 1 faulty" true res.procs.(1).faulty;
+  Alcotest.(check int) "pid 1 completed one acquisition" 1 res.procs.(1).acquisitions;
+  Alcotest.(check bool) "pid 1 not completed" false res.procs.(1).completed;
+  Alcotest.(check bool) "others complete" true
+    (res.procs.(0).completed && res.procs.(2).completed)
+
+let test_failed_process_takes_no_more_steps () =
+  let res = run ~n:2 ~cs_delay:5 ~failures:[ (0, Failures.In_cs 1) ] counter_workload in
+  (* pid 0 fails during its first CS: it must have executed its entry faa
+     (1 step) plus at most the delay steps before the crash point. *)
+  Alcotest.(check bool) "few steps" true (res.Runner.procs.(0).steps <= 2);
+  Alcotest.(check bool) "faulty" true res.procs.(0).faulty
+
+let test_zero_iterations () =
+  let res = run ~iterations:0 counter_workload in
+  Alcotest.(check bool) "ok" true res.Runner.ok;
+  Alcotest.(check int) "no steps" 0 res.total_steps
+
+let test_deterministic_given_seed () =
+  let go () =
+    let res =
+      run ~n:4 ~scheduler:(Scheduler.random ~seed:11) ~cs_delay:2 counter_workload
+    in
+    (res.Runner.total_steps, Stats.summarize res)
+  in
+  let a = go () and b = go () in
+  Alcotest.(check bool) "identical reruns" true (a = b)
+
+let test_noncrit_delay_counts_steps_not_refs () =
+  let res = run ~n:1 ~noncrit_delay:5 ~iterations:2 counter_workload in
+  let p = res.Runner.procs.(0) in
+  (* 2 iterations x (5 delay + 1 faa + 2 cs delay + 1 faa) = 18 steps *)
+  Alcotest.(check int) "steps include delays" 18 p.steps;
+  Alcotest.(check int) "remote refs exclude delays" 4 p.total_remote
+
+let suite =
+  [ Helpers.tc "basic completion" test_basic_completion;
+    Helpers.tc "remote refs attributed per acquisition" test_remote_attribution;
+    Helpers.tc "participants bound contention" test_participants_limit_contention;
+    Helpers.tc "full contention overlaps in CS" test_full_contention_reaches_k;
+    Helpers.tc "monitor catches k violations" test_monitor_catches_violations;
+    Helpers.tc "step budget stalls stuck runs" test_step_budget_stalls;
+    Helpers.tc "failure in CS keeps others going" test_failure_in_cs;
+    Helpers.tc "failed process stops stepping" test_failed_process_takes_no_more_steps;
+    Helpers.tc "zero iterations" test_zero_iterations;
+    Helpers.tc "seeded runs are deterministic" test_deterministic_given_seed;
+    Helpers.tc "delays cost steps, not references" test_noncrit_delay_counts_steps_not_refs ]

@@ -1,0 +1,176 @@
+(* The real-atomics (OCaml 5 domains) implementations.  These run on
+   whatever cores the machine has — on a single core the spin loops still
+   interleave via OS preemption, so sizes are kept modest. *)
+
+open Kex_runtime
+
+let algos =
+  [ Kex_lock.Naive; Kex_lock.Inductive; Kex_lock.Tree; Kex_lock.Fast_path; Kex_lock.Graceful;
+    Kex_lock.Dsm_fast_path ]
+
+let algo_name = function
+  | Kex_lock.Naive -> "naive"
+  | Kex_lock.Inductive -> "inductive"
+  | Kex_lock.Tree -> "tree"
+  | Kex_lock.Fast_path -> "fastpath"
+  | Kex_lock.Graceful -> "graceful"
+  | Kex_lock.Dsm_fast_path -> "dsm-fastpath"
+
+(* ---------------------------- Atomic_ext ------------------------------- *)
+
+let test_tas () =
+  let b = Atomic.make false in
+  Alcotest.(check bool) "first wins" true (Atomic_ext.test_and_set b);
+  Alcotest.(check bool) "second loses" false (Atomic_ext.test_and_set b);
+  Atomic_ext.clear b;
+  Alcotest.(check bool) "wins after clear" true (Atomic_ext.test_and_set b)
+
+let test_bounded_faa () =
+  let x = Atomic.make 0 in
+  Alcotest.(check int) "underflow returns old" 0
+    (Atomic_ext.bounded_fetch_and_add x (-1) ~lo:0 ~hi:3);
+  Alcotest.(check int) "unchanged" 0 (Atomic.get x);
+  Alcotest.(check int) "add works" 0 (Atomic_ext.bounded_fetch_and_add x 1 ~lo:0 ~hi:3);
+  Alcotest.(check int) "added" 1 (Atomic.get x);
+  Atomic.set x 3;
+  Alcotest.(check int) "overflow returns old" 3
+    (Atomic_ext.bounded_fetch_and_add x 1 ~lo:0 ~hi:3);
+  Alcotest.(check int) "capped" 3 (Atomic.get x)
+
+(* ------------------------------ Kex_lock ------------------------------- *)
+
+let test_solo_each_algo () =
+  List.iter
+    (fun algo ->
+      let lock = Kex_lock.create ~algo ~n:8 ~k:2 () in
+      for _ = 1 to 20 do
+        Kex_lock.acquire lock ~pid:3;
+        Kex_lock.release lock ~pid:3
+      done;
+      Alcotest.(check int) (algo_name algo ^ " k") 2 (Kex_lock.k lock))
+    algos
+
+let test_pid_validation () =
+  let lock = Kex_lock.create ~n:4 ~k:2 () in
+  Alcotest.check_raises "negative pid" (Invalid_argument "Kex_lock: pid -1 out of range 0..3")
+    (fun () -> Kex_lock.acquire lock ~pid:(-1));
+  Alcotest.check_raises "pid too big" (Invalid_argument "Kex_lock: pid 4 out of range 0..3")
+    (fun () -> Kex_lock.acquire lock ~pid:4)
+
+let test_create_validation () =
+  Alcotest.check_raises "k = 0" (Invalid_argument "Kex_lock.create: k must be positive")
+    (fun () -> ignore (Kex_lock.create ~n:4 ~k:0 ()));
+  Alcotest.check_raises "n = 0" (Invalid_argument "Kex_lock.create: n must be positive")
+    (fun () -> ignore (Kex_lock.create ~n:0 ~k:1 ()))
+
+let test_with_lock_releases_on_exception () =
+  let lock = Kex_lock.create ~n:2 ~k:1 () in
+  (try Kex_lock.with_lock lock ~pid:0 (fun () -> failwith "boom") with Failure _ -> ());
+  (* If the slot leaked, this would hang; acquire again to prove it didn't. *)
+  Kex_lock.with_lock lock ~pid:1 (fun () -> ())
+
+(* Multi-domain stress: k-exclusion must hold under real parallelism (or
+   preemptive interleaving on one core). *)
+let stress_exclusion algo ~n ~k ~iters () =
+  let lock = Kex_lock.create ~algo ~n ~k () in
+  let in_cs = Atomic.make 0 in
+  let max_seen = Atomic.make 0 in
+  let violations = Atomic.make 0 in
+  let bump_max v =
+    let rec go () =
+      let m = Atomic.get max_seen in
+      if v > m && not (Atomic.compare_and_set max_seen m v) then go ()
+    in
+    go ()
+  in
+  let worker pid () =
+    for _ = 1 to iters do
+      Kex_lock.acquire lock ~pid;
+      let now = 1 + Atomic.fetch_and_add in_cs 1 in
+      bump_max now;
+      if now > k then ignore (Atomic.fetch_and_add violations 1);
+      Domain.cpu_relax ();
+      ignore (Atomic.fetch_and_add in_cs (-1));
+      Kex_lock.release lock ~pid
+    done
+  in
+  let domains = List.init n (fun pid -> Domain.spawn (worker pid)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) (algo_name algo ^ ": no over-admission") 0 (Atomic.get violations);
+  Alcotest.(check bool) (algo_name algo ^ ": at least one admission") true (Atomic.get max_seen >= 1)
+
+let stress_cases =
+  List.map
+    (fun algo ->
+      Helpers.tc
+        (Printf.sprintf "%s: k-exclusion under domains" (algo_name algo))
+        (stress_exclusion algo ~n:4 ~k:2 ~iters:150))
+    algos
+
+let test_assignment_names_unique () =
+  let asg = Kex_lock.Assignment.create ~n:4 ~k:2 () in
+  let holders = Array.init 2 (fun _ -> Atomic.make false) in
+  let violations = Atomic.make 0 in
+  let worker pid () =
+    for _ = 1 to 150 do
+      Kex_lock.Assignment.with_name asg ~pid (fun name ->
+          if not (Atomic.compare_and_set holders.(name) false true) then
+            ignore (Atomic.fetch_and_add violations 1)
+          else begin
+            Domain.cpu_relax ();
+            Atomic.set holders.(name) false
+          end)
+    done
+  in
+  let domains = List.init 4 (fun pid -> Domain.spawn (worker pid)) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "no name collisions" 0 (Atomic.get violations)
+
+let test_dead_holders_tolerated () =
+  (* k-1 holders sit in the critical section for the whole test — crashed,
+     as far as the protocol can tell.  The live workers must keep making
+     progress through the remaining slot. *)
+  let n = 5 and k = 3 in
+  let lock = Kex_lock.create ~n ~k () in
+  let release_the_dead = Atomic.make false in
+  let dead pid () =
+    Kex_lock.acquire lock ~pid;
+    while not (Atomic.get release_the_dead) do
+      Domain.cpu_relax ()
+    done;
+    Kex_lock.release lock ~pid
+  in
+  let done_count = Atomic.make 0 in
+  let live pid () =
+    for _ = 1 to 60 do
+      Kex_lock.with_lock lock ~pid (fun () -> Domain.cpu_relax ())
+    done;
+    ignore (Atomic.fetch_and_add done_count 1)
+  in
+  let dead_domains = List.init (k - 1) (fun pid -> Domain.spawn (dead pid)) in
+  let live_domains = List.init (n - (k - 1)) (fun i -> Domain.spawn (live (k - 1 + i))) in
+  List.iter Domain.join live_domains;
+  Alcotest.(check int) "all live workers finished" (n - (k - 1)) (Atomic.get done_count);
+  Atomic.set release_the_dead true;
+  List.iter Domain.join dead_domains
+
+let test_renaming_direct () =
+  let r = Renaming.create ~k:3 in
+  let a = Renaming.acquire r in
+  let b = Renaming.acquire r in
+  let c = Renaming.acquire r in
+  Alcotest.(check (list int)) "all names handed out" [ 0; 1; 2 ] (List.sort compare [ a; b; c ]);
+  Renaming.release r ~name:b;
+  Alcotest.(check int) "released name reused" b (Renaming.acquire r)
+
+let suite =
+  [ Helpers.tc "test-and-set" test_tas;
+    Helpers.tc "bounded fetch-and-add saturates" test_bounded_faa;
+    Helpers.tc "every algorithm works solo" test_solo_each_algo;
+    Helpers.tc "pid range validation" test_pid_validation;
+    Helpers.tc "create validation" test_create_validation;
+    Helpers.tc "with_lock releases on exception" test_with_lock_releases_on_exception ]
+  @ stress_cases
+  @ [ Helpers.tc "assignment names unique under domains" test_assignment_names_unique;
+      Helpers.tc "k-1 dead holders tolerated" test_dead_holders_tolerated;
+      Helpers.tc "renaming hands out and reuses names" test_renaming_direct ]

@@ -1,0 +1,65 @@
+open Kex_sim
+
+let take sched runnable n = List.init n (fun _ -> Option.get (Scheduler.next sched ~runnable))
+
+let test_round_robin_cycles () =
+  let s = Scheduler.round_robin () in
+  let picks = take s [ 0; 1; 2 ] 7 in
+  Alcotest.(check (list int)) "cycles in order" [ 0; 1; 2; 0; 1; 2; 0 ] picks
+
+let test_round_robin_skips_dead () =
+  let s = Scheduler.round_robin () in
+  let p1 = take s [ 0; 1; 2 ] 2 in
+  (* process 1 disappears *)
+  let p2 = take s [ 0; 2 ] 3 in
+  Alcotest.(check (list int)) "before" [ 0; 1 ] p1;
+  Alcotest.(check (list int)) "after removal" [ 2; 0; 2 ] p2
+
+let test_empty_runnable () =
+  List.iter
+    (fun s -> Alcotest.(check (option int)) (Scheduler.name s) None (Scheduler.next s ~runnable:[]))
+    (Helpers.fresh_schedulers ())
+
+let test_random_deterministic () =
+  let picks seed = take (Scheduler.random ~seed) [ 0; 1; 2; 3 ] 50 in
+  Alcotest.(check (list int)) "same seed, same schedule" (picks 5) (picks 5);
+  Alcotest.(check bool) "different seeds differ" true (picks 5 <> picks 6)
+
+let test_random_only_runnable () =
+  let s = Scheduler.random ~seed:1 in
+  let picks = take s [ 2; 5; 9 ] 200 in
+  List.iter (fun p -> Alcotest.(check bool) "pick is runnable" true (List.mem p [ 2; 5; 9 ])) picks
+
+let test_fairness_in_the_limit () =
+  (* Every scheduler must pick every runnable process within a reasonable
+     horizon — the paper's progress property assumes this weak fairness. *)
+  let runnable = [ 0; 1; 2; 3; 4 ] in
+  List.iter
+    (fun s ->
+      let picks = take s runnable 2000 in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s eventually runs %d" (Scheduler.name s) p)
+            true (List.mem p picks))
+        runnable)
+    (Helpers.fresh_schedulers ())
+
+let test_burst_runs_bursts () =
+  let s = Scheduler.burst ~seed:3 ~max_burst:16 in
+  let picks = take s [ 0; 1; 2; 3 ] 400 in
+  (* There must exist at least one immediate repetition (a burst). *)
+  let rec has_repeat = function
+    | a :: (b :: _ as rest) -> a = b || has_repeat rest
+    | _ -> false
+  in
+  Alcotest.(check bool) "bursts exist" true (has_repeat picks)
+
+let suite =
+  [ Helpers.tc "round robin cycles in pid order" test_round_robin_cycles;
+    Helpers.tc "round robin skips departed processes" test_round_robin_skips_dead;
+    Helpers.tc "no pick from empty runnable set" test_empty_runnable;
+    Helpers.tc "random schedule is seed-deterministic" test_random_deterministic;
+    Helpers.tc "random picks only runnable pids" test_random_only_runnable;
+    Helpers.tc "all schedulers are fair in the limit" test_fairness_in_the_limit;
+    Helpers.tc "burst scheduler produces bursts" test_burst_runs_bursts ]

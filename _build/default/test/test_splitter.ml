@@ -1,0 +1,94 @@
+(* One-shot splitter-grid renaming (Moir-Anderson [13]): read/write only,
+   wait-free, name space k(k+1)/2. *)
+
+open Kexclusion
+open Kexclusion.Import
+open Helpers
+
+(* Drive c <= k one-shot acquisitions and collect the names. *)
+let collect_names ?(scheduler = Scheduler.round_robin ()) ~k ~c () =
+  let mem = Memory.create () in
+  let t = Splitter_renaming.create mem ~k in
+  let names = Hashtbl.create 8 in
+  let wl =
+    { Runner.acquire =
+        (fun ~pid ->
+          Op.map
+            (fun name ->
+              Hashtbl.replace names pid name;
+              name)
+            (Splitter_renaming.acquire t ~pid));
+      release = (fun ~pid:_ ~name:_ -> Op.return ());
+      check_names = false; cs_body = None }
+  in
+  let cost = Cost_model.create cc ~n_procs:c in
+  let cfg = Runner.config ~n:c ~k ~iterations:1 ~cs_delay:1 ~scheduler () in
+  let res = Runner.run cfg mem cost wl in
+  assert_ok res;
+  (List.init c (fun pid -> Hashtbl.find names pid), res)
+
+let distinct names = List.length (List.sort_uniq compare names) = List.length names
+
+let test_unique_and_in_range () =
+  List.iter
+    (fun k ->
+      List.iter
+        (fun scheduler ->
+          let names, _ = collect_names ~scheduler ~k ~c:k () in
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d distinct (%s)" k (Scheduler.name scheduler))
+            true (distinct names);
+          List.iter
+            (fun name ->
+              Alcotest.(check bool)
+                (Printf.sprintf "k=%d name %d in space" k name)
+                true
+                (name >= 0 && name < Splitter_renaming.name_space ~k))
+            names)
+        (fresh_schedulers ()))
+    [ 1; 2; 3; 5; 8 ]
+
+let test_solo_gets_zero () =
+  let names, _ = collect_names ~k:4 ~c:1 () in
+  Alcotest.(check (list int)) "splitter (0,0) stops a lone process" [ 0 ] names
+
+let test_wait_free_step_bound () =
+  (* No waiting ever: each of at most k splitters costs at most 4 accesses. *)
+  List.iter
+    (fun k ->
+      let _, res = collect_names ~k ~c:k () in
+      Array.iter
+        (fun (p : Runner.proc_stats) ->
+          if p.participated then
+            Alcotest.(check bool)
+              (Printf.sprintf "k=%d: %d steps <= 4k" k p.steps)
+              true
+              (p.steps <= (4 * k) + 2))
+        res.Runner.procs)
+    [ 2; 4; 8 ]
+
+let test_name_space_formula () =
+  Alcotest.(check int) "k=1" 1 (Splitter_renaming.name_space ~k:1);
+  Alcotest.(check int) "k=2" 3 (Splitter_renaming.name_space ~k:2);
+  Alcotest.(check int) "k=4" 10 (Splitter_renaming.name_space ~k:4);
+  Alcotest.(check int) "k=8" 36 (Splitter_renaming.name_space ~k:8)
+
+let prop_unique_names =
+  QCheck2.Test.make ~name:"splitter grid: unique in-range names on any schedule" ~count:150
+    ~print:(fun (k, c, seed) -> Printf.sprintf "k=%d c=%d seed=%d" k c seed)
+    QCheck2.Gen.(
+      let* k = int_range 1 8 in
+      let* c = int_range 1 k in
+      let* seed = int_range 0 100_000 in
+      return (k, c, seed))
+    (fun (k, c, seed) ->
+      let names, _ = collect_names ~scheduler:(Scheduler.random ~seed) ~k ~c () in
+      distinct names
+      && List.for_all (fun nm -> nm >= 0 && nm < Splitter_renaming.name_space ~k) names)
+
+let suite =
+  [ tc "unique, in-range names at full k" test_unique_and_in_range;
+    tc "lone process stops at the first splitter" test_solo_gets_zero;
+    tc "wait-free step bound" test_wait_free_step_bound;
+    tc "name-space arithmetic" test_name_space_formula;
+    QCheck_alcotest.to_alcotest prop_unique_names ]

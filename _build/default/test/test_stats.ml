@@ -1,0 +1,75 @@
+(* Stats aggregation and the Spec bound formulas. *)
+
+open Kexclusion
+module Stats = Kex_sim.Stats
+
+let test_percentile () =
+  let data = [| 5; 1; 3; 2; 4 |] in
+  Alcotest.(check int) "median" 3 (Stats.percentile data 0.5);
+  Alcotest.(check int) "p100" 5 (Stats.percentile data 1.0);
+  Alcotest.(check int) "p20" 1 (Stats.percentile data 0.2);
+  Alcotest.(check int) "empty" 0 (Stats.percentile [||] 0.5);
+  Alcotest.(check int) "singleton" 7 (Stats.percentile [| 7 |] 0.99)
+
+let test_ceil_log2 () =
+  Alcotest.(check int) "1" 0 (Spec.ceil_log2 1);
+  Alcotest.(check int) "2" 1 (Spec.ceil_log2 2);
+  Alcotest.(check int) "3" 2 (Spec.ceil_log2 3);
+  Alcotest.(check int) "8" 3 (Spec.ceil_log2 8);
+  Alcotest.(check int) "9" 4 (Spec.ceil_log2 9);
+  Alcotest.(check int) "1024" 10 (Spec.ceil_log2 1024)
+
+let test_bound_values () =
+  (* Spot-check the theorem formulas at the paper's own examples. *)
+  Alcotest.(check int) "thm1 7(N-k)" 196 (Spec.thm1 ~n:32 ~k:4);
+  Alcotest.(check int) "thm2" (7 * 4 * 3) (Spec.thm2 ~n:32 ~k:4);
+  Alcotest.(check int) "thm3 low 7k+2" 30 (Spec.thm3_low ~k:4);
+  Alcotest.(check int) "thm3 high" ((7 * 4 * 4) + 2) (Spec.thm3_high ~n:32 ~k:4);
+  Alcotest.(check int) "thm4 c=k one level" 30 (Spec.thm4 ~k:4 ~c:4);
+  Alcotest.(check int) "thm4 c=9 three levels" 90 (Spec.thm4 ~k:4 ~c:9);
+  Alcotest.(check int) "thm5 14(N-k)" 392 (Spec.thm5 ~n:32 ~k:4);
+  Alcotest.(check int) "thm7 low 14k+2" 58 (Spec.thm7_low ~k:4);
+  Alcotest.(check int) "thm9 adds k" (Spec.thm3_low ~k:4 + 4) (Spec.thm9_low ~k:4);
+  Alcotest.(check int) "thm10 adds k" (Spec.thm7_high ~n:32 ~k:4 + 4) (Spec.thm10_high ~n:32 ~k:4)
+
+let prop_bounds_monotone_in_n =
+  QCheck2.Test.make ~name:"bounds grow with N" ~count:200
+    ~print:(fun (n, k) -> Printf.sprintf "n=%d k=%d" n k)
+    QCheck2.Gen.(
+      let* k = int_range 1 16 in
+      let* n = int_range (k + 1) 256 in
+      return (n, k))
+    (fun (n, k) ->
+      Spec.thm1 ~n:(n + 1) ~k >= Spec.thm1 ~n ~k
+      && Spec.thm2 ~n:(2 * n) ~k >= Spec.thm2 ~n ~k
+      && Spec.thm5 ~n:(n + 1) ~k >= Spec.thm5 ~n ~k
+      && Spec.thm6 ~n:(2 * n) ~k >= Spec.thm6 ~n ~k)
+
+let prop_tree_beats_inductive_eventually =
+  QCheck2.Test.make ~name:"tree bound below inductive bound for large N" ~count:100
+    ~print:(fun (n, k) -> Printf.sprintf "n=%d k=%d" n k)
+    QCheck2.Gen.(
+      let* k = int_range 1 8 in
+      let* n = int_range (8 * k) 512 in
+      return (n, k))
+    (fun (n, k) -> Spec.thm2 ~n ~k <= Spec.thm1 ~n ~k)
+
+let prop_graceful_interpolates =
+  QCheck2.Test.make ~name:"graceful bound: one fast-path level at c<=k, monotone in c" ~count:200
+    ~print:(fun (k, c) -> Printf.sprintf "k=%d c=%d" k c)
+    QCheck2.Gen.(
+      let* k = int_range 1 16 in
+      let* c = int_range 1 64 in
+      return (k, c))
+    (fun (k, c) ->
+      Spec.thm4 ~k ~c:(c + 1) >= Spec.thm4 ~k ~c
+      && (c > k || Spec.thm4 ~k ~c = Spec.thm3_low ~k)
+      && Spec.thm8 ~k ~c:(c + 1) >= Spec.thm8 ~k ~c)
+
+let suite =
+  [ Helpers.tc "percentile (nearest rank)" test_percentile;
+    Helpers.tc "ceil_log2" test_ceil_log2;
+    Helpers.tc "theorem formulas spot values" test_bound_values;
+    QCheck_alcotest.to_alcotest prop_bounds_monotone_in_n;
+    QCheck_alcotest.to_alcotest prop_tree_beats_inductive_eventually;
+    QCheck_alcotest.to_alcotest prop_graceful_interpolates ]

@@ -1,0 +1,304 @@
+(* Model checking: exhaustive verification of Figures 2, 6 and 7 at small N
+   (including the paper's invariants and crash transitions), and mutant
+   killing — the checker must reject broken variants, which is the evidence
+   that a "no violation" verdict means something. *)
+
+open Kex_verify
+
+let no_violation ?max_states name m () =
+  let r = Explore.check m ?max_states () in
+  Alcotest.(check bool) (name ^ " explored completely") true r.Explore.complete;
+  (match r.violation with
+  | None -> ()
+  | Some v ->
+      Alcotest.failf "%s: unexpected violation of %s (trace length %d)" name v.property
+        (List.length v.trace));
+  Alcotest.(check bool) (name ^ " nonempty space") true (r.states > 0)
+
+let violated name m expected () =
+  let r = Explore.check m () in
+  match r.Explore.violation with
+  | None -> Alcotest.failf "%s: expected a violation of %s, found none" name expected
+  | Some v ->
+      Alcotest.(check string) (name ^ " property") expected v.property;
+      Alcotest.(check bool) (name ^ " trace provided") true (List.length v.trace > 1)
+
+(* Multi-pid possible-progress over one graph construction. *)
+let check_progress_all ~name m ~pids ~waiting ~goal =
+  let cases = List.map (fun pid -> ((fun s -> waiting s pid), fun s -> goal s pid)) pids in
+  List.iteri
+    (fun i outcome ->
+      match outcome with
+      | None -> ()
+      | Some _ -> Alcotest.failf "%s: process %d can be locked out" name (List.nth pids i))
+    (Explore.possible_progress_many m ~cases ())
+
+let expect_lockout ~name m ~pids ~waiting ~goal =
+  let cases = List.map (fun pid -> ((fun s -> waiting s pid), fun s -> goal s pid)) pids in
+  let stuck = List.exists Option.is_some (Explore.possible_progress_many m ~cases ()) in
+  Alcotest.(check bool) (name ^ " can lock out a process") true stuck
+
+(* ------------------------------- Figure 2 ------------------------------- *)
+
+let fig2_exhaustive =
+  [ (2, 0); (2, 1); (3, 0); (3, 2) ]
+  |> List.map (fun (n, crashes) ->
+         let name = Printf.sprintf "fig2 n=%d crashes<=%d" n crashes in
+         Helpers.tc (name ^ ": all invariants hold")
+           (no_violation name (Fig2_model.model ~n ~max_crashes:crashes ())))
+
+let fig2_larger =
+  Helpers.tc_slow "fig2 n=4 crashes<=3: all invariants hold"
+    (no_violation "fig2 n=4" (Fig2_model.model ~n:4 ~max_crashes:3 ()))
+
+let test_fig2_progress () =
+  check_progress_all ~name:"fig2"
+    (Fig2_model.model ~n:3 ~max_crashes:1 ())
+    ~pids:[ 0; 1; 2 ] ~waiting:Fig2_model.live_entering ~goal:Fig2_model.in_cs
+
+let test_fig2_broken_gate () =
+  violated "fig2 broken-gate"
+    (Fig2_model.model ~variant:Fig2_model.Broken_gate ~n:3 ~max_crashes:0 ())
+    "I4: k-exclusion" ()
+
+let test_fig2_no_release () =
+  (* Without statement 7 the released slot is invisible to the parked waiter
+     once everyone else stays in (or retires to) the noncritical section. *)
+  expect_lockout ~name:"fig2 no-release"
+    (Fig2_model.model ~variant:Fig2_model.No_release_write ~n:3 ~max_crashes:0 ())
+    ~pids:[ 0 ] ~waiting:Fig2_model.live_entering ~goal:Fig2_model.in_cs
+
+(* ------------------------------- Figure 6 ------------------------------- *)
+
+let fig6_exhaustive =
+  [ (2, 0); (2, 1) ]
+  |> List.map (fun (n, crashes) ->
+         let name = Printf.sprintf "fig6 n=%d crashes<=%d" n crashes in
+         Helpers.tc (name ^ ": all invariants hold")
+           (no_violation name (Fig6_model.model ~n ~max_crashes:crashes ())))
+
+let test_fig6_progress () =
+  check_progress_all ~name:"fig6"
+    (Fig6_model.model ~n:2 ~max_crashes:0 ())
+    ~pids:[ 0; 1 ] ~waiting:Fig6_model.live_entering ~goal:Fig6_model.in_cs
+
+let test_fig6_skip_init () =
+  violated "fig6 skip-init"
+    (Fig6_model.model ~variant:Fig6_model.Skip_init ~n:2 ~max_crashes:1 ())
+    "k-exclusion" ()
+
+let stuck_variant name variant () =
+  expect_lockout ~name
+    (Fig6_model.model ~variant ~n:2 ~max_crashes:1 ())
+    ~pids:[ 0; 1 ] ~waiting:Fig6_model.live_entering ~goal:Fig6_model.in_cs
+
+(* ------------------------------- Figure 5 ------------------------------- *)
+
+let fig5_exhaustive =
+  [ (2, 2, 1); (3, 2, 0); (3, 1, 2) ]
+  |> List.map (fun (n, rounds, crashes) ->
+         let name = Printf.sprintf "fig5 n=%d rounds=%d crashes<=%d" n rounds crashes in
+         Helpers.tc (name ^ ": all invariants hold")
+           (no_violation name (Fig5_model.model ~n ~rounds ~max_crashes:crashes ())))
+
+let test_fig5_progress () =
+  check_progress_all ~name:"fig5"
+    (Fig5_model.model ~n:3 ~rounds:2 ~max_crashes:1 ())
+    ~pids:[ 0; 1; 2 ] ~waiting:Fig5_model.live_entering ~goal:Fig5_model.in_cs
+
+let test_fig5_no_cas () =
+  (* Section 3.2's motivation for the compare-and-swap: without it, two
+     releasers can both install themselves as waiters and, with the other
+     k-1 processes crashed, wait forever. *)
+  expect_lockout ~name:"fig5 no-cas"
+    (Fig5_model.model ~variant:Fig5_model.No_cas ~n:3 ~rounds:2 ~max_crashes:1 ())
+    ~pids:[ 0; 1; 2 ] ~waiting:Fig5_model.live_entering ~goal:Fig5_model.in_cs
+
+(* ------------------------------- Figure 4 ------------------------------- *)
+
+let fig4_exhaustive =
+  [ (3, 1, 0); (4, 1, 0); (3, 1, 1); (3, 2, 1) ]
+  |> List.map (fun (n, k, crashes) ->
+         let name = Printf.sprintf "fig4 n=%d k=%d crashes<=%d" n k crashes in
+         Helpers.tc (name ^ ": composition invariants hold")
+           (no_violation name (Fig4_model.model ~n ~k ~max_crashes:crashes ())))
+
+let test_fig4_progress () =
+  check_progress_all ~name:"fig4"
+    (Fig4_model.model ~n:3 ~k:2 ~max_crashes:1 ())
+    ~pids:[ 0; 1; 2 ] ~waiting:Fig4_model.live_entering ~goal:Fig4_model.in_cs
+
+let test_fig4_leaky_gate () =
+  (* Footnote 2 matters: with a plain (underflowing) fetch-and-increment in
+     the gate, processes that read a negative value take the fast path and
+     overload the final block (and, downstream, k-exclusion itself). *)
+  let r =
+    Explore.check (Fig4_model.model ~variant:Fig4_model.Leaky_gate ~n:3 ~k:1 ~max_crashes:0 ()) ()
+  in
+  match r.Explore.violation with
+  | Some v ->
+      Alcotest.(check bool) "meaningful property" true
+        (v.property = "k-exclusion" || v.property = "final block admission <= 2k")
+  | None -> Alcotest.fail "leaky-gate mutant not caught"
+
+let test_fig4_no_slow_path () =
+  (* Gate losers must go through the (N-k,k)-exclusion slow path; walking
+     straight into the final block breaks its 2k admission precondition. *)
+  let r =
+    Explore.check (Fig4_model.model ~variant:Fig4_model.No_slow_path ~n:4 ~k:1 ~max_crashes:0 ()) ()
+  in
+  match r.Explore.violation with
+  | Some v ->
+      Alcotest.(check bool) "meaningful property" true
+        (v.property = "k-exclusion" || v.property = "final block admission <= 2k")
+  | None -> Alcotest.fail "no-slow-path mutant not caught"
+
+(* ------------------------------- Figure 7 ------------------------------- *)
+
+let fig7_exhaustive =
+  [ (1, 1, 0); (2, 2, 1); (3, 3, 2); (3, 2, 0 (* fewer procs than names *)) ]
+  |> List.filter (fun (procs, k, _) -> procs <= k)
+  |> List.map (fun (procs, k, crashes) ->
+         let name = Printf.sprintf "fig7 procs=%d k=%d crashes<=%d" procs k crashes in
+         Helpers.tc (name ^ ": names unique and in range")
+           (no_violation name (Fig7_model.model ~procs ~k ~max_crashes:crashes ())))
+
+let fig7_larger =
+  Helpers.tc_slow "fig7 procs=4 k=4 crashes<=3"
+    (no_violation "fig7 k=4" (Fig7_model.model ~procs:4 ~k:4 ~max_crashes:3 ()))
+
+let test_fig7_progress () =
+  check_progress_all ~name:"fig7"
+    (Fig7_model.model ~procs:3 ~k:3 ~max_crashes:2 ())
+    ~pids:[ 0; 1; 2 ] ~waiting:Fig7_model.scanning ~goal:Fig7_model.holding
+
+let test_fig7_needs_exclusion () =
+  (* Running k+1 concurrent processes against a k-name space — exactly what
+     happens without the k-exclusion wrapper — must produce a collision.
+     This is the executable justification for the paper's composition. *)
+  violated "fig7 precondition broken"
+    (Fig7_model.model ~procs:3 ~k:2 ~max_crashes:0 ())
+    "names unique among holders" ()
+
+let test_fig7_no_clear () =
+  violated "fig7 no-clear"
+    (Fig7_model.model ~variant:Fig7_model.No_clear ~procs:3 ~k:3 ~max_crashes:0 ())
+    "names unique among holders" ()
+
+(* ------------------------- Long-lived splitters -------------------------- *)
+
+let test_one_shot_splitter_model_clean () =
+  no_violation "one-shot splitter grid"
+    (Ll_splitter_model.model ~reset_on_release:false ~procs:2 ~k:2 ~max_crashes:1 ())
+    ();
+  no_violation "one-shot splitter grid k=3"
+    (Ll_splitter_model.model ~reset_on_release:false ~procs:3 ~k:3 ~max_crashes:2 ())
+    ()
+
+let test_naive_long_lived_splitter_unsound () =
+  (* A negative result the checker establishes: making the splitter grid
+     long-lived by merely resetting Y on release is unsound — a process
+     delayed inside a splitter from a previous epoch can overwrite X after
+     the reset, driving a re-entering process off the grid (stop guarantee
+     broken) with only 2 processes and no crashes.  This is why the
+     companion paper's long-lived renaming needs more machinery, and why
+     this library's long-lived renaming is Figure 7 (test-and-set) while the
+     splitter grid stays one-shot. *)
+  let r =
+    Explore.check (Ll_splitter_model.model ~reset_on_release:true ~procs:2 ~k:2 ~max_crashes:0 ()) ()
+  in
+  match r.Explore.violation with
+  | Some v -> Alcotest.(check string) "stop guarantee broken" "nobody walks off the grid" v.property
+  | None -> Alcotest.fail "expected the naive reset to be unsound"
+
+(* ------------------------------- Explore -------------------------------- *)
+
+(* A tiny hand-rolled model to pin down the explorer's own behaviour. *)
+let counter_model ~modulus ~bad : (module System.MODEL with type state = int) =
+  (module struct
+    type state = int
+
+    let name = "counter"
+    let initial = [ 0 ]
+    let next s = [ ("inc", (s + 1) mod modulus) ]
+    let encode = string_of_int
+    let pp = Format.pp_print_int
+    let invariants = [ ("not bad", fun s -> s <> bad) ]
+    let step_invariants = []
+  end)
+
+let test_explore_counts_states () =
+  let r = Explore.check (counter_model ~modulus:7 ~bad:(-1)) () in
+  Alcotest.(check int) "seven states" 7 r.Explore.states;
+  Alcotest.(check bool) "complete" true r.complete;
+  Alcotest.(check bool) "no violation" true (r.violation = None)
+
+let test_explore_finds_violation_with_trace () =
+  let r = Explore.check (counter_model ~modulus:7 ~bad:4) () in
+  match r.Explore.violation with
+  | None -> Alcotest.fail "violation missed"
+  | Some v ->
+      Alcotest.(check string) "property" "not bad" v.property;
+      (* init state 0 plus four increments *)
+      Alcotest.(check int) "trace length" 5 (List.length v.trace);
+      Alcotest.(check int) "ends at bad state" 4 (snd (List.nth v.trace 4))
+
+let test_explore_cap () =
+  let r = Explore.check (counter_model ~modulus:1000 ~bad:(-1)) ~max_states:10 () in
+  Alcotest.(check bool) "incomplete" false r.Explore.complete;
+  Alcotest.(check int) "capped" 10 r.states
+
+let test_hunt_finds_shallow_violation () =
+  match
+    Explore.hunt
+      (Fig2_model.model ~variant:Fig2_model.Broken_gate ~n:3 ~max_crashes:0 ())
+      ~seeds:(List.init 50 Fun.id) ~steps:500 ()
+  with
+  | Some v -> Alcotest.(check string) "property" "I4: k-exclusion" v.Explore.property
+  | None -> Alcotest.fail "hunt missed the broken gate"
+
+let test_hunt_clean_on_faithful () =
+  match
+    Explore.hunt (Fig2_model.model ~n:3 ~max_crashes:2 ()) ~seeds:(List.init 30 Fun.id)
+      ~steps:500 ()
+  with
+  | None -> ()
+  | Some v -> Alcotest.failf "hunt reported %s on the faithful model" v.Explore.property
+
+let suite =
+  fig2_exhaustive
+  @ [ fig2_larger;
+      Helpers.tc "fig2: no lockout with k-1 crashes" test_fig2_progress;
+      Helpers.tc "fig2 mutant: broken gate violates k-exclusion" test_fig2_broken_gate;
+      Helpers.tc "fig2 mutant: missing release blocks a waiter" test_fig2_no_release ]
+  @ fig6_exhaustive
+  @ [ Helpers.tc "fig6: no lockout" test_fig6_progress;
+      Helpers.tc "fig6 mutant: skipped init violates k-exclusion" test_fig6_skip_init;
+      Helpers.tc "fig6 mutant: no R feedback locks out"
+        (stuck_variant "no-feedback" Fig6_model.No_feedback);
+      Helpers.tc "fig6 mutant: no Q re-check locks out"
+        (stuck_variant "no-recheck" Fig6_model.No_recheck);
+      Helpers.tc "fig6 ablation: k+1 spin locations are too few"
+        (stuck_variant "fewer-slots" Fig6_model.Fewer_slots) ]
+  @ fig5_exhaustive
+  @ [ Helpers.tc "fig5: no lockout with k-1 crashes" test_fig5_progress;
+      Helpers.tc "fig5 mutant: the CAS at statement 7 is necessary" test_fig5_no_cas ]
+  @ fig4_exhaustive
+  @ [ Helpers.tc "fig4: no lockout with k-1 crashes" test_fig4_progress;
+      Helpers.tc "fig4 mutant: plain faa gate breaks k-exclusion (footnote 2)"
+        test_fig4_leaky_gate;
+      Helpers.tc "fig4 mutant: skipping the slow path overloads the final block"
+        test_fig4_no_slow_path ]
+  @ fig7_exhaustive
+  @ [ fig7_larger;
+      Helpers.tc "fig7: every scan can obtain a name" test_fig7_progress;
+      Helpers.tc "fig7: k-exclusion wrapper is necessary" test_fig7_needs_exclusion;
+      Helpers.tc "fig7 mutant: unreleased bits collide" test_fig7_no_clear;
+      Helpers.tc "one-shot splitter grid verified" test_one_shot_splitter_model_clean;
+      Helpers.tc "naive long-lived splitter is unsound (negative result)"
+        test_naive_long_lived_splitter_unsound;
+      Helpers.tc "explore: exact state count" test_explore_counts_states;
+      Helpers.tc "explore: violation trace" test_explore_finds_violation_with_trace;
+      Helpers.tc "explore: max_states cap" test_explore_cap;
+      Helpers.tc "hunt: finds shallow violations" test_hunt_finds_shallow_violation;
+      Helpers.tc "hunt: clean on the faithful model" test_hunt_clean_on_faithful ]
