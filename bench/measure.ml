@@ -5,9 +5,10 @@
 
 open Kexclusion.Import
 
-type point = { max : int; mean : float }
+type point = { max : int; mean : float; p50 : int; p99 : int }
 
-let pp_point ppf p = Format.fprintf ppf "max %3d mean %6.1f" p.max p.mean
+let pp_point ppf p =
+  Format.fprintf ppf "max %3d mean %6.1f p50 %3d p99 %3d" p.max p.mean p.p50 p.p99
 
 let run_workload ?(iterations = 3) ?(cs_delay = 2) ?(budget = 0) ?failures ~model ~n ~k ~c
     build =
@@ -28,7 +29,8 @@ let check label (res : Runner.result) =
 
 let point_of res =
   let s = Kex_sim.Stats.summarize res in
-  { max = s.Kex_sim.Stats.max_remote; mean = s.mean_remote }
+  { max = s.Kex_sim.Stats.max_remote; mean = s.mean_remote; p50 = s.p50_remote;
+    p99 = s.p99_remote }
 
 let refs ?iterations ?cs_delay ?budget ~model algo ~n ~k ~c () =
   let res =

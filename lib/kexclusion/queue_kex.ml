@@ -2,7 +2,14 @@ open Import
 open Op
 
 (* Layout: x | head | tail | slots[0..n-1].  The queue holds pid+1 (0 means
-   empty); head and tail increase monotonically and index modulo n. *)
+   empty); head and tail increase monotonically and index modulo n.
+
+   Every shared access below sits inside an [atomic_block], so each block is
+   charged per cell of its footprint by the cost model: under CC the
+   "element" poll spins on cached copies of head/tail/slots until an
+   enqueue/dequeue invalidates them (cost grows with contention), under DSM
+   every poll of these unowned cells is remote (cost grows with waiting
+   time) — the two faces of Table 1's unbounded rows. *)
 let create mem ~n ~k =
   let x = Memory.alloc mem ~init:k 1 in
   let head = Memory.alloc mem ~init:0 1 in

@@ -4,25 +4,30 @@ type model = Cache_coherent | Distributed
 type t = {
   which : model;
   n_procs : int;
+  mutable cap : int;  (* cells covered by every valid byte-array *)
   mutable valid : Bytes.t array;  (* CC: valid.(pid) has one byte per cell *)
 }
 
 let create which ~n_procs =
-  { which; n_procs; valid = Array.init n_procs (fun _ -> Bytes.make 64 '\000') }
+  let cap = 64 in
+  { which; n_procs; cap; valid = Array.init n_procs (fun _ -> Bytes.make cap '\000') }
 
 let model t = t.which
 
+(* Capacity is tracked in [t.cap] rather than read off [t.valid.(0)] so that
+   a model created with [~n_procs:0] (an empty machine) never indexes into
+   the empty array. *)
 let ensure t a =
-  let cap = Bytes.length t.valid.(0) in
-  if a >= cap then begin
-    let cap' = max (2 * cap) (a + 1) in
+  if a >= t.cap then begin
+    let cap' = max (2 * t.cap) (a + 1) in
     t.valid <-
       Array.map
         (fun b ->
           let b' = Bytes.make cap' '\000' in
           Bytes.blit b 0 b' 0 (Bytes.length b);
           b')
-        t.valid
+        t.valid;
+    t.cap <- cap'
   end
 
 let cc_read t ~pid a =
@@ -63,6 +68,25 @@ let charge t mem ~pid (step : Op.step) =
           dsm_access mem ~pid a
       | Op.Delay -> Local
       | Op.Atomic_block _ -> Remote)
+
+type block_charge = { block_remote : int; block_local : int }
+
+let charge_block t mem ~pid fp =
+  let remote = ref 0 and local = ref 0 in
+  let tally = function Remote -> incr remote | Local -> incr local in
+  (match t.which with
+  | Cache_coherent ->
+      (* A cell both read and written inside the block is one RMW on its
+         line: the read is absorbed into the (always remote) write charge,
+         exactly as a standalone Faa/Cas/Tas is charged. *)
+      let writes = Op.Footprint.writes fp in
+      List.iter
+        (fun a -> if not (List.mem a writes) then tally (cc_read t ~pid a))
+        (Op.Footprint.reads fp);
+      List.iter (fun a -> tally (cc_write t ~pid a)) writes
+  | Distributed ->
+      List.iter (fun a -> tally (dsm_access mem ~pid a)) (Op.Footprint.cells fp));
+  { block_remote = !remote; block_local = !local }
 
 let pp_model ppf = function
   | Cache_coherent -> Format.pp_print_string ppf "cache-coherent"

@@ -26,8 +26,26 @@ val create : model -> n_procs:int -> t
 val model : t -> model
 
 val charge : t -> Memory.t -> pid:int -> Op.step -> kind
-(** Account for one atomic step by process [pid] and report whether it was a
-    local or a remote reference.  [Delay] and non-memory steps are local.
-    [Atomic_block] is charged as one remote reference. *)
+(** Account for one single-cell atomic step by process [pid] and report
+    whether it was a local or a remote reference.  [Delay] and non-memory
+    steps are local.  [Atomic_block] falls back to one flat remote reference
+    here because its footprint is unknown until it executes — the runner
+    instead records the footprint and charges blocks per cell through
+    {!charge_block}. *)
+
+type block_charge = { block_remote : int; block_local : int }
+(** Per-cell accounting of one [Atomic_block] execution. *)
+
+val charge_block : t -> Memory.t -> pid:int -> Op.Footprint.t -> block_charge
+(** Charge an [Atomic_block] by its observed footprint, cell by cell:
+
+    - {b CC}: each distinct cell read (and not also written) hits or misses
+      [pid]'s cached copy like a standalone read; each distinct cell written
+      is one remote reference that invalidates every other process's copy
+      (a cell both read and written is one RMW — charged once, as a write).
+    - {b DSM}: each distinct cell accessed is local iff [pid] owns it.
+
+    The block's remote total is therefore exactly what the equivalent
+    sequence of hardware accesses would cost, not a flat [1]. *)
 
 val pp_model : Format.formatter -> model -> unit

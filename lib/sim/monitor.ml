@@ -7,6 +7,7 @@ type t = {
   phases : phase array;
   names : int array;  (* name held while in CS; -1 otherwise *)
   acq : int array;
+  crashed : bool array;
   mutable in_cs : int;
   mutable max_in_cs : int;
   mutable outside_noncrit : int;
@@ -19,6 +20,7 @@ let create ~n ~k ~check_names =
     phases = Array.make n Noncrit;
     names = Array.make n (-1);
     acq = Array.make n 0;
+    crashed = Array.make n false;
     in_cs = 0; max_in_cs = 0; outside_noncrit = 0; max_contention = 0; violations = [] }
 
 let violation t fmt = Format.kasprintf (fun s -> t.violations <- s :: t.violations) fmt
@@ -67,6 +69,24 @@ let on_event t ~pid (e : Op.event) =
       expect t ~pid Exit "Exit_end";
       t.phases.(pid) <- Noncrit;
       t.outside_noncrit <- t.outside_noncrit - 1
+
+(* A crashed process takes no further steps, so it must stop counting toward
+   contention (the paper's measure is over processes still taking steps
+   outside their noncritical sections) and toward the concurrent-CS count —
+   its protocol slot may stay burned, but the monitor's live readings must
+   not be inflated forever. *)
+let on_crash t ~pid =
+  if not t.crashed.(pid) then begin
+    t.crashed.(pid) <- true;
+    (match t.phases.(pid) with
+    | Noncrit -> ()
+    | Entry | Exit -> t.outside_noncrit <- t.outside_noncrit - 1
+    | Critical ->
+        t.outside_noncrit <- t.outside_noncrit - 1;
+        t.in_cs <- t.in_cs - 1;
+        t.names.(pid) <- -1);
+    t.phases.(pid) <- Noncrit
+  end
 
 let phase t ~pid = t.phases.(pid)
 let acquisitions t ~pid = t.acq.(pid)

@@ -12,6 +12,13 @@ type t
 
 val create : n:int -> k:int -> check_names:bool -> t
 val on_event : t -> pid:int -> Op.event -> unit
+
+val on_crash : t -> pid:int -> unit
+(** The process stops taking steps forever.  Removes it from the live
+    {!contention} and {!in_cs} counts (whatever phase it crashed in) so
+    post-crash readings are not inflated; high-water marks already recorded
+    are kept.  Idempotent. *)
+
 val phase : t -> pid:int -> phase
 val acquisitions : t -> pid:int -> int
 (** Completed critical-section entries so far. *)

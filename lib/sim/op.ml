@@ -24,6 +24,23 @@ type 'a t =
   | Step of step * (value -> 'a t)
   | Mark of event * (unit -> 'a t)
 
+module Footprint = struct
+  type t = { mutable reads : addr list; mutable writes : addr list }  (* reversed *)
+
+  let create () = { reads = []; writes = [] }
+  let record_read t a = if not (List.mem a t.reads) then t.reads <- a :: t.reads
+  let record_write t a = if not (List.mem a t.writes) then t.writes <- a :: t.writes
+  let reads t = List.rev t.reads
+  let writes t = List.rev t.writes
+
+  let cells t =
+    List.rev t.writes @ List.filter (fun a -> not (List.mem a t.writes)) (List.rev t.reads)
+
+  let pp ppf t =
+    let addrs l = String.concat "," (List.map string_of_int l) in
+    Format.fprintf ppf "r{%s} w{%s}" (addrs (reads t)) (addrs (writes t))
+end
+
 let return x = Return x
 
 let rec bind m f =

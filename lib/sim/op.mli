@@ -36,10 +36,15 @@ type step =
       (** consumes a scheduling turn without touching shared memory; used to
           model noncritical-section and critical-section dwell time *)
   | Atomic_block of string * (read:(addr -> value) -> write:(addr -> value -> unit) -> value)
-      (** an arbitrary multi-access atomic block, charged as a single remote
-          reference.  This is deliberately {e unrealistic}: it exists only to
-          express the idealized queue algorithm of Figure 1 (the paper's
-          stand-in for the "large critical sections" rows of Table 1). *)
+      (** an arbitrary multi-access atomic block.  The runner records the
+          block's footprint — the exact set of cells it reads and writes —
+          and charges each cell through the cost model (see
+          {!Cost_model.charge_block}), so a block pays for every line it
+          touches just as the equivalent sequence of hardware accesses
+          would.  The {e atomicity} is still deliberately unrealistic: it
+          exists only to express the idealized queue algorithm of Figure 1
+          (the paper's stand-in for the "large critical sections" rows of
+          Table 1). *)
 
 (** Free annotations consumed by the run-time monitor. *)
 type event =
@@ -48,6 +53,28 @@ type event =
   | Cs_exit  (** leaves the critical section *)
   | Exit_end  (** completes its exit section, back to noncritical *)
   | Note of string  (** free-form trace annotation *)
+
+(** The set of cells an {!Atomic_block} touched, recorded by the runner as
+    the block executes and then handed to {!Cost_model.charge_block}.
+    Addresses are kept distinct, in first-access order. *)
+module Footprint : sig
+  type t
+
+  val create : unit -> t
+  val record_read : t -> addr -> unit
+  val record_write : t -> addr -> unit
+
+  val reads : t -> addr list
+  (** Distinct cells read, in first-read order. *)
+
+  val writes : t -> addr list
+  (** Distinct cells written, in first-write order. *)
+
+  val cells : t -> addr list
+  (** Distinct cells accessed at all (writes first, then read-only cells). *)
+
+  val pp : Format.formatter -> t -> unit
+end
 
 type 'a t =
   | Return of 'a

@@ -187,6 +187,7 @@ let run cfg mem cost wl =
             ~steps_in_phase:ps.steps_in_phase
         then begin
           ps.failed <- true;
+          Monitor.on_crash monitor ~pid;
           (match cfg.tracer with Some tr -> Trace.record_crash tr ~pid | None -> ());
           dirty := true
         end
@@ -194,19 +195,38 @@ let run cfg mem cost wl =
           (match ps.prog with
           | Op.Step (s, k) ->
               let phase_now = Monitor.phase monitor ~pid in
-              let kind = Cost_model.charge cost mem ~pid s in
-              let v = exec_step mem s in
+              let v, n_remote, n_local, footprint =
+                match s with
+                | Op.Atomic_block (_, f) ->
+                    (* Record the block's exact footprint while executing it,
+                       then charge per cell — not a flat single remote. *)
+                    let fp = Op.Footprint.create () in
+                    let read a =
+                      Op.Footprint.record_read fp a;
+                      Memory.get mem a
+                    in
+                    let write a v =
+                      Op.Footprint.record_write fp a;
+                      Memory.set mem a v
+                    in
+                    let v = f ~read ~write in
+                    let c = Cost_model.charge_block cost mem ~pid fp in
+                    (v, c.Cost_model.block_remote, c.Cost_model.block_local, Some fp)
+                | _ ->
+                    let kind = Cost_model.charge cost mem ~pid s in
+                    let v = exec_step mem s in
+                    (match kind with
+                    | Cost_model.Remote -> (v, 1, 0, None)
+                    | Cost_model.Local -> (v, 0, 1, None))
+              in
               ps.steps <- ps.steps + 1;
               ps.steps_in_phase <- ps.steps_in_phase + 1;
-              (match kind with
-              | Cost_model.Remote ->
-                  ps.remote <- ps.remote + 1;
-                  if phase_now <> Monitor.Noncrit then ps.acq_remote <- ps.acq_remote + 1
-              | Cost_model.Local -> ps.local <- ps.local + 1);
+              ps.remote <- ps.remote + n_remote;
+              ps.local <- ps.local + n_local;
+              if n_remote > 0 && phase_now <> Monitor.Noncrit then
+                ps.acq_remote <- ps.acq_remote + n_remote;
               (match cfg.tracer with
-              | Some tr ->
-                  Trace.record_step tr ~pid ~step:s ~value:v
-                    ~remote:(kind = Cost_model.Remote)
+              | Some tr -> Trace.record_step ?footprint tr ~pid ~step:s ~value:v ~remote:n_remote
               | None -> ());
               ps.prog <- k v;
               flush ps pid

@@ -13,6 +13,9 @@ let random ~seed =
   { strategy = Random (Random.State.make [| seed |]); name = Printf.sprintf "random(%d)" seed }
 
 let burst ~seed ~max_burst =
+  (* Clamp so the Random.State.int bound below stays positive: max_burst <= 0
+     would raise Invalid_argument on the first draw. *)
+  let max_burst = max 1 max_burst in
   { strategy = Burst { rng = Random.State.make [| seed |]; max_burst; pid = -1; left = 0 };
     name = Printf.sprintf "burst(%d,%d)" seed max_burst }
 

@@ -2,6 +2,8 @@ type summary = {
   acquisitions : int;
   max_remote : int;
   mean_remote : float;
+  p50_remote : int;
+  p99_remote : int;
   total_remote : int;
   total_steps : int;
 }
@@ -26,8 +28,12 @@ let summarize (r : Runner.result) =
   let sum = Array.fold_left ( + ) 0 per in
   let mean_remote = if acquisitions = 0 then 0. else float_of_int sum /. float_of_int acquisitions in
   let total_remote = Array.fold_left (fun acc p -> acc + p.Runner.total_remote) 0 r.procs in
-  { acquisitions; max_remote; mean_remote; total_remote; total_steps = r.total_steps }
+  { acquisitions; max_remote; mean_remote;
+    p50_remote = percentile per 0.5;
+    p99_remote = percentile per 0.99;
+    total_remote; total_steps = r.total_steps }
 
 let pp_summary ppf s =
-  Format.fprintf ppf "%d acq, remote/acq max %d mean %.1f (total remote %d, steps %d)"
-    s.acquisitions s.max_remote s.mean_remote s.total_remote s.total_steps
+  Format.fprintf ppf "%d acq, remote/acq max %d mean %.1f p50 %d p99 %d (total remote %d, steps %d)"
+    s.acquisitions s.max_remote s.mean_remote s.p50_remote s.p99_remote s.total_remote
+    s.total_steps

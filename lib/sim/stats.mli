@@ -4,6 +4,8 @@ type summary = {
   acquisitions : int;  (** total completed acquisitions across processes *)
   max_remote : int;  (** worst entry+exit remote references of any acquisition *)
   mean_remote : float;  (** mean entry+exit remote references per acquisition *)
+  p50_remote : int;  (** median remote references per acquisition *)
+  p99_remote : int;  (** 99th-percentile remote references per acquisition *)
   total_remote : int;  (** all remote references, any phase *)
   total_steps : int;
 }

@@ -1,24 +1,27 @@
 type entry =
-  | Stepped of { pid : int; step : string; value : int; remote : bool }
+  | Stepped of { pid : int; step : string; value : int; remote : int }
   | Event of { pid : int; event : string }
   | Crashed of { pid : int }
 
 type t = {
   capacity : int;
+  record_schedule : bool;
   mutable ring : entry array;
   mutable next : int;  (* total entries ever recorded *)
-  mutable sched : int list;  (* reversed *)
+  mutable sched : int list;  (* reversed; empty when capture is off *)
 }
 
-let create ?(capacity = 100_000) () =
-  { capacity = max 1 capacity; ring = [||]; next = 0; sched = [] }
+let create ?(capacity = 100_000) ?(record_schedule = true) () =
+  { capacity = max 1 capacity; record_schedule; ring = [||]; next = 0; sched = [] }
+
+let records_schedule t = t.record_schedule
 
 let push t e =
   if Array.length t.ring = 0 then t.ring <- Array.make t.capacity e;
   t.ring.(t.next mod t.capacity) <- e;
   t.next <- t.next + 1
 
-let string_of_step (s : Op.step) =
+let string_of_step ?footprint (s : Op.step) =
   match s with
   | Op.Read a -> Printf.sprintf "read[%d]" a
   | Op.Write (a, v) -> Printf.sprintf "write[%d]:=%d" a v
@@ -28,7 +31,10 @@ let string_of_step (s : Op.step) =
   | Op.Tas a -> Printf.sprintf "tas[%d]" a
   | Op.Swap (a, v) -> Printf.sprintf "swap[%d]:=%d" a v
   | Op.Delay -> "delay"
-  | Op.Atomic_block (name, _) -> Printf.sprintf "<%s>" name
+  | Op.Atomic_block (name, _) -> (
+      match footprint with
+      | None -> Printf.sprintf "<%s>" name
+      | Some fp -> Format.asprintf "<%s %a>" name Op.Footprint.pp fp)
 
 let string_of_event (e : Op.event) =
   match e with
@@ -38,9 +44,9 @@ let string_of_event (e : Op.event) =
   | Op.Exit_end -> "exit-end"
   | Op.Note s -> "note:" ^ s
 
-let record_step t ~pid ~step ~value ~remote =
-  push t (Stepped { pid; step = string_of_step step; value; remote });
-  t.sched <- pid :: t.sched
+let record_step ?footprint t ~pid ~step ~value ~remote =
+  push t (Stepped { pid; step = string_of_step ?footprint step; value; remote });
+  if t.record_schedule then t.sched <- pid :: t.sched
 
 let record_event t ~pid ~event = push t (Event { pid; event = string_of_event event })
 let record_crash t ~pid = push t (Crashed { pid })
@@ -54,7 +60,11 @@ let schedule t = List.rev t.sched
 
 let pp_entry ppf = function
   | Stepped { pid; step; value; remote } ->
-      Format.fprintf ppf "p%d %s -> %d%s" pid step value (if remote then " (remote)" else "")
+      Format.fprintf ppf "p%d %s -> %d%s" pid step value
+        (match remote with
+        | 0 -> ""
+        | 1 -> " (remote)"
+        | n -> Printf.sprintf " (%d remote)" n)
   | Event { pid; event } -> Format.fprintf ppf "p%d [%s]" pid event
   | Crashed { pid } -> Format.fprintf ppf "p%d CRASHED" pid
 

@@ -1,23 +1,36 @@
 (** Execution trace recording and schedule replay.
 
     A trace records, in order, every atomic step (with its value and
-    local/remote classification) and every monitor event of a run.  The
-    extracted {!schedule} — the sequence of pids that took steps — can be
-    replayed with {!Scheduler.replay} to reproduce an interleaving exactly,
-    e.g. to shrink or re-examine a failure found under a random scheduler. *)
+    remote-reference count) and every monitor event of a run.  The extracted
+    {!schedule} — the sequence of pids that took steps — can be replayed with
+    {!Scheduler.replay} to reproduce an interleaving exactly, e.g. to shrink
+    or re-examine a failure found under a random scheduler. *)
 
 type entry =
-  | Stepped of { pid : int; step : string; value : int; remote : bool }
+  | Stepped of { pid : int; step : string; value : int; remote : int }
+      (** [remote] is the number of remote references the step was charged:
+          0 or 1 for single-cell steps, the per-cell footprint total for an
+          [Atomic_block]. *)
   | Event of { pid : int; event : string }
   | Crashed of { pid : int }
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Keeps the most recent [capacity] entries (default 100_000); the
-    {!schedule} is kept in full regardless. *)
+val create : ?capacity:int -> ?record_schedule:bool -> unit -> t
+(** Keeps the most recent [capacity] entries (default 100_000).  The
+    {!schedule} is kept in full — it grows by one element per executed step
+    for the whole run, without bound — unless [record_schedule] is [false]
+    (default [true]), which disables schedule capture entirely so that
+    long-running traces stay bounded by [capacity]. *)
 
-val record_step : t -> pid:int -> step:Op.step -> value:int -> remote:bool -> unit
+val records_schedule : t -> bool
+(** Whether this trace captures the (unbounded) replay schedule. *)
+
+val record_step :
+  ?footprint:Op.Footprint.t -> t -> pid:int -> step:Op.step -> value:int -> remote:int -> unit
+(** [footprint] annotates an [Atomic_block] step with the cells it read and
+    wrote, so the rendered trace shows the block's real memory behaviour. *)
+
 val record_event : t -> pid:int -> event:Op.event -> unit
 val record_crash : t -> pid:int -> unit
 
@@ -29,7 +42,8 @@ val length : t -> int
 
 val schedule : t -> int list
 (** The pid of every executed step, in execution order — feed to
-    {!Scheduler.replay}. *)
+    {!Scheduler.replay}.  Empty when the trace was created with
+    [~record_schedule:false]. *)
 
 val pp_entry : Format.formatter -> entry -> unit
 val pp : ?last:int -> Format.formatter -> t -> unit

@@ -84,10 +84,81 @@ let test_delay_free () =
   let mem, cost, _, _ = setup Cost_model.Distributed in
   Alcotest.check kind "delay local (DSM)" Cost_model.Local (charge cost mem ~pid:0 Op.Delay)
 
-let test_atomic_block_charged_remote () =
+let test_atomic_block_fallback_remote () =
+  (* Footprint-less [charge] keeps the conservative flat charge; the runner
+     charges real blocks per cell through [charge_block] below. *)
   let mem, cost, _, _ = setup Cost_model.Cache_coherent in
   let blk = Op.Atomic_block ("x", fun ~read:_ ~write:_ -> 0) in
   Alcotest.check kind "atomic block remote" Cost_model.Remote (charge cost mem ~pid:0 blk)
+
+let footprint ~reads ~writes =
+  let fp = Op.Footprint.create () in
+  List.iter (Op.Footprint.record_read fp) reads;
+  List.iter (Op.Footprint.record_write fp) writes;
+  fp
+
+let block_charge cost mem ~pid ~reads ~writes =
+  let c = Cost_model.charge_block cost mem ~pid (footprint ~reads ~writes) in
+  (c.Cost_model.block_remote, c.Cost_model.block_local)
+
+let test_block_write_invalidates_all_copies () =
+  (* Regression: a block writing one cell must invalidate every other
+     process's copy, exactly like a standalone write.  Under the old flat
+     charge the victims' next reads were (wrongly) local. *)
+  let mem, cost, a, _ = setup Cost_model.Cache_coherent in
+  ignore (charge cost mem ~pid:0 (Op.Read a));
+  ignore (charge cost mem ~pid:1 (Op.Read a));
+  Alcotest.(check (pair int int)) "one-cell write block = 1 remote" (1, 0)
+    (block_charge cost mem ~pid:2 ~reads:[] ~writes:[ a ]);
+  Alcotest.check kind "p0 invalidated" Cost_model.Remote (charge cost mem ~pid:0 (Op.Read a));
+  Alcotest.check kind "p1 invalidated" Cost_model.Remote (charge cost mem ~pid:1 (Op.Read a));
+  Alcotest.check kind "writer keeps its copy" Cost_model.Local (charge cost mem ~pid:2 (Op.Read a))
+
+let test_block_reads_hit_and_miss () =
+  (* Reads inside a block behave like standalone reads: cold cells miss,
+     cached cells hit, and a re-run of the same read-only block is free. *)
+  let mem, cost, a, b = setup Cost_model.Cache_coherent in
+  Alcotest.(check (pair int int)) "two cold reads" (2, 0)
+    (block_charge cost mem ~pid:0 ~reads:[ a; b ] ~writes:[]);
+  Alcotest.(check (pair int int)) "both cached now" (0, 2)
+    (block_charge cost mem ~pid:0 ~reads:[ a; b ] ~writes:[])
+
+let test_block_rmw_charged_once () =
+  (* A cell both read and written inside a block is one RMW on its line:
+     charged once (as the write), like a standalone Faa. *)
+  let mem, cost, a, b = setup Cost_model.Cache_coherent in
+  Alcotest.(check (pair int int)) "faa-like block = 1 remote" (1, 0)
+    (block_charge cost mem ~pid:0 ~reads:[ a ] ~writes:[ a ]);
+  (* Mixed footprint: RMW on a (1 remote), cold read of b (1 remote). *)
+  Alcotest.(check (pair int int)) "rmw + cold read" (2, 0)
+    (block_charge cost mem ~pid:0 ~reads:[ a; b ] ~writes:[ a ])
+
+let test_block_dsm_by_owner () =
+  let mem, cost, a, b = setup Cost_model.Distributed in
+  (* b is owned by pid 1, a is unowned (remote to everyone). *)
+  Alcotest.(check (pair int int)) "owner: only the unowned cell is remote" (1, 1)
+    (block_charge cost mem ~pid:1 ~reads:[ b ] ~writes:[ a ]);
+  Alcotest.(check (pair int int)) "non-owner: both remote" (2, 0)
+    (block_charge cost mem ~pid:0 ~reads:[ b ] ~writes:[ a ]);
+  (* DSM dedups cells, it does not double-charge a read+write of one cell. *)
+  Alcotest.(check (pair int int)) "rmw of owned cell free" (0, 1)
+    (block_charge cost mem ~pid:1 ~reads:[ b ] ~writes:[ b ])
+
+let test_empty_block_free () =
+  let mem, cost, _, _ = setup Cost_model.Cache_coherent in
+  Alcotest.(check (pair int int)) "no footprint, no charge" (0, 0)
+    (block_charge cost mem ~pid:0 ~reads:[] ~writes:[])
+
+let test_zero_procs_no_crash () =
+  (* Regression: [ensure] used to read [t.valid.(0)] and crashed when the
+     model was created over an empty machine. *)
+  let mem = Memory.create () in
+  let a = Memory.alloc mem ~init:0 500 in
+  let far = a + 499 in
+  let cost = Cost_model.create Cost_model.Cache_coherent ~n_procs:0 in
+  Alcotest.check kind "delay local" Cost_model.Local (charge cost mem ~pid:0 Op.Delay);
+  Alcotest.check kind "write beyond initial capacity grows and charges" Cost_model.Remote
+    (charge cost mem ~pid:0 (Op.Write (far, 1)))
 
 let test_cc_grows_with_memory () =
   let mem = Memory.create () in
@@ -110,5 +181,12 @@ let suite =
     Helpers.tc "DSM: unowned cells remote to all" test_dsm_unowned_remote_to_all;
     Helpers.tc "DSM: no caching of remote reads" test_dsm_no_caching;
     Helpers.tc "delay is free in both models" test_delay_free;
-    Helpers.tc "atomic block charged one remote ref" test_atomic_block_charged_remote;
+    Helpers.tc "atomic block without footprint falls back to one remote"
+      test_atomic_block_fallback_remote;
+    Helpers.tc "block write invalidates all other copies" test_block_write_invalidates_all_copies;
+    Helpers.tc "block reads hit and miss like standalone reads" test_block_reads_hit_and_miss;
+    Helpers.tc "block read+write of one cell charged once" test_block_rmw_charged_once;
+    Helpers.tc "block DSM charges by cell owner" test_block_dsm_by_owner;
+    Helpers.tc "empty block footprint is free" test_empty_block_free;
+    Helpers.tc "n_procs = 0 never indexes the empty valid array" test_zero_procs_no_crash;
     Helpers.tc "CC valid-bits grow with the heap" test_cc_grows_with_memory ]

@@ -86,6 +86,41 @@ let test_contention_tracking () =
   Alcotest.(check int) "back to one" 1 (Monitor.contention m);
   Alcotest.(check int) "peak recorded" 2 (Monitor.max_contention m)
 
+let test_crash_in_entry_accounting () =
+  (* A process that crashes in its entry section must stop counting toward
+     contention; the recorded peak stays. *)
+  let m = Monitor.create ~n:3 ~k:2 ~check_names:false in
+  ev m 0 Op.Entry_begin;
+  ev m 1 Op.Entry_begin;
+  Alcotest.(check int) "two contending" 2 (Monitor.contention m);
+  Monitor.on_crash m ~pid:0;
+  Alcotest.(check int) "contention drops to live procs" 1 (Monitor.contention m);
+  Alcotest.(check int) "peak kept" 2 (Monitor.max_contention m);
+  Monitor.on_crash m ~pid:0;
+  Alcotest.(check int) "idempotent" 1 (Monitor.contention m);
+  Alcotest.(check (list string)) "no violation" [] (Monitor.violations m)
+
+let test_crash_in_cs_accounting () =
+  (* Crash inside the critical section: both in_cs and contention drop, and
+     the dead process's name no longer triggers collision reports. *)
+  let m = Monitor.create ~n:3 ~k:2 ~check_names:true in
+  ev m 0 Op.Entry_begin;
+  ev m 0 (Op.Cs_enter 0);
+  ev m 1 Op.Entry_begin;
+  Monitor.on_crash m ~pid:0;
+  Alcotest.(check int) "in_cs drops" 0 (Monitor.in_cs m);
+  Alcotest.(check int) "only the live proc contends" 1 (Monitor.contention m);
+  Alcotest.(check int) "peak in_cs kept" 1 (Monitor.max_in_cs m);
+  ev m 1 (Op.Cs_enter 0);
+  Alcotest.(check (list string)) "no stale name collision" [] (Monitor.violations m)
+
+let test_crash_in_noncrit_is_noop () =
+  let m = Monitor.create ~n:2 ~k:1 ~check_names:false in
+  Monitor.on_crash m ~pid:1;
+  Alcotest.(check int) "contention unchanged" 0 (Monitor.contention m);
+  Alcotest.(check int) "in_cs unchanged" 0 (Monitor.in_cs m);
+  Alcotest.(check (list string)) "no violation" [] (Monitor.violations m)
+
 let test_notes_are_free () =
   let m = Monitor.create ~n:1 ~k:1 ~check_names:false in
   ev m 0 (Op.Note "hello");
@@ -102,4 +137,7 @@ let suite =
     Helpers.tc "flags phase-discipline breaches" test_phase_discipline;
     Helpers.tc "reports phases" test_phases_reported;
     Helpers.tc "tracks the paper's contention measure" test_contention_tracking;
+    Helpers.tc "crash in entry releases contention" test_crash_in_entry_accounting;
+    Helpers.tc "crash in CS releases in_cs and name" test_crash_in_cs_accounting;
+    Helpers.tc "crash in noncritical section is a no-op" test_crash_in_noncrit_is_noop;
     Helpers.tc "notes are free" test_notes_are_free ]

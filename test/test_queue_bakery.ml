@@ -46,12 +46,18 @@ let test_queue_waiter_failure_burns_slot () =
   in
   assert_safe_but_stuck ~ctx:"queue with dead waiter" res
 
-let test_queue_uses_atomic_blocks () =
-  (* Every entry/exit reference of the queue algorithm is an Atomic_block,
-     charged remote: without contention, exactly 1 entry + 1 exit. *)
+let test_queue_solo_cost_per_cell () =
+  (* Atomic blocks are charged per cell of their footprint.  Solo under CC:
+     the entry block is an RMW on X alone (1 remote); the first exit block
+     cold-misses head and tail and writes X (3 remote); once head and tail
+     are cached (nobody else invalidates them) every later exit is just the
+     X write (1 remote).  So remote/acq is 4 on the first acquisition and 2
+     after — not the flat 1+1 of the old single-charge model. *)
   let res = run ~iterations:4 ~participants:[ 0 ] ~model:cc ~n:4 ~k:2 (queue ~n:4 ~k:2) in
   assert_ok res;
-  Alcotest.(check int) "two refs solo" 2 (max_remote res)
+  Alcotest.(check (array int))
+    "per-cell charges per acquisition" [| 4; 2; 2; 2 |]
+    res.Runner.procs.(0).remote_per_acq
 
 let test_queue_polling_grows_with_contention () =
   let cost c =
@@ -129,7 +135,7 @@ let suite =
       tc "queue tolerates CS failures" test_queue_cs_failures_tolerated;
       tc "queue: dead waiter burns its slot (paper's motivation)"
         test_queue_waiter_failure_burns_slot;
-      tc "queue solo cost is 2 atomic blocks" test_queue_uses_atomic_blocks;
+      tc "queue solo cost is charged per footprint cell" test_queue_solo_cost_per_cell;
       tc "queue polling cost grows with contention" test_queue_polling_grows_with_contention;
       tc "bakery runs on both models" test_bakery_model_independent;
       tc "bakery solo cost is O(N)" test_bakery_solo_cost_linear_in_n;

@@ -46,7 +46,40 @@ let test_remote_attribution () =
   Array.iter
     (fun (p : Runner.proc_stats) ->
       Alcotest.(check (array int)) "2 remote refs per acquisition" [| 2; 2; 2 |] p.remote_per_acq)
-    res.procs
+    res.procs;
+  (* ... and the whole distribution collapses onto 2, so every percentile
+     the summary reports equals the max. *)
+  let s = Stats.summarize res in
+  Alcotest.(check int) "p50" 2 s.Stats.p50_remote;
+  Alcotest.(check int) "p99" 2 s.Stats.p99_remote;
+  Alcotest.(check int) "max" 2 s.Stats.max_remote
+
+let test_atomic_block_invalidates_cache () =
+  (* Regression for the flat Atomic_block charge: after pid 1's block writes
+     cell [a], pid 0's next read of [a] must be remote under CC.  The old
+     model charged the block one flat remote without touching cache state,
+     so that read was wrongly local. *)
+  let wl mem =
+    let a = Memory.alloc mem ~init:0 1 in
+    { Runner.acquire =
+        (fun ~pid ->
+          let open Op in
+          if pid = 0 then
+            let* _ = read a in
+            let* _ = read a in
+            return 0
+          else
+            let* _ = atomic_block "poke" (fun ~read:_ ~write -> write a 1; 0) in
+            return 0);
+      release = (fun ~pid:_ ~name:_ -> Op.return ());
+      check_names = false; cs_body = None }
+  in
+  (* Round-robin, n = 2: p0 reads a (cold miss), p1's block writes a, p0
+     re-reads a — which must miss again. *)
+  let res = run ~n:2 ~iterations:1 ~cs_delay:0 wl in
+  Alcotest.(check bool) "ok" true res.Runner.ok;
+  Alcotest.(check int) "p0: both reads remote" 2 res.procs.(0).total_remote;
+  Alcotest.(check int) "p1: block = one remote write" 1 res.procs.(1).total_remote
 
 let test_participants_limit_contention () =
   let res = run ~n:6 ~cs_delay:3 ~participants:[ 0; 3 ] counter_workload in
@@ -125,6 +158,7 @@ let test_noncrit_delay_counts_steps_not_refs () =
 let suite =
   [ Helpers.tc "basic completion" test_basic_completion;
     Helpers.tc "remote refs attributed per acquisition" test_remote_attribution;
+    Helpers.tc "atomic block invalidates other caches" test_atomic_block_invalidates_cache;
     Helpers.tc "participants bound contention" test_participants_limit_contention;
     Helpers.tc "full contention overlaps in CS" test_full_contention_reaches_k;
     Helpers.tc "monitor catches k violations" test_monitor_catches_violations;

@@ -55,6 +55,21 @@ let test_burst_runs_bursts () =
   in
   Alcotest.(check bool) "bursts exist" true (has_repeat picks)
 
+let test_burst_tiny_max_burst () =
+  (* Regression: max_burst <= 1 could leave Random.State.int's bound
+     non-positive and raise Invalid_argument mid-run; the bound is clamped. *)
+  List.iter
+    (fun max_burst ->
+      let s = Scheduler.burst ~seed:3 ~max_burst in
+      let picks = take s [ 0; 1; 2 ] 200 in
+      Alcotest.(check int)
+        (Printf.sprintf "max_burst=%d picks without raising" max_burst)
+        200 (List.length picks);
+      List.iter
+        (fun p -> Alcotest.(check bool) "pick is runnable" true (List.mem p [ 0; 1; 2 ]))
+        picks)
+    [ 1; 0; -4 ]
+
 let suite =
   [ Helpers.tc "round robin cycles in pid order" test_round_robin_cycles;
     Helpers.tc "round robin skips departed processes" test_round_robin_skips_dead;
@@ -62,4 +77,5 @@ let suite =
     Helpers.tc "random schedule is seed-deterministic" test_random_deterministic;
     Helpers.tc "random picks only runnable pids" test_random_only_runnable;
     Helpers.tc "all schedulers are fair in the limit" test_fairness_in_the_limit;
-    Helpers.tc "burst scheduler produces bursts" test_burst_runs_bursts ]
+    Helpers.tc "burst scheduler produces bursts" test_burst_runs_bursts;
+    Helpers.tc "burst scheduler survives max_burst <= 1" test_burst_tiny_max_burst ]

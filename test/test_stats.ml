@@ -11,6 +11,19 @@ let test_percentile () =
   Alcotest.(check int) "empty" 0 (Stats.percentile [||] 0.5);
   Alcotest.(check int) "singleton" 7 (Stats.percentile [| 7 |] 0.99)
 
+let test_percentile_edges () =
+  (* Empty input and the p = 0 / p = 1 extremes never index out of range. *)
+  Alcotest.(check int) "empty p0" 0 (Stats.percentile [||] 0.0);
+  Alcotest.(check int) "empty p1" 0 (Stats.percentile [||] 1.0);
+  let d = [| 9; 1; 7; 3; 5 |] in
+  Alcotest.(check int) "p0 clamps to the minimum" 1 (Stats.percentile d 0.0);
+  Alcotest.(check int) "p1 is the maximum" 9 (Stats.percentile d 1.0);
+  Alcotest.(check int) "input left unsorted" 9 d.(0);
+  let ties = [| 2; 2; 1; 1; 2 |] in
+  Alcotest.(check int) "ties: median" 2 (Stats.percentile ties 0.5);
+  Alcotest.(check int) "ties: p40 lands on the low run" 1 (Stats.percentile ties 0.4);
+  Alcotest.(check int) "ties: p1" 2 (Stats.percentile ties 1.0)
+
 let test_ceil_log2 () =
   Alcotest.(check int) "1" 0 (Spec.ceil_log2 1);
   Alcotest.(check int) "2" 1 (Spec.ceil_log2 2);
@@ -68,6 +81,7 @@ let prop_graceful_interpolates =
 
 let suite =
   [ Helpers.tc "percentile (nearest rank)" test_percentile;
+    Helpers.tc "percentile edge cases" test_percentile_edges;
     Helpers.tc "ceil_log2" test_ceil_log2;
     Helpers.tc "theorem formulas spot values" test_bound_values;
     QCheck_alcotest.to_alcotest prop_bounds_monotone_in_n;

@@ -71,6 +71,38 @@ let test_pp_smoke () =
   Alcotest.(check bool) "prints something" true (String.length s > 100);
   Alcotest.(check bool) "mentions events" true (contains s "exit-end")
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_schedule_capture_disabled () =
+  (* The schedule grows one element per step for the whole run; turning
+     capture off keeps a long-running trace bounded by [capacity]. *)
+  let tr = Trace.create ~capacity:16 ~record_schedule:false () in
+  Alcotest.(check bool) "flag reported" false (Trace.records_schedule tr);
+  let res = run_traced ~tracer:tr ~scheduler:(Scheduler.round_robin ()) () in
+  assert_ok res;
+  Alcotest.(check bool) "steps were recorded" true (Trace.length tr > res.Runner.total_steps);
+  Alcotest.(check int) "entry window capped" 16 (List.length (Trace.entries tr));
+  Alcotest.(check (list int)) "no schedule captured" [] (Trace.schedule tr)
+
+let test_block_footprint_rendered () =
+  (* Atomic blocks are traced with their footprint and per-cell remote
+     count, not as a bare <name>. *)
+  let tr = Trace.create () in
+  let mem = Memory.create () in
+  let p = Registry.build mem ~model:cc Registry.Queue ~n:4 ~k:1 in
+  let cost = Cost_model.create cc ~n_procs:4 in
+  let cfg = Runner.config ~n:4 ~k:1 ~iterations:2 ~cs_delay:3 ~tracer:tr () in
+  let res = Runner.run cfg mem cost (Protocol.workload p) in
+  assert_ok res;
+  let s = Format.asprintf "%a" (Trace.pp ?last:None) tr in
+  Alcotest.(check bool) "block footprint shown" true (contains s "<faa-enqueue r{");
+  Alcotest.(check bool) "write set shown" true (contains s "} w{");
+  Alcotest.(check bool) "multi-remote blocks counted" true (contains s " remote)");
+  Alcotest.(check bool) "no bare block name" false (contains s "<faa-enqueue>")
+
 let test_replay_tolerates_divergence () =
   (* A schedule from a different configuration must still terminate (skips +
      round-robin fallback), never hang. *)
@@ -95,4 +127,6 @@ let suite =
     tc "ring buffer keeps the tail, schedule stays whole" test_ring_buffer_eviction;
     tc "crashes are recorded" test_crash_recorded;
     tc "pretty-printer smoke" test_pp_smoke;
+    tc "schedule capture can be disabled" test_schedule_capture_disabled;
+    tc "atomic blocks traced with footprint and remote count" test_block_footprint_rendered;
     tc "replay tolerates divergent configurations" test_replay_tolerates_divergence ]
