@@ -336,6 +336,7 @@ let methodology () =
               ~participants:(List.init c Fun.id) ~step_budget:20_000_000 ()
           in
           let res = Runner.run cfg mem cost (Kexclusion.Methodology.workload m) in
+          note_steps res;
           check "methodology" res;
           let p = point_of res in
           row "  %-6s %-6d %-24s %s@." mname c
@@ -358,6 +359,7 @@ let methodology () =
         Runner.config ~n ~k ~iterations:2 ~cs_delay:1 ~failures ~step_budget:20_000_000 ()
       in
       let res = Runner.run cfg mem cost (Kexclusion.Methodology.workload m) in
+      note_steps res;
       let completed =
         Array.fold_left
           (fun acc (p : Runner.proc_stats) -> if p.completed then acc + 1 else acc)

@@ -2,27 +2,209 @@
    evaluation (see DESIGN.md, section 4, for the experiment index) plus
    Bechamel microbenchmarks of the real-atomics runtime.
 
-     dune exec bench/main.exe                 # everything
-     dune exec bench/main.exe -- thm3 fig3    # selected experiments
-     dune exec bench/main.exe -- --list       # available ids *)
+     dune exec bench/main.exe                      # everything
+     dune exec bench/main.exe -- thm3 fig3         # selected experiments
+     dune exec bench/main.exe -- all-sim -j 4      # sim experiments, 4 domains
+     dune exec bench/main.exe -- all-sim --json BENCH_sim.json
+     dune exec bench/main.exe -- --list            # available ids
+
+   Every simulator experiment is seeded and deterministic, and each one's
+   output is buffered and printed in submission order, so stdout is
+   byte-identical whatever -j says.  The pseudo-id "all-sim" expands to all
+   simulator experiments; "micro" (wall-clock microbenchmarks, inherently
+   noisy) always runs on the main domain and is not part of all-sim. *)
+
+type task = Sim of (unit -> unit) | Micro
+
+type finished = {
+  output : string;
+  wall_s : float;
+  steps : int;
+  points : (string * Measure.point) list;
+  error : (exn * Printexc.raw_backtrace) option;
+}
+
+(* Run one simulator experiment with output buffered and stats collected in
+   the calling domain's context (Measure.set_context). *)
+let run_sim f =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  Measure.set_context ppf;
+  let t0 = Unix.gettimeofday () in
+  let error =
+    try
+      f ();
+      None
+    with e -> Some (e, Printexc.get_raw_backtrace ())
+  in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Format.pp_print_flush ppf ();
+  let steps, points = Measure.collected () in
+  { output = Buffer.contents buf; wall_s; steps; points; error }
+
+(* Print a finished experiment's (possibly partial) output, then re-raise
+   its failure if it had one — same abort behaviour as running unbuffered. *)
+let deliver r =
+  print_string r.output;
+  flush stdout;
+  match r.error with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* ------------------------------ JSON emitter ----------------------------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let emit_json file ~jobs ~baseline ~wall tasks results =
+  let oc = open_out file in
+  let out fmt = Printf.fprintf oc fmt in
+  let rate steps s = if s > 0. then float_of_int steps /. s else 0. in
+  out "{\n";
+  out "  \"schema\": \"kexclusion-bench/v1\",\n";
+  out "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version);
+  out "  \"jobs\": %d,\n" jobs;
+  (match baseline with
+  | Some b ->
+      out "  \"baseline_wall_s\": %.3f,\n" b;
+      if wall > 0. then out "  \"speedup_vs_baseline\": %.2f,\n" (b /. wall)
+  | None -> ());
+  let total_steps =
+    Array.fold_left (fun acc r -> match r with Some r -> acc + r.steps | None -> acc) 0 results
+  in
+  out "  \"total\": { \"wall_s\": %.3f, \"steps\": %d, \"steps_per_sec\": %.0f },\n" wall
+    total_steps (rate total_steps wall);
+  out "  \"experiments\": [";
+  let first = ref true in
+  Array.iteri
+    (fun i (id, t) ->
+      match (t, results.(i)) with
+      | Sim _, Some r ->
+          if not !first then out ",";
+          first := false;
+          out "\n    { \"id\": \"%s\", \"wall_s\": %.3f, \"steps\": %d, \"steps_per_sec\": %.0f,\n"
+            (json_escape id) r.wall_s r.steps (rate r.steps r.wall_s);
+          out "      \"points\": [";
+          List.iteri
+            (fun j (label, (p : Measure.point)) ->
+              if j > 0 then out ",";
+              out "\n        { \"label\": \"%s\", \"max\": %d, \"mean\": %.2f, \"p50\": %d, \"p99\": %d }"
+                (json_escape label) p.max p.mean p.p50 p.p99)
+            r.points;
+          if r.points <> [] then out "\n      ";
+          out "] }"
+      | _ -> ())
+    tasks;
+  out "\n  ]\n}\n";
+  close_out oc
+
+(* --------------------------------- driver -------------------------------- *)
 
 let () =
-  let available = List.map fst Experiments.all @ [ "micro" ] in
-  let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--list" args then
-    List.iter print_endline available
+  (* The simulator's monadic interpreter allocates a continuation per step;
+     a larger minor heap keeps that churn out of the major collector. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
+  let sim_ids = List.map fst Experiments.all in
+  let available = sim_ids @ [ "micro" ] in
+  let jobs = ref 1 and json = ref None and baseline = ref None in
+  let ids = ref [] and list_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--list" :: rest ->
+        list_only := true;
+        parse rest
+    | [ (("-j" | "--json" | "--baseline") as flag) ] ->
+        Printf.eprintf "%s needs an argument\n" flag;
+        exit 2
+    | "-j" :: n :: rest ->
+        jobs := int_of_string n;
+        parse rest
+    | "--json" :: f :: rest ->
+        json := Some f;
+        parse rest
+    | "--baseline" :: s :: rest ->
+        baseline := Some (float_of_string s);
+        parse rest
+    | id :: rest ->
+        ids := id :: !ids;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !list_only then List.iter print_endline (available @ [ "all-sim" ])
   else begin
-    let selected = if args = [] then available else args in
-    List.iter
-      (fun id ->
-        match List.assoc_opt id Experiments.all with
-        | Some f -> f ()
-        | None ->
-            if id = "micro" then Micro.run ()
-            else begin
-              Printf.eprintf "unknown experiment %S; use --list\n" id;
-              exit 2
-            end)
-      selected;
-    Format.printf "@.done.@."
+    let selected = match List.rev !ids with [] -> available | l -> l in
+    let selected =
+      List.concat_map (fun id -> if id = "all-sim" then sim_ids else [ id ]) selected
+    in
+    let tasks =
+      List.map
+        (fun id ->
+          match List.assoc_opt id Experiments.all with
+          | Some f -> (id, Sim f)
+          | None ->
+              if id = "micro" then (id, Micro)
+              else begin
+                Printf.eprintf "unknown experiment %S; use --list\n" id;
+                exit 2
+              end)
+        selected
+      |> Array.of_list
+    in
+    let n = Array.length tasks in
+    let results : finished option array = Array.make n None in
+    let jobs = max 1 !jobs in
+    let t0 = Unix.gettimeofday () in
+    if jobs = 1 then
+      Array.iteri
+        (fun i (_, t) ->
+          match t with
+          | Sim f ->
+              let r = run_sim f in
+              results.(i) <- Some r;
+              deliver r
+          | Micro -> Micro.run ())
+        tasks
+    else begin
+      (* Fan the simulator experiments out across domains.  Workers claim
+         task indices from a shared counter; each result slot is written by
+         exactly one worker and read only after the joins, so the array
+         needs no further synchronisation. *)
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec go () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            (match tasks.(i) with
+            | _, Sim f -> results.(i) <- Some (run_sim f)
+            | _, Micro -> ());
+            go ()
+          end
+        in
+        go ()
+      in
+      let helpers = List.init (min (jobs - 1) (max 0 (n - 1))) (fun _ -> Domain.spawn worker) in
+      worker ();
+      List.iter Domain.join helpers;
+      Array.iteri
+        (fun i (_, t) ->
+          match t with
+          | Sim _ -> deliver (Option.get results.(i))
+          | Micro -> Micro.run ())
+        tasks
+    end;
+    let wall = Unix.gettimeofday () -. t0 in
+    Format.printf "@.done.@.";
+    match !json with
+    | None -> ()
+    | Some file -> emit_json file ~jobs ~baseline:!baseline ~wall tasks results
   end

@@ -10,6 +10,30 @@ type point = { max : int; mean : float; p50 : int; p99 : int }
 let pp_point ppf p =
   Format.fprintf ppf "max %3d mean %6.1f p50 %3d p99 %3d" p.max p.mean p.p50 p.p99
 
+(* Per-domain output and stats context.  bench/main.ml buffers each
+   experiment's output so -j N can fan experiments across domains and still
+   print results in submission order, byte-identical to a sequential run;
+   the same context accumulates the headline numbers for the BENCH_sim.json
+   emitter.  Domain-local so worker domains never share a formatter. *)
+type collected = {
+  mutable steps : int;  (* simulator steps across every run in this context *)
+  mutable points : (string * point) list;  (* checked runs, reversed *)
+}
+
+let context =
+  Domain.DLS.new_key (fun () -> (Format.std_formatter, { steps = 0; points = [] }))
+
+let set_context ppf = Domain.DLS.set context (ppf, { steps = 0; points = [] })
+let formatter () = fst (Domain.DLS.get context)
+
+let collected () =
+  let c = snd (Domain.DLS.get context) in
+  (c.steps, List.rev c.points)
+
+let note_steps (res : Runner.result) =
+  let c = snd (Domain.DLS.get context) in
+  c.steps <- c.steps + res.total_steps
+
 let run_workload ?(iterations = 3) ?(cs_delay = 2) ?(budget = 0) ?failures ~model ~n ~k ~c
     build =
   let mem = Memory.create () in
@@ -19,18 +43,24 @@ let run_workload ?(iterations = 3) ?(cs_delay = 2) ?(budget = 0) ?failures ~mode
     Runner.config ~n ~k ~iterations ~cs_delay ?failures
       ~participants:(List.init c Fun.id) ~step_budget:budget ()
   in
-  Runner.run cfg mem cost workload
+  let res = Runner.run cfg mem cost workload in
+  note_steps res;
+  res
+
+let point_of res =
+  let s = Kex_sim.Stats.summarize res in
+  { max = s.Kex_sim.Stats.max_remote; mean = s.mean_remote; p50 = s.p50_remote;
+    p99 = s.p99_remote }
 
 let check label (res : Runner.result) =
   if not res.ok then
     failwith
       (Printf.sprintf "experiment %s: run failed (%s)" label
          (if res.stalled then "stalled" else String.concat "; " res.violations))
-
-let point_of res =
-  let s = Kex_sim.Stats.summarize res in
-  { max = s.Kex_sim.Stats.max_remote; mean = s.mean_remote; p50 = s.p50_remote;
-    p99 = s.p99_remote }
+  else begin
+    let c = snd (Domain.DLS.get context) in
+    c.points <- (label, point_of res) :: c.points
+  end
 
 let refs ?iterations ?cs_delay ?budget ~model algo ~n ~k ~c () =
   let res =
@@ -50,9 +80,9 @@ let refs_assignment ?iterations ?cs_delay ?budget ~model algo ~n ~k ~c () =
   point_of res
 
 let section title =
-  Format.printf "@.=== %s ===@." title
+  Format.fprintf (formatter ()) "@.=== %s ===@." title
 
-let row fmt = Format.printf fmt
+let row fmt = Format.fprintf (formatter ()) fmt
 
 let ok_str within = if within then "ok" else "EXCEEDED"
 

@@ -1,51 +1,90 @@
 type kind = Local | Remote
 type model = Cache_coherent | Distributed
 
+(* CC validity bookkeeping.  The hot operations are [cc_write] (invalidate
+   every other copy of a line) and [cc_read] (test/install one copy), so the
+   representation is chosen to make both O(1):
+
+   - [Bits]: one int per cell, one presence bit per process.  An OCaml int
+     has 63 usable bits, so this covers every machine with at most
+     [max_bits_procs] processes — a write replaces the whole mask with the
+     writer's bit, a read tests/sets one bit.
+   - [Wide]: the transparent fallback above that width — one byte per
+     (process, cell), exactly the historical representation, with the O(n)
+     invalidation walk on writes. *)
+type rep =
+  | Bits of { mutable mask : int array }  (* mask.(cell) = bitset of pids *)
+  | Wide of { mutable valid : Bytes.t array }  (* valid.(pid) has a byte per cell *)
+
 type t = {
   which : model;
   n_procs : int;
-  mutable cap : int;  (* cells covered by every valid byte-array *)
-  mutable valid : Bytes.t array;  (* CC: valid.(pid) has one byte per cell *)
+  mutable cap : int;  (* cells covered by the validity store *)
+  rep : rep;
 }
+
+let max_bits_procs = 62
 
 let create which ~n_procs =
   let cap = 64 in
-  { which; n_procs; cap; valid = Array.init n_procs (fun _ -> Bytes.make cap '\000') }
+  let rep =
+    if n_procs <= max_bits_procs then Bits { mask = Array.make cap 0 }
+    else Wide { valid = Array.init n_procs (fun _ -> Bytes.make cap '\000') }
+  in
+  { which; n_procs; cap; rep }
 
 let model t = t.which
 
-(* Capacity is tracked in [t.cap] rather than read off [t.valid.(0)] so that
-   a model created with [~n_procs:0] (an empty machine) never indexes into
-   the empty array. *)
+(* Capacity is tracked in [t.cap] rather than read off the store itself so
+   that a model created with [~n_procs:0] (an empty machine) never indexes
+   into an empty array. *)
 let ensure t a =
   if a >= t.cap then begin
     let cap' = max (2 * t.cap) (a + 1) in
-    t.valid <-
-      Array.map
-        (fun b ->
-          let b' = Bytes.make cap' '\000' in
-          Bytes.blit b 0 b' 0 (Bytes.length b);
-          b')
-        t.valid;
+    (match t.rep with
+    | Bits r ->
+        let mask' = Array.make cap' 0 in
+        Array.blit r.mask 0 mask' 0 t.cap;
+        r.mask <- mask'
+    | Wide r ->
+        r.valid <-
+          Array.map
+            (fun b ->
+              let b' = Bytes.make cap' '\000' in
+              Bytes.blit b 0 b' 0 (Bytes.length b);
+              b')
+            r.valid);
     t.cap <- cap'
   end
 
 let cc_read t ~pid a =
   ensure t a;
-  if Bytes.get t.valid.(pid) a = '\001' then Local
-  else begin
-    Bytes.set t.valid.(pid) a '\001';
-    Remote
-  end
+  match t.rep with
+  | Bits r ->
+      let bit = 1 lsl pid in
+      if r.mask.(a) land bit <> 0 then Local
+      else begin
+        r.mask.(a) <- r.mask.(a) lor bit;
+        Remote
+      end
+  | Wide r ->
+      if Bytes.get r.valid.(pid) a = '\001' then Local
+      else begin
+        Bytes.set r.valid.(pid) a '\001';
+        Remote
+      end
 
 (* A write or read-modify-write claims the line: it invalidates every other
    copy, leaves the writer with a valid copy, and always costs one remote
    reference (the paper counts every write statement as remote). *)
 let cc_write t ~pid a =
   ensure t a;
-  for q = 0 to t.n_procs - 1 do
-    Bytes.set t.valid.(q) a (if q = pid then '\001' else '\000')
-  done;
+  (match t.rep with
+  | Bits r -> r.mask.(a) <- 1 lsl pid
+  | Wide r ->
+      for q = 0 to t.n_procs - 1 do
+        Bytes.set r.valid.(q) a (if q = pid then '\001' else '\000')
+      done);
   Remote
 
 let dsm_access mem ~pid a =
@@ -59,14 +98,14 @@ let charge t mem ~pid (step : Op.step) =
       | Op.Write (a, _) | Op.Faa (a, _) | Op.Bounded_faa (a, _, _, _)
       | Op.Cas (a, _, _) | Op.Tas a | Op.Swap (a, _) ->
           cc_write t ~pid a
-      | Op.Delay -> Local
+      | Op.Delay _ -> Local
       | Op.Atomic_block _ -> Remote)
   | Distributed -> (
       match step with
       | Op.Read a | Op.Write (a, _) | Op.Faa (a, _) | Op.Bounded_faa (a, _, _, _)
       | Op.Cas (a, _, _) | Op.Tas a | Op.Swap (a, _) ->
           dsm_access mem ~pid a
-      | Op.Delay -> Local
+      | Op.Delay _ -> Local
       | Op.Atomic_block _ -> Remote)
 
 type block_charge = { block_remote : int; block_local : int }
@@ -79,13 +118,11 @@ let charge_block t mem ~pid fp =
       (* A cell both read and written inside the block is one RMW on its
          line: the read is absorbed into the (always remote) write charge,
          exactly as a standalone Faa/Cas/Tas is charged. *)
-      let writes = Op.Footprint.writes fp in
-      List.iter
-        (fun a -> if not (List.mem a writes) then tally (cc_read t ~pid a))
-        (Op.Footprint.reads fp);
-      List.iter (fun a -> tally (cc_write t ~pid a)) writes
+      Op.Footprint.iter_pure_reads fp (fun a -> tally (cc_read t ~pid a));
+      Op.Footprint.iter_writes fp (fun a -> tally (cc_write t ~pid a))
   | Distributed ->
-      List.iter (fun a -> tally (dsm_access mem ~pid a)) (Op.Footprint.cells fp));
+      Op.Footprint.iter_writes fp (fun a -> tally (dsm_access mem ~pid a));
+      Op.Footprint.iter_pure_reads fp (fun a -> tally (dsm_access mem ~pid a)));
   { block_remote = !remote; block_local = !local }
 
 let pp_model ppf = function

@@ -13,6 +13,8 @@ let create plan =
   List.iter (fun (pid, trig) -> if not (Hashtbl.mem tbl pid) then Hashtbl.add tbl pid trig) plan;
   { plan = tbl }
 
+let is_empty t = Hashtbl.length t.plan = 0
+
 (* [acquisition] is the count of already-completed critical sections, as
    reported by the monitor (incremented at Cs_exit).  So during the n-th
    (1-based) entry section or critical section it equals n - 1, and during

@@ -30,6 +30,10 @@ type t
 
 val create : plan -> t
 
+val is_empty : t -> bool
+(** No pid can ever crash — lets the runner skip the per-step consultation
+    entirely. *)
+
 val should_fail :
   t ->
   pid:int ->

@@ -9,7 +9,7 @@ type step =
   | Cas of addr * value * value
   | Tas of addr
   | Swap of addr * value
-  | Delay
+  | Delay of int
   | Atomic_block of string * (read:(addr -> value) -> write:(addr -> value -> unit) -> value)
 
 type event =
@@ -25,16 +25,77 @@ type 'a t =
   | Mark of event * (unit -> 'a t)
 
 module Footprint = struct
-  type t = { mutable reads : addr list; mutable writes : addr list }  (* reversed *)
+  (* Distinct addresses in first-access order, kept in growable arrays; a
+     flags table gives O(1)-amortized dedup instead of a List.mem scan per
+     access (blocks touching f cells used to cost O(f^2)). *)
+  let read_bit = 1
+  and write_bit = 2
 
-  let create () = { reads = []; writes = [] }
-  let record_read t a = if not (List.mem a t.reads) then t.reads <- a :: t.reads
-  let record_write t a = if not (List.mem a t.writes) then t.writes <- a :: t.writes
-  let reads t = List.rev t.reads
-  let writes t = List.rev t.writes
+  type t = {
+    mutable r : addr array;
+    mutable nr : int;
+    mutable w : addr array;
+    mutable nw : int;
+    seen : (addr, int) Hashtbl.t;  (* addr -> lor of read_bit/write_bit *)
+  }
+
+  let create () = { r = [||]; nr = 0; w = [||]; nw = 0; seen = Hashtbl.create 16 }
+
+  let push a arr n =
+    let arr = if n = 0 then Array.make 8 a else arr in
+    let arr =
+      if n >= Array.length arr then begin
+        let arr' = Array.make (2 * n) a in
+        Array.blit arr 0 arr' 0 n;
+        arr'
+      end
+      else arr
+    in
+    arr.(n) <- a;
+    arr
+
+  let flags t a = match Hashtbl.find_opt t.seen a with Some f -> f | None -> 0
+
+  let record_read t a =
+    let f = flags t a in
+    if f land read_bit = 0 then begin
+      Hashtbl.replace t.seen a (f lor read_bit);
+      t.r <- push a t.r t.nr;
+      t.nr <- t.nr + 1
+    end
+
+  let record_write t a =
+    let f = flags t a in
+    if f land write_bit = 0 then begin
+      Hashtbl.replace t.seen a (f lor write_bit);
+      t.w <- push a t.w t.nw;
+      t.nw <- t.nw + 1
+    end
+
+  let iter_writes t f =
+    for i = 0 to t.nw - 1 do
+      f t.w.(i)
+    done
+
+  (* Cells read and never written — "never" as of now, so a read that was
+     later upgraded to a write is excluded, matching the old list-based
+     [cells] which filtered reads against the final write set. *)
+  let iter_pure_reads t f =
+    for i = 0 to t.nr - 1 do
+      let a = t.r.(i) in
+      if flags t a land write_bit = 0 then f a
+    done
+
+  let reads t = List.init t.nr (fun i -> t.r.(i))
+  let writes t = List.init t.nw (fun i -> t.w.(i))
 
   let cells t =
-    List.rev t.writes @ List.filter (fun a -> not (List.mem a t.writes)) (List.rev t.reads)
+    let pure = ref [] in
+    for i = t.nr - 1 downto 0 do
+      let a = t.r.(i) in
+      if flags t a land write_bit = 0 then pure := a :: !pure
+    done;
+    writes t @ !pure
 
   let pp ppf t =
     let addrs l = String.concat "," (List.map string_of_int l) in
@@ -63,7 +124,10 @@ let cas a ~expected ~desired =
 let tas a = Step (Tas a, fun old -> return (old = 0))
 let swap a v = Step (Swap (a, v), return)
 
-let rec delay n = if n <= 0 then return () else Step (Delay, fun _ -> delay (n - 1))
+(* One counted step; the runner consumes it one scheduling turn at a time,
+   so [delay n] still occupies n turns without building an n-deep chain of
+   closures up front. *)
+let delay n = if n <= 0 then return () else Step (Delay n, fun _ -> return ())
 
 let mark e = Mark (e, return)
 let note s = mark (Note s)

@@ -32,9 +32,12 @@ type step =
   | Swap of addr * value
       (** fetch-and-store: stores the value, returns the old one (used by the
           MCS queue-lock baseline of references [11,12]) *)
-  | Delay
-      (** consumes a scheduling turn without touching shared memory; used to
-          model noncritical-section and critical-section dwell time *)
+  | Delay of int
+      (** [Delay n] consumes [n] scheduling turns (one at a time — the
+          runner re-emits [Delay (n-1)] after each turn, so other processes
+          interleave exactly as with [n] unit delays) without touching
+          shared memory; used to model noncritical-section and
+          critical-section dwell time *)
   | Atomic_block of string * (read:(addr -> value) -> write:(addr -> value -> unit) -> value)
       (** an arbitrary multi-access atomic block.  The runner records the
           block's footprint — the exact set of cells it reads and writes —
@@ -72,6 +75,13 @@ module Footprint : sig
 
   val cells : t -> addr list
   (** Distinct cells accessed at all (writes first, then read-only cells). *)
+
+  val iter_writes : t -> (addr -> unit) -> unit
+  (** Iterate the distinct cells written, in first-write order. *)
+
+  val iter_pure_reads : t -> (addr -> unit) -> unit
+  (** Iterate the distinct cells read and not also written, in first-read
+      order — the read-only tail of {!cells}, without building a list. *)
 
   val pp : Format.formatter -> t -> unit
 end

@@ -1,0 +1,68 @@
+type t = {
+  mutable arr : int array;  (* first [len] entries, strictly increasing *)
+  mutable len : int;
+  mutable present : Bytes.t;  (* one byte per pid *)
+}
+
+let create () = { arr = Array.make 16 0; len = 0; present = Bytes.make 16 '\000' }
+
+let clear t =
+  for i = 0 to t.len - 1 do
+    Bytes.set t.present t.arr.(i) '\000'
+  done;
+  t.len <- 0
+
+let ensure t pid =
+  if t.len >= Array.length t.arr then begin
+    let arr' = Array.make (2 * Array.length t.arr) 0 in
+    Array.blit t.arr 0 arr' 0 t.len;
+    t.arr <- arr'
+  end;
+  if pid >= Bytes.length t.present then begin
+    let cap = max (2 * Bytes.length t.present) (pid + 1) in
+    let p' = Bytes.make cap '\000' in
+    Bytes.blit t.present 0 p' 0 (Bytes.length t.present);
+    t.present <- p'
+  end
+
+let add t pid =
+  if pid < 0 then invalid_arg "Runnable.add: negative pid";
+  if t.len > 0 && t.arr.(t.len - 1) >= pid then
+    invalid_arg "Runnable.add: pids must be added in increasing order";
+  ensure t pid;
+  t.arr.(t.len) <- pid;
+  t.len <- t.len + 1;
+  Bytes.set t.present pid '\001'
+
+let length t = t.len
+let is_empty t = t.len = 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Runnable.get";
+  t.arr.(i)
+
+let mem t pid = pid >= 0 && pid < Bytes.length t.present && Bytes.get t.present pid = '\001'
+let max_elt t = if t.len = 0 then invalid_arg "Runnable.max_elt" else t.arr.(t.len - 1)
+
+(* Smallest element strictly greater than [pid], by binary search. *)
+let first_above t pid =
+  if t.len = 0 || t.arr.(t.len - 1) <= pid then None
+  else begin
+    let lo = ref 0 and hi = ref (t.len - 1) in
+    (* invariant: arr.(hi) > pid; answer in lo..hi *)
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.arr.(mid) > pid then hi := mid else lo := mid + 1
+    done;
+    Some t.arr.(!lo)
+  end
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f t.arr.(i)
+  done
+
+let of_list pids =
+  let t = create () in
+  List.iter (add t) (List.sort_uniq Int.compare pids);
+  t

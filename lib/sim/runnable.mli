@@ -1,0 +1,40 @@
+(** The set of runnable process ids, maintained by the runner and consumed
+    by {!Scheduler.next} on every simulated step.
+
+    The representation is a reusable sorted array plus a presence bitmap, so
+    the per-step scheduler operations are allocation-free: membership is
+    O(1), the round-robin successor is a binary search, and random choice is
+    one array index.  The runner rebuilds the set in place (clear + ascending
+    adds) only when a process finishes or crashes, not on every step. *)
+
+type t
+
+val create : unit -> t
+(** An empty set. *)
+
+val clear : t -> unit
+(** Remove every element, keeping the backing storage for reuse. *)
+
+val add : t -> int -> unit
+(** Append a pid.  Pids must be added in strictly increasing order since the
+    last {!clear} (the runner scans processes in pid order), keeping the
+    array sorted for free.  @raise Invalid_argument otherwise. *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val get : t -> int -> int
+(** [get t i] is the i-th smallest element. *)
+
+val mem : t -> int -> bool
+val max_elt : t -> int
+
+val first_above : t -> int -> int option
+(** Smallest element strictly greater than the argument — the round-robin
+    successor. *)
+
+val iter : t -> (int -> unit) -> unit
+(** Visit elements in increasing order. *)
+
+val of_list : int list -> t
+(** Convenience for tests: sorts and dedups. *)

@@ -76,7 +76,7 @@ let exec_step mem (s : Op.step) : Op.value =
       let old = Memory.get mem a in
       Memory.set mem a v;
       old
-  | Delay -> 0
+  | Delay _ -> 0
   | Atomic_block (_, f) -> f ~read:(Memory.get mem) ~write:(Memory.set mem)
 
 type pstate = {
@@ -138,14 +138,17 @@ let run cfg mem cost wl =
       + (cfg.iterations * cfg.n * (500 + (50 * cfg.n)))
       + (cfg.iterations * cfg.n * (cfg.cs_delay + cfg.noncrit_delay) * (cfg.n + 2))
   in
-  let runnable = ref [] in
+  (* The runnable set is a reusable sorted array + bitmap (see Runnable):
+     rebuilt in place only when a process finishes or crashes, never
+     reallocated per step. *)
+  let runnable = Runnable.create () in
   let dirty = ref true in
   let refresh () =
     if !dirty then begin
-      runnable :=
-        List.filter
-          (fun pid -> (not procs.(pid).finished) && not procs.(pid).failed)
-          (List.init cfg.n Fun.id);
+      Runnable.clear runnable;
+      for pid = 0 to cfg.n - 1 do
+        if (not procs.(pid).finished) && not procs.(pid).failed then Runnable.add runnable pid
+      done;
       dirty := false
     end
   in
@@ -172,19 +175,41 @@ let run cfg mem cost wl =
   let total_steps = ref 0 in
   let stalled = ref false in
   let running = ref true in
+  let no_failures = Failures.is_empty failures in
+  (* Per-step bookkeeping, shared by the common single-cell path and the
+     atomic-block path.  A plain call with unboxed arguments: the hot loop
+     allocates nothing of its own beyond the program's continuations. *)
+  let account ps pid phase_now s k v n_remote n_local footprint =
+    ps.steps <- ps.steps + 1;
+    ps.steps_in_phase <- ps.steps_in_phase + 1;
+    ps.remote <- ps.remote + n_remote;
+    ps.local <- ps.local + n_local;
+    if n_remote > 0 && phase_now <> Monitor.Noncrit then
+      ps.acq_remote <- ps.acq_remote + n_remote;
+    (match cfg.tracer with
+    | Some tr -> Trace.record_step ?footprint tr ~pid ~step:s ~value:v ~remote:n_remote
+    | None -> ());
+    (* A counted delay occupies one scheduling turn per unit: re-emit the
+       remainder so other processes interleave exactly as they would
+       through a chain of unit delays. *)
+    match s with
+    | Op.Delay n when n > 1 -> ps.prog <- Op.Step (Op.Delay (n - 1), k)
+    | _ -> ps.prog <- k v
+  in
   while !running do
     refresh ();
-    match Scheduler.next cfg.scheduler ~runnable:!runnable with
+    match Scheduler.next cfg.scheduler ~runnable with
     | None -> running := false
     | Some pid ->
         let ps = procs.(pid) in
         flush ps pid;
         if ps.finished then ()
         else if
-          Failures.should_fail failures ~pid ~steps_taken:ps.steps
-            ~phase:(Monitor.phase monitor ~pid)
-            ~acquisition:(Monitor.acquisitions monitor ~pid)
-            ~steps_in_phase:ps.steps_in_phase
+          (not no_failures)
+          && Failures.should_fail failures ~pid ~steps_taken:ps.steps
+               ~phase:(Monitor.phase monitor ~pid)
+               ~acquisition:(Monitor.acquisitions monitor ~pid)
+               ~steps_in_phase:ps.steps_in_phase
         then begin
           ps.failed <- true;
           Monitor.on_crash monitor ~pid;
@@ -195,40 +220,29 @@ let run cfg mem cost wl =
           (match ps.prog with
           | Op.Step (s, k) ->
               let phase_now = Monitor.phase monitor ~pid in
-              let v, n_remote, n_local, footprint =
-                match s with
-                | Op.Atomic_block (_, f) ->
-                    (* Record the block's exact footprint while executing it,
-                       then charge per cell — not a flat single remote. *)
-                    let fp = Op.Footprint.create () in
-                    let read a =
-                      Op.Footprint.record_read fp a;
-                      Memory.get mem a
-                    in
-                    let write a v =
-                      Op.Footprint.record_write fp a;
-                      Memory.set mem a v
-                    in
-                    let v = f ~read ~write in
-                    let c = Cost_model.charge_block cost mem ~pid fp in
-                    (v, c.Cost_model.block_remote, c.Cost_model.block_local, Some fp)
-                | _ ->
-                    let kind = Cost_model.charge cost mem ~pid s in
-                    let v = exec_step mem s in
-                    (match kind with
-                    | Cost_model.Remote -> (v, 1, 0, None)
-                    | Cost_model.Local -> (v, 0, 1, None))
-              in
-              ps.steps <- ps.steps + 1;
-              ps.steps_in_phase <- ps.steps_in_phase + 1;
-              ps.remote <- ps.remote + n_remote;
-              ps.local <- ps.local + n_local;
-              if n_remote > 0 && phase_now <> Monitor.Noncrit then
-                ps.acq_remote <- ps.acq_remote + n_remote;
-              (match cfg.tracer with
-              | Some tr -> Trace.record_step ?footprint tr ~pid ~step:s ~value:v ~remote:n_remote
-              | None -> ());
-              ps.prog <- k v;
+              (match s with
+              | Op.Atomic_block (_, f) ->
+                  (* Record the block's exact footprint while executing it,
+                     then charge per cell — not a flat single remote. *)
+                  let fp = Op.Footprint.create () in
+                  let read a =
+                    Op.Footprint.record_read fp a;
+                    Memory.get mem a
+                  in
+                  let write a v =
+                    Op.Footprint.record_write fp a;
+                    Memory.set mem a v
+                  in
+                  let v = f ~read ~write in
+                  let c = Cost_model.charge_block cost mem ~pid fp in
+                  account ps pid phase_now s k v c.Cost_model.block_remote
+                    c.Cost_model.block_local (Some fp)
+              | _ -> (
+                  let kind = Cost_model.charge cost mem ~pid s in
+                  let v = exec_step mem s in
+                  match kind with
+                  | Cost_model.Remote -> account ps pid phase_now s k v 1 0 None
+                  | Cost_model.Local -> account ps pid phase_now s k v 0 1 None));
               flush ps pid
           | Op.Return () | Op.Mark _ -> assert false);
           incr total_steps;

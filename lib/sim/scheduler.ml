@@ -27,13 +27,13 @@ let replay ~schedule =
   { strategy = Replay { upcoming = schedule; fallback = Round_robin { last = -1 } };
     name = "replay" }
 
-let pick_random rng runnable = List.nth runnable (Random.State.int rng (List.length runnable))
+let pick_random rng runnable =
+  Runnable.get runnable (Random.State.int rng (Runnable.length runnable))
 
 let next t ~runnable =
   let rec dispatch strategy runnable =
-    match runnable with
-    | [] -> None
-    | _ -> (
+    if Runnable.is_empty runnable then None
+    else
       match strategy with
       | Replay s -> (
           let rec pop () =
@@ -41,17 +41,20 @@ let next t ~runnable =
             | [] -> dispatch s.fallback runnable
             | pid :: rest ->
                 s.upcoming <- rest;
-                if List.mem pid runnable then Some pid else pop ()
+                if Runnable.mem runnable pid then Some pid else pop ()
           in
           pop ())
       | Round_robin s ->
-          let after = List.filter (fun p -> p > s.last) runnable in
-          let p = match after with p :: _ -> p | [] -> List.hd runnable in
+          let p =
+            match Runnable.first_above runnable s.last with
+            | Some p -> p
+            | None -> Runnable.get runnable 0
+          in
           s.last <- p;
           Some p
       | Random rng -> Some (pick_random rng runnable)
       | Burst s ->
-          if s.left > 0 && List.mem s.pid runnable then begin
+          if s.left > 0 && Runnable.mem runnable s.pid then begin
             s.left <- s.left - 1;
             Some s.pid
           end
@@ -62,7 +65,7 @@ let next t ~runnable =
             Some p
           end
       | Antisocial s ->
-          let max_pid = List.fold_left max 0 runnable in
+          let max_pid = Runnable.max_elt runnable in
           if Array.length s.recent <= max_pid then begin
             let recent = Array.make (max_pid + 1) 0 in
             Array.blit s.recent 0 recent 0 (Array.length s.recent);
@@ -71,13 +74,13 @@ let next t ~runnable =
           (* Mostly re-run the most recently active process; occasionally the
              least recent one, so every process is chosen infinitely often. *)
           let by cmp =
-            List.fold_left
-              (fun best p -> if cmp s.recent.(p) s.recent.(best) then p else best)
-              (List.hd runnable) runnable
+            let best = ref (Runnable.get runnable 0) in
+            Runnable.iter runnable (fun p -> if cmp s.recent.(p) s.recent.(!best) then best := p);
+            !best
           in
           let p = if Random.State.int s.rng 8 = 0 then by ( < ) else by ( > ) in
           s.recent.(p) <- s.recent.(p) + 1;
-          Some p)
+          Some p
   in
   dispatch t.strategy runnable
 

@@ -30,8 +30,9 @@ val replay : schedule:int list -> t
     schedule of a deterministic run against the same configuration
     reproduces it exactly. *)
 
-val next : t -> runnable:int list -> int option
-(** Pick the next process among [runnable] (sorted ascending); [None] iff
-    [runnable] is empty. *)
+val next : t -> runnable:Runnable.t -> int option
+(** Pick the next process among the {!Runnable.t} set; [None] iff the set is
+    empty.  The set is read-only to the scheduler and reused across steps by
+    the runner, so a pick allocates nothing. *)
 
 val name : t -> string

@@ -16,7 +16,7 @@ let percentile data p =
   if n = 0 then 0
   else begin
     let sorted = Array.copy data in
-    Array.sort compare sorted;
+    Array.sort Int.compare sorted;
     let rank = int_of_float (ceil (p *. float_of_int n)) in
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end

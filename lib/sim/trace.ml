@@ -30,7 +30,7 @@ let string_of_step ?footprint (s : Op.step) =
   | Op.Cas (a, e, d) -> Printf.sprintf "cas[%d]%d->%d" a e d
   | Op.Tas a -> Printf.sprintf "tas[%d]" a
   | Op.Swap (a, v) -> Printf.sprintf "swap[%d]:=%d" a v
-  | Op.Delay -> "delay"
+  | Op.Delay _ -> "delay"
   | Op.Atomic_block (name, _) -> (
       match footprint with
       | None -> Printf.sprintf "<%s>" name

@@ -7,20 +7,48 @@ type 'state report = {
   violation : 'state violation option;
 }
 
+(* The reachable edge set, as parallel flat int arrays (src.(i) -> dst.(i)).
+   Recording them is opt-in: [check] never reads edges, so it runs without
+   accumulating an O(transitions) structure; [reachable] asks for them and
+   gets cache-friendly arrays instead of a list of boxed pairs. *)
+type edges = { src : int array; dst : int array }
+
+let n_edges e = Array.length e.src
+let edge_list e = List.init (n_edges e) (fun i -> (e.src.(i), e.dst.(i)))
+
 (* Internal BFS bookkeeping: state index -> (predecessor index, label). *)
-let bfs (type s) (module M : System.MODEL with type state = s) ~max_states ~on_state ~on_edge =
+let bfs (type s) (module M : System.MODEL with type state = s) ~max_states ~record_edges
+    ~on_state ~on_edge =
   let index : (string, int) Hashtbl.t = Hashtbl.create 4096 in
   let states : s array ref = ref (Array.make 1024 (List.hd M.initial)) in
   let parents = ref (Array.make 1024 (-1, "init")) in
   let n = ref 0 in
-  let edges = ref [] in
+  let e_src = ref (Array.make 1024 0) in
+  let e_dst = ref (Array.make 1024 0) in
+  let n_edges = ref 0 in
+  let record_edge i j =
+    if record_edges then begin
+      if !n_edges >= Array.length !e_src then begin
+        let grow a =
+          let a' = Array.make (2 * Array.length a) 0 in
+          Array.blit a 0 a' 0 (Array.length a);
+          a'
+        in
+        e_src := grow !e_src;
+        e_dst := grow !e_dst
+      end;
+      !e_src.(!n_edges) <- i;
+      !e_dst.(!n_edges) <- j;
+      incr n_edges
+    end
+  in
   let transitions = ref 0 in
   let queue = Queue.create () in
   let push parent label s =
     let key = M.encode s in
     match Hashtbl.find_opt index key with
     | Some i ->
-        if parent >= 0 then edges := (parent, i) :: !edges;
+        if parent >= 0 then record_edge parent i;
         Some i
     | None ->
         if !n >= max_states then None
@@ -39,7 +67,7 @@ let bfs (type s) (module M : System.MODEL with type state = s) ~max_states ~on_s
           !states.(i) <- s;
           !parents.(i) <- (parent, label);
           incr n;
-          if parent >= 0 then edges := (parent, i) :: !edges;
+          if parent >= 0 then record_edge parent i;
           Queue.push i queue;
           Some i
         end
@@ -79,7 +107,8 @@ let bfs (type s) (module M : System.MODEL with type state = s) ~max_states ~on_s
     in
     go i []
   in
-  (!n, !transitions, not !capped, Array.sub !states 0 !n, !edges, trace_to)
+  let edges = { src = Array.sub !e_src 0 !n_edges; dst = Array.sub !e_dst 0 !n_edges } in
+  (!n, !transitions, not !capped, Array.sub !states 0 !n, edges, trace_to)
 
 let check (type s) (module M : System.MODEL with type state = s) ?(max_states = 2_000_000) () =
   let violation = ref None in
@@ -99,7 +128,7 @@ let check (type s) (module M : System.MODEL with type state = s) ?(max_states = 
     | None -> `Continue
   in
   let states, transitions, complete, _all, _edges, trace_to =
-    bfs (module M) ~max_states ~on_state:check_state ~on_edge:check_edge
+    bfs (module M) ~max_states ~record_edges:false ~on_state:check_state ~on_edge:check_edge
   in
   let violation =
     match !violation with
@@ -113,7 +142,7 @@ let check (type s) (module M : System.MODEL with type state = s) ?(max_states = 
 let reachable (type s) (module M : System.MODEL with type state = s) ?(max_states = 2_000_000)
     () =
   let states, _, complete, all, edges, _ =
-    bfs (module M) ~max_states
+    bfs (module M) ~max_states ~record_edges:true
       ~on_state:(fun _ _ -> `Continue)
       ~on_edge:(fun _ _ _ _ -> `Continue)
   in
@@ -150,7 +179,9 @@ let progress_on_graph states preds ~waiting ~goal =
 
 let predecessors states edges =
   let preds = Array.make (Array.length states) [] in
-  List.iter (fun (i, j) -> preds.(j) <- i :: preds.(j)) edges;
+  for e = 0 to n_edges edges - 1 do
+    preds.(edges.dst.(e)) <- edges.src.(e) :: preds.(edges.dst.(e))
+  done;
   preds
 
 let possible_progress (type s) (module M : System.MODEL with type state = s) ?max_states

@@ -19,13 +19,25 @@ val check :
   (module System.MODEL with type state = 's) -> ?max_states:int -> unit -> 's report
 (** Explore breadth-first from the initial states, checking every state
     invariant on every state and every step invariant on every transition.
-    Stops at the first violation.  Default cap: 2_000_000 states. *)
+    Stops at the first violation.  Default cap: 2_000_000 states.  Edge
+    recording is off: [check] never reads the edge set, so it explores
+    without accumulating an O(transitions) structure. *)
+
+type edges
+(** Directed edges of the reachable graph as flat parallel int arrays —
+    compact and cache-friendly for the graph passes of the
+    possible-progress analyses. *)
+
+val n_edges : edges -> int
+
+val edge_list : edges -> (int * int) list
+(** Materialize (src, dst) pairs, in discovery order — for small graphs and
+    debugging; the analyses below consume the arrays directly. *)
 
 val reachable :
-  (module System.MODEL with type state = 's) -> ?max_states:int -> unit ->
-  's array * (int * int) list
+  (module System.MODEL with type state = 's) -> ?max_states:int -> unit -> 's array * edges
 (** The reachable state graph: states (index order = discovery order) and
-    directed edges as index pairs.  Used for possible-progress analyses. *)
+    directed edges.  Used for possible-progress analyses. *)
 
 val possible_progress :
   (module System.MODEL with type state = 's) ->

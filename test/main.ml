@@ -3,6 +3,7 @@ let () =
     [ ("op", Test_op.suite);
       ("memory", Test_memory.suite);
       ("cost-model", Test_cost_model.suite);
+      ("cost-model-diff", Test_cost_model_diff.suite);
       ("scheduler", Test_scheduler.suite);
       ("monitor", Test_monitor.suite);
       ("failures", Test_failures.suite);

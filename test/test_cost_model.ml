@@ -80,9 +80,9 @@ let test_dsm_no_caching () =
 
 let test_delay_free () =
   let mem, cost, _, _ = setup Cost_model.Cache_coherent in
-  Alcotest.check kind "delay local (CC)" Cost_model.Local (charge cost mem ~pid:0 Op.Delay);
+  Alcotest.check kind "delay local (CC)" Cost_model.Local (charge cost mem ~pid:0 (Op.Delay 1));
   let mem, cost, _, _ = setup Cost_model.Distributed in
-  Alcotest.check kind "delay local (DSM)" Cost_model.Local (charge cost mem ~pid:0 Op.Delay)
+  Alcotest.check kind "delay local (DSM)" Cost_model.Local (charge cost mem ~pid:0 (Op.Delay 1))
 
 let test_atomic_block_fallback_remote () =
   (* Footprint-less [charge] keeps the conservative flat charge; the runner
@@ -156,7 +156,7 @@ let test_zero_procs_no_crash () =
   let a = Memory.alloc mem ~init:0 500 in
   let far = a + 499 in
   let cost = Cost_model.create Cost_model.Cache_coherent ~n_procs:0 in
-  Alcotest.check kind "delay local" Cost_model.Local (charge cost mem ~pid:0 Op.Delay);
+  Alcotest.check kind "delay local" Cost_model.Local (charge cost mem ~pid:0 (Op.Delay 1));
   Alcotest.check kind "write beyond initial capacity grows and charges" Cost_model.Remote
     (charge cost mem ~pid:0 (Op.Write (far, 1)))
 

@@ -1,0 +1,263 @@
+(* Differential tests for the cost model's bitmask representation and the
+   array-backed footprint: both are pure representation changes, so each is
+   pinned against a straightforward reference implementation of the
+   historical behaviour (validity byte per (process, cell); dedup'd lists)
+   on random operation sequences. *)
+
+module Memory = Kex_sim.Memory
+module Op = Kex_sim.Op
+module Cost_model = Kex_sim.Cost_model
+
+(* The historical CC validity store: one byte per (process, cell), writes
+   invalidate with an O(n_procs) walk. *)
+module Ref_cc = struct
+  type t = { n_procs : int; mutable valid : Bytes.t array; mutable cap : int }
+
+  let create ~n_procs =
+    { n_procs; valid = Array.init n_procs (fun _ -> Bytes.make 16 '\000'); cap = 16 }
+
+  let ensure t a =
+    if a >= t.cap then begin
+      let cap' = max (2 * t.cap) (a + 1) in
+      t.valid <-
+        Array.map
+          (fun b ->
+            let b' = Bytes.make cap' '\000' in
+            Bytes.blit b 0 b' 0 t.cap;
+            b')
+          t.valid;
+      t.cap <- cap'
+    end
+
+  let read t ~pid a =
+    ensure t a;
+    if Bytes.get t.valid.(pid) a = '\001' then Cost_model.Local
+    else begin
+      Bytes.set t.valid.(pid) a '\001';
+      Cost_model.Remote
+    end
+
+  let write t ~pid a =
+    ensure t a;
+    for q = 0 to t.n_procs - 1 do
+      Bytes.set t.valid.(q) a (if q = pid then '\001' else '\000')
+    done;
+    Cost_model.Remote
+end
+
+(* The historical footprint: dedup'd lists in first-access order. *)
+module Ref_fp = struct
+  type t = { mutable reads : int list; mutable writes : int list }  (* reversed *)
+
+  let create () = { reads = []; writes = [] }
+  let record_read t a = if not (List.mem a t.reads) then t.reads <- a :: t.reads
+  let record_write t a = if not (List.mem a t.writes) then t.writes <- a :: t.writes
+  let reads t = List.rev t.reads
+  let writes t = List.rev t.writes
+  let pure_reads t = List.filter (fun a -> not (List.mem a t.writes)) (reads t)
+  let cells t = writes t @ pure_reads t
+end
+
+(* Random mixed sequences: single-cell steps plus atomic blocks, everything
+   stateful through one model instance so cached copies carry across. *)
+type access = AR of int | AW of int
+type action = Single of int * bool * int (* pid, is_write, addr *) | Block of int * access list
+
+let show_access = function AR a -> Printf.sprintf "R%d" a | AW a -> Printf.sprintf "W%d" a
+
+let show_action = function
+  | Single (pid, w, a) -> Printf.sprintf "p%d:%s%d" pid (if w then "W" else "R") a
+  | Block (pid, accs) ->
+      Printf.sprintf "p%d:[%s]" pid (String.concat " " (List.map show_access accs))
+
+let show_run (n_procs, actions) =
+  Printf.sprintf "n_procs=%d: %s" n_procs (String.concat "; " (List.map show_action actions))
+
+let gen_run ~min_procs ~max_procs ~max_addr =
+  let open QCheck2.Gen in
+  let* n_procs = int_range min_procs max_procs in
+  let gen_access =
+    let* w = bool in
+    let* a = int_range 0 max_addr in
+    return (if w then AW a else AR a)
+  in
+  let gen_action =
+    let* pid = int_range 0 (n_procs - 1) in
+    frequency
+      [ ( 4,
+          let* w = bool in
+          let* a = int_range 0 max_addr in
+          return (Single (pid, w, a)) );
+        ( 1,
+          let* accs = list_size (int_range 0 8) gen_access in
+          return (Block (pid, accs)) ) ]
+  in
+  let* actions = list_size (int_range 0 120) gen_action in
+  return (n_procs, actions)
+
+let pair_of_kind = function Cost_model.Remote -> (1, 0) | Cost_model.Local -> (0, 1)
+
+let fill_footprint record_read record_write fp accs =
+  List.iter (function AR a -> record_read fp a | AW a -> record_write fp a) accs
+
+(* Charges from the real implementation, one (remote, local) pair per action. *)
+let run_real ~model ~n_procs mem actions =
+  let cost = Cost_model.create model ~n_procs in
+  List.map
+    (fun act ->
+      match act with
+      | Single (pid, w, a) ->
+          pair_of_kind (Cost_model.charge cost mem ~pid (if w then Op.Write (a, 0) else Op.Read a))
+      | Block (pid, accs) ->
+          let fp = Op.Footprint.create () in
+          fill_footprint Op.Footprint.record_read Op.Footprint.record_write fp accs;
+          let c = Cost_model.charge_block cost mem ~pid fp in
+          (c.Cost_model.block_remote, c.Cost_model.block_local))
+    actions
+
+(* Reference CC charges: blocks charge pure reads then writes, each like the
+   equivalent standalone access (a read-and-written cell is one RMW, charged
+   once as a write). *)
+let run_ref_cc ~n_procs actions =
+  let m = Ref_cc.create ~n_procs in
+  List.map
+    (fun act ->
+      match act with
+      | Single (pid, true, a) -> pair_of_kind (Ref_cc.write m ~pid a)
+      | Single (pid, false, a) -> pair_of_kind (Ref_cc.read m ~pid a)
+      | Block (pid, accs) ->
+          let fp = Ref_fp.create () in
+          fill_footprint Ref_fp.record_read Ref_fp.record_write fp accs;
+          let remote = ref 0 and local = ref 0 in
+          let tally = function Cost_model.Remote -> incr remote | Cost_model.Local -> incr local in
+          List.iter (fun a -> tally (Ref_cc.read m ~pid a)) (Ref_fp.pure_reads fp);
+          List.iter (fun a -> tally (Ref_cc.write m ~pid a)) (Ref_fp.writes fp);
+          (!remote, !local))
+    actions
+
+(* Reference DSM charges: every distinct cell accessed is local iff owned. *)
+let run_ref_dsm mem actions =
+  let access pid a =
+    match Memory.owner mem a with Some p when p = pid -> (0, 1) | Some _ | None -> (1, 0)
+  in
+  let add (r, l) (r', l') = (r + r', l + l') in
+  List.map
+    (fun act ->
+      match act with
+      | Single (pid, _, a) -> access pid a
+      | Block (pid, accs) ->
+          let fp = Ref_fp.create () in
+          fill_footprint Ref_fp.record_read Ref_fp.record_write fp accs;
+          List.fold_left
+            (fun acc a -> add acc (access pid a))
+            (0, 0)
+            (Ref_fp.writes fp @ Ref_fp.pure_reads fp))
+    actions
+
+let max_addr = 100
+
+let prop_cc_matches_reference ~name ~min_procs ~max_procs =
+  QCheck2.Test.make ~name ~count:300 ~print:show_run
+    (gen_run ~min_procs ~max_procs ~max_addr)
+    (fun (n_procs, actions) ->
+      let mem = Memory.create () in
+      run_real ~model:Cost_model.Cache_coherent ~n_procs mem actions
+      = run_ref_cc ~n_procs actions)
+
+(* n_procs <= 62 runs on the bitmask representation... *)
+let prop_cc_bitmask =
+  prop_cc_matches_reference ~name:"CC bitmask rep charges like byte-per-copy reference"
+    ~min_procs:1 ~max_procs:62
+
+(* ...and wider machines on the transparent byte-per-copy fallback. *)
+let prop_cc_wide =
+  prop_cc_matches_reference ~name:"CC wide fallback (n_procs > 62) charges like reference"
+    ~min_procs:63 ~max_procs:70
+
+(* The two representations of the real implementation also agree with each
+   other: widen the machine past the bitmask cutoff without touching the
+   extra pids and nothing observable may change. *)
+let prop_cc_rep_equivalence =
+  QCheck2.Test.make ~name:"CC charges independent of representation (50 vs 63 procs)"
+    ~count:300 ~print:show_run
+    (gen_run ~min_procs:50 ~max_procs:50 ~max_addr)
+    (fun (_, actions) ->
+      let mem = Memory.create () in
+      run_real ~model:Cost_model.Cache_coherent ~n_procs:50 mem actions
+      = run_real ~model:Cost_model.Cache_coherent ~n_procs:63 mem actions)
+
+let prop_dsm_matches_reference =
+  QCheck2.Test.make ~name:"DSM charges by ownership, blocks per distinct cell" ~count:300
+    ~print:show_run
+    (gen_run ~min_procs:1 ~max_procs:16 ~max_addr)
+    (fun (n_procs, actions) ->
+      let mem = Memory.create () in
+      for a = 0 to max_addr do
+        (* a mix of unowned cells and cells spread across the partitions *)
+        if a mod 3 = 0 then ignore (Memory.alloc mem ~init:0 1)
+        else ignore (Memory.alloc mem ~owner:(a mod n_procs) ~init:0 1)
+      done;
+      run_real ~model:Cost_model.Distributed ~n_procs mem actions = run_ref_dsm mem actions)
+
+let prop_footprint_matches_reference =
+  QCheck2.Test.make ~name:"Footprint dedup and order match reference lists" ~count:500
+    ~print:(fun accs -> String.concat " " (List.map show_access accs))
+    QCheck2.Gen.(
+      list_size (int_range 0 60)
+        (let* w = bool in
+         let* a = int_range 0 20 in
+         return (if w then AW a else AR a)))
+    (fun accs ->
+      let fp = Op.Footprint.create () in
+      let rf = Ref_fp.create () in
+      fill_footprint Op.Footprint.record_read Op.Footprint.record_write fp accs;
+      fill_footprint Ref_fp.record_read Ref_fp.record_write rf accs;
+      let collected iter =
+        let acc = ref [] in
+        iter fp (fun a -> acc := a :: !acc);
+        List.rev !acc
+      in
+      Op.Footprint.reads fp = Ref_fp.reads rf
+      && Op.Footprint.writes fp = Ref_fp.writes rf
+      && Op.Footprint.cells fp = Ref_fp.cells rf
+      && collected Op.Footprint.iter_writes = Ref_fp.writes rf
+      && collected Op.Footprint.iter_pure_reads = Ref_fp.pure_reads rf)
+
+let test_rmw_charged_once () =
+  (* A cell both read and written inside a block is one RMW: charged once,
+     as a (remote) write, never also as a read. *)
+  let mem = Memory.create () in
+  let cost = Cost_model.create Cost_model.Cache_coherent ~n_procs:4 in
+  let block accs =
+    let fp = Op.Footprint.create () in
+    fill_footprint Op.Footprint.record_read Op.Footprint.record_write fp accs;
+    let c = Cost_model.charge_block cost mem ~pid:0 fp in
+    (c.Cost_model.block_remote, c.Cost_model.block_local)
+  in
+  Alcotest.(check (pair int int)) "rmw on cold cell: one remote" (1, 0) (block [ AR 7; AW 7 ]);
+  Alcotest.(check (pair int int)) "read of the just-written cell is cached" (0, 1)
+    (block [ AR 7 ]);
+  Alcotest.(check (pair int int)) "write order irrelevant: write-then-read same cell" (1, 0)
+    (block [ AW 9; AR 9 ]);
+  Alcotest.(check (pair int int)) "mixed block: rmw once + pure read miss" (2, 0)
+    (block [ AR 11; AW 11; AR 12 ]);
+  (* pid 1 reads cell 7 (miss), then pid 0's write invalidates it *)
+  let fp = Op.Footprint.create () in
+  Op.Footprint.record_read fp 7;
+  let c = Cost_model.charge_block cost mem ~pid:1 fp in
+  Alcotest.(check (pair int int)) "other pid misses" (1, 0)
+    (c.Cost_model.block_remote, c.Cost_model.block_local);
+  Alcotest.(check (pair int int)) "pid 0 write invalidates pid 1" (1, 0) (block [ AW 7 ]);
+  let fp = Op.Footprint.create () in
+  Op.Footprint.record_read fp 7;
+  let c = Cost_model.charge_block cost mem ~pid:1 fp in
+  Alcotest.(check (pair int int)) "pid 1 misses again after invalidation" (1, 0)
+    (c.Cost_model.block_remote, c.Cost_model.block_local)
+
+let suite =
+  [ Helpers.tc "atomic-block RMW charged once" test_rmw_charged_once;
+    QCheck_alcotest.to_alcotest prop_cc_bitmask;
+    QCheck_alcotest.to_alcotest prop_cc_wide;
+    QCheck_alcotest.to_alcotest prop_cc_rep_equivalence;
+    QCheck_alcotest.to_alcotest prop_dsm_matches_reference;
+    QCheck_alcotest.to_alcotest prop_footprint_matches_reference ]

@@ -9,6 +9,10 @@ let interp mem prog =
   let steps = ref 0 in
   let rec go = function
     | Op.Return x -> x
+    | Op.Step (Op.Delay n, k) ->
+        (* a counted delay occupies n scheduling turns *)
+        steps := !steps + n;
+        go (k 0)
     | Op.Step (s, k) ->
         incr steps;
         go (k (Runner.exec_step mem s))

@@ -1,6 +1,8 @@
 open Kex_sim
 
-let take sched runnable n = List.init n (fun _ -> Option.get (Scheduler.next sched ~runnable))
+let take sched pids n =
+  let runnable = Runnable.of_list pids in
+  List.init n (fun _ -> Option.get (Scheduler.next sched ~runnable))
 
 let test_round_robin_cycles () =
   let s = Scheduler.round_robin () in
@@ -17,7 +19,9 @@ let test_round_robin_skips_dead () =
 
 let test_empty_runnable () =
   List.iter
-    (fun s -> Alcotest.(check (option int)) (Scheduler.name s) None (Scheduler.next s ~runnable:[]))
+    (fun s ->
+      Alcotest.(check (option int)) (Scheduler.name s) None
+        (Scheduler.next s ~runnable:(Runnable.of_list [])))
     (Helpers.fresh_schedulers ())
 
 let test_random_deterministic () =
@@ -70,8 +74,31 @@ let test_burst_tiny_max_burst () =
         picks)
     [ 1; 0; -4 ]
 
+let test_runnable_set () =
+  let r = Runnable.of_list [ 5; 1; 9; 1 ] in
+  Alcotest.(check int) "dedup + sorted length" 3 (Runnable.length r);
+  let seen = ref [] in
+  Runnable.iter r (fun p -> seen := p :: !seen);
+  Alcotest.(check (list int)) "iter ascending" [ 1; 5; 9 ] (List.rev !seen);
+  Alcotest.(check bool) "mem present" true (Runnable.mem r 5);
+  Alcotest.(check bool) "mem absent" false (Runnable.mem r 4);
+  Alcotest.(check bool) "mem beyond bitmap" false (Runnable.mem r 999);
+  Alcotest.(check int) "max element" 9 (Runnable.max_elt r);
+  Alcotest.(check (option int)) "successor of -1" (Some 1) (Runnable.first_above r (-1));
+  Alcotest.(check (option int)) "successor of member" (Some 5) (Runnable.first_above r 1);
+  Alcotest.(check (option int)) "successor across gap" (Some 9) (Runnable.first_above r 6);
+  Alcotest.(check (option int)) "no successor of max" None (Runnable.first_above r 9);
+  (* clear + re-add reuses the storage and resets the bitmap *)
+  Runnable.clear r;
+  Alcotest.(check bool) "cleared" true (Runnable.is_empty r);
+  Alcotest.(check bool) "bitmap cleared" false (Runnable.mem r 5);
+  Runnable.add r 2;
+  Runnable.add r 7;
+  Alcotest.(check (option int)) "reused set" (Some 7) (Runnable.first_above r 2)
+
 let suite =
-  [ Helpers.tc "round robin cycles in pid order" test_round_robin_cycles;
+  [ Helpers.tc "runnable set: membership, successor, reuse" test_runnable_set;
+    Helpers.tc "round robin cycles in pid order" test_round_robin_cycles;
     Helpers.tc "round robin skips departed processes" test_round_robin_skips_dead;
     Helpers.tc "no pick from empty runnable set" test_empty_runnable;
     Helpers.tc "random schedule is seed-deterministic" test_random_deterministic;

@@ -24,6 +24,23 @@ let test_percentile_edges () =
   Alcotest.(check int) "ties: p40 lands on the low run" 1 (Stats.percentile ties 0.4);
   Alcotest.(check int) "ties: p1" 2 (Stats.percentile ties 1.0)
 
+let test_percentile_pinned () =
+  (* Nearest-rank percentiles pinned on known distributions — guards the
+     sort inside [percentile] (Int.compare, monomorphic). *)
+  let d100 = Array.init 100 (fun i -> 100 - i) in
+  Alcotest.(check int) "1..100 p50" 50 (Stats.percentile d100 0.5);
+  Alcotest.(check int) "1..100 p99" 99 (Stats.percentile d100 0.99);
+  Alcotest.(check int) "1..100 p1" 1 (Stats.percentile d100 0.01);
+  (* 7919 is coprime to 1000, so this is a permutation of 0..999 *)
+  let d1000 = Array.init 1000 (fun i -> i * 7919 mod 1000) in
+  Alcotest.(check int) "0..999 p50" 499 (Stats.percentile d1000 0.5);
+  Alcotest.(check int) "0..999 p99" 989 (Stats.percentile d1000 0.99);
+  let heavy = Array.append (Array.make 990 3) (Array.make 10 1_000_000) in
+  Alcotest.(check int) "heavy tail p50" 3 (Stats.percentile heavy 0.5);
+  Alcotest.(check int) "heavy tail p99" 3 (Stats.percentile heavy 0.99);
+  Alcotest.(check int) "heavy tail p100" 1_000_000 (Stats.percentile heavy 1.0);
+  Alcotest.(check int) "negatives p50" (-1) (Stats.percentile [| -5; -1; -3; 0; 2 |] 0.5)
+
 let test_ceil_log2 () =
   Alcotest.(check int) "1" 0 (Spec.ceil_log2 1);
   Alcotest.(check int) "2" 1 (Spec.ceil_log2 2);
@@ -82,6 +99,7 @@ let prop_graceful_interpolates =
 let suite =
   [ Helpers.tc "percentile (nearest rank)" test_percentile;
     Helpers.tc "percentile edge cases" test_percentile_edges;
+    Helpers.tc "percentile pinned distributions" test_percentile_pinned;
     Helpers.tc "ceil_log2" test_ceil_log2;
     Helpers.tc "theorem formulas spot values" test_bound_values;
     QCheck_alcotest.to_alcotest prop_bounds_monotone_in_n;
