@@ -71,7 +71,9 @@ let emit_json file ~jobs ~baseline ~wall tasks results =
   let out fmt = Printf.fprintf oc fmt in
   let rate steps s = if s > 0. then float_of_int steps /. s else 0. in
   out "{\n";
-  out "  \"schema\": \"kexclusion-bench/v1\",\n";
+  out "  \"schema\": \"kexclusion-bench/v2\",\n";
+  out "  \"git_rev\": \"%s\",\n" (json_escape (Kex_service.Provenance.git_rev ()));
+  out "  \"hostname\": \"%s\",\n" (json_escape (Kex_service.Provenance.hostname ()));
   out "  \"ocaml\": \"%s\",\n" (json_escape Sys.ocaml_version);
   out "  \"jobs\": %d,\n" jobs;
   (match baseline with

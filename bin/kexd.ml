@@ -1,9 +1,12 @@
-(* kexd — command-line driver for the k-exclusion simulator and model
-   checker.
+(* kexd — command-line driver for the k-exclusion simulator, model checker
+   and the networked resilient KV service.
 
      kexd run    --algo fastpath --model cc --n 32 --k 4 --contention 8
      kexd sweep  --algo tree --model dsm --k 4 --over n --values 8,16,32,64
      kexd verify --figure fig2 --n 3 --crashes 2
+     kexd serve  --port 7070 --workers 4 --k 2 --chaos kill-worker@5s
+     kexd loadgen --port 7070 --connections 4 --duration 5 --mix get=80,set=20
+     kexd bench-report BENCH_serve.json
 
    See DESIGN.md for the experiment catalogue these commands back. *)
 
@@ -118,28 +121,74 @@ let sweep_cmd =
       & opt (list int) [ 8; 16; 32; 64 ]
       & info [ "values" ] ~doc:"comma-separated sweep values")
   in
-  let run model algo n k iterations seed over values =
-    Format.printf "%-8s %10s %10s %10s@." "value" "max" "mean" "bound";
-    List.iter
-      (fun v ->
-        let n, c = match over with `N -> (v, v) | `C -> (n, v) in
-        let res = measure ~model ~algo ~n ~k ~c ~iterations ~seed ~assignment:false in
-        if not res.Runner.ok then Format.printf "%-8d (run failed)@." v
-        else begin
-          let s = Kex_sim.Stats.summarize res in
-          Format.printf "%-8d %10d %10.1f %10s@." v s.Kex_sim.Stats.max_remote s.mean_remote
-            (match Kexclusion.Registry.bound ~model algo ~n ~k ~c with
-            | Some b -> string_of_int b
-            | None -> "-")
-        end)
-      values;
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"also write the sweep as machine-readable JSON (schema kexclusion-sweep/v1, \
+                same point fields as bench/main.ml)")
+  in
+  let run model algo n k iterations seed over values json =
+    Format.printf "%-8s %10s %10s %10s %10s %10s@." "value" "max" "mean" "p50" "p99" "bound";
+    let points =
+      List.filter_map
+        (fun v ->
+          let n, c = match over with `N -> (v, v) | `C -> (n, v) in
+          let res = measure ~model ~algo ~n ~k ~c ~iterations ~seed ~assignment:false in
+          if not res.Runner.ok then begin
+            Format.printf "%-8d (run failed)@." v;
+            None
+          end
+          else begin
+            let s = Kex_sim.Stats.summarize res in
+            let bound = Kexclusion.Registry.bound ~model algo ~n ~k ~c in
+            Format.printf "%-8d %10d %10.1f %10d %10d %10s@." v s.Kex_sim.Stats.max_remote
+              s.mean_remote s.p50_remote s.p99_remote
+              (match bound with Some b -> string_of_int b | None -> "-");
+            Some (v, s, bound)
+          end)
+        values
+    in
+    (match json with
+    | None -> ()
+    | Some file ->
+        let open Kex_service.Json in
+        let point (v, (s : Kex_sim.Stats.summary), bound) =
+          Obj
+            ([ ("label", String (string_of_int v));
+               ("value", Int v);
+               ("max", Int s.Kex_sim.Stats.max_remote);
+               ("mean", Float s.mean_remote);
+               ("p50", Int s.p50_remote);
+               ("p99", Int s.p99_remote) ]
+            @ match bound with Some b -> [ ("bound", Int b) ] | None -> [])
+        in
+        let doc =
+          Obj
+            [ ("schema", String "kexclusion-sweep/v1");
+              ("git_rev", String (Kex_service.Provenance.git_rev ()));
+              ("hostname", String (Kex_service.Provenance.hostname ()));
+              ("ocaml", String Sys.ocaml_version);
+              ("algo", String (Kexclusion.Registry.algo_name algo));
+              ("model", String (Format.asprintf "%a" Cost_model.pp_model model));
+              ("n", Int n);
+              ("k", Int k);
+              ("iterations", Int iterations);
+              ("over", String (match over with `N -> "n" | `C -> "contention"));
+              ("points", List (Stdlib.List.map point points)) ]
+        in
+        let oc = open_out file in
+        output_string oc (to_string ~indent:2 doc);
+        output_char oc '\n';
+        close_out oc);
     0
   in
   Cmd.v
     (Cmd.info "sweep" ~doc)
     Term.(
       const run $ model_arg $ algo_arg $ n_arg $ k_arg $ iters_arg $ seed_arg $ over_arg
-      $ values_arg)
+      $ values_arg $ json_arg)
 
 (* ------------------------------- verify --------------------------------- *)
 
@@ -215,9 +264,253 @@ let hunt_cmd =
   Cmd.v (Cmd.info "hunt" ~doc)
     Term.(const run $ figure_arg $ small_n_arg $ crashes_arg $ walks_arg $ steps_arg)
 
+(* -------------------------------- serve ---------------------------------- *)
+
+let runtime_algo_conv =
+  let parse = function
+    | "naive" -> Ok Kex_runtime.Kex_lock.Naive
+    | "inductive" -> Ok Kex_runtime.Kex_lock.Inductive
+    | "tree" -> Ok Kex_runtime.Kex_lock.Tree
+    | "fastpath" -> Ok Kex_runtime.Kex_lock.Fast_path
+    | "graceful" -> Ok Kex_runtime.Kex_lock.Graceful
+    | "dsm-fastpath" -> Ok Kex_runtime.Kex_lock.Dsm_fast_path
+    | s ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown algorithm %S (use naive, inductive, tree, fastpath, graceful or \
+                dsm-fastpath)"
+               s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Kex_runtime.Kex_lock.Naive -> "naive"
+      | Kex_runtime.Kex_lock.Inductive -> "inductive"
+      | Kex_runtime.Kex_lock.Tree -> "tree"
+      | Kex_runtime.Kex_lock.Fast_path -> "fastpath"
+      | Kex_runtime.Kex_lock.Graceful -> "graceful"
+      | Kex_runtime.Kex_lock.Dsm_fast_path -> "dsm-fastpath")
+  in
+  Arg.conv (parse, print)
+
+let chaos_conv =
+  let parse s =
+    match Kex_service.Chaos.parse s with Ok e -> Ok e | Error msg -> Error (`Msg msg)
+  in
+  let print ppf e = Format.pp_print_string ppf (Kex_service.Chaos.to_string e) in
+  Arg.conv (parse, print)
+
+let port_arg = Arg.(value & opt int 7070 & info [ "port"; "p" ] ~doc:"TCP port (0 = ephemeral)")
+let quiet_arg = Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"suppress progress output")
+
+let serve_cmd =
+  let doc = "serve the (k-1)-resilient KV store over TCP with a worker-pool admission wrapper" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Runs a listener plus $(b,--workers) W worker domains.  Every store operation enters \
+         through the k-exclusion/k-assignment admission wrapper, so at most $(b,--k) workers \
+         mutate concurrently and up to k-1 workers may die — $(b,--chaos) schedule or the KILL \
+         admin command — with zero client-visible failures.  Killing k workers stalls the \
+         service: that boundary is the paper's resilience definition, live on the wire." ]
+  in
+  let workers_arg = Arg.(value & opt int 4 & info [ "workers"; "w" ] ~doc:"worker domains") in
+  let k_arg = Arg.(value & opt int 2 & info [ "k"; "degree" ] ~doc:"admission bound (k <= workers)") in
+  let algo_arg =
+    Arg.(
+      value
+      & opt runtime_algo_conv Kex_runtime.Kex_lock.Fast_path
+      & info [ "algo" ] ~doc:"naive | inductive | tree | fastpath | graceful | dsm-fastpath")
+  in
+  let chaos_arg =
+    Arg.(
+      value
+      & opt chaos_conv []
+      & info [ "chaos" ] ~docv:"SPEC"
+          ~doc:"fault-injection schedule, e.g. 'kill-worker\\@5s,kill-worker:2\\@10s'")
+  in
+  let duration_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "duration" ] ~docv:"S" ~doc:"stop after S seconds (default: on SIGINT/SIGTERM)")
+  in
+  let run port workers k algo chaos duration quiet =
+    let log = if quiet then fun _ -> () else fun s -> print_endline s; flush stdout in
+    match
+      Kex_service.Server.run ?duration_s:duration
+        { Kex_service.Server.port; workers; k; algo; chaos; log }
+    with
+    | () -> 0
+    | exception Invalid_argument msg ->
+        Format.eprintf "kexd serve: %s@." msg;
+        2
+    | exception Unix.Unix_error (e, fn, _) ->
+        Format.eprintf "kexd serve: %s: %s@." fn (Unix.error_message e);
+        1
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ port_arg $ workers_arg $ k_arg $ algo_arg $ chaos_arg $ duration_arg
+      $ quiet_arg)
+
+(* ------------------------------- loadgen ---------------------------------- *)
+
+let loadgen_cmd =
+  let doc = "drive a kexd server and measure throughput, latency percentiles and errors" in
+  let mix_conv =
+    let parse s =
+      match Kex_service.Loadgen.parse_mix s with Ok m -> Ok m | Error msg -> Error (`Msg msg)
+    in
+    let print ppf m = Format.pp_print_string ppf (Kex_service.Loadgen.mix_to_string m) in
+    Arg.conv (parse, print)
+  in
+  let host_arg = Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~doc:"server address") in
+  let conns_arg =
+    Arg.(value & opt int 4 & info [ "connections"; "c" ] ~doc:"client domains (one connection each)")
+  in
+  let duration_arg = Arg.(value & opt float 5. & info [ "duration" ] ~docv:"S" ~doc:"seconds of load") in
+  let mix_arg =
+    Arg.(
+      value
+      & opt mix_conv Kex_service.Loadgen.default_config.Kex_service.Loadgen.mix
+      & info [ "mix" ] ~doc:"weighted op mix, e.g. get=80,set=20 (ops: get/set/del/update)")
+  in
+  let keys_arg = Arg.(value & opt int 64 & info [ "keys" ] ~doc:"keyspace size") in
+  let value_size_arg = Arg.(value & opt int 16 & info [ "value-size" ] ~doc:"SET payload bytes") in
+  let lg_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed") in
+  let timeout_arg =
+    Arg.(value & opt float 2. & info [ "timeout" ] ~docv:"S" ~doc:"per-request timeout (timeouts count as errors)")
+  in
+  let phase_marks_arg =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "phase-marks" ] ~docv:"T1,T2"
+          ~doc:"split the run at these offsets (seconds) for per-phase stats")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v1)")
+  in
+  let fail_on_errors_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-on-errors" ] ~doc:"exit 1 if any request failed (CI resilience assertion)")
+  in
+  let run host port connections duration mix keys value_size seed timeout phase_marks json
+      fail_on_errors quiet =
+    let cfg =
+      { Kex_service.Loadgen.host; port; connections; duration_s = duration; mix; keys;
+        value_size; seed; timeout_s = timeout; phase_marks }
+    in
+    match Kex_service.Loadgen.run cfg with
+    | summary ->
+        if not quiet then Format.printf "%a" Kex_service.Loadgen.pp_summary summary;
+        Option.iter (fun file -> Kex_service.Loadgen.emit_json ~file cfg summary) json;
+        if summary.Kex_service.Loadgen.requests <= summary.Kex_service.Loadgen.errors then begin
+          Format.eprintf "kexd loadgen: no request succeeded — is the server up?@.";
+          1
+        end
+        else if fail_on_errors && summary.Kex_service.Loadgen.errors > 0 then begin
+          Format.eprintf "kexd loadgen: %d failed requests@." summary.Kex_service.Loadgen.errors;
+          1
+        end
+        else 0
+    | exception Unix.Unix_error (e, fn, _) ->
+        Format.eprintf "kexd loadgen: %s: %s@." fn (Unix.error_message e);
+        1
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run $ host_arg $ port_arg $ conns_arg $ duration_arg $ mix_arg $ keys_arg
+      $ value_size_arg $ lg_seed_arg $ timeout_arg $ phase_marks_arg $ json_arg
+      $ fail_on_errors_arg $ quiet_arg)
+
+(* ----------------------------- bench-report ------------------------------- *)
+
+let bench_report_cmd =
+  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve, sweep schemas)" in
+  let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let require_zero_errors_arg =
+    Arg.(value & flag & info [ "require-zero-errors" ] ~doc:"exit 1 unless the record has 0 errors")
+  in
+  let run file require_zero_errors =
+    let open Kex_service.Json in
+    let ic = open_in_bin file in
+    let len = in_channel_length ic in
+    let raw = really_input_string ic len in
+    close_in ic;
+    match parse raw with
+    | Error msg ->
+        Format.eprintf "%s: not valid JSON: %s@." file msg;
+        2
+    | Ok doc ->
+        let str k = Option.value (member_str k doc) ~default:"-" in
+        let schema = str "schema" in
+        Format.printf "file     : %s@." file;
+        Format.printf "schema   : %s@." schema;
+        (* v1 records lack provenance; the reader stays tolerant. *)
+        Format.printf "git_rev  : %s@." (str "git_rev");
+        Format.printf "hostname : %s@." (str "hostname");
+        Format.printf "ocaml    : %s@." (str "ocaml");
+        let errors =
+          if String.length schema >= 16 && String.sub schema 0 16 = "kexclusion-serve" then begin
+            let totals = Option.value (member "totals" doc) ~default:(Obj []) in
+            let num k = Option.value (member_number k totals) ~default:0. in
+            let lat = Option.value (member "latency_us" totals) ~default:(Obj []) in
+            let lat_i k = Option.value (member_int k lat) ~default:0 in
+            Format.printf "requests : %.0f (%.0f req/s)@." (num "requests")
+              (num "throughput_rps");
+            Format.printf "latency  : p50 %d us, p99 %d us, max %d us@." (lat_i "p50")
+              (lat_i "p99") (lat_i "max");
+            let errors = int_of_float (num "errors") in
+            Format.printf "errors   : %d@." errors;
+            List.iter
+              (fun ph ->
+                Format.printf "  phase %-10s %6d req %5d err  p50 %6d  p99 %6d us@."
+                  (Option.value (member_str "label" ph) ~default:"?")
+                  (Option.value (member_int "requests" ph) ~default:0)
+                  (Option.value (member_int "errors" ph) ~default:0)
+                  (Option.value (member_int "p50_us" ph) ~default:0)
+                  (Option.value (member_int "p99_us" ph) ~default:0))
+              (member_list "phases" doc);
+            errors
+          end
+          else begin
+            (match member "total" doc with
+            | Some total ->
+                Format.printf "total    : %.3f s wall, %d steps (%.0f steps/s)@."
+                  (Option.value (member_number "wall_s" total) ~default:0.)
+                  (Option.value (member_int "steps" total) ~default:0)
+                  (Option.value (member_number "steps_per_sec" total) ~default:0.)
+            | None -> ());
+            Format.printf "entries  : %d experiments, %d points@."
+              (Stdlib.List.length (member_list "experiments" doc))
+              (Stdlib.List.length (member_list "points" doc));
+            0
+          end
+        in
+        if require_zero_errors && errors > 0 then begin
+          Format.eprintf "%s: %d errors (required zero)@." file errors;
+          1
+        end
+        else 0
+  in
+  Cmd.v (Cmd.info "bench-report" ~doc) Term.(const run $ file_arg $ require_zero_errors_arg)
+
 (* -------------------------------- main ----------------------------------- *)
 
 let () =
-  let doc = "k-exclusion algorithms (Anderson & Moir, PODC 1994) — simulator and checker" in
+  let doc =
+    "k-exclusion algorithms (Anderson & Moir, PODC 1994) — simulator, checker and resilient \
+     KV service"
+  in
   let info = Cmd.info "kexd" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; sweep_cmd; verify_cmd; hunt_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; sweep_cmd; verify_cmd; hunt_cmd; serve_cmd; loadgen_cmd; bench_report_cmd ]))

@@ -3,6 +3,11 @@
    stays available through the remaining k-1 slots and every surviving
    update is linearized exactly once.
 
+   This is the in-process sketch of the idea; the full networked version —
+   the same store behind a TCP socket, with chaos kills and a load
+   generator — is `kexd serve` / `kexd loadgen` (lib/service, README
+   "Quickstart (network service)", EXPERIMENTS.md §S1).
+
    Run with: dune exec examples/kv_service.exe *)
 
 let () =

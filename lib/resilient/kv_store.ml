@@ -5,8 +5,9 @@ type op =
   | Get of string
   | Delete of string
   | Update of string * (string option -> string option)
+  | Fetch_add of string * int
 
-type result = Unit | Value of string option | Existed of bool
+type result = Unit | Value of string option | Existed of bool | New_value of int
 
 type t = (string Smap.t, op, result) Resilient.t
 
@@ -18,26 +19,36 @@ let apply m = function
       match f (Smap.find_opt key m) with
       | Some v -> (Smap.add key v m, Unit)
       | None -> (Smap.remove key m, Unit))
+  | Fetch_add (key, delta) ->
+      let current =
+        match Smap.find_opt key m with
+        | Some s -> Option.value (int_of_string_opt s) ~default:0
+        | None -> 0
+      in
+      let v = current + delta in
+      (Smap.add key (string_of_int v) m, New_value v)
 
 let create ?algo ~n ~k () = Resilient.create ?algo ~n ~k ~init:Smap.empty ~apply ()
 
 let set t ~pid ~key v =
-  match Resilient.perform t ~pid (Set (key, v)) with Unit -> () | Value _ | Existed _ -> assert false
+  match Resilient.perform t ~pid (Set (key, v)) with Unit -> () | _ -> assert false
 
 let get t ~pid ~key =
-  match Resilient.perform t ~pid (Get key) with Value v -> v | Unit | Existed _ -> assert false
+  match Resilient.perform t ~pid (Get key) with Value v -> v | _ -> assert false
 
 let delete t ~pid ~key =
-  match Resilient.perform t ~pid (Delete key) with
-  | Existed b -> b
-  | Unit | Value _ -> assert false
+  match Resilient.perform t ~pid (Delete key) with Existed b -> b | _ -> assert false
 
 let update t ~pid ~key f =
-  match Resilient.perform t ~pid (Update (key, f)) with
-  | Unit -> ()
-  | Value _ | Existed _ -> assert false
+  match Resilient.perform t ~pid (Update (key, f)) with Unit -> () | _ -> assert false
+
+let fetch_add t ~pid ~key delta =
+  match Resilient.perform t ~pid (Fetch_add (key, delta)) with
+  | New_value v -> v
+  | _ -> assert false
 
 let size t = Smap.cardinal (Resilient.peek t)
 let snapshot t = Smap.bindings (Resilient.peek t)
 let operations t = Resilient.operations t
+let apply_calls t = Resilient.apply_calls t
 let assignment t = Resilient.assignment t

@@ -18,11 +18,20 @@ val update : t -> pid:int -> key:string -> (string option -> string option) -> u
 (** Atomic read-modify-write of one binding; [None] deletes.  The function
     must be pure (helpers may re-run it). *)
 
+val fetch_add : t -> pid:int -> key:string -> int -> int
+(** Atomic fetch-and-add on the key's decimal value (absent or non-numeric
+    reads as 0); returns the new value.  The networked service's [UPDATE]
+    command — a closure-free RMW that serializes over a wire. *)
+
 val size : t -> int
 val snapshot : t -> (string * string) list
 (** Committed bindings, sorted by key (linearized read, no slot needed). *)
 
 val operations : t -> int
+
+val apply_calls : t -> int
+(** Apply invocations including helper re-executions (see
+    {!Resilient.apply_calls}) — the service exposes it via [STATS]. *)
 
 val assignment : t -> Kex_runtime.Kex_lock.Assignment.t
 (** The admission wrapper — exposed for failure-injection demos and tests. *)

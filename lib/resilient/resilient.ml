@@ -17,6 +17,7 @@ let perform t ~pid op =
 
 let peek t = Universal.state t.obj
 let operations t = Universal.applied_count t.obj
+let apply_calls t = Universal.apply_calls t.obj
 let n t = t.n
 let k t = t.k
 let inner t = t.obj

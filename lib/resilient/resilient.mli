@@ -36,6 +36,11 @@ val peek : ('s, 'op, 'r) t -> 's
 val operations : ('s, 'op, 'r) t -> int
 (** Operations linearized so far. *)
 
+val apply_calls : ('s, 'op, 'r) t -> int
+(** Invocations of [apply] including helper re-executions — the helping
+    overhead next to {!operations}; surfaced by services as a live measure
+    of how much crash-covering work the object is doing. *)
+
 val n : ('s, 'op, 'r) t -> int
 val k : ('s, 'op, 'r) t -> int
 

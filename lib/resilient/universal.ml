@@ -13,6 +13,7 @@ type ('s, 'op, 'r) t = {
   head : ('s, 'r) cell Atomic.t;
   announce : 'op request option Atomic.t array;
   phases : int array;  (* private per-tid phase counters *)
+  applies : int Atomic.t;  (* apply invocations, committed or not *)
 }
 
 let create ~k ~init ~apply =
@@ -23,7 +24,8 @@ let create ~k ~init ~apply =
       Atomic.make
         { seq = 0; state = init; applied = Array.make k 0; results = Array.make k None };
     announce = Array.init k (fun _ -> Atomic.make None);
-    phases = Array.make k 0 }
+    phases = Array.make k 0;
+    applies = Atomic.make 0 }
 
 let check_tid t tid =
   if tid < 0 || tid >= t.k then
@@ -56,6 +58,7 @@ let try_advance t h =
   match req with
   | None -> false
   | Some r ->
+      Atomic.incr t.applies;
       let state, result = t.apply h.state r.op in
       let applied = Array.copy h.applied in
       let results = Array.copy h.results in
@@ -85,4 +88,5 @@ let announce_only t ~tid op =
 
 let state t = (Atomic.get t.head).state
 let applied_count t = (Atomic.get t.head).seq
+let apply_calls t = Atomic.get t.applies
 let k t = t.k

@@ -34,4 +34,10 @@ val state : ('s, 'op, 'r) t -> 's
 val applied_count : ('s, 'op, 'r) t -> int
 (** Number of operations linearized so far. *)
 
+val apply_calls : ('s, 'op, 'r) t -> int
+(** Number of times [apply] has been invoked, including helper re-executions
+    that lost the commit race.  [apply_calls t - applied_count t] is the
+    re-execution overhead of helping; tests use it to observe that crashed
+    operations are re-run without being double-applied. *)
+
 val k : ('s, 'op, 'r) t -> int

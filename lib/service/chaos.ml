@@ -1,0 +1,53 @@
+type event = { at_s : float; target : int option }
+
+let event_to_string e =
+  let target = match e.target with None -> "" | Some w -> Printf.sprintf ":%d" w in
+  (* %g keeps "5" as "5", not "5." *)
+  Printf.sprintf "kill-worker%s@%gs" target e.at_s
+
+let to_string events = String.concat "," (List.map event_to_string events)
+
+let parse_event s =
+  match String.index_opt s '@' with
+  | None -> Error (Printf.sprintf "chaos event %S: missing '@<time>'" s)
+  | Some at ->
+      let action = String.sub s 0 at in
+      let time = String.sub s (at + 1) (String.length s - at - 1) in
+      let time =
+        if String.length time > 0 && time.[String.length time - 1] = 's' then
+          String.sub time 0 (String.length time - 1)
+        else time
+      in
+      let action, target =
+        match String.index_opt action ':' with
+        | None -> (action, Ok None)
+        | Some c ->
+            let w = String.sub action (c + 1) (String.length action - c - 1) in
+            ( String.sub action 0 c,
+              match int_of_string_opt w with
+              | Some w when w >= 0 -> Ok (Some w)
+              | _ -> Error (Printf.sprintf "chaos event %S: bad worker index %S" s w) )
+      in
+      if action <> "kill-worker" then
+        Error (Printf.sprintf "chaos event %S: unknown action %S (only kill-worker)" s action)
+      else
+        match (target, float_of_string_opt time) with
+        | Error e, _ -> Error e
+        | Ok _, None -> Error (Printf.sprintf "chaos event %S: bad time %S" s time)
+        | Ok _, Some at_s when at_s < 0. ->
+            Error (Printf.sprintf "chaos event %S: negative time" s)
+        | Ok target, Some at_s -> Ok { at_s; target }
+
+let parse spec =
+  if String.trim spec = "" then Ok []
+  else begin
+    let parts = String.split_on_char ',' spec in
+    let rec go acc = function
+      | [] -> Ok (List.stable_sort (fun a b -> compare a.at_s b.at_s) (List.rev acc))
+      | p :: rest -> (
+          match parse_event (String.trim p) with
+          | Ok e -> go (e :: acc) rest
+          | Error _ as e -> e)
+    in
+    go [] parts
+  end

@@ -1,0 +1,20 @@
+(** Fault-injection schedules for [kexd serve --chaos].
+
+    Spec grammar (comma-separated, pure and testable):
+    {[
+      kill-worker@5s            (* kill the lowest-index live worker at t=5s *)
+      kill-worker:2@1.5s        (* kill worker 2 at t=1.5s *)
+      kill-worker@5s,kill-worker@10s
+    ]} *)
+
+type event = {
+  at_s : float;  (** seconds after server start *)
+  target : int option;  (** specific worker, or [None] = next live one *)
+}
+
+val parse : string -> (event list, string) result
+(** Events come back sorted by [at_s].  The empty string is the empty
+    schedule. *)
+
+val to_string : event list -> string
+(** Round-trips with [parse]. *)

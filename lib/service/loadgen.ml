@@ -1,0 +1,383 @@
+(* The kexd load generator: C client domains drive a server with a weighted
+   GET/SET/DEL/UPDATE mix, record per-request latency, and aggregate with
+   the repo's own percentile machinery (Kex_sim.Stats.percentile).  Requests
+   that time out or hit a dropped connection count as errors and the client
+   reconnects — so a stalled server (k workers killed) shows up as errors
+   and collapsed throughput rather than a hung tool. *)
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;
+  duration_s : float;
+  mix : (string * int) list;  (* ("get"|"set"|"del"|"update", weight) *)
+  keys : int;
+  value_size : int;
+  seed : int;
+  timeout_s : float;  (* per-request socket timeout *)
+  phase_marks : float list;  (* split [0..duration] for per-phase stats *)
+}
+
+let default_config =
+  { host = "127.0.0.1";
+    port = 7070;
+    connections = 4;
+    duration_s = 5.;
+    mix = [ ("get", 80); ("set", 20) ];
+    keys = 64;
+    value_size = 16;
+    seed = 42;
+    timeout_s = 2.;
+    phase_marks = [] }
+
+let op_kinds = [ "get"; "set"; "del"; "update" ]
+
+let parse_mix s =
+  let parts = String.split_on_char ',' s in
+  let rec go acc = function
+    | [] -> (
+        match List.rev acc with
+        | [] -> Error "empty mix"
+        | mix when List.exists (fun (_, w) -> w > 0) mix -> Ok mix
+        | _ -> Error "mix weights are all zero")
+    | p :: rest -> (
+        match String.split_on_char '=' (String.trim p) with
+        | [ kind; w ] when List.mem kind op_kinds -> (
+            match int_of_string_opt w with
+            | Some w when w >= 0 -> go ((kind, w) :: acc) rest
+            | _ -> Error (Printf.sprintf "mix %S: bad weight %S" s w))
+        | [ kind; _ ] -> Error (Printf.sprintf "mix %S: unknown op %S (use %s)" s kind (String.concat "/" op_kinds))
+        | _ -> Error (Printf.sprintf "mix %S: entries look like get=80" s))
+  in
+  go [] parts
+
+let mix_to_string mix =
+  String.concat "," (List.map (fun (k, w) -> Printf.sprintf "%s=%d" k w) mix)
+
+(* ------------------------------- sampling ------------------------------- *)
+
+(* One flat record per request, appended lock-free into per-connection
+   buffers: (t_offset_ms, latency_us, op_kind, ok). *)
+type samples = {
+  mutable t_off_ms : int array;
+  mutable lat_us : int array;
+  mutable kind : int array;
+  mutable ok : bool array;
+  mutable len : int;
+}
+
+let samples_create () =
+  { t_off_ms = Array.make 1024 0;
+    lat_us = Array.make 1024 0;
+    kind = Array.make 1024 0;
+    ok = Array.make 1024 false;
+    len = 0 }
+
+let samples_push s ~t_off_ms ~lat_us ~kind ~ok =
+  if s.len = Array.length s.t_off_ms then begin
+    let grow a fill = Array.append a (Array.make (Array.length a) fill) in
+    s.t_off_ms <- grow s.t_off_ms 0;
+    s.lat_us <- grow s.lat_us 0;
+    s.kind <- grow s.kind 0;
+    s.ok <- grow s.ok false
+  end;
+  s.t_off_ms.(s.len) <- t_off_ms;
+  s.lat_us.(s.len) <- lat_us;
+  s.kind.(s.len) <- kind;
+  s.ok.(s.len) <- ok;
+  s.len <- s.len + 1
+
+(* ------------------------------- the client ----------------------------- *)
+
+exception Req_failed of string
+
+let connect cfg =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    (try
+       Unix.setsockopt_float fd Unix.SO_RCVTIMEO cfg.timeout_s;
+       Unix.setsockopt fd Unix.TCP_NODELAY true
+     with Unix.Unix_error _ -> ());
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+    Unix.connect fd addr
+  with
+  | () -> fd
+  | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+(* Send one framed request and block for its framed response. *)
+let roundtrip fd dec req =
+  write_all fd (Protocol.frame (Protocol.print_request req));
+  let buf = Bytes.create 8192 in
+  let rec await () =
+    match Protocol.Decoder.next dec with
+    | Error msg -> raise (Req_failed ("bad frame: " ^ msg))
+    | Ok (Some payload) -> (
+        match Protocol.parse_response payload with
+        | Ok resp -> resp
+        | Error msg -> raise (Req_failed ("bad response: " ^ msg)))
+    | Ok None -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> raise (Req_failed "connection closed")
+        | n ->
+            Protocol.Decoder.feed dec (Bytes.sub_string buf 0 n);
+            await ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            raise (Req_failed "timeout")
+        | exception Unix.Unix_error (e, _, _) -> raise (Req_failed (Unix.error_message e)))
+  in
+  await ()
+
+let kind_index k = match k with "get" -> 0 | "set" -> 1 | "del" -> 2 | "update" -> 3 | _ -> -1
+
+let pick_op cfg rng =
+  let total = List.fold_left (fun acc (_, w) -> acc + w) 0 cfg.mix in
+  let roll = Random.State.int rng total in
+  let rec pick acc = function
+    | [] -> assert false
+    | (kind, w) :: rest -> if roll < acc + w then kind else pick (acc + w) rest
+  in
+  let kind = pick 0 cfg.mix in
+  let key = Printf.sprintf "k%04d" (Random.State.int rng cfg.keys) in
+  let req =
+    match kind with
+    | "get" -> Protocol.Get key
+    | "set" ->
+        Protocol.Set
+          (key, String.init cfg.value_size (fun _ -> Char.chr (32 + Random.State.int rng 95)))
+    | "del" -> Protocol.Del key
+    | "update" -> Protocol.Update (key, 1)
+    | _ -> assert false
+  in
+  (kind_index kind, req)
+
+let client_loop cfg ~t0 ~conn_id samples =
+  let rng = Random.State.make [| cfg.seed; conn_id |] in
+  let deadline = t0 +. cfg.duration_s in
+  let conn = ref None in
+  let get_conn () =
+    match !conn with
+    | Some c -> c
+    | None ->
+        let fd = connect cfg in
+        let c = (fd, Protocol.Decoder.create ()) in
+        conn := Some c;
+        c
+  in
+  let connected () = !conn <> None in
+  let drop_conn () =
+    (match !conn with Some (fd, _) -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+    conn := None
+  in
+  while Unix.gettimeofday () < deadline do
+    let kind, req = pick_op cfg rng in
+    let start = Unix.gettimeofday () in
+    let ok =
+      match
+        let fd, dec = get_conn () in
+        roundtrip fd dec req
+      with
+      | Protocol.Error _ -> false
+      | _resp -> true
+      | exception (Req_failed _ | Unix.Unix_error _) ->
+          (* A refused connect (server down) fails instantly — back off so a
+             dead server yields an error *rate*, not a busy loop. *)
+          let failed_to_connect = not (connected ()) in
+          drop_conn ();
+          if failed_to_connect then Thread.delay 0.05;
+          false
+    in
+    let finish = Unix.gettimeofday () in
+    samples_push samples
+      ~t_off_ms:(int_of_float ((start -. t0) *. 1000.))
+      ~lat_us:(int_of_float ((finish -. start) *. 1e6))
+      ~kind ~ok
+  done;
+  drop_conn ()
+
+(* ------------------------------ aggregation ----------------------------- *)
+
+type bucket = {
+  label : string;
+  requests : int;
+  errors : int;
+  window_s : float;
+  p50_us : int;
+  p99_us : int;
+  max_us : int;
+}
+
+type summary = {
+  requests : int;
+  errors : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_us : int;
+  p99_us : int;
+  max_us : int;
+  phases : bucket list;
+  ops : bucket list;
+}
+
+let bucket_of label ~window_s lats errors =
+  let lats = Array.of_list lats in
+  { label;
+    requests = Array.length lats + errors;
+    errors;
+    window_s;
+    p50_us = Kex_sim.Stats.percentile lats 0.5;
+    p99_us = Kex_sim.Stats.percentile lats 0.99;
+    max_us = Array.fold_left max 0 lats }
+
+let summarize cfg ~wall_s (all : samples list) =
+  let total = List.fold_left (fun acc s -> acc + s.len) 0 all in
+  let lats = ref [] and errors = ref 0 in
+  let marks = List.sort compare cfg.phase_marks in
+  let phase_of_ms ms =
+    let rec go i = function
+      | [] -> i
+      | m :: rest -> if float_of_int ms /. 1000. < m then i else go (i + 1) rest
+    in
+    go 0 marks
+  in
+  let n_phases = List.length marks + 1 in
+  let phase_lats = Array.make n_phases [] and phase_errs = Array.make n_phases 0 in
+  let op_lats = Array.make 4 [] and op_errs = Array.make 4 0 in
+  List.iter
+    (fun s ->
+      for i = 0 to s.len - 1 do
+        let ph = phase_of_ms s.t_off_ms.(i) and k = s.kind.(i) in
+        if s.ok.(i) then begin
+          lats := s.lat_us.(i) :: !lats;
+          phase_lats.(ph) <- s.lat_us.(i) :: phase_lats.(ph);
+          op_lats.(k) <- s.lat_us.(i) :: op_lats.(k)
+        end
+        else begin
+          incr errors;
+          phase_errs.(ph) <- phase_errs.(ph) + 1;
+          op_errs.(k) <- op_errs.(k) + 1
+        end
+      done)
+    all;
+  let bounds =
+    (* phase i spans [lo_i, hi_i) *)
+    let lows = 0. :: marks in
+    let highs = marks @ [ cfg.duration_s ] in
+    List.combine lows highs
+  in
+  let phases =
+    List.mapi
+      (fun i (lo, hi) ->
+        bucket_of
+          (Printf.sprintf "%g-%gs" lo hi)
+          ~window_s:(hi -. lo) phase_lats.(i) phase_errs.(i))
+      bounds
+  in
+  let ops =
+    List.filteri (fun i _ -> op_lats.(i) <> [] || op_errs.(i) > 0) op_kinds
+    |> List.map (fun kind ->
+           let i = kind_index kind in
+           bucket_of kind ~window_s:wall_s op_lats.(i) op_errs.(i))
+  in
+  let lats = Array.of_list !lats in
+  { requests = total;
+    errors = !errors;
+    wall_s;
+    throughput_rps = (if wall_s > 0. then float_of_int total /. wall_s else 0.);
+    p50_us = Kex_sim.Stats.percentile lats 0.5;
+    p99_us = Kex_sim.Stats.percentile lats 0.99;
+    max_us = Array.fold_left max 0 lats;
+    phases;
+    ops }
+
+let run cfg =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let t0 = Unix.gettimeofday () in
+  let samples = List.init cfg.connections (fun _ -> samples_create ()) in
+  let domains =
+    List.mapi
+      (fun conn_id s -> Domain.spawn (fun () -> client_loop cfg ~t0 ~conn_id s))
+      samples
+  in
+  List.iter Domain.join domains;
+  let wall_s = Unix.gettimeofday () -. t0 in
+  summarize cfg ~wall_s samples
+
+(* ------------------------------ reporting ------------------------------- *)
+
+let bucket_json b =
+  Json.Obj
+    [ ("label", Json.String b.label);
+      ("requests", Json.Int b.requests);
+      ("errors", Json.Int b.errors);
+      ("throughput_rps",
+       Json.Float (if b.window_s > 0. then float_of_int b.requests /. b.window_s else 0.));
+      ("p50_us", Json.Int b.p50_us);
+      ("p99_us", Json.Int b.p99_us);
+      ("max_us", Json.Int b.max_us) ]
+
+let to_json cfg s =
+  Json.Obj
+    [ ("schema", Json.String "kexclusion-serve/v1");
+      ("git_rev", Json.String (Provenance.git_rev ()));
+      ("hostname", Json.String (Provenance.hostname ()));
+      ("ocaml", Json.String Sys.ocaml_version);
+      ( "config",
+        Json.Obj
+          [ ("host", Json.String cfg.host);
+            ("port", Json.Int cfg.port);
+            ("connections", Json.Int cfg.connections);
+            ("duration_s", Json.Float cfg.duration_s);
+            ("mix", Json.String (mix_to_string cfg.mix));
+            ("keys", Json.Int cfg.keys);
+            ("value_size", Json.Int cfg.value_size);
+            ("seed", Json.Int cfg.seed) ] );
+      ( "totals",
+        Json.Obj
+          [ ("requests", Json.Int s.requests);
+            ("errors", Json.Int s.errors);
+            ("wall_s", Json.Float s.wall_s);
+            ("throughput_rps", Json.Float s.throughput_rps);
+            ( "latency_us",
+              Json.Obj
+                [ ("p50", Json.Int s.p50_us); ("p99", Json.Int s.p99_us);
+                  ("max", Json.Int s.max_us) ] ) ] );
+      ("phases", Json.List (List.map bucket_json s.phases));
+      ("ops", Json.List (List.map bucket_json s.ops)) ]
+
+let emit_json ~file cfg s =
+  let oc = open_out file in
+  output_string oc (Json.to_string ~indent:2 (to_json cfg s));
+  output_char oc '\n';
+  close_out oc
+
+let pp_summary ppf s =
+  Format.fprintf ppf "requests   : %d (%.0f req/s, %d errors)@." s.requests s.throughput_rps
+    s.errors;
+  Format.fprintf ppf "latency    : p50 %d us, p99 %d us, max %d us@." s.p50_us s.p99_us s.max_us;
+  if List.length s.phases > 1 then
+    List.iter
+      (fun b ->
+        Format.fprintf ppf "  phase %-10s %6d req %5d err  %8.0f req/s  p50 %6d  p99 %6d us@."
+          b.label b.requests b.errors
+          (if b.window_s > 0. then float_of_int b.requests /. b.window_s else 0.)
+          b.p50_us b.p99_us)
+      s.phases;
+  List.iter
+    (fun b ->
+      Format.fprintf ppf "  op %-8s %9d req %5d err  p50 %6d  p99 %6d  max %6d us@." b.label
+        b.requests b.errors b.p50_us b.p99_us b.max_us)
+    s.ops

@@ -1,0 +1,60 @@
+(** [kexd loadgen]: drive a kexd server from client domains and measure what
+    the resilience trade looks like from outside — throughput, p50/p99/max
+    latency, and errors, overall, per phase (so before/during/after a chaos
+    kill are separable) and per op class.
+
+    A request that times out or loses its connection counts as an error and
+    the client reconnects; against a stalled server (k workers killed) the
+    tool therefore terminates with collapsed throughput instead of
+    hanging. *)
+
+type config = {
+  host : string;
+  port : int;
+  connections : int;  (** one client domain each *)
+  duration_s : float;
+  mix : (string * int) list;  (** weighted op mix, e.g. [("get",80);("set",20)] *)
+  keys : int;  (** keyspace size *)
+  value_size : int;
+  seed : int;  (** per-connection PRNGs derive from this *)
+  timeout_s : float;
+  phase_marks : float list;  (** split points (seconds) for per-phase stats *)
+}
+
+val default_config : config
+
+val parse_mix : string -> ((string * int) list, string) result
+(** ["get=80,set=20"] — kinds get/set/del/update, non-negative weights, at
+    least one positive. *)
+
+val mix_to_string : (string * int) list -> string
+
+type bucket = {
+  label : string;
+  requests : int;
+  errors : int;
+  window_s : float;
+  p50_us : int;
+  p99_us : int;
+  max_us : int;
+}
+
+type summary = {
+  requests : int;
+  errors : int;
+  wall_s : float;
+  throughput_rps : float;
+  p50_us : int;
+  p99_us : int;
+  max_us : int;
+  phases : bucket list;
+  ops : bucket list;
+}
+
+val run : config -> summary
+
+val to_json : config -> summary -> Json.t
+(** Schema [kexclusion-serve/v1], provenance-stamped (git_rev, hostname). *)
+
+val emit_json : file:string -> config -> summary -> unit
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,59 @@
+type op_class = C_get | C_set | C_del | C_update
+
+let op_classes = [| C_get; C_set; C_del; C_update |]
+let class_index = function C_get -> 0 | C_set -> 1 | C_del -> 2 | C_update -> 3
+let class_name = function C_get -> "get" | C_set -> "set" | C_del -> "del" | C_update -> "update"
+
+type t = {
+  served : int Atomic.t array;  (* completed store ops, per class *)
+  errors : int Atomic.t;  (* requests answered with ERR *)
+  deaths : int Atomic.t;  (* workers crashed (chaos or KILL) *)
+  connections : int Atomic.t;  (* connections accepted, lifetime *)
+  redispatched : int Atomic.t;  (* requests requeued off a dead worker *)
+  lat_sum_us : int Atomic.t array;  (* per class, for a cheap mean *)
+  lat_max_us : int Atomic.t array;
+}
+
+let create () =
+  { served = Array.init 4 (fun _ -> Atomic.make 0);
+    errors = Atomic.make 0;
+    deaths = Atomic.make 0;
+    connections = Atomic.make 0;
+    redispatched = Atomic.make 0;
+    lat_sum_us = Array.init 4 (fun _ -> Atomic.make 0);
+    lat_max_us = Array.init 4 (fun _ -> Atomic.make 0) }
+
+let bump_max a v =
+  let rec go () =
+    let m = Atomic.get a in
+    if v > m && not (Atomic.compare_and_set a m v) then go ()
+  in
+  go ()
+
+let record t cls ~lat_us =
+  let i = class_index cls in
+  Atomic.incr t.served.(i);
+  ignore (Atomic.fetch_and_add t.lat_sum_us.(i) lat_us);
+  bump_max t.lat_max_us.(i) lat_us
+
+let incr_errors t = Atomic.incr t.errors
+let incr_deaths t = Atomic.incr t.deaths
+let incr_connections t = Atomic.incr t.connections
+let incr_redispatched t = Atomic.incr t.redispatched
+let deaths t = Atomic.get t.deaths
+
+let served t = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.served
+
+let pairs t =
+  let per_class f = Array.to_list (Array.map (fun c -> f c) op_classes) in
+  [ ("served", served t);
+    ("errors", Atomic.get t.errors);
+    ("deaths", Atomic.get t.deaths);
+    ("connections", Atomic.get t.connections);
+    ("redispatched", Atomic.get t.redispatched) ]
+  @ per_class (fun c -> ("served_" ^ class_name c, Atomic.get t.served.(class_index c)))
+  @ per_class (fun c ->
+        let i = class_index c in
+        let n = Atomic.get t.served.(i) in
+        ("mean_us_" ^ class_name c, if n = 0 then 0 else Atomic.get t.lat_sum_us.(i) / n))
+  @ per_class (fun c -> ("max_us_" ^ class_name c, Atomic.get t.lat_max_us.(class_index c)))

@@ -1,0 +1,25 @@
+(** Server-side counters, all atomic so worker domains and connection
+    threads update them without locks.  Percentile latencies are the load
+    generator's job (it owns every sample); the server keeps per-op-class
+    counts, mean and max, which is what the [STATS] command reports. *)
+
+type op_class = C_get | C_set | C_del | C_update
+
+val class_name : op_class -> string
+
+type t
+
+val create : unit -> t
+val record : t -> op_class -> lat_us:int -> unit
+val incr_errors : t -> unit
+val incr_deaths : t -> unit
+val incr_connections : t -> unit
+val incr_redispatched : t -> unit
+
+val served : t -> int
+val deaths : t -> int
+
+val pairs : t -> (string * int) list
+(** Snapshot as [STATS]-reply pairs: [served], [errors], [deaths],
+    [connections], [redispatched], plus per-class [served_*], [mean_us_*],
+    [max_us_*]. *)

@@ -1,0 +1,246 @@
+(* The kexd wire protocol: a length-prefixed text protocol whose codec is
+   pure — parse/print work on strings, framing on an incremental decoder —
+   so the whole thing unit- and property-tests without a socket.
+
+   Frame      := <payload-length in decimal> '\n' <payload>
+   Payload    := one request or response line
+   String arg := <length>:<bytes>   (netstring-style, so keys and values may
+                                     contain spaces, newlines, colons, ...)
+
+   Requests:   PING | STATS | KILL <int>
+               GET <s> | SET <s> <s> | DEL <s> | UPDATE <s> <int>
+   Responses:  PONG | OK | NIL | VAL <s> | DELETED 0|1 | INT <int>
+               STATS <count> { <s> <int> } | ERR <s> *)
+
+type request =
+  | Ping
+  | Get of string
+  | Set of string * string
+  | Del of string
+  | Update of string * int  (* atomic fetch-and-add on the decimal value *)
+  | Stats
+  | Kill of int  (* admin: crash worker [w] at its next admission *)
+
+type response =
+  | Pong
+  | Ok
+  | Value of string option
+  | Deleted of bool
+  | Int of int
+  | Stats_reply of (string * int) list
+  | Error of string
+
+(* ------------------------------- printing ------------------------------- *)
+
+let str_arg b s =
+  Buffer.add_string b (string_of_int (String.length s));
+  Buffer.add_char b ':';
+  Buffer.add_string b s
+
+let print_request r =
+  let b = Buffer.create 32 in
+  (match r with
+  | Ping -> Buffer.add_string b "PING"
+  | Stats -> Buffer.add_string b "STATS"
+  | Kill w -> Buffer.add_string b (Printf.sprintf "KILL %d" w)
+  | Get key ->
+      Buffer.add_string b "GET ";
+      str_arg b key
+  | Set (key, v) ->
+      Buffer.add_string b "SET ";
+      str_arg b key;
+      Buffer.add_char b ' ';
+      str_arg b v
+  | Del key ->
+      Buffer.add_string b "DEL ";
+      str_arg b key
+  | Update (key, delta) ->
+      Buffer.add_string b "UPDATE ";
+      str_arg b key;
+      Buffer.add_string b (Printf.sprintf " %d" delta));
+  Buffer.contents b
+
+let print_response r =
+  let b = Buffer.create 32 in
+  (match r with
+  | Pong -> Buffer.add_string b "PONG"
+  | Ok -> Buffer.add_string b "OK"
+  | Value None -> Buffer.add_string b "NIL"
+  | Value (Some v) ->
+      Buffer.add_string b "VAL ";
+      str_arg b v
+  | Deleted existed -> Buffer.add_string b (if existed then "DELETED 1" else "DELETED 0")
+  | Int n -> Buffer.add_string b (Printf.sprintf "INT %d" n)
+  | Stats_reply pairs ->
+      Buffer.add_string b (Printf.sprintf "STATS %d" (List.length pairs));
+      List.iter
+        (fun (name, v) ->
+          Buffer.add_char b ' ';
+          str_arg b name;
+          Buffer.add_string b (Printf.sprintf " %d" v))
+        pairs
+  | Error msg ->
+      Buffer.add_string b "ERR ";
+      str_arg b msg);
+  Buffer.contents b
+
+(* ------------------------------- parsing -------------------------------- *)
+
+exception Fail of string
+
+(* A tiny cursor over the payload string. *)
+type cursor = { s : string; mutable pos : int }
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Fail msg)) fmt
+
+let eat_space c =
+  if c.pos < String.length c.s && c.s.[c.pos] = ' ' then c.pos <- c.pos + 1
+  else fail "expected ' ' at offset %d" c.pos
+
+let int_tok c =
+  let start = c.pos in
+  if c.pos < String.length c.s && (c.s.[c.pos] = '-' || c.s.[c.pos] = '+') then c.pos <- c.pos + 1;
+  while c.pos < String.length c.s && c.s.[c.pos] >= '0' && c.s.[c.pos] <= '9' do
+    c.pos <- c.pos + 1
+  done;
+  match int_of_string_opt (String.sub c.s start (c.pos - start)) with
+  | Some n -> n
+  | None -> fail "expected integer at offset %d" start
+
+let str_tok c =
+  let len = int_tok c in
+  if len < 0 then fail "negative string length";
+  if c.pos >= String.length c.s || c.s.[c.pos] <> ':' then fail "expected ':' at offset %d" c.pos;
+  c.pos <- c.pos + 1;
+  if c.pos + len > String.length c.s then fail "string extends past payload";
+  let s = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let eof c = if c.pos <> String.length c.s then fail "trailing bytes at offset %d" c.pos
+
+let keyword c =
+  let start = c.pos in
+  while c.pos < String.length c.s && c.s.[c.pos] <> ' ' do
+    c.pos <- c.pos + 1
+  done;
+  String.sub c.s start (c.pos - start)
+
+let wrap f s =
+  let c = { s; pos = 0 } in
+  match
+    let v = f c in
+    eof c;
+    v
+  with
+  | v -> Stdlib.Ok v
+  | exception Fail msg -> Stdlib.Error msg
+
+let parse_request =
+  wrap (fun c ->
+      match keyword c with
+      | "PING" -> Ping
+      | "STATS" -> Stats
+      | "KILL" ->
+          eat_space c;
+          Kill (int_tok c)
+      | "GET" ->
+          eat_space c;
+          Get (str_tok c)
+      | "SET" ->
+          eat_space c;
+          let key = str_tok c in
+          eat_space c;
+          Set (key, str_tok c)
+      | "DEL" ->
+          eat_space c;
+          Del (str_tok c)
+      | "UPDATE" ->
+          eat_space c;
+          let key = str_tok c in
+          eat_space c;
+          Update (key, int_tok c)
+      | kw -> fail "unknown request %S" kw)
+
+let parse_response =
+  wrap (fun c ->
+      match keyword c with
+      | "PONG" -> Pong
+      | "OK" -> Ok
+      | "NIL" -> Value None
+      | "VAL" ->
+          eat_space c;
+          Value (Some (str_tok c))
+      | "DELETED" ->
+          eat_space c;
+          (match int_tok c with
+          | 0 -> Deleted false
+          | 1 -> Deleted true
+          | n -> fail "DELETED expects 0 or 1, got %d" n)
+      | "INT" ->
+          eat_space c;
+          Int (int_tok c)
+      | "STATS" ->
+          eat_space c;
+          let count = int_tok c in
+          if count < 0 then fail "negative STATS count";
+          let pairs =
+            List.init count (fun _ ->
+                eat_space c;
+                let name = str_tok c in
+                eat_space c;
+                (name, int_tok c))
+          in
+          Stats_reply pairs
+      | "ERR" ->
+          eat_space c;
+          Error (str_tok c)
+      | kw -> fail "unknown response %S" kw)
+
+(* ------------------------------- framing -------------------------------- *)
+
+let max_frame = 16 * 1024 * 1024
+
+let frame payload = string_of_int (String.length payload) ^ "\n" ^ payload
+
+module Decoder = struct
+  type t = { buf : Buffer.t; mutable scan : int }
+  (* [buf] accumulates unconsumed bytes; [scan] is a consumed prefix that is
+     compacted away lazily so feeding many small chunks stays O(bytes). *)
+
+  let create () = { buf = Buffer.create 256; scan = 0 }
+
+  let feed t s = Buffer.add_string t.buf s
+
+  let compact t =
+    if t.scan > 0 then begin
+      let rest = Buffer.sub t.buf t.scan (Buffer.length t.buf - t.scan) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.scan <- 0
+    end
+
+  let next t =
+    compact t;
+    let len = Buffer.length t.buf in
+    (* Find the '\n' terminating the length header. *)
+    let rec find i =
+      if i >= len then None else if Buffer.nth t.buf i = '\n' then Some i else find (i + 1)
+    in
+    match find 0 with
+    | None ->
+        if len > 20 then Stdlib.Error "frame header too long (no newline)" else Stdlib.Ok None
+    | Some nl -> (
+        let header = Buffer.sub t.buf 0 nl in
+        match int_of_string_opt header with
+        | None -> Stdlib.Error (Printf.sprintf "bad frame header %S" header)
+        | Some payload_len when payload_len < 0 || payload_len > max_frame ->
+            Stdlib.Error (Printf.sprintf "frame length %d out of range" payload_len)
+        | Some payload_len ->
+            if len - (nl + 1) < payload_len then Stdlib.Ok None
+            else begin
+              let payload = Buffer.sub t.buf (nl + 1) payload_len in
+              t.scan <- nl + 1 + payload_len;
+              Stdlib.Ok (Some payload)
+            end)
+end

@@ -1,0 +1,57 @@
+(** The kexd wire protocol — a small length-prefixed text protocol with a
+    pure codec: parse/print round-trip on strings and framing is an
+    incremental decoder over fed byte chunks, so everything here is testable
+    without sockets.
+
+    Frame: [<payload length in decimal>'\n'<payload>].  String arguments are
+    netstring-style ([<len>:<bytes>]), so keys and values may contain any
+    byte, including spaces and newlines. *)
+
+type request =
+  | Ping
+  | Get of string
+  | Set of string * string
+  | Del of string
+  | Update of string * int
+      (** [Update (key, delta)]: atomic fetch-and-add on the key's decimal
+          value (absent or non-numeric reads as 0); responds with the new
+          value ([Int]). *)
+  | Stats
+  | Kill of int
+      (** Admin/chaos: crash worker [w] at its next admission — the worker
+          abandons its claimed request back to the dispatch queue and parks
+          forever holding an admission slot. *)
+
+type response =
+  | Pong
+  | Ok
+  | Value of string option  (** [GET] result; [None] prints as [NIL] *)
+  | Deleted of bool  (** whether the key existed *)
+  | Int of int
+  | Stats_reply of (string * int) list
+  | Error of string
+
+val print_request : request -> string
+val parse_request : string -> (request, string) result
+val print_response : response -> string
+val parse_response : string -> (response, string) result
+
+val frame : string -> string
+(** Wrap a payload in a length-prefixed frame. *)
+
+val max_frame : int
+(** Frames longer than this are rejected by the decoder. *)
+
+(** Incremental deframer: feed raw byte chunks (any split), pop complete
+    payloads. *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> string -> unit
+
+  val next : t -> (string option, string) result
+  (** [Ok None] = need more bytes; [Ok (Some payload)] = one complete frame;
+      [Error _] = the stream is garbage (bad or oversized header) and the
+      connection should be dropped. *)
+end

@@ -1,0 +1,8 @@
+(** Provenance stamps for machine-readable run records, so committed
+    [BENCH_*.json] trajectories across PRs are attributable to a commit and
+    a machine. *)
+
+val git_rev : unit -> string
+(** Short commit hash of HEAD, or ["unknown"] outside a git checkout. *)
+
+val hostname : unit -> string

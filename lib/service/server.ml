@@ -1,0 +1,381 @@
+(* The kexd network server: a TCP listener plus W worker domains serving the
+   (k-1)-resilient KV store.
+
+   Data path: connection threads (one sysprem thread per accepted socket,
+   all living in the listener's domain) deframe and parse requests, push
+   work items onto a shared dispatch queue, and block on a per-item mailbox;
+   worker domains pop items, enter the store through the existing
+   Kex_lock/Assignment admission wrapper (so at most k workers mutate
+   concurrently), and deliver the response into the mailbox.  Because the
+   socket is owned by a connection thread and never by a worker, a worker
+   death never severs a client connection.
+
+   Fault injection: a "killed" worker (chaos schedule or the KILL admin
+   command) crashes at its next admission boundary — it returns its claimed
+   request to the front of the dispatch queue, then acquires an admission
+   slot and parks forever holding it.  To the protocol this is exactly the
+   paper's failure model: an undetectably crashed process inside the
+   wrapper, costing one of the k slots.  (OCaml domains cannot be
+   hard-killed, so the crash is cooperative; the slot is genuinely never
+   released for the lifetime of the run — parked workers are only reaped at
+   shutdown so tests and CI exit cleanly.)  Killing up to k-1 workers
+   therefore costs slots but zero client-visible failures; killing k wedges
+   every slot and the service stalls — the paper's resilience boundary,
+   observable on the wire. *)
+
+module Kex_lock = Kex_runtime.Kex_lock
+module Kv_store = Kex_resilient.Kv_store
+
+type config = {
+  port : int;  (* 0 = ephemeral; read back with [port] *)
+  workers : int;
+  k : int;
+  algo : Kex_lock.algo;
+  chaos : Chaos.event list;
+  log : string -> unit;
+}
+
+let default_config =
+  { port = 7070;
+    workers = 4;
+    k = 2;
+    algo = Kex_lock.Fast_path;
+    chaos = [];
+    log = (fun _ -> ()) }
+
+type mailbox = {
+  mb_m : Mutex.t;
+  mb_c : Condition.t;
+  mutable mb_resp : Protocol.response option;
+}
+
+type item = { req : Protocol.request; mailbox : mailbox }
+
+type t = {
+  cfg : config;
+  store : Kv_store.t;
+  queue : item Wqueue.t;
+  metrics : Metrics.t;
+  kill_flags : bool Atomic.t array;
+  (* The morgue: killed workers park here holding their admission slot until
+     shutdown releases them. *)
+  morgue_m : Mutex.t;
+  morgue_c : Condition.t;
+  mutable morgue_open : bool;
+  listen_fd : Unix.file_descr;
+  actual_port : int;
+  stopping : bool Atomic.t;
+  mutable worker_domains : unit Domain.t list;
+  mutable listener : Thread.t option;
+  mutable chaos_thread : Thread.t option;
+  conns_m : Mutex.t;
+  mutable conns : Unix.file_descr list;
+  mutable conn_threads : Thread.t list;
+  started_at : float;
+}
+
+let port t = t.actual_port
+let stats_pairs t =
+  Metrics.pairs t.metrics
+  @ [ ("workers", t.cfg.workers);
+      ("k", t.cfg.k);
+      ("keys", Kv_store.size t.store);
+      ("ops_linearized", Kv_store.operations t.store);
+      ("apply_calls", Kv_store.apply_calls t.store);
+      ("uptime_ms", int_of_float ((Unix.gettimeofday () -. t.started_at) *. 1000.)) ]
+
+let logf t fmt = Printf.ksprintf t.cfg.log fmt
+
+(* ------------------------------- mailboxes ------------------------------ *)
+
+let mailbox () = { mb_m = Mutex.create (); mb_c = Condition.create (); mb_resp = None }
+
+let deliver mb resp =
+  Mutex.lock mb.mb_m;
+  mb.mb_resp <- Some resp;
+  Condition.signal mb.mb_c;
+  Mutex.unlock mb.mb_m
+
+let await mb =
+  Mutex.lock mb.mb_m;
+  while mb.mb_resp = None do
+    Condition.wait mb.mb_c mb.mb_m
+  done;
+  let r = Option.get mb.mb_resp in
+  Mutex.unlock mb.mb_m;
+  r
+
+(* -------------------------------- workers ------------------------------- *)
+
+let exec_store_op t ~pid (req : Protocol.request) : Protocol.response =
+  let timed cls f =
+    let t0 = Unix.gettimeofday () in
+    let resp = f () in
+    Metrics.record t.metrics cls ~lat_us:(int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
+    resp
+  in
+  match req with
+  | Protocol.Get key -> timed Metrics.C_get (fun () -> Protocol.Value (Kv_store.get t.store ~pid ~key))
+  | Protocol.Set (key, v) ->
+      timed Metrics.C_set (fun () ->
+          Kv_store.set t.store ~pid ~key v;
+          Protocol.Ok)
+  | Protocol.Del key ->
+      timed Metrics.C_del (fun () -> Protocol.Deleted (Kv_store.delete t.store ~pid ~key))
+  | Protocol.Update (key, delta) ->
+      timed Metrics.C_update (fun () -> Protocol.Int (Kv_store.fetch_add t.store ~pid ~key delta))
+  | Protocol.Ping | Protocol.Stats | Protocol.Kill _ ->
+      (* Routed inline by connection threads; never reaches a worker. *)
+      Protocol.Error "not a store operation"
+
+(* Crash: park forever holding an admission slot.  If every slot is already
+   wedged the acquire itself blocks — indistinguishable from the park, and
+   exactly the k-th-failure stall the paper predicts. *)
+let die t ~pid =
+  Metrics.incr_deaths t.metrics;
+  logf t "worker %d: killed (crashing at the admission boundary)" pid;
+  let asg = Kv_store.assignment t.store in
+  let name = Kex_lock.Assignment.acquire asg ~pid in
+  Mutex.lock t.morgue_m;
+  while not t.morgue_open do
+    Condition.wait t.morgue_c t.morgue_m
+  done;
+  Mutex.unlock t.morgue_m;
+  (* Shutdown reaps the morgue so domains join and the process exits 0. *)
+  Kex_lock.Assignment.release asg ~pid ~name
+
+let worker_loop t pid =
+  let rec loop () =
+    match Wqueue.pop t.queue with
+    | None -> ()
+    | Some item ->
+        if Atomic.get t.kill_flags.(pid) then begin
+          (* Mid-request crash: the claimed request is re-dispatched (the
+             supervisor's job in a multi-process deployment); the slot this
+             worker is about to take is lost for good. *)
+          ignore (Wqueue.push_front t.queue item);
+          Metrics.incr_redispatched t.metrics;
+          die t ~pid
+        end
+        else begin
+          let resp =
+            match exec_store_op t ~pid item.req with
+            | resp -> resp
+            | exception e ->
+                Metrics.incr_errors t.metrics;
+                Protocol.Error (Printexc.to_string e)
+          in
+          deliver item.mailbox resp;
+          loop ()
+        end
+  in
+  loop ()
+
+(* ---------------------------- fault injection --------------------------- *)
+
+let kill_worker t w =
+  if w < 0 || w >= t.cfg.workers then
+    Error (Printf.sprintf "worker %d out of range 0..%d" w (t.cfg.workers - 1))
+  else begin
+    Atomic.set t.kill_flags.(w) true;
+    Ok ()
+  end
+
+(* kill-worker with no target: lowest-index worker not yet marked. *)
+let next_victim t =
+  let rec go w = if w >= t.cfg.workers then None else if Atomic.get t.kill_flags.(w) then go (w + 1) else Some w in
+  go 0
+
+let chaos_loop t events =
+  List.iter
+    (fun (e : Chaos.event) ->
+      let wait = e.at_s -. (Unix.gettimeofday () -. t.started_at) in
+      if wait > 0. then Thread.delay wait;
+      if not (Atomic.get t.stopping) then
+        let target = match e.target with Some w -> Some w | None -> next_victim t in
+        match target with
+        | None -> logf t "chaos: no live worker left to kill"
+        | Some w -> (
+            match kill_worker t w with
+            | Ok () -> logf t "chaos: killing worker %d at t=%.1fs" w e.at_s
+            | Error msg -> logf t "chaos: %s" msg))
+    events
+
+(* ------------------------------ connections ----------------------------- *)
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.of_string s in
+  let rec go off =
+    if off < len then begin
+      let n = Unix.write fd bytes off (len - off) in
+      go (off + n)
+    end
+  in
+  go 0
+
+let respond t fd payload =
+  let resp =
+    match Protocol.parse_request payload with
+    | Error msg ->
+        Metrics.incr_errors t.metrics;
+        Protocol.Error ("parse: " ^ msg)
+    | Ok Protocol.Ping -> Protocol.Pong
+    | Ok Protocol.Stats -> Protocol.Stats_reply (stats_pairs t)
+    | Ok (Protocol.Kill w) -> (
+        match kill_worker t w with
+        | Ok () -> Protocol.Ok
+        | Error msg ->
+            Metrics.incr_errors t.metrics;
+            Protocol.Error msg)
+    | Ok req ->
+        (* Store operation: dispatch to the worker pool and wait. *)
+        let mb = mailbox () in
+        if Wqueue.push t.queue { req; mailbox = mb } then await mb
+        else begin
+          Metrics.incr_errors t.metrics;
+          Protocol.Error "server shutting down"
+        end
+  in
+  write_all fd (Protocol.frame (Protocol.print_response resp))
+
+let handle_conn t fd =
+  let dec = Protocol.Decoder.create () in
+  let buf = Bytes.create 8192 in
+  let rec drain () =
+    match Protocol.Decoder.next dec with
+    | Error msg ->
+        logf t "connection: dropping garbage stream (%s)" msg;
+        false
+    | Ok None -> true
+    | Ok (Some payload) ->
+        respond t fd payload;
+        drain ()
+  in
+  let rec serve () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        Protocol.Decoder.feed dec (Bytes.sub_string buf 0 n);
+        if drain () then serve ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> serve ()
+    | exception Unix.Unix_error _ -> ()
+  in
+  (try serve () with Unix.Unix_error _ -> ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_m;
+  t.conns <- List.filter (fun fd' -> fd' != fd) t.conns;
+  Mutex.unlock t.conns_m
+
+let accept_loop t =
+  let rec loop () =
+    match Unix.accept t.listen_fd with
+    | fd, _ ->
+        Metrics.incr_connections t.metrics;
+        Mutex.lock t.conns_m;
+        t.conns <- fd :: t.conns;
+        let th = Thread.create (fun () -> handle_conn t fd) () in
+        t.conn_threads <- th :: t.conn_threads;
+        Mutex.unlock t.conns_m;
+        loop ()
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> loop ()
+    | exception Unix.Unix_error _ ->
+        (* Listener closed under us — the shutdown path. *)
+        ()
+  in
+  loop ()
+
+(* ------------------------------- lifecycle ------------------------------ *)
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be positive";
+  if cfg.k < 1 || cfg.k > cfg.workers then
+    invalid_arg "Server.start: need 1 <= k <= workers";
+  (* A worker death mid-write must not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+  Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, cfg.port));
+  Unix.listen listen_fd 128;
+  let actual_port =
+    match Unix.getsockname listen_fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | Unix.ADDR_UNIX _ -> assert false
+  in
+  let t =
+    { cfg;
+      store = Kv_store.create ~algo:cfg.algo ~n:cfg.workers ~k:cfg.k ();
+      queue = Wqueue.create ();
+      metrics = Metrics.create ();
+      kill_flags = Array.init cfg.workers (fun _ -> Atomic.make false);
+      morgue_m = Mutex.create ();
+      morgue_c = Condition.create ();
+      morgue_open = false;
+      listen_fd;
+      actual_port;
+      stopping = Atomic.make false;
+      worker_domains = [];
+      listener = None;
+      chaos_thread = None;
+      conns_m = Mutex.create ();
+      conns = [];
+      conn_threads = [];
+      started_at = Unix.gettimeofday () }
+  in
+  t.worker_domains <- List.init cfg.workers (fun pid -> Domain.spawn (fun () -> worker_loop t pid));
+  t.listener <- Some (Thread.create (fun () -> accept_loop t) ());
+  if cfg.chaos <> [] then t.chaos_thread <- Some (Thread.create (fun () -> chaos_loop t cfg.chaos) ());
+  logf t "kexd serve: listening on 127.0.0.1:%d (workers=%d k=%d algo in force)" actual_port
+    cfg.workers cfg.k;
+  t
+
+let stop ?(drain_timeout_s = 5.) t =
+  Atomic.set t.stopping true;
+  (* 1. Stop accepting.  shutdown() before close(): on Linux, closing a
+     socket does not wake a thread blocked in accept(), shutting it down
+     does (the accept fails with EINVAL/ECONNABORTED). *)
+  (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+  (* 2. Let in-flight work drain (bounded: a stalled pool never drains). *)
+  let deadline = Unix.gettimeofday () +. drain_timeout_s in
+  while Wqueue.length t.queue > 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.01
+  done;
+  (* 3. Reap the morgue: parked "dead" workers release their slots and
+     exit, unwedging any live worker stuck at admission. *)
+  Mutex.lock t.morgue_m;
+  t.morgue_open <- true;
+  Condition.broadcast t.morgue_c;
+  Mutex.unlock t.morgue_m;
+  (* 4. Close the queue; refuse whatever never got dispatched. *)
+  let leftovers = Wqueue.close t.queue in
+  List.iter (fun item -> deliver item.mailbox (Protocol.Error "server shutting down")) leftovers;
+  (* 5. Join workers, then sever idle connections so their threads exit. *)
+  List.iter Domain.join t.worker_domains;
+  Mutex.lock t.conns_m;
+  let conns = t.conns and conn_threads = t.conn_threads in
+  Mutex.unlock t.conns_m;
+  List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()) conns;
+  List.iter Thread.join conn_threads;
+  Option.iter Thread.join t.listener;
+  Option.iter Thread.join t.chaos_thread;
+  logf t "kexd serve: stopped (%d ops served, %d worker deaths)" (Metrics.served t.metrics)
+    (Metrics.deaths t.metrics)
+
+let run ?duration_s cfg =
+  let t = start cfg in
+  let stop_requested = Atomic.make false in
+  let request_stop _ = Atomic.set stop_requested true in
+  let old_int = Sys.signal Sys.sigint (Sys.Signal_handle request_stop) in
+  let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle request_stop) in
+  let expired () =
+    match duration_s with
+    | None -> false
+    | Some d -> Unix.gettimeofday () -. t.started_at >= d
+  in
+  while not (Atomic.get stop_requested || expired ()) do
+    Thread.delay 0.05
+  done;
+  stop t;
+  Sys.set_signal Sys.sigint old_int;
+  Sys.set_signal Sys.sigterm old_term

@@ -1,0 +1,50 @@
+(** [kexd serve]: the resilient KV store on a TCP socket, with the paper's
+    resilience trade observable on the wire.
+
+    [workers] domains serve requests from a shared dispatch queue; every
+    store operation enters through the existing {!Kex_runtime.Kex_lock}
+    k-assignment wrapper, so at most [k] workers mutate concurrently and up
+    to [k-1] workers may crash (chaos schedule or the [KILL] admin command)
+    without a single client-visible failure — their claimed requests are
+    re-dispatched and their admission slots are simply lost.  Killing [k]
+    workers wedges every slot and the service stalls, which is exactly the
+    paper's resilience boundary.
+
+    Sockets are owned by per-connection threads, never by workers, so a
+    worker death cannot sever a connection.  Crashes are cooperative (OCaml
+    domains cannot be hard-killed): a killed worker parks forever holding
+    its slot and is only reaped at shutdown. *)
+
+type config = {
+  port : int;  (** 0 picks an ephemeral port — read it back with {!port} *)
+  workers : int;
+  k : int;  (** admission bound; requires [1 <= k <= workers] *)
+  algo : Kex_runtime.Kex_lock.algo;
+  chaos : Chaos.event list;
+  log : string -> unit;  (** sink for progress lines; ignore for quiet *)
+}
+
+val default_config : config
+(** port 7070, 4 workers, k=2, [Fast_path], no chaos, silent. *)
+
+type t
+
+val start : config -> t
+(** Bind, spawn the listener and worker domains (and the chaos thread if a
+    schedule was given), and return immediately. *)
+
+val port : t -> int
+val kill_worker : t -> int -> (unit, string) result
+(** Programmatic [KILL] — what the admin command and tests use. *)
+
+val stats_pairs : t -> (string * int) list
+(** The [STATS] reply: metrics counters plus store/admission state. *)
+
+val stop : ?drain_timeout_s:float -> t -> unit
+(** Graceful shutdown: stop accepting, drain in-flight requests (bounded
+    wait), reap crashed workers so their slots release, refuse undispatched
+    requests with an error, join everything. *)
+
+val run : ?duration_s:float -> config -> unit
+(** [start], then block until SIGINT/SIGTERM (or [duration_s] elapses), then
+    [stop].  The CLI entry point. *)

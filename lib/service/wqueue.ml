@@ -1,0 +1,64 @@
+type 'a t = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable front : 'a list;  (* re-dispatched items, popped first *)
+  q : 'a Queue.t;
+  mutable closed : bool;
+}
+
+let create () = { m = Mutex.create (); c = Condition.create (); front = []; q = Queue.create (); closed = false }
+
+let push t x =
+  Mutex.lock t.m;
+  let accepted = not t.closed in
+  if accepted then begin
+    Queue.push x t.q;
+    Condition.signal t.c
+  end;
+  Mutex.unlock t.m;
+  accepted
+
+let push_front t x =
+  Mutex.lock t.m;
+  let accepted = not t.closed in
+  if accepted then begin
+    t.front <- x :: t.front;
+    Condition.signal t.c
+  end;
+  Mutex.unlock t.m;
+  accepted
+
+let pop t =
+  Mutex.lock t.m;
+  let rec wait () =
+    match t.front with
+    | x :: rest ->
+        t.front <- rest;
+        Some x
+    | [] ->
+        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
+        else if t.closed then None
+        else begin
+          Condition.wait t.c t.m;
+          wait ()
+        end
+  in
+  let r = wait () in
+  Mutex.unlock t.m;
+  r
+
+let length t =
+  Mutex.lock t.m;
+  let n = List.length t.front + Queue.length t.q in
+  Mutex.unlock t.m;
+  n
+
+let close t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  let leftovers = t.front @ List.of_seq (Queue.to_seq t.q) in
+  t.front <- [];
+  Queue.clear t.q;
+  Condition.broadcast t.c;
+  Mutex.unlock t.m;
+  leftovers

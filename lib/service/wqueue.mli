@@ -1,0 +1,24 @@
+(** A blocking multi-producer/multi-consumer dispatch queue (mutex +
+    condition), shared between the server's connection threads (producers)
+    and worker domains (consumers). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> bool
+(** Enqueue at the back; [false] if the queue is closed (item refused). *)
+
+val push_front : 'a t -> 'a -> bool
+(** Enqueue at the front — used to re-dispatch the claimed request of a
+    crashed worker ahead of new traffic. *)
+
+val pop : 'a t -> 'a option
+(** Block until an item is available; [None] once the queue is closed and
+    drained of nothing (close empties the queue, so [None] means shutdown). *)
+
+val length : 'a t -> int
+
+val close : 'a t -> 'a list
+(** Close the queue, wake every blocked consumer, and return the items that
+    were still pending so the caller can refuse them. *)

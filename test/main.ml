@@ -28,4 +28,6 @@ let () =
       ("stats-spec", Test_stats.suite);
       ("methodology", Test_methodology.suite);
       ("kv-store", Test_kv_store.suite);
+      ("service-protocol", Test_service_protocol.suite);
+      ("service", Test_service.suite);
       ("peterson", Test_peterson.suite) ]

@@ -47,6 +47,53 @@ let test_concurrent_counters () =
   Alcotest.(check int) "no lost updates" (n * per) total;
   Alcotest.(check int) "all operations linearized" (n * per) (Kv_store.operations s)
 
+let test_fetch_add () =
+  let s = Kv_store.create ~n:1 ~k:1 () in
+  Alcotest.(check int) "absent reads as 0" 5 (Kv_store.fetch_add s ~pid:0 ~key:"c" 5);
+  Alcotest.(check int) "accumulates" 3 (Kv_store.fetch_add s ~pid:0 ~key:"c" (-2));
+  Alcotest.(check (option string)) "stored as decimal" (Some "3") (Kv_store.get s ~pid:0 ~key:"c");
+  Kv_store.set s ~pid:0 ~key:"j" "junk";
+  Alcotest.(check int) "non-numeric reads as 0" 1 (Kv_store.fetch_add s ~pid:0 ~key:"j" 1)
+
+let test_update_reexecuted_not_double_applied () =
+  (* The announce+help contract under a mid-run crash, observed through a
+     counting closure: helpers may re-execute the closure (calls can exceed
+     linearized operations, and apply_calls counts every invocation), but
+     each update commits exactly once — the counter lands on the exact
+     total even though one client died holding an admission slot. *)
+  let n = 4 and k = 3 and per = 120 in
+  let s = Kv_store.create ~n ~k () in
+  let closure_calls = Atomic.make 0 in
+  let half = per / 2 in
+  let bump pid =
+    Kv_store.update s ~pid ~key:"ctr" (fun v ->
+        Atomic.incr closure_calls;
+        Some (string_of_int (1 + match v with Some x -> int_of_string x | None -> 0)))
+  in
+  let crasher () =
+    for _ = 1 to half do
+      bump 0
+    done;
+    (* Crash mid-run: hold an admission slot forever (k-1 tolerated). *)
+    ignore (Kex_runtime.Kex_lock.Assignment.acquire (Kv_store.assignment s) ~pid:0)
+  in
+  let live pid () =
+    for _ = 1 to per do
+      bump pid
+    done
+  in
+  let ds = Domain.spawn crasher :: List.init (n - 1) (fun i -> Domain.spawn (live (i + 1))) in
+  List.iter Domain.join ds;
+  let committed = half + ((n - 1) * per) in
+  Alcotest.(check int) "every update linearized exactly once" committed (Kv_store.operations s);
+  Alcotest.(check (option string)) "counter exact: no double-apply, no loss"
+    (Some (string_of_int committed))
+    (List.assoc_opt "ctr" (Kv_store.snapshot s));
+  Alcotest.(check bool) "closure ran at least once per committed update" true
+    (Atomic.get closure_calls >= committed);
+  Alcotest.(check bool) "apply_calls counts helper re-executions" true
+    (Kv_store.apply_calls s >= Kv_store.operations s)
+
 let test_available_with_wedged_client () =
   let n = 4 and k = 2 in
   let s = Kv_store.create ~n ~k () in
@@ -65,5 +112,7 @@ let suite =
   [ Helpers.tc "basic CRUD" test_basic_crud;
     Helpers.tc "set overwrites" test_set_overwrites;
     Helpers.tc "update is a linearized RMW" test_update_atomic;
+    Helpers.tc "fetch_add is a closure-free RMW" test_fetch_add;
     Helpers.tc "no lost updates under domains" test_concurrent_counters;
+    Helpers.tc "re-executed updates commit exactly once" test_update_reexecuted_not_double_applied;
     Helpers.tc "available with a wedged client" test_available_with_wedged_client ]

@@ -64,10 +64,13 @@ let test_create_validation () =
     (fun () -> ignore (Kex_lock.create ~n:0 ~k:1 ()))
 
 let test_with_lock_releases_on_exception () =
-  let lock = Kex_lock.create ~n:2 ~k:1 () in
-  (try Kex_lock.with_lock lock ~pid:0 (fun () -> failwith "boom") with Failure _ -> ());
-  (* If the slot leaked, this would hang; acquire again to prove it didn't. *)
-  Kex_lock.with_lock lock ~pid:1 (fun () -> ())
+  List.iter
+    (fun algo ->
+      let lock = Kex_lock.create ~algo ~n:2 ~k:1 () in
+      (try Kex_lock.with_lock lock ~pid:0 (fun () -> failwith "boom") with Failure _ -> ());
+      (* If the slot leaked, this would hang; acquire again to prove it didn't. *)
+      Kex_lock.with_lock lock ~pid:1 (fun () -> ()))
+    algos
 
 (* Multi-domain stress: k-exclusion must hold under real parallelism (or
    preemptive interleaving on one core). *)

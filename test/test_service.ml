@@ -1,0 +1,187 @@
+(* End-to-end tests of the kexd network service on an ephemeral port: real
+   sockets, real worker domains, and the paper's resilience boundary — kill
+   k-1 workers and no client ever sees a failure; kill k and the service
+   stalls (requests time out) yet still shuts down cleanly. *)
+
+module Server = Kex_service.Server
+module P = Kex_service.Protocol
+
+(* ------------------------- a minimal test client ------------------------ *)
+
+type client = { fd : Unix.file_descr; dec : P.Decoder.t; buf : Bytes.t }
+
+let connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { fd; dec = P.Decoder.create (); buf = Bytes.create 4096 }
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_raw c s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write c.fd b off (Bytes.length b - off))
+  in
+  go 0
+
+exception Timeout
+
+(* Read one framed response; a SO_RCVTIMEO expiry surfaces as EAGAIN. *)
+let recv c =
+  let rec go () =
+    match P.Decoder.next c.dec with
+    | Error msg -> failwith ("client decoder: " ^ msg)
+    | Ok (Some payload) -> (
+        match P.parse_response payload with
+        | Ok r -> r
+        | Error msg -> failwith ("client parse: " ^ msg))
+    | Ok None -> (
+        match Unix.read c.fd c.buf 0 (Bytes.length c.buf) with
+        | 0 -> failwith "server closed the connection"
+        | n ->
+            P.Decoder.feed c.dec (Bytes.sub_string c.buf 0 n);
+            go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> raise Timeout)
+  in
+  go ()
+
+let rpc c r =
+  send_raw c (P.frame (P.print_request r));
+  recv c
+
+let assert_resp ctx expected actual =
+  Alcotest.(check string) ctx (P.print_response expected) (P.print_response actual)
+
+let quiet = { Server.default_config with port = 0; log = (fun _ -> ()) }
+
+let with_server cfg f =
+  let t = Server.start cfg in
+  Fun.protect ~finally:(fun () -> Server.stop ~drain_timeout_s:1. t) (fun () -> f t)
+
+let stat name t =
+  match List.assoc_opt name (Server.stats_pairs t) with
+  | Some v -> v
+  | None -> Alcotest.failf "STATS has no %S" name
+
+(* --------------------------------- tests -------------------------------- *)
+
+let test_crud_over_socket () =
+  with_server { quiet with workers = 2; k = 1 } (fun t ->
+      let c = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c) (fun () ->
+          assert_resp "ping" P.Pong (rpc c P.Ping);
+          assert_resp "get missing" (P.Value None) (rpc c (P.Get "a"));
+          assert_resp "set" P.Ok (rpc c (P.Set ("a", "value with\nnewline and : colon")));
+          assert_resp "get" (P.Value (Some "value with\nnewline and : colon")) (rpc c (P.Get "a"));
+          assert_resp "update fresh" (P.Int 5) (rpc c (P.Update ("ctr", 5)));
+          assert_resp "update again" (P.Int 3) (rpc c (P.Update ("ctr", -2)));
+          assert_resp "del" (P.Deleted true) (rpc c (P.Del "a"));
+          assert_resp "del again" (P.Deleted false) (rpc c (P.Del "a"));
+          (match rpc c P.Stats with
+          | P.Stats_reply pairs ->
+              let get name =
+                match List.assoc_opt name pairs with
+                | Some v -> v
+                | None -> Alcotest.failf "no %S in STATS" name
+              in
+              Alcotest.(check bool) "served some ops" true (get "served" >= 6);
+              Alcotest.(check int) "no deaths" 0 (get "deaths");
+              Alcotest.(check int) "k" 1 (get "k")
+          | r -> Alcotest.failf "STATS answered %s" (P.print_response r));
+          (* A framed but unparseable payload gets an ERR, not a hangup. *)
+          send_raw c (P.frame "FLY me");
+          match recv c with
+          | P.Error _ -> ()
+          | r -> Alcotest.failf "garbage payload answered %s" (P.print_response r)))
+
+let test_garbage_stream_dropped () =
+  with_server { quiet with workers = 1; k = 1 } (fun t ->
+      let c = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c) (fun () ->
+          send_raw c "this is not a frame header\n";
+          Alcotest.(check int) "connection dropped" 0 (Unix.read c.fd c.buf 0 1)))
+
+(* Kill k-1 of the workers mid-load: every request still succeeds, the
+   counter is exact (each increment applied exactly once), and the deaths
+   are visible in STATS.  The paper's resilience claim, on the wire. *)
+let test_kill_k_minus_1_zero_failures () =
+  let workers = 3 and k = 2 and clients = 2 and per = 60 in
+  with_server { quiet with workers; k } (fun t ->
+      let failures = Atomic.make 0 in
+      let client_loop i () =
+        let c = connect (Server.port t) in
+        Fun.protect ~finally:(fun () -> close c) (fun () ->
+            for j = 1 to per do
+              (match rpc c (P.Update ("ctr", 1)) with
+              | P.Int _ -> ()
+              | r ->
+                  ignore (Atomic.fetch_and_add failures 1);
+                  Printf.eprintf "client %d req %d: %s\n%!" i j (P.print_response r));
+              (* Kill a worker (k-1 = 1 of them) a little into the load. *)
+              if i = 0 && j = 10 then
+                match Server.kill_worker t 0 with
+                | Ok () -> ()
+                | Error msg -> Alcotest.fail msg
+            done)
+      in
+      let ds = List.init clients (fun i -> Domain.spawn (client_loop i)) in
+      List.iter Domain.join ds;
+      Alcotest.(check int) "zero client-visible failures" 0 (Atomic.get failures);
+      (* Drive until the victim actually pops an item and dies (the flag
+         takes effect at its next admission), then confirm exactness. *)
+      let admin = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close admin) (fun () ->
+          let extra = ref 0 in
+          while stat "deaths" t < 1 && !extra < 2000 do
+            (match rpc admin (P.Update ("ctr", 1)) with
+            | P.Int _ -> incr extra
+            | r -> Alcotest.failf "drive req failed: %s" (P.print_response r))
+          done;
+          Alcotest.(check int) "exactly one death" 1 (stat "deaths" t);
+          assert_resp "counter exact despite the crash"
+            (P.Value (Some (string_of_int ((clients * per) + !extra))))
+            (rpc admin (P.Get "ctr"));
+          Alcotest.(check bool) "re-dispatch happened" true (stat "redispatched" t >= 1)))
+
+(* Kill k workers: every admission slot is wedged, so the next store
+   operation stalls (client times out) — and the server still stops
+   cleanly, which is the shutdown path the CI smoke job relies on. *)
+let test_kill_k_stalls_but_stops () =
+  let workers = 2 and k = 2 in
+  let t = Server.start { quiet with workers; k } in
+  let c = connect (Server.port t) in
+  (* Sanity: service is up before the kills. *)
+  assert_resp "pre-kill op" (P.Int 1) (rpc c (P.Update ("ctr", 1)));
+  (match Server.kill_worker t 0 with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Server.kill_worker t 1 with Ok () -> () | Error e -> Alcotest.fail e);
+  (match Server.kill_worker t 7 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range kill accepted");
+  Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 1.0;
+  (match rpc c (P.Update ("ctr", 1)) with
+  | exception Timeout -> ()
+  | r -> Alcotest.failf "stalled service answered %s" (P.print_response r));
+  (* Both deaths were counted on the way into the morgue. *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while stat "deaths" t < k && Unix.gettimeofday () < deadline do
+    Thread.delay 0.02
+  done;
+  Alcotest.(check int) "k deaths" k (stat "deaths" t);
+  (* PING and STATS are served inline by the connection thread, so the
+     control plane outlives the stalled data plane. *)
+  Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 0.;
+  let admin = connect (Server.port t) in
+  assert_resp "ping during stall" P.Pong (rpc admin P.Ping);
+  close admin;
+  close c;
+  (* stop must reap the morgue, answer the undispatched request, and join
+     every domain — a hang here is the bug this test pins down. *)
+  Server.stop ~drain_timeout_s:0.5 t;
+  Alcotest.(check int) "still k deaths after stop" k (stat "deaths" t)
+
+let suite =
+  [ Helpers.tc "CRUD over a socket" test_crud_over_socket;
+    Helpers.tc "garbage stream dropped" test_garbage_stream_dropped;
+    Helpers.tc_slow "kill k-1 workers: zero client-visible failures"
+      test_kill_k_minus_1_zero_failures;
+    Helpers.tc_slow "kill k workers: stall, then clean stop" test_kill_k_stalls_but_stops ]

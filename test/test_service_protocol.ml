@@ -1,0 +1,261 @@
+(* The kexd wire protocol, exercised without a socket: the codec is pure
+   (parse/print on strings, framing on an incremental decoder), so both the
+   unit round-trips and the qcheck properties below run entirely in
+   memory — an acceptance criterion for the service PR. *)
+
+module P = Kex_service.Protocol
+module Chaos = Kex_service.Chaos
+module Json = Kex_service.Json
+module Loadgen = Kex_service.Loadgen
+module Q = QCheck2
+
+(* ------------------------- unit: request codec -------------------------- *)
+
+let req = Alcotest.testable (fun ppf r -> Format.pp_print_string ppf (P.print_request r)) ( = )
+let resp = Alcotest.testable (fun ppf r -> Format.pp_print_string ppf (P.print_response r)) ( = )
+
+let roundtrip_req r =
+  match P.parse_request (P.print_request r) with
+  | Ok r' -> Alcotest.check req (P.print_request r) r r'
+  | Error msg -> Alcotest.failf "no parse for %S: %s" (P.print_request r) msg
+
+let roundtrip_resp r =
+  match P.parse_response (P.print_response r) with
+  | Ok r' -> Alcotest.check resp (P.print_response r) r r'
+  | Error msg -> Alcotest.failf "no parse for %S: %s" (P.print_response r) msg
+
+let nasty = [ ""; " "; "a b"; "x:y"; "12:fake"; "line1\nline2"; String.make 300 'z'; "\x00\x01" ]
+
+let test_request_roundtrips () =
+  List.iter roundtrip_req [ P.Ping; P.Stats; P.Kill 0; P.Kill 17 ];
+  List.iter
+    (fun s ->
+      roundtrip_req (P.Get s);
+      roundtrip_req (P.Del s);
+      roundtrip_req (P.Set (s, s ^ "-v"));
+      roundtrip_req (P.Update (s, -3)))
+    nasty
+
+let test_response_roundtrips () =
+  List.iter roundtrip_resp
+    [ P.Pong; P.Ok; P.Value None; P.Deleted true; P.Deleted false; P.Int (-42);
+      P.Stats_reply []; P.Stats_reply [ ("served", 12); ("a b", 0) ]; P.Error "boom" ];
+  List.iter (fun s -> roundtrip_resp (P.Value (Some s))) nasty
+
+let test_malformed_rejected () =
+  let bad_req =
+    [ ""; "NOPE"; "GET"; "GET x"; "GET 5:ab"; "GET 2:abc"; "SET 1:a"; "UPDATE 1:a x";
+      "KILL"; "KILL x"; "PING extra"; "GET -1:a" ]
+  in
+  List.iter
+    (fun s ->
+      match P.parse_request s with
+      | Ok _ -> Alcotest.failf "%S should not parse as a request" s
+      | Error _ -> ())
+    bad_req;
+  let bad_resp = [ ""; "WHAT"; "VAL"; "DELETED 2"; "STATS"; "STATS 2 1:a 1"; "INT"; "OK !" ] in
+  List.iter
+    (fun s ->
+      match P.parse_response s with
+      | Ok _ -> Alcotest.failf "%S should not parse as a response" s
+      | Error _ -> ())
+    bad_resp
+
+(* --------------------------- unit: framing ------------------------------ *)
+
+let drain dec =
+  let rec go acc =
+    match P.Decoder.next dec with
+    | Ok (Some p) -> go (p :: acc)
+    | Ok None -> Ok (List.rev acc)
+    | Error e -> Error e
+  in
+  go []
+
+let test_decoder_whole_and_split () =
+  let payloads = [ "PING"; "GET 3:a b"; ""; "SET 1:\n 1:x" ] in
+  let stream = String.concat "" (List.map P.frame payloads) in
+  (* One big chunk. *)
+  let dec = P.Decoder.create () in
+  P.Decoder.feed dec stream;
+  Alcotest.(check (result (list string) string)) "one chunk" (Ok payloads) (drain dec);
+  (* Byte at a time, draining after every byte. *)
+  let dec = P.Decoder.create () in
+  let got = ref [] in
+  String.iter
+    (fun c ->
+      P.Decoder.feed dec (String.make 1 c);
+      match drain dec with
+      | Ok ps -> got := !got @ ps
+      | Error e -> Alcotest.failf "byte-at-a-time: %s" e)
+    stream;
+  Alcotest.(check (list string)) "byte at a time" payloads !got
+
+let test_decoder_rejects_garbage () =
+  let dec = P.Decoder.create () in
+  P.Decoder.feed dec "not a number\n";
+  (match P.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad header accepted");
+  let dec = P.Decoder.create () in
+  P.Decoder.feed dec (string_of_int (P.max_frame + 1) ^ "\n");
+  (match P.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized frame accepted");
+  (* A header that never terminates must error rather than buffer forever. *)
+  let dec = P.Decoder.create () in
+  P.Decoder.feed dec (String.make 64 '1');
+  match P.Decoder.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated header accepted"
+
+(* ----------------------------- unit: chaos ------------------------------ *)
+
+let test_chaos_parse () =
+  Alcotest.(check (result (list (pair (float 0.) (option int))) string))
+    "targets and sorting"
+    (Ok [ (0.5, Some 2); (5., None); (10., None) ])
+    (Result.map
+       (List.map (fun (e : Chaos.event) -> (e.at_s, e.target)))
+       (Chaos.parse "kill-worker@5s,kill-worker:2@0.5s,kill-worker@10s"));
+  Alcotest.(check (result (list (pair (float 0.) (option int))) string))
+    "empty schedule" (Ok [])
+    (Result.map (List.map (fun (e : Chaos.event) -> (e.at_s, e.target))) (Chaos.parse ""));
+  List.iter
+    (fun s ->
+      match Chaos.parse s with
+      | Ok _ -> Alcotest.failf "%S should not parse as a chaos spec" s
+      | Error _ -> ())
+    [ "kill-worker"; "kill-worker@"; "kill-worker@-1s"; "reboot@5s"; "kill-worker:x@5s" ];
+  (* to_string round-trips. *)
+  let spec = "kill-worker:1@0.5s,kill-worker@2s" in
+  match Chaos.parse spec with
+  | Error e -> Alcotest.fail e
+  | Ok evs -> (
+      match Chaos.parse (Chaos.to_string evs) with
+      | Ok evs' -> Alcotest.(check bool) "round-trip" true (evs = evs')
+      | Error e -> Alcotest.fail e)
+
+let test_parse_mix () =
+  Alcotest.(check (result (list (pair string int)) string))
+    "mixed" (Ok [ ("get", 80); ("set", 20) ]) (Loadgen.parse_mix "get=80,set=20");
+  (match Loadgen.parse_mix "update=1" with
+  | Ok [ ("update", 1) ] -> ()
+  | _ -> Alcotest.fail "update mix");
+  List.iter
+    (fun s ->
+      match Loadgen.parse_mix s with
+      | Ok _ -> Alcotest.failf "%S should not parse as a mix" s
+      | Error _ -> ())
+    [ ""; "get"; "get=x"; "fly=1"; "get=0,set=0"; "get=-1" ]
+
+(* ------------------------------ unit: json ------------------------------ *)
+
+let test_json_roundtrip () =
+  let doc =
+    Json.(
+      Obj
+        [ ("schema", String "kexclusion-serve/v1");
+          ("n", Int 42);
+          ("f", Float 1.5);
+          ("deep", List [ Null; Bool true; Bool false; String "a\"b\\c\n"; Int (-7) ]);
+          ("empty_list", List []);
+          ("empty_obj", Obj []) ])
+  in
+  (match Json.parse (Json.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "compact round-trip" true (doc = doc')
+  | Error e -> Alcotest.fail e);
+  (match Json.parse (Json.to_string ~indent:2 doc) with
+  | Ok doc' -> Alcotest.(check bool) "indented round-trip" true (doc = doc')
+  | Error e -> Alcotest.fail e);
+  (* Tolerant accessors: absent members are None, not exceptions. *)
+  Alcotest.(check (option int)) "present" (Some 42) (Json.member_int "n" doc);
+  Alcotest.(check (option int)) "absent" None (Json.member_int "missing" doc);
+  Alcotest.(check (option string)) "wrong type" None (Json.member_str "n" doc);
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "%S should not parse as JSON" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "nul" ]
+
+(* ---------------------------- qcheck: codecs ---------------------------- *)
+
+let gen_str = Q.Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_range 0 40))
+
+let gen_request =
+  let open Q.Gen in
+  oneof
+    [ return P.Ping;
+      return P.Stats;
+      map (fun w -> P.Kill w) (int_range 0 1000);
+      map (fun s -> P.Get s) gen_str;
+      map2 (fun k v -> P.Set (k, v)) gen_str gen_str;
+      map (fun s -> P.Del s) gen_str;
+      map2 (fun k d -> P.Update (k, d)) gen_str (int_range (-1000) 1000) ]
+
+let gen_response =
+  let open Q.Gen in
+  oneof
+    [ return P.Pong;
+      return P.Ok;
+      return (P.Value None);
+      map (fun s -> P.Value (Some s)) gen_str;
+      map (fun b -> P.Deleted b) bool;
+      map (fun n -> P.Int n) (int_range (-100000) 100000);
+      map (fun ps -> P.Stats_reply ps) (list_size (int_range 0 8) (pair gen_str (int_range 0 1000)));
+      map (fun s -> P.Error s) gen_str ]
+
+let prop_request_roundtrip =
+  Q.Test.make ~name:"request print/parse round-trips" ~count:500 ~print:P.print_request
+    gen_request (fun r -> P.parse_request (P.print_request r) = Ok r)
+
+let prop_response_roundtrip =
+  Q.Test.make ~name:"response print/parse round-trips" ~count:500 ~print:P.print_response
+    gen_response (fun r -> P.parse_response (P.print_response r) = Ok r)
+
+(* Any frame stream, fed to the decoder in arbitrary splits, reassembles to
+   exactly the original payload sequence. *)
+let gen_stream_and_splits =
+  let open Q.Gen in
+  let* reqs = list_size (int_range 0 6) gen_request in
+  let payloads = List.map P.print_request reqs in
+  let stream = String.concat "" (List.map P.frame payloads) in
+  let* splits = list_size (int_range 0 10) (int_range 0 (max 0 (String.length stream))) in
+  return (payloads, stream, List.sort_uniq compare splits)
+
+let prop_decoder_reassembles =
+  Q.Test.make ~name:"decoder reassembles arbitrarily split frame streams" ~count:300
+    ~print:(fun (ps, _, splits) ->
+      Printf.sprintf "%d payloads, cuts at %s" (List.length ps)
+        (String.concat "," (List.map string_of_int splits)))
+    gen_stream_and_splits
+    (fun (payloads, stream, splits) ->
+      let dec = P.Decoder.create () in
+      let cuts = List.filter (fun i -> i <= String.length stream) (splits @ [ String.length stream ]) in
+      let got = ref [] in
+      let ok = ref true in
+      let prev = ref 0 in
+      List.iter
+        (fun cut ->
+          if cut >= !prev then begin
+            P.Decoder.feed dec (String.sub stream !prev (cut - !prev));
+            prev := cut;
+            match drain dec with
+            | Ok ps -> got := !got @ ps
+            | Error _ -> ok := false
+          end)
+        cuts;
+      !ok && !got = payloads)
+
+let suite =
+  [ Helpers.tc "request round-trips" test_request_roundtrips;
+    Helpers.tc "response round-trips" test_response_roundtrips;
+    Helpers.tc "malformed payloads rejected" test_malformed_rejected;
+    Helpers.tc "decoder: whole and split frames" test_decoder_whole_and_split;
+    Helpers.tc "decoder rejects garbage" test_decoder_rejects_garbage;
+    Helpers.tc "chaos spec parses and round-trips" test_chaos_parse;
+    Helpers.tc "loadgen mix parses" test_parse_mix;
+    Helpers.tc "json round-trips and tolerates absence" test_json_roundtrip ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_request_roundtrip; prop_response_roundtrip; prop_decoder_reassembles ]
