@@ -430,6 +430,156 @@ let loadgen_cmd =
       $ value_size_arg $ lg_seed_arg $ timeout_arg $ phase_marks_arg $ json_arg
       $ fail_on_errors_arg $ quiet_arg)
 
+(* -------------------------------- lint ----------------------------------- *)
+
+let lint_cmd =
+  let doc = "lint the algorithms' local-spin and exclusion discipline (static CFG + sanitizer)" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Lowers each algorithm's Op program into a bounded symbolic control-flow graph and \
+         runs the L1-L4 lint passes (remote spin, invalidation-in-loop, name leak, \
+         Bounded_faa range), then executes the workload under several schedulers with the \
+         run-time sanitizer hooked into the simulator (k-exclusion, name uniqueness, \
+         protected-cell writes, remote-spin watchdog).  Findings at an algorithm's declared \
+         intended-spin sites are reported as waived.  Writes the kexclusion-lint/v1 JSON \
+         document with $(b,--json)." ]
+  in
+  let algo_opt_arg =
+    Arg.(
+      value
+      & opt (some algo_conv) None
+      & info [ "algo" ] ~doc:"lint only this algorithm (default: all six)")
+  in
+  let model_opt_arg =
+    Arg.(
+      value
+      & opt (some model_conv) None
+      & info [ "model" ] ~doc:"cc or dsm (default: both)")
+  in
+  let lint_n_arg =
+    Arg.(value & opt int 5 & info [ "n"; "procs" ] ~doc:"representative process count")
+  in
+  let lint_k_arg = Arg.(value & opt int 2 & info [ "k"; "degree" ] ~doc:"exclusion degree") in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-lint/v1 report")
+  in
+  let require_clean_arg =
+    Arg.(
+      value & flag
+      & info [ "require-clean" ] ~doc:"exit 1 on any non-waived finding (CI gate)")
+  in
+  let mutant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:"lint one seeded mutant instead of the real algorithms (expected dirty: \
+                exits nonzero when the analyzer catches it)")
+  in
+  let mutants_arg =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:"also run the whole seeded-mutant corpus; exit 1 unless every mutant is \
+                killed by its expected check")
+  in
+  let static_only_arg =
+    Arg.(value & flag & info [ "static-only" ] ~doc:"skip the dynamic sanitizer runs")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print every finding with its witness")
+  in
+  let run algo model n k json require_clean mutant mutants static_only verbose =
+    let module A = Kex_analysis in
+    let analyze = A.Lint.analyze ~static_only in
+    match mutant with
+    | Some name -> (
+        match A.Mutants.find name with
+        | None ->
+            Format.eprintf "unknown mutant %S (have: %s)@." name
+              (String.concat ", " (Stdlib.List.map (fun m -> m.A.Mutants.m_name) A.Mutants.all));
+            2
+        | Some m ->
+            let r = analyze m.A.Mutants.m_subject in
+            Format.printf "mutant %s: %s@." m.A.Mutants.m_name m.A.Mutants.m_desc;
+            Format.printf "expected: %s — %s@."
+              (A.Finding.id m.A.Mutants.m_expected)
+              (if A.Mutants.killed m r then "KILLED" else "SURVIVED");
+            Format.printf "%a" A.Report.pp_findings r;
+            Option.iter
+              (fun file ->
+                let oc = open_out file in
+                output_string oc (Kex_service.Json.to_string ~indent:2 (A.Report.to_json [ r ]));
+                output_char oc '\n';
+                close_out oc)
+              json;
+            if A.Lint.clean r then 0 else 1)
+    | None ->
+        let algos = match algo with Some a -> [ a ] | None -> Kexclusion.Registry.all in
+        let models =
+          match model with
+          | Some m -> [ m ]
+          | None -> [ Cost_model.Cache_coherent; Cost_model.Distributed ]
+        in
+        let reports =
+          Stdlib.List.concat_map
+            (fun model ->
+              Stdlib.List.map
+                (fun algo -> analyze (A.Lint.subject_of_algo ~model ~algo ~n ~k))
+                algos)
+            models
+        in
+        Format.printf "%a" A.Report.pp_table reports;
+        if verbose then
+          Stdlib.List.iter
+            (fun r ->
+              if r.A.Lint.r_findings <> [] then begin
+                Format.printf "@.%s under %s:@." r.A.Lint.r_subject.A.Lint.sub_name
+                  (A.Report.model_name r.A.Lint.r_subject.A.Lint.sub_model);
+                Format.printf "%a" A.Report.pp_findings r
+              end)
+            reports;
+        let mutant_results =
+          if not mutants then []
+          else
+            Stdlib.List.map
+              (fun m ->
+                let r = analyze m.A.Mutants.m_subject in
+                (m, r, A.Mutants.killed m r))
+              A.Mutants.all
+        in
+        if mutants then begin
+          Format.printf "@.%-26s %-26s %s@." "mutant" "expected" "verdict";
+          Format.printf "%s@." (String.make 62 '-');
+          Stdlib.List.iter
+            (fun (m, _, killed) ->
+              Format.printf "%-26s %-26s %s@." m.A.Mutants.m_name
+                (A.Finding.id m.A.Mutants.m_expected)
+                (if killed then "killed" else "SURVIVED"))
+            mutant_results
+        end;
+        Option.iter
+          (fun file ->
+            let oc = open_out file in
+            output_string oc
+              (Kex_service.Json.to_string ~indent:2
+                 (A.Report.to_json ~mutants:mutant_results reports));
+            output_char oc '\n';
+            close_out oc)
+          json;
+        let dirty = Stdlib.List.exists (fun r -> not (A.Lint.clean r)) reports in
+        let survived = Stdlib.List.exists (fun (_, _, killed) -> not killed) mutant_results in
+        if (require_clean && dirty) || survived then 1 else 0
+  in
+  Cmd.v (Cmd.info "lint" ~doc ~man)
+    Term.(
+      const run $ algo_opt_arg $ model_opt_arg $ lint_n_arg $ lint_k_arg $ json_arg
+      $ require_clean_arg $ mutant_arg $ mutants_arg $ static_only_arg $ verbose_arg)
+
 (* ----------------------------- bench-report ------------------------------- *)
 
 let bench_report_cmd =
@@ -513,4 +663,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; sweep_cmd; verify_cmd; hunt_cmd; serve_cmd; loadgen_cmd; bench_report_cmd ]))
+          [ run_cmd; sweep_cmd; verify_cmd; hunt_cmd; lint_cmd; serve_cmd; loadgen_cmd;
+            bench_report_cmd ]))

@@ -1,0 +1,52 @@
+type check =
+  | L1_remote_spin
+  | L2_invalidation_in_loop
+  | L3_name_leak
+  | L4_bfaa_range
+  | A_incomplete
+  | S_kexclusion
+  | S_duplicate_name
+  | S_protected_write
+  | S_spin_watchdog
+  | S_stall
+  | S_monitor
+
+type t = {
+  check : check;
+  site : string;
+  pid : int option;
+  detail : string;
+  waived : bool;
+  witness : string list;
+}
+
+let id = function
+  | L1_remote_spin -> "L1-remote-spin"
+  | L2_invalidation_in_loop -> "L2-invalidation-in-loop"
+  | L3_name_leak -> "L3-name-leak"
+  | L4_bfaa_range -> "L4-bfaa-range"
+  | A_incomplete -> "A-incomplete"
+  | S_kexclusion -> "S-kexclusion"
+  | S_duplicate_name -> "S-duplicate-name"
+  | S_protected_write -> "S-protected-write"
+  | S_spin_watchdog -> "S-spin-watchdog"
+  | S_stall -> "S-stall"
+  | S_monitor -> "S-monitor"
+
+let all_checks =
+  [ L1_remote_spin; L2_invalidation_in_loop; L3_name_leak; L4_bfaa_range; A_incomplete;
+    S_kexclusion; S_duplicate_name; S_protected_write; S_spin_watchdog; S_stall; S_monitor ]
+
+let check_of_id s = List.find_opt (fun c -> String.equal (id c) s) all_checks
+
+let is_static = function
+  | L1_remote_spin | L2_invalidation_in_loop | L3_name_leak | L4_bfaa_range | A_incomplete ->
+      true
+  | _ -> false
+
+let pp ppf f =
+  Format.fprintf ppf "%s%s at %s%s: %s" (id f.check)
+    (if f.waived then " (waived)" else "")
+    f.site
+    (match f.pid with Some p -> Printf.sprintf " [pid %d]" p | None -> "")
+    f.detail

@@ -1,0 +1,236 @@
+module Op = Kex_sim.Op
+module Memory = Kex_sim.Memory
+module Runner = Kex_sim.Runner
+module Cost_model = Kex_sim.Cost_model
+module Registry = Kexclusion.Registry
+module Protocol = Kexclusion.Protocol
+
+open Op
+
+type t = {
+  m_name : string;
+  m_desc : string;
+  m_subject : Lint.subject;
+  m_expected : Finding.check;
+}
+
+let meta_plain = { Registry.local_spin = true; intended_spin = []; protected = [] }
+
+let with_payload mem (w : Runner.workload) =
+  let payload = Memory.alloc mem ~label:Lint.payload_label ~init:0 1 in
+  ( payload,
+    { w with Runner.cs_body = Some (fun ~pid ~name:_ -> Op.write payload (pid + 1)) } )
+
+let subject ~name ~model ~n ~k ?(meta = meta_plain) make =
+  { Lint.sub_name = name; sub_model = model; sub_n = n; sub_k = k; sub_meta = meta;
+    sub_make = make; sub_name_cell = "fig7.X" }
+
+(* ---- 1. Figure 2 with the release write dropped (statement 7). -------- *)
+(* The releaser returns its slot but never writes Q, so a waiting process is
+   only ever woken by accident (another process entering with no slots).
+   Under a fair schedule the last waiter starves: the run stalls. *)
+let fig2_no_release_write mem ~k ~inner =
+  let x = Memory.alloc mem ~label:"fig2.X" ~init:k 1 in
+  let q = Memory.alloc mem ~label:"fig2.Q" ~init:0 1 in
+  let entry ~pid =
+    let* () = inner.Protocol.entry ~pid in
+    let* slots = faa x (-1) in
+    if slots = 0 then
+      let* () = write q pid in
+      let* xv = read x in
+      if xv < 0 then await_ne q pid else return ()
+    else return ()
+  in
+  let exit ~pid =
+    let* _ = faa x 1 in
+    (* BUG: statement 7 "Q := p" omitted *)
+    inner.Protocol.exit ~pid
+  in
+  { Protocol.name = Printf.sprintf "fig2-no-release[k=%d]" k; entry; exit }
+
+(* ---- 2. Figure 2 with the slot counter off by one. -------------------- *)
+(* X starts at k+1, so k+1 processes see a free slot and walk straight into
+   their critical sections: k-exclusion is violated. *)
+let fig2_off_by_one mem ~k ~inner =
+  let x = Memory.alloc mem ~label:"fig2.X" ~init:(k + 1) 1 in
+  let q = Memory.alloc mem ~label:"fig2.Q" ~init:0 1 in
+  let entry ~pid =
+    let* () = inner.Protocol.entry ~pid in
+    let* slots = faa x (-1) in
+    if slots = 0 then
+      let* () = write q pid in
+      let* xv = read x in
+      if xv < 0 then await_ne q pid else return ()
+    else return ()
+  in
+  let exit ~pid =
+    let* _ = faa x 1 in
+    let* () = write q pid in
+    inner.Protocol.exit ~pid
+  in
+  { Protocol.name = Printf.sprintf "fig2-off-by-one[k=%d]" k; entry; exit }
+
+(* ---- 5. A waiter that re-announces itself inside its wait loop. ------- *)
+(* Functionally it still waits for Q to change, but each iteration rewrites
+   the announce cell, invalidating every other process's cached copy. *)
+let fig2_write_in_loop mem ~k ~inner =
+  let x = Memory.alloc mem ~label:"fig2.X" ~init:k 1 in
+  let q = Memory.alloc mem ~label:"fig2.Q" ~init:0 1 in
+  let announce = Memory.alloc mem ~label:"fig2.A" ~init:0 1 in
+  let entry ~pid =
+    let* () = inner.Protocol.entry ~pid in
+    let* slots = faa x (-1) in
+    if slots = 0 then
+      let* () = write q pid in
+      let* xv = read x in
+      if xv < 0 then
+        let rec spin () =
+          (* BUG: refreshing the announcement every iteration *)
+          let* () = write announce pid in
+          let* v = read q in
+          if v = pid then spin () else return ()
+        in
+        spin ()
+      else return ()
+    else return ()
+  in
+  let exit ~pid =
+    let* _ = faa x 1 in
+    let* () = write q pid in
+    inner.Protocol.exit ~pid
+  in
+  { Protocol.name = Printf.sprintf "fig2-write-in-loop[k=%d]" k; entry; exit }
+
+let trivial_inner = { Protocol.name = "trivial"; entry = (fun ~pid:_ -> return ());
+                      exit = (fun ~pid:_ -> return ()) }
+
+(* Wrap a mutated k-exclusion block into the usual Figure 7 assignment. *)
+let assignment_subject ~name ~model ~n ~k ?meta block =
+  let make () =
+    let mem = Memory.create () in
+    let kex = block mem ~k ~inner:trivial_inner in
+    let named = Kexclusion.Assignment.create mem ~kex ~k in
+    let _payload, w = with_payload mem (Protocol.named_workload named) in
+    (mem, w)
+  in
+  subject ~name ~model ~n ~k ?meta make
+
+(* ---- 3. Figure 7 renaming whose release skips the bit clear. ---------- *)
+let skip_clear_subject ~n ~k =
+  let model = Cost_model.Cache_coherent in
+  let make () =
+    let mem = Memory.create () in
+    let kex = Registry.build mem ~model Registry.Inductive ~n ~k in
+    let renaming = Kexclusion.Renaming.create mem ~k in
+    let acquire ~pid =
+      let* () = kex.Protocol.entry ~pid in
+      Kexclusion.Renaming.acquire renaming
+    in
+    let release ~pid ~name:_ =
+      (* BUG: the name's bit is never cleared *)
+      kex.Protocol.exit ~pid
+    in
+    let named =
+      { Protocol.assignment_name = "skip-clear"; acquire; release }
+    in
+    let _payload, w = with_payload mem (Protocol.named_workload named) in
+    (mem, w)
+  in
+  subject ~name:"renaming-skip-clear" ~model ~n ~k make
+
+(* ---- 4. A cache-coherent algorithm deployed on a DSM machine. --------- *)
+(* Figure 2's spin on the unowned cell Q is local-spin under CC but remote
+   on every iteration under DSM — the exact mismatch Figure 6 exists to
+   fix. *)
+let remote_spin_subject ~n ~k =
+  let model = Cost_model.Distributed in
+  let make () =
+    let mem = Memory.create () in
+    let kex =
+      Kexclusion.Inductive.create mem ~block:Kexclusion.Cc_block.create ~n ~k
+    in
+    let named = Kexclusion.Assignment.create mem ~kex ~k in
+    let _payload, w = with_payload mem (Protocol.named_workload named) in
+    (mem, w)
+  in
+  subject ~name:"cc-block-on-dsm" ~model ~n ~k make
+
+(* ---- 6. Bounded_faa with an impossible range. ------------------------- *)
+let bfaa_stuck_subject ~n ~k =
+  let model = Cost_model.Cache_coherent in
+  let make () =
+    let mem = Memory.create () in
+    let x = Memory.alloc mem ~label:"stuck.X" ~init:0 1 in
+    let kex = Registry.build mem ~model Registry.Inductive ~n ~k in
+    let named = Kexclusion.Assignment.create mem ~kex ~k in
+    let acquire ~pid =
+      (* BUG: |delta| = 2 can never fit in [0..1]; the add never applies *)
+      let* _ = bounded_faa x (-2) ~lo:0 ~hi:1 in
+      named.Protocol.acquire ~pid
+    in
+    let named = { named with Protocol.acquire } in
+    let _payload, w = with_payload mem (Protocol.named_workload named) in
+    (mem, w)
+  in
+  subject ~name:"bounded-faa-stuck" ~model ~n ~k make
+
+(* ---- 7. Entry section writing the protected payload cell. ------------- *)
+let protected_write_subject ~n ~k =
+  let model = Cost_model.Cache_coherent in
+  let make () =
+    let mem = Memory.create () in
+    let named = Registry.build_assignment mem ~model Registry.Inductive ~n ~k in
+    let payload, w = with_payload mem (Protocol.named_workload named) in
+    let acquire ~pid =
+      (* BUG: scribbles on the protected cell before holding the CS *)
+      let* () = write payload (100 + pid) in
+      w.Runner.acquire ~pid
+    in
+    (mem, { w with Runner.acquire })
+  in
+  subject ~name:"payload-write-outside-cs" ~model ~n ~k make
+
+let all =
+  let n = 5 and k = 2 in
+  [ { m_name = "cc-no-release-write";
+      m_desc = "Figure 2 exit omits the statement-7 wakeup write; waiters starve";
+      m_subject =
+        assignment_subject ~name:"cc-no-release-write"
+          ~model:Cost_model.Cache_coherent ~n ~k fig2_no_release_write;
+      m_expected = Finding.S_stall };
+    { m_name = "cc-off-by-one";
+      m_desc = "Figure 2 slot counter initialised to k+1; k+1 processes enter";
+      m_subject =
+        assignment_subject ~name:"cc-off-by-one" ~model:Cost_model.Cache_coherent ~n ~k
+          fig2_off_by_one;
+      m_expected = Finding.S_kexclusion };
+    { m_name = "renaming-skip-clear";
+      m_desc = "Figure 7 release never clears the name bit";
+      m_subject = skip_clear_subject ~n ~k;
+      m_expected = Finding.L3_name_leak };
+    { m_name = "cc-block-on-dsm";
+      m_desc = "Figure 2 (cache-coherent spin) deployed on a DSM machine";
+      m_subject = remote_spin_subject ~n ~k;
+      m_expected = Finding.L1_remote_spin };
+    { m_name = "cc-write-in-wait-loop";
+      m_desc = "waiter rewrites an announce cell inside its wait loop";
+      m_subject =
+        assignment_subject ~name:"cc-write-in-wait-loop"
+          ~model:Cost_model.Cache_coherent ~n ~k fig2_write_in_loop;
+      m_expected = Finding.L2_invalidation_in_loop };
+    { m_name = "bounded-faa-stuck";
+      m_desc = "Bounded_faa delta exceeds its range width; the add never applies";
+      m_subject = bfaa_stuck_subject ~n ~k;
+      m_expected = Finding.L4_bfaa_range };
+    { m_name = "payload-write-outside-cs";
+      m_desc = "entry section writes the protected payload cell";
+      m_subject = protected_write_subject ~n ~k;
+      m_expected = Finding.S_protected_write } ]
+
+let find name = List.find_opt (fun m -> String.equal m.m_name name) all
+
+(* A mutant is killed when its expected check fires un-waived. *)
+let killed m report =
+  List.exists
+    (fun f -> f.Finding.check = m.m_expected && not f.Finding.waived)
+    report.Lint.r_findings

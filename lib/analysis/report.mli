@@ -1,0 +1,19 @@
+(** Rendering lint results: the [kexclusion-lint/v1] JSON document and the
+    human-readable table printed by [kexd lint]. *)
+
+val schema : string
+val model_name : Kex_sim.Cost_model.model -> string
+
+val finding_json : Finding.t -> Kex_service.Json.t
+val report_json : Lint.report -> Kex_service.Json.t
+
+val to_json :
+  ?mutants:(Mutants.t * Lint.report * bool) list ->
+  Lint.report list ->
+  Kex_service.Json.t
+(** Whole-run document: schema id, provenance, one report per subject, and
+    (when mutants were run) one entry per mutant with its expected check and
+    kill verdict. *)
+
+val pp_table : Format.formatter -> Lint.report list -> unit
+val pp_findings : Format.formatter -> Lint.report -> unit

@@ -2,8 +2,8 @@ open Import
 open Op
 
 let create mem ~n ~k =
-  let choosing = Memory.alloc mem ~init:0 n in
-  let number = Memory.alloc mem ~init:0 n in
+  let choosing = Memory.alloc mem ~label:"bakery.choosing" ~init:0 n in
+  let number = Memory.alloc mem ~label:"bakery.number" ~init:0 n in
   (* (ticket, pid) pairs ordered lexicographically, Lamport-style. *)
   let precedes (t1, p1) (t2, p2) = t1 < t2 || (t1 = t2 && p1 < p2) in
   let entry ~pid =

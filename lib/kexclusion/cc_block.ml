@@ -3,8 +3,8 @@ open Op
 
 (* Statement numbers in comments refer to Figure 2 of the paper. *)
 let create mem ~n:_ ~k ~inner =
-  let x = Memory.alloc mem ~init:k 1 in
-  let q = Memory.alloc mem ~init:0 1 in
+  let x = Memory.alloc mem ~label:"fig2.X" ~init:k 1 in
+  let q = Memory.alloc mem ~label:"fig2.Q" ~init:0 1 in
   let entry ~pid =
     let* () = inner.Protocol.entry ~pid in
     (* 1 *)

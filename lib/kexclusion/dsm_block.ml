@@ -7,13 +7,19 @@ let create mem ~n:_ ~k ~inner =
   let slots = k + 2 in
   let enc ~pid ~loc = (pid * slots) + loc in
   let dec v = (v / slots, v mod slots) in
-  let x = Memory.alloc mem ~init:k 1 in
-  let q = Memory.alloc mem ~init:(enc ~pid:0 ~loc:0) 1 in
+  let x = Memory.alloc mem ~label:"fig6.X" ~init:k 1 in
+  let q = Memory.alloc mem ~label:"fig6.Q" ~init:(enc ~pid:0 ~loc:0) 1 in
   (* P[p][0..k+1] and R[p][0..k+1] are local to process p.  Cell banks are
      materialised per pid on first use: when this block sits inside a tree or
      nested fast path, the entering processes carry global ids. *)
-  let p_bank = Pid_state.create (fun pid -> Memory.alloc mem ~owner:pid ~init:0 slots) in
-  let r_bank = Pid_state.create (fun pid -> Memory.alloc mem ~owner:pid ~init:0 slots) in
+  let p_bank =
+    Pid_state.create (fun pid ->
+        Memory.alloc mem ~owner:pid ~label:(Printf.sprintf "fig6.P[p%d]" pid) ~init:0 slots)
+  in
+  let r_bank =
+    Pid_state.create (fun pid ->
+        Memory.alloc mem ~owner:pid ~label:(Printf.sprintf "fig6.R[p%d]" pid) ~init:0 slots)
+  in
   let p_cell ~pid ~loc = Pid_state.get p_bank pid + loc in
   let r_cell ~pid ~loc = Pid_state.get r_bank pid + loc in
   (* Q initially names process 0's location 0: make sure it exists even if

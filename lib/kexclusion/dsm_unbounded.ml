@@ -5,10 +5,10 @@ open Op
    location" is a dynamically allocated cell owned by the waiting process;
    [Q] holds the address of the location of the currently-waiting process. *)
 let create mem ~n:_ ~k ~inner =
-  let x = Memory.alloc mem ~init:k 1 in
+  let x = Memory.alloc mem ~label:"fig5.X" ~init:k 1 in
   (* Q initially points at a dummy location, the paper's (0, 0). *)
-  let dummy = Memory.alloc mem ~owner:0 ~init:0 1 in
-  let q = Memory.alloc mem ~init:dummy 1 in
+  let dummy = Memory.alloc mem ~owner:0 ~label:"fig5.dummy" ~init:0 1 in
+  let q = Memory.alloc mem ~label:"fig5.Q" ~init:dummy 1 in
   let entry ~pid =
     let* () = inner.Protocol.entry ~pid in
     (* 1 *)
@@ -16,7 +16,7 @@ let create mem ~n:_ ~k ~inner =
     (* 2 *)
     if slots = 0 then begin
       (* 3: use a spin location never used before *)
-      let next = Memory.alloc mem ~owner:pid ~init:0 1 in
+      let next = Memory.alloc mem ~owner:pid ~label:"fig5.spin" ~init:0 1 in
       let* () = write next 0 in
       (* 4: initialize spin location *)
       let* v = read q in

@@ -3,7 +3,7 @@ open Op
 
 (* Statement numbers in comments refer to Figure 4 of the paper. *)
 let create mem ~block ~slow ~n ~k =
-  let x = Memory.alloc mem ~init:k 1 in
+  let x = Memory.alloc mem ~label:"fig4.X" ~init:k 1 in
   let final = Inductive.create mem ~block ~n:(2 * k) ~k in
   (* The paper's private variable [slow], recording the path taken; it is
      written in the entry section and read back in the exit section.  Keyed

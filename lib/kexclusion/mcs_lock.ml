@@ -5,9 +5,9 @@ open Op
    [locked.(p)] and [next.(p)] live in process p's memory partition, so all
    busy-waiting is local under the DSM model too. *)
 let create mem ~n =
-  let tail = Memory.alloc mem ~init:0 1 in
-  let locked = Array.init n (fun pid -> Memory.alloc mem ~owner:pid ~init:0 1) in
-  let next = Array.init n (fun pid -> Memory.alloc mem ~owner:pid ~init:0 1) in
+  let tail = Memory.alloc mem ~label:"mcs.tail" ~init:0 1 in
+  let locked = Array.init n (fun pid -> Memory.alloc mem ~owner:pid ~label:(Printf.sprintf "mcs.locked[p%d]" pid) ~init:0 1) in
+  let next = Array.init n (fun pid -> Memory.alloc mem ~owner:pid ~label:(Printf.sprintf "mcs.next[p%d]" pid) ~init:0 1) in
   let rec await_nonzero a =
     let* v = read a in
     if v = 0 then await_nonzero a else return v

@@ -11,10 +11,10 @@ open Op
    every poll of these unowned cells is remote (cost grows with waiting
    time) — the two faces of Table 1's unbounded rows. *)
 let create mem ~n ~k =
-  let x = Memory.alloc mem ~init:k 1 in
-  let head = Memory.alloc mem ~init:0 1 in
-  let tail = Memory.alloc mem ~init:0 1 in
-  let slots = Memory.alloc mem ~init:0 n in
+  let x = Memory.alloc mem ~label:"fig1.X" ~init:k 1 in
+  let head = Memory.alloc mem ~label:"fig1.head" ~init:0 1 in
+  let tail = Memory.alloc mem ~label:"fig1.tail" ~init:0 1 in
+  let slots = Memory.alloc mem ~label:"fig1.slots" ~init:0 n in
   let entry ~pid =
     (* Statement 1: < if faa(X,-1) <= 0 then Enqueue(p, Q) > *)
     let* waited =

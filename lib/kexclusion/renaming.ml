@@ -4,7 +4,7 @@ open Op
 type t = { bits : Op.addr; k : int }
 
 (* Bits X[0..k-2]; name k-1 needs no bit (at most one process reaches it). *)
-let create mem ~k = { bits = Memory.alloc mem ~init:0 (max 1 (k - 1)); k }
+let create mem ~k = { bits = Memory.alloc mem ~label:"fig7.X" ~init:0 (max 1 (k - 1)); k }
 
 let acquire t =
   let rec go name =

@@ -13,7 +13,7 @@ let index ~k ~r ~d =
   (d * k) - (d * (d - 1) / 2) + r
 
 let create mem ~k =
-  let base = Memory.alloc mem ~init:0 (2 * name_space ~k) in
+  let base = Memory.alloc mem ~label:"splitter.grid" ~init:0 (2 * name_space ~k) in
   { mem_base = base; k }
 
 let x_cell t ~r ~d = t.mem_base + (2 * index ~k:t.k ~r ~d)

@@ -1,10 +1,19 @@
+type region = { base : int; len : int; name : string }
+
 type t = {
   mutable values : int array;
   mutable owners : int array;  (* -1 = unowned *)
   mutable len : int;
+  mutable regions : region array;  (* labelled allocs, sorted by base *)
+  mutable n_regions : int;
 }
 
-let create () = { values = Array.make 64 0; owners = Array.make 64 (-1); len = 0 }
+let create () =
+  { values = Array.make 64 0;
+    owners = Array.make 64 (-1);
+    len = 0;
+    regions = [||];
+    n_regions = 0 }
 
 let ensure m n =
   let cap = Array.length m.values in
@@ -17,7 +26,17 @@ let ensure m n =
     m.owners <- owners
   end
 
-let alloc m ?owner ~init n =
+let add_region m r =
+  if m.n_regions = 0 then m.regions <- Array.make 8 r
+  else if m.n_regions >= Array.length m.regions then begin
+    let a = Array.make (2 * m.n_regions) r in
+    Array.blit m.regions 0 a 0 m.n_regions;
+    m.regions <- a
+  end;
+  m.regions.(m.n_regions) <- r;
+  m.n_regions <- m.n_regions + 1
+
+let alloc m ?owner ?label ~init n =
   ensure m n;
   let base = m.len in
   let o = match owner with None -> -1 | Some p -> p in
@@ -26,6 +45,9 @@ let alloc m ?owner ~init n =
     m.owners.(i) <- o
   done;
   m.len <- m.len + n;
+  (match label with
+  | Some name -> add_region m { base; len = n; name }
+  | None -> ());
   base
 
 let size m = m.len
@@ -42,5 +64,33 @@ let owner m a =
   assert (a >= 0 && a < m.len);
   let o = m.owners.(a) in
   if o < 0 then None else Some o
+
+(* Regions are appended with strictly increasing bases (alloc order), so a
+   binary search for the last region with [base <= a] finds the candidate. *)
+let region m a =
+  if m.n_regions = 0 then None
+  else begin
+    let lo = ref 0 and hi = ref (m.n_regions - 1) and found = ref (-1) in
+    while !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      if m.regions.(mid).base <= a then begin
+        found := mid;
+        lo := mid + 1
+      end
+      else hi := mid - 1
+    done;
+    if !found < 0 then None
+    else
+      let r = m.regions.(!found) in
+      if a < r.base + r.len then Some (r.name, a - r.base) else None
+  end
+
+let label m a = Option.map fst (region m a)
+
+let pp_addr m ppf a =
+  match region m a with
+  | Some (name, 0) -> Format.fprintf ppf "%s@%d" name a
+  | Some (name, off) -> Format.fprintf ppf "%s[%d]@%d" name off a
+  | None -> Format.fprintf ppf "cell@%d" a
 
 let snapshot m = Array.sub m.values 0 m.len

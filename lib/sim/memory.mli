@@ -2,16 +2,23 @@
 
     Each cell optionally has a DSM {e owner}: a process for which accesses to
     that cell are local (it lives in that processor's memory partition).
-    Ownership is ignored by the cache-coherent cost model. *)
+    Ownership is ignored by the cache-coherent cost model.
+
+    Allocations may also carry a {e label} naming the region (e.g. ["fig2.q"]);
+    the analysis tools ({!module:Kex_analysis}-side lints, the sanitizer, trace
+    rendering) use labels to turn raw addresses into source-level sites and to
+    match per-algorithm metadata such as intended spin cells. *)
 
 type t
 
 val create : unit -> t
 
-val alloc : t -> ?owner:int -> init:Op.value -> int -> Op.addr
-(** [alloc mem ~owner ~init n] allocates [n] consecutive cells initialised to
-    [init] and returns the address of the first.  Allocation may happen
-    mid-run (Figure 5 allocates a fresh spin location per acquisition). *)
+val alloc : t -> ?owner:int -> ?label:string -> init:Op.value -> int -> Op.addr
+(** [alloc mem ~owner ~label ~init n] allocates [n] consecutive cells
+    initialised to [init] and returns the address of the first.  Allocation
+    may happen mid-run (Figure 5 allocates a fresh spin location per
+    acquisition).  [label], if given, names the region for {!region} and
+    {!label} lookups. *)
 
 val size : t -> int
 val get : t -> Op.addr -> Op.value
@@ -19,6 +26,17 @@ val set : t -> Op.addr -> Op.value -> unit
 
 val owner : t -> Op.addr -> int option
 (** DSM owner of the cell, if any. *)
+
+val region : t -> Op.addr -> (string * int) option
+(** [(label, offset)] of the labelled region containing the address, if the
+    enclosing allocation was labelled.  O(log #regions). *)
+
+val label : t -> Op.addr -> string option
+(** Label of the enclosing region, if any. *)
+
+val pp_addr : t -> Format.formatter -> Op.addr -> unit
+(** ["label[offset]@addr"] when the region is labelled, ["cell@addr"]
+    otherwise. *)
 
 val snapshot : t -> Op.value array
 (** Copy of all cell values; used by tests and the model checker. *)

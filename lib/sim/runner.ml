@@ -7,6 +7,19 @@ type workload = {
 
 let plain_workload ~acquire ~release ~check_names = { acquire; release; check_names; cs_body = None }
 
+type hooks = {
+  h_step :
+    pid:int ->
+    step:Op.step ->
+    value:Op.value ->
+    remote:int ->
+    phase:Monitor.phase ->
+    footprint:Op.Footprint.t option ->
+    unit;
+  h_event : pid:int -> Op.event -> unit;
+  h_crash : pid:int -> unit;
+}
+
 type config = {
   n : int;
   k : int;
@@ -18,13 +31,14 @@ type config = {
   participants : int list option;
   step_budget : int;
   tracer : Trace.t option;
+  hooks : hooks option;
 }
 
 let config ?(iterations = 3) ?(cs_delay = 2) ?(noncrit_delay = 0) ?scheduler ?(failures = [])
-    ?participants ?(step_budget = 0) ?tracer ~n ~k () =
+    ?participants ?(step_budget = 0) ?tracer ?hooks ~n ~k () =
   let scheduler = match scheduler with Some s -> s | None -> Scheduler.round_robin () in
   { n; k; iterations; cs_delay; noncrit_delay; scheduler; failures; participants; step_budget;
-    tracer }
+    tracer; hooks }
 
 type proc_stats = {
   participated : bool;
@@ -155,6 +169,7 @@ let run cfg mem cost wl =
   let on_event ps pid e =
     Monitor.on_event monitor ~pid e;
     (match cfg.tracer with Some tr -> Trace.record_event tr ~pid ~event:e | None -> ());
+    (match cfg.hooks with Some h -> h.h_event ~pid e | None -> ());
     match (e : Op.event) with
     | Entry_begin | Cs_enter _ | Cs_exit -> ps.steps_in_phase <- 0
     | Exit_end ->
@@ -189,6 +204,9 @@ let run cfg mem cost wl =
     (match cfg.tracer with
     | Some tr -> Trace.record_step ?footprint tr ~pid ~step:s ~value:v ~remote:n_remote
     | None -> ());
+    (match cfg.hooks with
+    | Some h -> h.h_step ~pid ~step:s ~value:v ~remote:n_remote ~phase:phase_now ~footprint
+    | None -> ());
     (* A counted delay occupies one scheduling turn per unit: re-emit the
        remainder so other processes interleave exactly as they would
        through a chain of unit delays. *)
@@ -214,6 +232,7 @@ let run cfg mem cost wl =
           ps.failed <- true;
           Monitor.on_crash monitor ~pid;
           (match cfg.tracer with Some tr -> Trace.record_crash tr ~pid | None -> ());
+          (match cfg.hooks with Some h -> h.h_crash ~pid | None -> ());
           dirty := true
         end
         else begin

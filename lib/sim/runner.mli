@@ -22,6 +22,25 @@ val plain_workload :
   workload
 (** [cs_body = None]. *)
 
+type hooks = {
+  h_step :
+    pid:int ->
+    step:Op.step ->
+    value:Op.value ->
+    remote:int ->
+    phase:Monitor.phase ->
+    footprint:Op.Footprint.t option ->
+    unit;
+      (** called after every executed step with its result, the number of
+          remote references charged, the phase the process was in {e when it
+          took the step}, and (for atomic blocks) the recorded footprint *)
+  h_event : pid:int -> Op.event -> unit;
+      (** called on every [Mark] event, after the monitor and tracer see it *)
+  h_crash : pid:int -> unit;  (** called when the failure plan kills a pid *)
+}
+(** Observation hooks for online checkers (e.g. the analysis sanitizer):
+    strictly read-only — the runner's behaviour does not depend on them. *)
+
 type config = {
   n : int;  (** number of processes *)
   k : int;  (** exclusion degree *)
@@ -37,6 +56,7 @@ type config = {
           sections). *)
   step_budget : int;  (** 0 = choose automatically *)
   tracer : Trace.t option;  (** record every step and event of the run *)
+  hooks : hooks option;  (** online observation callbacks *)
 }
 
 val config :
@@ -48,6 +68,7 @@ val config :
   ?participants:int list ->
   ?step_budget:int ->
   ?tracer:Trace.t ->
+  ?hooks:hooks ->
   n:int ->
   k:int ->
   unit ->

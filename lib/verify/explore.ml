@@ -195,17 +195,24 @@ let possible_progress_many (type s) (module M : System.MODEL with type state = s
   let preds = predecessors states edges in
   List.map (fun (waiting, goal) -> progress_on_graph states preds ~waiting ~goal) cases
 
-let hunt (type s) (module M : System.MODEL with type state = s) ~seeds ~steps () =
-  let bad_state s =
-    List.find_opt (fun (_, p) -> not (p s)) M.invariants |> Option.map fst
+let hunt (type s) (module M : System.MODEL with type state = s) ?on_step ~seeds ~steps () =
+  let external_check ~label s =
+    match on_step with
+    | None -> None
+    | Some f -> f ~label s
+  in
+  let bad_state ~label s =
+    match List.find_opt (fun (_, p) -> not (p s)) M.invariants |> Option.map fst with
+    | Some p -> Some p
+    | None -> external_check ~label s
   in
   let bad_step s s' =
     List.find_opt (fun (_, p) -> not (p s s')) M.step_invariants |> Option.map fst
   in
   let walk seed =
     let rng = Random.State.make [| seed |] in
-    let rec go s trace remaining =
-      match bad_state s with
+    let rec go ~label s trace remaining =
+      match bad_state ~label s with
       | Some property -> Some { property; trace = List.rev trace }
       | None ->
           if remaining = 0 then None
@@ -217,11 +224,11 @@ let hunt (type s) (module M : System.MODEL with type state = s) ~seeds ~steps ()
                 let trace = (label, s') :: trace in
                 (match bad_step s s' with
                 | Some property -> Some { property; trace = List.rev trace }
-                | None -> go s' trace (remaining - 1))
+                | None -> go ~label s' trace (remaining - 1))
           end
     in
     let init = List.nth M.initial (Random.State.int rng (List.length M.initial)) in
-    go init [ ("init", init) ] steps
+    go ~label:"init" init [ ("init", init) ] steps
   in
   List.fold_left (fun acc seed -> match acc with Some _ -> acc | None -> walk seed) None seeds
 

@@ -62,6 +62,7 @@ val possible_progress_many :
 
 val hunt :
   (module System.MODEL with type state = 's) ->
+  ?on_step:(label:string -> 's -> string option) ->
   seeds:int list ->
   steps:int ->
   unit ->
@@ -69,7 +70,14 @@ val hunt :
 (** Randomized safety search: one random walk per seed, [steps] transitions
     long, checking every invariant along the way.  Finds deep violations that
     exhaustive search cannot reach (used against mutants whose bugs need
-    long schedules); returns the full violating trace. *)
+    long schedules); returns the full violating trace.
+
+    [on_step] is an external checker invoked on the initial state and after
+    every transition, with the label of the transition just taken; returning
+    [Some property] stops the walk and reports a violation of [property]
+    with the usual trace.  This is how checkers that are not part of the
+    model — e.g. the analysis sanitizer's duplicate-name discipline — ride
+    along a randomized hunt. *)
 
 val pp_violation :
   (Format.formatter -> 's -> unit) -> Format.formatter -> 's violation -> unit

@@ -9,6 +9,7 @@ type state = {
 }
 
 let holding s pid = s.pc.(pid) = 2
+let held_name s pid = if holding s pid then Some s.name.(pid) else None
 let scanning s pid = (not s.crashed.(pid)) && s.pc.(pid) = 1
 let crash_count s = Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 s.crashed
 

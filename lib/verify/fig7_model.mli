@@ -21,5 +21,10 @@ val model :
 val holding : state -> int -> bool
 (** The process is in its critical section holding a name. *)
 
+val held_name : state -> int -> int option
+(** The name held by the process, when {!holding}; lets external checkers
+    (e.g. the analysis sanitizer's duplicate-name check, run through
+    [Explore.hunt]'s [?on_step]) observe name assignments. *)
+
 val scanning : state -> int -> bool
 val crash_count : state -> int

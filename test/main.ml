@@ -30,4 +30,8 @@ let () =
       ("kv-store", Test_kv_store.suite);
       ("service-protocol", Test_service_protocol.suite);
       ("service", Test_service.suite);
-      ("peterson", Test_peterson.suite) ]
+      ("peterson", Test_peterson.suite);
+      ("op-cfg", Test_op_cfg.suite);
+      ("lint", Test_lint.suite);
+      ("sanitizer", Test_sanitizer.suite);
+      ("mutants", Mutants.suite) ]

@@ -1,0 +1,137 @@
+(* The bounded symbolic CFG builder: loop recovery, block footprints,
+   reachability, determinism. *)
+
+open Kex_sim
+module Op_cfg = Kex_analysis.Op_cfg
+
+let make_simple () =
+  (* write a; spin on b until nonzero; write c; halt *)
+  let mem = Memory.create () in
+  let a = Memory.alloc mem ~label:"t.a" ~init:0 1 in
+  let b = Memory.alloc mem ~label:"t.b" ~init:0 1 in
+  let c = Memory.alloc mem ~label:"t.c" ~init:0 1 in
+  let open Op in
+  let prog =
+    let* () = write a 1 in
+    let* () = await_ne b 0 in
+    write c 1
+  in
+  (mem, prog)
+
+let test_spin_becomes_cycle () =
+  let cfg = Op_cfg.build ~make:make_simple () in
+  Alcotest.(check bool) "complete" true cfg.Op_cfg.complete;
+  (match Op_cfg.loops cfg with
+  | [ comp ] ->
+      (* the only loop is the read of t.b *)
+      List.iter
+        (fun i ->
+          match (Op_cfg.node cfg i).Op_cfg.shape with
+          | Op_cfg.Access { accs = [ acc ]; _ } ->
+              Alcotest.(check string) "spin site is t.b" "t.b@1" acc.Op_cfg.a_site
+          | _ -> Alcotest.fail "loop node is not a single read")
+        comp
+  | loops -> Alcotest.failf "expected exactly one loop, got %d" (List.length loops));
+  (* the writes to t.a and t.c are not part of any loop *)
+  let loop_nodes = List.concat (Op_cfg.loops cfg) in
+  Array.iter
+    (fun (nd : Op_cfg.node) ->
+      match nd.Op_cfg.shape with
+      | Op_cfg.Access { accs = [ acc ]; _ } when acc.Op_cfg.a_write ->
+          Alcotest.(check bool)
+            (Printf.sprintf "write %s outside loops" acc.Op_cfg.a_site)
+            false
+            (List.mem nd.Op_cfg.id loop_nodes)
+      | _ -> ())
+    cfg.Op_cfg.nodes
+
+let test_halt_reachable () =
+  let cfg = Op_cfg.build ~make:make_simple () in
+  (match Op_cfg.reaches_halt_avoiding cfg ~start:0 ~blocked:(fun _ -> false) with
+  | Some path -> Alcotest.(check bool) "nonempty path" true (path <> [])
+  | None -> Alcotest.fail "halt should be reachable");
+  (* blocking the write to t.c cuts every terminating path *)
+  let blocked (nd : Op_cfg.node) =
+    match nd.Op_cfg.shape with
+    | Op_cfg.Access { accs; _ } ->
+        List.exists
+          (fun (a : Op_cfg.acc) ->
+            a.Op_cfg.a_write && a.Op_cfg.a_region = Some ("t.c", 0))
+          accs
+    | _ -> false
+  in
+  Alcotest.(check bool)
+    "no path around the final write" true
+    (Op_cfg.reaches_halt_avoiding cfg ~start:0 ~blocked = None)
+
+let test_event_nodes () =
+  let make () =
+    let mem = Memory.create () in
+    let open Op in
+    (mem, mark Entry_begin >>= fun () -> mark (Cs_enter 1) >>= fun () -> mark Cs_exit)
+  in
+  let cfg = Op_cfg.build ~make () in
+  let events =
+    Array.to_list cfg.Op_cfg.nodes
+    |> List.filter_map (fun (nd : Op_cfg.node) ->
+           match nd.Op_cfg.shape with Op_cfg.Event e -> Some e | _ -> None)
+  in
+  Alcotest.(check int) "three events" 3 (List.length events);
+  Alcotest.(check bool) "cs-enter carries the name" true
+    (List.mem (Op.Cs_enter 1) events)
+
+let test_exec_block_overlay () =
+  let mem = Memory.create () in
+  let a = Memory.alloc mem ~init:5 1 in
+  let b = Memory.alloc mem ~init:0 1 in
+  let reads, writes, result =
+    Op_cfg.exec_block mem (fun ~read ~write ->
+        let v = read a in
+        write b (v + 1);
+        (* in-block read sees the in-block write *)
+        read b)
+  in
+  Alcotest.(check (list int)) "reads" [ a; b ] reads;
+  Alcotest.(check (list int)) "writes" [ b ] writes;
+  Alcotest.(check int) "overlay read" 6 result;
+  Alcotest.(check int) "backing memory untouched" 0 (Memory.get mem b)
+
+let test_branching_on_cas () =
+  let make () =
+    let mem = Memory.create () in
+    let a = Memory.alloc mem ~init:0 1 in
+    let b = Memory.alloc mem ~init:0 1 in
+    let open Op in
+    let prog =
+      let* won = cas a ~expected:0 ~desired:1 in
+      if won then write b 1 else write b 2
+    in
+    (mem, prog)
+  in
+  let cfg = Op_cfg.build ~make () in
+  (* both CAS outcomes are explored: the two distinct writes both appear *)
+  let write_values =
+    Array.to_list cfg.Op_cfg.nodes
+    |> List.filter_map (fun (nd : Op_cfg.node) ->
+           match nd.Op_cfg.shape with
+           | Op_cfg.Access { accs = [ acc ]; _ } when acc.Op_cfg.a_write ->
+               acc.Op_cfg.a_value
+           | _ -> None)
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "both branches reached" [ 1; 2 ] write_values
+
+let test_deterministic () =
+  let build () =
+    let cfg = Op_cfg.build ~make:make_simple () in
+    (Op_cfg.n_nodes cfg, cfg.Op_cfg.complete)
+  in
+  Alcotest.(check (pair int bool)) "same graph twice" (build ()) (build ())
+
+let suite =
+  [ Alcotest.test_case "spin loop becomes a CFG cycle" `Quick test_spin_becomes_cycle;
+    Alcotest.test_case "halt reachability with blocking" `Quick test_halt_reachable;
+    Alcotest.test_case "events appear as nodes" `Quick test_event_nodes;
+    Alcotest.test_case "atomic block overlay execution" `Quick test_exec_block_overlay;
+    Alcotest.test_case "cas drives both branches" `Quick test_branching_on_cas;
+    Alcotest.test_case "construction is deterministic" `Quick test_deterministic ]
