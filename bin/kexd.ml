@@ -309,14 +309,26 @@ let serve_cmd =
   let man =
     [ `S Manpage.s_description;
       `P
-        "Runs a listener plus $(b,--workers) W worker domains.  Every store operation enters \
-         through the k-exclusion/k-assignment admission wrapper, so at most $(b,--k) workers \
-         mutate concurrently and up to k-1 workers may die — $(b,--chaos) schedule or the KILL \
-         admin command — with zero client-visible failures.  Killing k workers stalls the \
-         service: that boundary is the paper's resilience definition, live on the wire." ]
+        "Runs a listener plus $(b,--shards) S x $(b,--workers) W worker domains.  Keys route to \
+         shards by hash; each shard's store sits behind its own k-exclusion/k-assignment \
+         admission wrapper, so at most $(b,--k) workers mutate a shard concurrently and up to \
+         k-1 workers per shard may die — $(b,--chaos) schedule or the KILL admin command — \
+         with zero client-visible failures.  Killing k workers of one shard stalls that shard \
+         (and only that shard): the paper's resilience boundary, live on the wire.  Workers \
+         drain requests in batches through one admission per batch, and id-tagged (pipelined) \
+         requests get their responses coalesced per connection." ]
   in
-  let workers_arg = Arg.(value & opt int 4 & info [ "workers"; "w" ] ~doc:"worker domains") in
-  let k_arg = Arg.(value & opt int 2 & info [ "k"; "degree" ] ~doc:"admission bound (k <= workers)") in
+  let workers_arg =
+    Arg.(value & opt int 4 & info [ "workers"; "w" ] ~doc:"worker domains per shard")
+  in
+  let k_arg =
+    Arg.(value & opt int 2 & info [ "k"; "degree" ] ~doc:"per-shard admission bound (k <= workers)")
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "shards"; "s" ] ~doc:"independent store shards, each with its own admission wrapper")
+  in
   let algo_arg =
     Arg.(
       value
@@ -336,11 +348,11 @@ let serve_cmd =
       & opt (some float) None
       & info [ "duration" ] ~docv:"S" ~doc:"stop after S seconds (default: on SIGINT/SIGTERM)")
   in
-  let run port workers k algo chaos duration quiet =
+  let run port workers k shards algo chaos duration quiet =
     let log = if quiet then fun _ -> () else fun s -> print_endline s; flush stdout in
     match
       Kex_service.Server.run ?duration_s:duration
-        { Kex_service.Server.port; workers; k; algo; chaos; log }
+        { Kex_service.Server.port; workers; k; shards; algo; chaos; log }
     with
     | () -> 0
     | exception Invalid_argument msg ->
@@ -352,8 +364,8 @@ let serve_cmd =
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
-      const run $ port_arg $ workers_arg $ k_arg $ algo_arg $ chaos_arg $ duration_arg
-      $ quiet_arg)
+      const run $ port_arg $ workers_arg $ k_arg $ shards_arg $ algo_arg $ chaos_arg
+      $ duration_arg $ quiet_arg)
 
 (* ------------------------------- loadgen ---------------------------------- *)
 
@@ -383,6 +395,12 @@ let loadgen_cmd =
   let timeout_arg =
     Arg.(value & opt float 2. & info [ "timeout" ] ~docv:"S" ~doc:"per-request timeout (timeouts count as errors)")
   in
+  let pipeline_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"W"
+          ~doc:"id-tagged requests in flight per connection (1 = v1 one-at-a-time wire)")
+  in
   let phase_marks_arg =
     Arg.(
       value
@@ -394,18 +412,18 @@ let loadgen_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v1)")
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v2)")
   in
   let fail_on_errors_arg =
     Arg.(
       value & flag
       & info [ "fail-on-errors" ] ~doc:"exit 1 if any request failed (CI resilience assertion)")
   in
-  let run host port connections duration mix keys value_size seed timeout phase_marks json
-      fail_on_errors quiet =
+  let run host port connections duration mix keys value_size seed timeout pipeline phase_marks
+      json fail_on_errors quiet =
     let cfg =
       { Kex_service.Loadgen.host; port; connections; duration_s = duration; mix; keys;
-        value_size; seed; timeout_s = timeout; phase_marks }
+        value_size; seed; timeout_s = timeout; pipeline; phase_marks }
     in
     match Kex_service.Loadgen.run cfg with
     | summary ->
@@ -427,7 +445,194 @@ let loadgen_cmd =
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(
       const run $ host_arg $ port_arg $ conns_arg $ duration_arg $ mix_arg $ keys_arg
-      $ value_size_arg $ lg_seed_arg $ timeout_arg $ phase_marks_arg $ json_arg
+      $ value_size_arg $ lg_seed_arg $ timeout_arg $ pipeline_arg $ phase_marks_arg $ json_arg
+      $ fail_on_errors_arg $ quiet_arg)
+
+(* ------------------------------ serve-sweep ------------------------------- *)
+
+let serve_sweep_cmd =
+  let doc = "measure a shards x pipeline throughput/latency matrix (in-process server per cell)" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "For every (S, W) in $(b,--shards-list) x $(b,--pipeline-list), starts an in-process \
+         kexd server with S shards (each with $(b,--workers) domains and admission bound \
+         $(b,--k)), kills $(b,--kills) workers (default k-1, concentrated in shard 0) halfway \
+         through, drives it with the load generator at pipeline depth W, and records \
+         throughput and latency percentiles.  Every cell therefore doubles as a resilience \
+         assertion: with kills <= k-1 the expected error count is zero.  Writes the \
+         kexclusion-serve/v2 record with the full matrix under $(b,sweep) and the \
+         (max S, max W) cell as the headline $(b,totals)." ]
+  in
+  let shards_list_arg =
+    Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "shards-list" ] ~doc:"shard counts to sweep")
+  in
+  let pipeline_list_arg =
+    Arg.(
+      value & opt (list int) [ 1; 4; 16 ] & info [ "pipeline-list" ] ~doc:"pipeline depths to sweep")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers"; "w" ] ~doc:"worker domains per shard")
+  in
+  let k_arg =
+    Arg.(value & opt int 2 & info [ "k"; "degree" ] ~doc:"per-shard admission bound (k <= workers)")
+  in
+  let algo_arg =
+    Arg.(
+      value
+      & opt runtime_algo_conv Kex_runtime.Kex_lock.Fast_path
+      & info [ "algo" ] ~doc:"naive | inductive | tree | fastpath | graceful | dsm-fastpath")
+  in
+  let conns_arg = Arg.(value & opt int 4 & info [ "connections"; "c" ] ~doc:"client domains") in
+  let duration_arg =
+    Arg.(value & opt float 2. & info [ "duration" ] ~docv:"S" ~doc:"seconds of load per cell")
+  in
+  let keys_arg = Arg.(value & opt int 64 & info [ "keys" ] ~doc:"keyspace size") in
+  let value_size_arg = Arg.(value & opt int 16 & info [ "value-size" ] ~doc:"SET payload bytes") in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed") in
+  let kills_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "kills" ] ~doc:"workers killed mid-cell (default k-1; 0 disables chaos)")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-serve/v2 sweep record")
+  in
+  let fail_on_errors_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-on-errors" ]
+          ~doc:"exit 1 if any cell saw a failed request (CI resilience assertion)")
+  in
+  let run shards_list pipeline_list workers k algo connections duration keys value_size seed
+      kills json fail_on_errors quiet =
+    let kills = Option.value kills ~default:(max 0 (k - 1)) in
+    let mix = [ ("get", 70); ("set", 20); ("update", 10) ] in
+    let run_cell ~shards ~pipeline =
+      (* Untargeted kills pick the lowest-index live worker, i.e. they pile
+         into shard 0 — the per-shard resilience experiment. *)
+      let chaos =
+        List.init kills (fun i ->
+            { Kex_service.Chaos.at_s = (duration /. 2.) +. (0.05 *. float_of_int i);
+              target = None })
+      in
+      let server =
+        Kex_service.Server.start
+          { Kex_service.Server.port = 0; workers; k; shards; algo; chaos; log = (fun _ -> ()) }
+      in
+      let cfg =
+        { Kex_service.Loadgen.host = "127.0.0.1";
+          port = Kex_service.Server.port server;
+          connections;
+          duration_s = duration;
+          mix;
+          keys;
+          value_size;
+          seed;
+          timeout_s = 5.;
+          pipeline;
+          phase_marks = [ duration /. 2. ] }
+      in
+      let summary = Kex_service.Loadgen.run cfg in
+      Kex_service.Server.stop server;
+      summary
+    in
+    if not quiet then
+      Format.printf "%-7s %-9s %9s %7s %12s %9s %9s@." "shards" "pipeline" "requests" "errors"
+        "req/s" "p50_us" "p99_us";
+    let cells =
+      Stdlib.List.concat_map
+        (fun shards ->
+          Stdlib.List.map
+            (fun pipeline ->
+              let s = run_cell ~shards ~pipeline in
+              if not quiet then
+                Format.printf "%-7d %-9d %9d %7d %12.0f %9d %9d@." shards pipeline
+                  s.Kex_service.Loadgen.requests s.Kex_service.Loadgen.errors
+                  s.Kex_service.Loadgen.throughput_rps s.Kex_service.Loadgen.p50_us
+                  s.Kex_service.Loadgen.p99_us;
+              (shards, pipeline, s))
+            pipeline_list)
+        shards_list
+    in
+    let headline =
+      (* The (max S, max W) cell is the configuration the sweep argues for. *)
+      Stdlib.List.fold_left
+        (fun acc (s, w, sum) ->
+          match acc with
+          | Some (s', w', _) when (s', w') >= (s, w) -> acc
+          | _ -> Some (s, w, sum))
+        None cells
+    in
+    (match (json, headline) with
+    | Some file, Some (hs, hw, hsum) ->
+        let open Kex_service.Json in
+        let cell_json (shards, pipeline, (s : Kex_service.Loadgen.summary)) =
+          Obj
+            [ ("shards", Int shards);
+              ("pipeline", Int pipeline);
+              ("kills", Int kills);
+              ("requests", Int s.requests);
+              ("errors", Int s.errors);
+              ("throughput_rps", Float s.throughput_rps);
+              ("p50_us", Int s.p50_us);
+              ("p99_us", Int s.p99_us);
+              ("max_us", Int s.max_us) ]
+        in
+        let doc =
+          Obj
+            [ ("schema", String "kexclusion-serve/v2");
+              ("git_rev", String (Kex_service.Provenance.git_rev ()));
+              ("hostname", String (Kex_service.Provenance.hostname ()));
+              ("ocaml", String Sys.ocaml_version);
+              ( "config",
+                Obj
+                  [ ("workers", Int workers);
+                    ("k", Int k);
+                    ("shards", Int hs);
+                    ("pipeline", Int hw);
+                    ("connections", Int connections);
+                    ("duration_s", Float duration);
+                    ("mix", String (Kex_service.Loadgen.mix_to_string mix));
+                    ("keys", Int keys);
+                    ("value_size", Int value_size);
+                    ("seed", Int seed);
+                    ("kills", Int kills) ] );
+              ("totals", Kex_service.Loadgen.summary_json hsum);
+              ("sweep", List (Stdlib.List.map cell_json cells)) ]
+        in
+        let oc = open_out file in
+        output_string oc (to_string ~indent:2 doc);
+        output_char oc '\n';
+        close_out oc
+    | _ -> ());
+    let total_errors =
+      Stdlib.List.fold_left (fun acc (_, _, s) -> acc + s.Kex_service.Loadgen.errors) 0 cells
+    in
+    let no_successes =
+      Stdlib.List.exists
+        (fun (_, _, s) ->
+          s.Kex_service.Loadgen.requests <= s.Kex_service.Loadgen.errors)
+        cells
+    in
+    if no_successes then begin
+      Format.eprintf "kexd serve-sweep: a cell had no successful request@.";
+      1
+    end
+    else if fail_on_errors && total_errors > 0 then begin
+      Format.eprintf "kexd serve-sweep: %d failed requests across the matrix@." total_errors;
+      1
+    end
+    else 0
+  in
+  Cmd.v (Cmd.info "serve-sweep" ~doc ~man)
+    Term.(
+      const run $ shards_list_arg $ pipeline_list_arg $ workers_arg $ k_arg $ algo_arg
+      $ conns_arg $ duration_arg $ keys_arg $ value_size_arg $ seed_arg $ kills_arg $ json_arg
       $ fail_on_errors_arg $ quiet_arg)
 
 (* -------------------------------- lint ----------------------------------- *)
@@ -583,18 +788,44 @@ let lint_cmd =
 (* ----------------------------- bench-report ------------------------------- *)
 
 let bench_report_cmd =
-  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve, sweep schemas)" in
+  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve v1/v2, sweep schemas)" in
   let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let require_zero_errors_arg =
     Arg.(value & flag & info [ "require-zero-errors" ] ~doc:"exit 1 unless the record has 0 errors")
   in
-  let run file require_zero_errors =
-    let open Kex_service.Json in
+  let compare_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "compare" ] ~docv:"BASELINE"
+          ~doc:"serve-schema baseline record; exit 1 if FILE's headline throughput regresses \
+                more than the tolerance below the baseline's")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.2
+      & info [ "tolerance" ] ~doc:"allowed fractional throughput regression for --compare")
+  in
+  let load_json file =
     let ic = open_in_bin file in
     let len = in_channel_length ic in
     let raw = really_input_string ic len in
     close_in ic;
-    match parse raw with
+    Kex_service.Json.parse raw
+  in
+  let is_serve_schema schema =
+    String.length schema >= 16 && String.sub schema 0 16 = "kexclusion-serve"
+  in
+  let serve_throughput doc =
+    let open Kex_service.Json in
+    match member_str "schema" doc with
+    | Some schema when is_serve_schema schema ->
+        Option.bind (member "totals" doc) (member_number "throughput_rps")
+    | _ -> None
+  in
+  let run file require_zero_errors compare tolerance =
+    let open Kex_service.Json in
+    match load_json file with
     | Error msg ->
         Format.eprintf "%s: not valid JSON: %s@." file msg;
         2
@@ -608,7 +839,7 @@ let bench_report_cmd =
         Format.printf "hostname : %s@." (str "hostname");
         Format.printf "ocaml    : %s@." (str "ocaml");
         let errors =
-          if String.length schema >= 16 && String.sub schema 0 16 = "kexclusion-serve" then begin
+          if is_serve_schema schema then begin
             let totals = Option.value (member "totals" doc) ~default:(Obj []) in
             let num k = Option.value (member_number k totals) ~default:0. in
             let lat = Option.value (member "latency_us" totals) ~default:(Obj []) in
@@ -628,6 +859,18 @@ let bench_report_cmd =
                   (Option.value (member_int "p50_us" ph) ~default:0)
                   (Option.value (member_int "p99_us" ph) ~default:0))
               (member_list "phases" doc);
+            (* v2 sweep matrix; absent from v1 records and plain runs. *)
+            List.iter
+              (fun cell ->
+                Format.printf "  cell S=%d W=%d  %8d req %5d err  %9.0f req/s  p50 %6d  p99 %6d us@."
+                  (Option.value (member_int "shards" cell) ~default:0)
+                  (Option.value (member_int "pipeline" cell) ~default:0)
+                  (Option.value (member_int "requests" cell) ~default:0)
+                  (Option.value (member_int "errors" cell) ~default:0)
+                  (Option.value (member_number "throughput_rps" cell) ~default:0.)
+                  (Option.value (member_int "p50_us" cell) ~default:0)
+                  (Option.value (member_int "p99_us" cell) ~default:0))
+              (member_list "sweep" doc);
             errors
           end
           else begin
@@ -644,13 +887,41 @@ let bench_report_cmd =
             0
           end
         in
-        if require_zero_errors && errors > 0 then begin
+        let compared =
+          match compare with
+          | None -> 0
+          | Some baseline -> (
+              match load_json baseline with
+              | Error msg ->
+                  Format.eprintf "%s: not valid JSON: %s@." baseline msg;
+                  2
+              | Ok base -> (
+                  match (serve_throughput doc, serve_throughput base) with
+                  | Some now, Some before ->
+                      let floor = before *. (1. -. tolerance) in
+                      Format.printf "compare  : %.0f req/s vs baseline %.0f (floor %.0f)@." now
+                        before floor;
+                      if now < floor then begin
+                        Format.eprintf
+                          "%s: throughput %.0f req/s regressed >%.0f%% below baseline %.0f@."
+                          file now (tolerance *. 100.) before;
+                        1
+                      end
+                      else 0
+                  | _ ->
+                      Format.eprintf "--compare needs serve-schema records with totals on both \
+                                      sides@.";
+                      2))
+        in
+        if compared <> 0 then compared
+        else if require_zero_errors && errors > 0 then begin
           Format.eprintf "%s: %d errors (required zero)@." file errors;
           1
         end
         else 0
   in
-  Cmd.v (Cmd.info "bench-report" ~doc) Term.(const run $ file_arg $ require_zero_errors_arg)
+  Cmd.v (Cmd.info "bench-report" ~doc)
+    Term.(const run $ file_arg $ require_zero_errors_arg $ compare_arg $ tolerance_arg)
 
 (* -------------------------------- main ----------------------------------- *)
 
@@ -664,4 +935,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; sweep_cmd; verify_cmd; hunt_cmd; lint_cmd; serve_cmd; loadgen_cmd;
-            bench_report_cmd ]))
+            serve_sweep_cmd; bench_report_cmd ]))

@@ -47,6 +47,8 @@ let fetch_add t ~pid ~key delta =
   | New_value v -> v
   | _ -> assert false
 
+let perform_batch t ~pid ops = Resilient.perform_batch t ~pid ops
+
 let size t = Smap.cardinal (Resilient.peek t)
 let snapshot t = Smap.bindings (Resilient.peek t)
 let operations t = Resilient.operations t

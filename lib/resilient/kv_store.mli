@@ -7,6 +7,18 @@
 
 type t
 
+(** The store's operation alphabet, exposed so batching callers (the
+    networked service's per-shard workers) can submit several operations
+    through one admission. *)
+type op =
+  | Set of string * string
+  | Get of string
+  | Delete of string
+  | Update of string * (string option -> string option)
+  | Fetch_add of string * int
+
+type result = Unit | Value of string option | Existed of bool | New_value of int
+
 val create : ?algo:Kex_runtime.Kex_lock.algo -> n:int -> k:int -> unit -> t
 
 val set : t -> pid:int -> key:string -> string -> unit
@@ -22,6 +34,10 @@ val fetch_add : t -> pid:int -> key:string -> int -> int
 (** Atomic fetch-and-add on the key's decimal value (absent or non-numeric
     reads as 0); returns the new value.  The networked service's [UPDATE]
     command — a closure-free RMW that serializes over a wire. *)
+
+val perform_batch : t -> pid:int -> op list -> result list
+(** Linearize each op in order through {e one} (N,k)-assignment entry —
+    see {!Resilient.perform_batch}. *)
 
 val size : t -> int
 val snapshot : t -> (string * string) list

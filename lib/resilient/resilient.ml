@@ -15,6 +15,21 @@ let perform t ~pid op =
   Kex_runtime.Kex_lock.Assignment.with_name t.assignment ~pid (fun name ->
       Universal.perform t.obj ~tid:name op)
 
+(* One admission (one slot acquire/release, one name) amortized over a whole
+   batch of operations — the service's per-shard workers drain their rings
+   through this.  Each operation still linearizes individually inside the
+   wait-free object; only the wrapper entry is shared, so the resiliency
+   story is unchanged: a crash mid-batch costs one slot and the batch's
+   unfinished operations are re-dispatched by the supervisor exactly like
+   single operations. *)
+let perform_batch t ~pid ops =
+  match ops with
+  | [] -> []
+  | [ op ] -> [ perform t ~pid op ]
+  | ops ->
+      Kex_runtime.Kex_lock.Assignment.with_name t.assignment ~pid (fun name ->
+          List.map (fun op -> Universal.perform t.obj ~tid:name op) ops)
+
 let peek t = Universal.state t.obj
 let operations t = Universal.applied_count t.obj
 let apply_calls t = Universal.apply_calls t.obj

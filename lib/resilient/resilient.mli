@@ -30,6 +30,12 @@ val create :
 val perform : ('s, 'op, 'r) t -> pid:int -> 'op -> 'r
 (** Linearize [op] on behalf of process [pid] (0 <= pid < n). *)
 
+val perform_batch : ('s, 'op, 'r) t -> pid:int -> 'op list -> 'r list
+(** Linearize each operation in order, acquiring the (N,k)-assignment slot
+    {e once} for the whole batch — the amortization the service's batched
+    workers rely on.  Results align with the input list.  Equivalent to
+    mapping {!perform}, except the wrapper entry/exit cost is paid once. *)
+
 val peek : ('s, 'op, 'r) t -> 's
 (** Latest committed state, without acquiring a slot. *)
 

@@ -1,9 +1,18 @@
 (* The kexd load generator: C client domains drive a server with a weighted
    GET/SET/DEL/UPDATE mix, record per-request latency, and aggregate with
-   the repo's own percentile machinery (Kex_sim.Stats.percentile).  Requests
-   that time out or hit a dropped connection count as errors and the client
+   the repo's own histogram machinery (Kex_sim.Stats.Hist).  Requests that
+   time out or hit a dropped connection count as errors and the client
    reconnects — so a stalled server (k workers killed) shows up as errors
-   and collapsed throughput rather than a hung tool. *)
+   and collapsed throughput rather than a hung tool.
+
+   With [pipeline] = W > 1 each connection keeps a window of W id-tagged
+   requests in flight and matches responses by id (they may return out of
+   order).  Latency is stamped at *enqueue* — the moment the request joins
+   the window, before any socket write — so queueing delay inside the
+   window is charged to the request, not hidden.  W = 1 keeps the v1
+   untagged one-at-a-time wire exchange, byte-identical to older clients. *)
+
+module Hist = Kex_sim.Stats.Hist
 
 type config = {
   host : string;
@@ -15,6 +24,7 @@ type config = {
   value_size : int;
   seed : int;
   timeout_s : float;  (* per-request socket timeout *)
+  pipeline : int;  (* requests in flight per connection; 1 = v1 wire *)
   phase_marks : float list;  (* split [0..duration] for per-phase stats *)
 }
 
@@ -28,6 +38,7 @@ let default_config =
     value_size = 16;
     seed = 42;
     timeout_s = 2.;
+    pipeline = 1;
     phase_marks = [] }
 
 let op_kinds = [ "get"; "set"; "del"; "update" ]
@@ -106,20 +117,9 @@ let connect cfg =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
 
-let write_all fd s =
-  let len = String.length s in
-  let bytes = Bytes.of_string s in
-  let rec go off =
-    if off < len then begin
-      let n = Unix.write fd bytes off (len - off) in
-      go (off + n)
-    end
-  in
-  go 0
-
 (* Send one framed request and block for its framed response. *)
 let roundtrip fd dec req =
-  write_all fd (Protocol.frame (Protocol.print_request req));
+  Netio.write_all fd (Protocol.frame (Protocol.print_request req));
   let buf = Bytes.create 8192 in
   let rec await () =
     match Protocol.Decoder.next dec with
@@ -164,7 +164,8 @@ let pick_op cfg rng =
   in
   (kind_index kind, req)
 
-let client_loop cfg ~t0 ~conn_id samples =
+(* v1 path: one request in flight, latency = the whole wire round-trip. *)
+let sync_loop cfg ~t0 ~conn_id samples =
   let rng = Random.State.make [| cfg.seed; conn_id |] in
   let deadline = t0 +. cfg.duration_s in
   let conn = ref None in
@@ -208,6 +209,120 @@ let client_loop cfg ~t0 ~conn_id samples =
   done;
   drop_conn ()
 
+(* Pipelined path: keep a window of W tagged requests in flight; responses
+   match by id and may arrive in any order.  Each in-flight request remembers
+   its enqueue time and kind. *)
+type inflight = { if_enq : float; if_t_off_ms : int; if_kind : int }
+
+let pipelined_loop cfg ~t0 ~conn_id samples =
+  let rng = Random.State.make [| cfg.seed; conn_id |] in
+  let deadline = t0 +. cfg.duration_s in
+  let buf = Bytes.create 65536 in
+  let next_id = ref 0 in
+  let inflight : (int, inflight) Hashtbl.t = Hashtbl.create (2 * cfg.pipeline) in
+  let conn = ref None in
+  let record_sample inf ~lat_us ~ok =
+    samples_push samples ~t_off_ms:inf.if_t_off_ms ~lat_us ~kind:inf.if_kind ~ok
+  in
+  (* On a dead connection every in-flight request becomes an error charged
+     from its enqueue time — the client-visible truth. *)
+  let fail_inflight () =
+    let now = Unix.gettimeofday () in
+    Hashtbl.iter
+      (fun _ inf ->
+        record_sample inf ~lat_us:(int_of_float ((now -. inf.if_enq) *. 1e6)) ~ok:false)
+      inflight;
+    Hashtbl.reset inflight
+  in
+  let drop_conn () =
+    (match !conn with Some (fd, _) -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
+    conn := None;
+    fail_inflight ()
+  in
+  (* Top the window up to W and ship the new requests as one write. *)
+  let fill fd =
+    if Hashtbl.length inflight < cfg.pipeline then begin
+      let out = Buffer.create 512 in
+      while Hashtbl.length inflight < cfg.pipeline do
+        let kind, req = pick_op cfg rng in
+        let id = !next_id in
+        incr next_id;
+        let enq = Unix.gettimeofday () in
+        Hashtbl.replace inflight id
+          { if_enq = enq; if_t_off_ms = int_of_float ((enq -. t0) *. 1000.); if_kind = kind };
+        Buffer.add_string out (Protocol.frame (Protocol.print_request_tagged ~id req))
+      done;
+      Netio.write_all fd (Buffer.contents out)
+    end
+  in
+  (* Process every decoded frame; any malformed or unknown-id response means
+     the stream is out of sync — treat the connection as lost. *)
+  let rec drain dec =
+    match Protocol.Decoder.next dec with
+    | Error msg -> raise (Req_failed ("bad frame: " ^ msg))
+    | Ok None -> ()
+    | Ok (Some payload) ->
+        (match Protocol.parse_response_tagged payload with
+        | Error msg -> raise (Req_failed ("bad response: " ^ msg))
+        | Ok (None, _) -> raise (Req_failed "untagged response on a pipelined stream")
+        | Ok (Some id, resp) -> (
+            match Hashtbl.find_opt inflight id with
+            | None -> raise (Req_failed (Printf.sprintf "response for unknown id %d" id))
+            | Some inf ->
+                Hashtbl.remove inflight id;
+                let lat_us = int_of_float ((Unix.gettimeofday () -. inf.if_enq) *. 1e6) in
+                record_sample inf ~lat_us
+                  ~ok:(match resp with Protocol.Error _ -> false | _ -> true)));
+        drain dec
+  in
+  let read_some fd dec =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> raise (Req_failed "connection closed")
+    | n ->
+        Protocol.Decoder.feed dec (Bytes.sub_string buf 0 n);
+        drain dec
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        raise (Req_failed "timeout")
+    | exception Unix.Unix_error (e, _, _) -> raise (Req_failed (Unix.error_message e))
+  in
+  while Unix.gettimeofday () < deadline do
+    match
+      let fd, dec =
+        match !conn with
+        | Some c -> c
+        | None ->
+            let fd = connect cfg in
+            let c = (fd, Protocol.Decoder.create ()) in
+            conn := Some c;
+            c
+      in
+      fill fd;
+      read_some fd dec
+    with
+    | () -> ()
+    | exception (Req_failed _ | Unix.Unix_error _) ->
+        let failed_to_connect = !conn = None in
+        drop_conn ();
+        if failed_to_connect then Thread.delay 0.05
+  done;
+  (* Deadline: give responses already on the wire one timeout to land, then
+     charge whatever never came back as errors. *)
+  (match !conn with
+  | None -> ()
+  | Some (fd, dec) ->
+      let drain_deadline = Unix.gettimeofday () +. cfg.timeout_s in
+      (try
+         while Hashtbl.length inflight > 0 && Unix.gettimeofday () < drain_deadline do
+           read_some fd dec
+         done
+       with Req_failed _ | Unix.Unix_error _ -> ()));
+  drop_conn ()
+
+let client_loop cfg ~t0 ~conn_id samples =
+  if cfg.pipeline <= 1 then sync_loop cfg ~t0 ~conn_id samples
+  else pipelined_loop cfg ~t0 ~conn_id samples
+
 (* ------------------------------ aggregation ----------------------------- *)
 
 type bucket = {
@@ -232,19 +347,24 @@ type summary = {
   ops : bucket list;
 }
 
-let bucket_of label ~window_s lats errors =
-  let lats = Array.of_list lats in
+let bucket_of label ~window_s hist errors =
   { label;
-    requests = Array.length lats + errors;
+    requests = Hist.count hist + errors;
     errors;
     window_s;
-    p50_us = Kex_sim.Stats.percentile lats 0.5;
-    p99_us = Kex_sim.Stats.percentile lats 0.99;
-    max_us = Array.fold_left max 0 lats }
+    p50_us = Hist.percentile hist 0.5;
+    p99_us = Hist.percentile hist 0.99;
+    max_us = Hist.max_value hist }
 
+(* Aggregation runs entirely on fixed-layout histograms: per-connection data
+   lands in per-phase/per-op histograms and every roll-up (op -> phase ->
+   total) is an exact bucketwise merge, so percentiles are well-defined and
+   independent of how samples were spread over connections — concatenating
+   raw sample lists gave the same numbers but O(requests) space and a sort;
+   this is O(buckets). *)
 let summarize cfg ~wall_s (all : samples list) =
   let total = List.fold_left (fun acc s -> acc + s.len) 0 all in
-  let lats = ref [] and errors = ref 0 in
+  let errors = ref 0 in
   let marks = List.sort compare cfg.phase_marks in
   let phase_of_ms ms =
     let rec go i = function
@@ -254,16 +374,17 @@ let summarize cfg ~wall_s (all : samples list) =
     go 0 marks
   in
   let n_phases = List.length marks + 1 in
-  let phase_lats = Array.make n_phases [] and phase_errs = Array.make n_phases 0 in
-  let op_lats = Array.make 4 [] and op_errs = Array.make 4 0 in
+  let phase_hist = Array.init n_phases (fun _ -> Hist.create ()) in
+  let phase_errs = Array.make n_phases 0 in
+  let op_hist = Array.init 4 (fun _ -> Hist.create ()) in
+  let op_errs = Array.make 4 0 in
   List.iter
     (fun s ->
       for i = 0 to s.len - 1 do
         let ph = phase_of_ms s.t_off_ms.(i) and k = s.kind.(i) in
         if s.ok.(i) then begin
-          lats := s.lat_us.(i) :: !lats;
-          phase_lats.(ph) <- s.lat_us.(i) :: phase_lats.(ph);
-          op_lats.(k) <- s.lat_us.(i) :: op_lats.(k)
+          Hist.add phase_hist.(ph) s.lat_us.(i);
+          Hist.add op_hist.(k) s.lat_us.(i)
         end
         else begin
           incr errors;
@@ -283,27 +404,28 @@ let summarize cfg ~wall_s (all : samples list) =
       (fun i (lo, hi) ->
         bucket_of
           (Printf.sprintf "%g-%gs" lo hi)
-          ~window_s:(hi -. lo) phase_lats.(i) phase_errs.(i))
+          ~window_s:(hi -. lo) phase_hist.(i) phase_errs.(i))
       bounds
   in
   let ops =
-    List.filteri (fun i _ -> op_lats.(i) <> [] || op_errs.(i) > 0) op_kinds
+    List.filteri (fun i _ -> Hist.count op_hist.(i) > 0 || op_errs.(i) > 0) op_kinds
     |> List.map (fun kind ->
            let i = kind_index kind in
-           bucket_of kind ~window_s:wall_s op_lats.(i) op_errs.(i))
+           bucket_of kind ~window_s:wall_s op_hist.(i) op_errs.(i))
   in
-  let lats = Array.of_list !lats in
+  let all_hist = Hist.merge (Array.to_list phase_hist) in
   { requests = total;
     errors = !errors;
     wall_s;
     throughput_rps = (if wall_s > 0. then float_of_int total /. wall_s else 0.);
-    p50_us = Kex_sim.Stats.percentile lats 0.5;
-    p99_us = Kex_sim.Stats.percentile lats 0.99;
-    max_us = Array.fold_left max 0 lats;
+    p50_us = Hist.percentile all_hist 0.5;
+    p99_us = Hist.percentile all_hist 0.99;
+    max_us = Hist.max_value all_hist;
     phases;
     ops }
 
 let run cfg =
+  if cfg.pipeline < 1 then invalid_arg "Loadgen.run: pipeline must be positive";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let t0 = Unix.gettimeofday () in
   let samples = List.init cfg.connections (fun _ -> samples_create ()) in
@@ -329,9 +451,20 @@ let bucket_json b =
       ("p99_us", Json.Int b.p99_us);
       ("max_us", Json.Int b.max_us) ]
 
+let summary_json s =
+  Json.Obj
+    [ ("requests", Json.Int s.requests);
+      ("errors", Json.Int s.errors);
+      ("wall_s", Json.Float s.wall_s);
+      ("throughput_rps", Json.Float s.throughput_rps);
+      ( "latency_us",
+        Json.Obj
+          [ ("p50", Json.Int s.p50_us); ("p99", Json.Int s.p99_us);
+            ("max", Json.Int s.max_us) ] ) ]
+
 let to_json cfg s =
   Json.Obj
-    [ ("schema", Json.String "kexclusion-serve/v1");
+    [ ("schema", Json.String "kexclusion-serve/v2");
       ("git_rev", Json.String (Provenance.git_rev ()));
       ("hostname", Json.String (Provenance.hostname ()));
       ("ocaml", Json.String Sys.ocaml_version);
@@ -344,17 +477,9 @@ let to_json cfg s =
             ("mix", Json.String (mix_to_string cfg.mix));
             ("keys", Json.Int cfg.keys);
             ("value_size", Json.Int cfg.value_size);
-            ("seed", Json.Int cfg.seed) ] );
-      ( "totals",
-        Json.Obj
-          [ ("requests", Json.Int s.requests);
-            ("errors", Json.Int s.errors);
-            ("wall_s", Json.Float s.wall_s);
-            ("throughput_rps", Json.Float s.throughput_rps);
-            ( "latency_us",
-              Json.Obj
-                [ ("p50", Json.Int s.p50_us); ("p99", Json.Int s.p99_us);
-                  ("max", Json.Int s.max_us) ] ) ] );
+            ("seed", Json.Int cfg.seed);
+            ("pipeline", Json.Int cfg.pipeline) ] );
+      ("totals", summary_json s);
       ("phases", Json.List (List.map bucket_json s.phases));
       ("ops", Json.List (List.map bucket_json s.ops)) ]
 

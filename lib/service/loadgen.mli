@@ -3,10 +3,16 @@
     latency, and errors, overall, per phase (so before/during/after a chaos
     kill are separable) and per op class.
 
+    With [pipeline] = W > 1 each connection keeps W id-tagged requests in
+    flight (responses match by id, any order); latency is stamped at
+    {e enqueue} — before the socket write — so in-window queueing delay is
+    charged to the request.  W = 1 is the v1 untagged one-at-a-time wire.
+
     A request that times out or loses its connection counts as an error and
     the client reconnects; against a stalled server (k workers killed) the
     tool therefore terminates with collapsed throughput instead of
-    hanging. *)
+    hanging.  Aggregation runs on fixed-layout histograms
+    ({!Kex_sim.Stats.Hist}), merged exactly across connections. *)
 
 type config = {
   host : string;
@@ -18,6 +24,7 @@ type config = {
   value_size : int;
   seed : int;  (** per-connection PRNGs derive from this *)
   timeout_s : float;
+  pipeline : int;  (** requests in flight per connection; 1 = v1 wire *)
   phase_marks : float list;  (** split points (seconds) for per-phase stats *)
 }
 
@@ -53,8 +60,11 @@ type summary = {
 
 val run : config -> summary
 
+val summary_json : summary -> Json.t
+(** The [totals] object alone — reused by the sweep record. *)
+
 val to_json : config -> summary -> Json.t
-(** Schema [kexclusion-serve/v1], provenance-stamped (git_rev, hostname). *)
+(** Schema [kexclusion-serve/v2], provenance-stamped (git_rev, hostname). *)
 
 val emit_json : file:string -> config -> summary -> unit
 val pp_summary : Format.formatter -> summary -> unit

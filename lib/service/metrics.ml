@@ -4,14 +4,22 @@ let op_classes = [| C_get; C_set; C_del; C_update |]
 let class_index = function C_get -> 0 | C_set -> 1 | C_del -> 2 | C_update -> 3
 let class_name = function C_get -> "get" | C_set -> "set" | C_del -> "del" | C_update -> "update"
 
+module Hist = Kex_sim.Stats.Hist
+
 type t = {
   served : int Atomic.t array;  (* completed store ops, per class *)
   errors : int Atomic.t;  (* requests answered with ERR *)
   deaths : int Atomic.t;  (* workers crashed (chaos or KILL) *)
   connections : int Atomic.t;  (* connections accepted, lifetime *)
   redispatched : int Atomic.t;  (* requests requeued off a dead worker *)
+  batches : int Atomic.t;  (* admission entries (one per drained batch) *)
   lat_sum_us : int Atomic.t array;  (* per class, for a cheap mean *)
   lat_max_us : int Atomic.t array;
+  (* Per-class latency histograms, one atomic counter per fixed bucket.
+     Fixed layout makes the cross-instance merge an elementwise add, so
+     percentiles stay well-defined when the server keeps one [t] per shard
+     and STATS merges them. *)
+  lat_hist : int Atomic.t array array;
 }
 
 let create () =
@@ -20,8 +28,10 @@ let create () =
     deaths = Atomic.make 0;
     connections = Atomic.make 0;
     redispatched = Atomic.make 0;
+    batches = Atomic.make 0;
     lat_sum_us = Array.init 4 (fun _ -> Atomic.make 0);
-    lat_max_us = Array.init 4 (fun _ -> Atomic.make 0) }
+    lat_max_us = Array.init 4 (fun _ -> Atomic.make 0);
+    lat_hist = Array.init 4 (fun _ -> Array.init Hist.n_buckets (fun _ -> Atomic.make 0)) }
 
 let bump_max a v =
   let rec go () =
@@ -34,26 +44,55 @@ let record t cls ~lat_us =
   let i = class_index cls in
   Atomic.incr t.served.(i);
   ignore (Atomic.fetch_and_add t.lat_sum_us.(i) lat_us);
-  bump_max t.lat_max_us.(i) lat_us
+  bump_max t.lat_max_us.(i) lat_us;
+  Atomic.incr t.lat_hist.(i).(Hist.bucket_of (max 0 lat_us))
 
 let incr_errors t = Atomic.incr t.errors
 let incr_deaths t = Atomic.incr t.deaths
 let incr_connections t = Atomic.incr t.connections
 let incr_redispatched t = Atomic.incr t.redispatched
+let incr_batches t = Atomic.incr t.batches
 let deaths t = Atomic.get t.deaths
 
 let served t = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.served
 
-let pairs t =
+(* Snapshot class [i]'s histogram of one instance as a mergeable value. *)
+let hist_of t i =
+  Hist.of_counts ~max_v:(Atomic.get t.lat_max_us.(i))
+    (Array.map Atomic.get t.lat_hist.(i))
+
+let sum_over ts f = List.fold_left (fun acc t -> acc + f t) 0 ts
+
+(* STATS pairs over any number of instances (the server keeps one per shard
+   plus one for the connection plane).  Counters sum; histograms merge
+   bucketwise — both exact, so the aggregate p50/p99 are well-defined no
+   matter how work was spread over shards and workers. *)
+let pairs_merged ts =
   let per_class f = Array.to_list (Array.map (fun c -> f c) op_classes) in
-  [ ("served", served t);
-    ("errors", Atomic.get t.errors);
-    ("deaths", Atomic.get t.deaths);
-    ("connections", Atomic.get t.connections);
-    ("redispatched", Atomic.get t.redispatched) ]
-  @ per_class (fun c -> ("served_" ^ class_name c, Atomic.get t.served.(class_index c)))
+  let class_hists =
+    Array.init 4 (fun i -> Hist.merge (List.map (fun t -> hist_of t i) ts))
+  in
+  let all_hist = Hist.merge (Array.to_list class_hists) in
+  [ ("served", sum_over ts served);
+    ("errors", sum_over ts (fun t -> Atomic.get t.errors));
+    ("deaths", sum_over ts (fun t -> Atomic.get t.deaths));
+    ("connections", sum_over ts (fun t -> Atomic.get t.connections));
+    ("redispatched", sum_over ts (fun t -> Atomic.get t.redispatched));
+    ("batches", sum_over ts (fun t -> Atomic.get t.batches));
+    ("p50_us", Hist.percentile all_hist 0.5);
+    ("p99_us", Hist.percentile all_hist 0.99) ]
+  @ per_class (fun c ->
+        ("served_" ^ class_name c, sum_over ts (fun t -> Atomic.get t.served.(class_index c))))
   @ per_class (fun c ->
         let i = class_index c in
-        let n = Atomic.get t.served.(i) in
-        ("mean_us_" ^ class_name c, if n = 0 then 0 else Atomic.get t.lat_sum_us.(i) / n))
-  @ per_class (fun c -> ("max_us_" ^ class_name c, Atomic.get t.lat_max_us.(class_index c)))
+        let n = sum_over ts (fun t -> Atomic.get t.served.(i)) in
+        let sum = sum_over ts (fun t -> Atomic.get t.lat_sum_us.(i)) in
+        ("mean_us_" ^ class_name c, if n = 0 then 0 else sum / n))
+  @ per_class (fun c ->
+        let i = class_index c in
+        ("p99_us_" ^ class_name c, Hist.percentile class_hists.(i) 0.99))
+  @ per_class (fun c ->
+        ("max_us_" ^ class_name c,
+         List.fold_left (fun acc t -> max acc (Atomic.get t.lat_max_us.(class_index c))) 0 ts))
+
+let pairs t = pairs_merged [ t ]

@@ -1,7 +1,10 @@
 (** Server-side counters, all atomic so worker domains and connection
-    threads update them without locks.  Percentile latencies are the load
-    generator's job (it owns every sample); the server keeps per-op-class
-    counts, mean and max, which is what the [STATS] command reports. *)
+    threads update them without locks.  Each instance also keeps per-class
+    latency histograms in the fixed {!Kex_sim.Stats.Hist} bucket layout, so
+    the server can hold one instance per shard and merge them exactly
+    (bucketwise count add) when answering [STATS] — percentiles stay
+    well-defined under sharding, which concatenating raw samples would not
+    give. *)
 
 type op_class = C_get | C_set | C_del | C_update
 
@@ -15,11 +18,16 @@ val incr_errors : t -> unit
 val incr_deaths : t -> unit
 val incr_connections : t -> unit
 val incr_redispatched : t -> unit
+val incr_batches : t -> unit
 
 val served : t -> int
 val deaths : t -> int
 
 val pairs : t -> (string * int) list
-(** Snapshot as [STATS]-reply pairs: [served], [errors], [deaths],
-    [connections], [redispatched], plus per-class [served_*], [mean_us_*],
-    [max_us_*]. *)
+(** [pairs_merged] of a single instance. *)
+
+val pairs_merged : t list -> (string * int) list
+(** Snapshot across instances as [STATS]-reply pairs: summed [served],
+    [errors], [deaths], [connections], [redispatched], [batches], merged
+    overall [p50_us]/[p99_us], plus per-class [served_*], [mean_us_*],
+    [p99_us_*], [max_us_*]. *)

@@ -1,0 +1,30 @@
+(* Signal-robust socket writes, shared by the server and the load
+   generator.  Chaos schedules raise signal traffic, and a [Unix.write] on a
+   blocking socket can then (a) fail with [EINTR] before moving any bytes,
+   (b) return a short count, or (c) — when the fd carries a send timeout or
+   O_NONBLOCK — fail with [EAGAIN]/[EWOULDBLOCK].  A caller that treats any
+   of those as fatal desyncs the frame stream mid-write: the peer sees a
+   length header whose payload never arrives.  So all three cases retry
+   here, from the current offset, until the buffer is fully on the wire. *)
+
+let write_all fd s =
+  let len = String.length s in
+  let bytes = Bytes.unsafe_of_string s in
+  let rec go off =
+    if off < len then
+      match Unix.write fd bytes off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* Wait until the socket drains; select itself may be interrupted. *)
+          (try ignore (Unix.select [] [ fd ] [] 1.0) with
+          | Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          go off
+  in
+  go 0
+
+(* [Unix.read] that retries EINTR and surfaces everything else. *)
+let rec read fd buf off len =
+  match Unix.read fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read fd buf off len

@@ -1,0 +1,13 @@
+(** Signal-robust socket I/O shared by the server and load generator.
+    Chaos kills raise signal traffic; a partial or [EINTR]/[EAGAIN]-failed
+    write mid-frame would desync the length-prefixed stream, so writes here
+    always either land the whole buffer or raise a genuine error. *)
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write the entire string: short writes continue from the current offset,
+    [EINTR] retries, [EAGAIN]/[EWOULDBLOCK] waits for writability (send
+    timeouts / nonblocking fds) and retries.  Raises on real errors
+    ([EPIPE], [ECONNRESET], ...). *)
+
+val read : Unix.file_descr -> Bytes.t -> int -> int -> int
+(** [Unix.read] retrying [EINTR]. *)

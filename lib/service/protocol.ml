@@ -197,6 +197,38 @@ let parse_response =
           Error (str_tok c)
       | kw -> fail "unknown response %S" kw)
 
+(* ----------------------------- request ids ------------------------------ *)
+
+(* Pipelining: a client may tag a request payload with an id ("@<id> " in
+   front of the normal payload) and keep a window of tagged requests in
+   flight on one connection.  The server echoes the id on the response,
+   which may come back in any order.  Untagged payloads keep the original
+   one-at-a-time, in-order contract, so v1 clients work unchanged. *)
+
+let tag id payload = "@" ^ string_of_int id ^ " " ^ payload
+
+let split_tag payload =
+  if String.length payload = 0 || payload.[0] <> '@' then Stdlib.Ok (None, payload)
+  else
+    match String.index_opt payload ' ' with
+    | None -> Stdlib.Error "tagged payload has no ' ' after the id"
+    | Some sp -> (
+        match int_of_string_opt (String.sub payload 1 (sp - 1)) with
+        | Some id when id >= 0 ->
+            Stdlib.Ok (Some id, String.sub payload (sp + 1) (String.length payload - sp - 1))
+        | _ -> Stdlib.Error (Printf.sprintf "bad request id %S" (String.sub payload 0 sp)))
+
+let print_request_tagged ~id r = tag id (print_request r)
+let print_response_tagged ~id r = tag id (print_response r)
+
+let parse_request_tagged s =
+  Result.bind (split_tag s) (fun (id, rest) ->
+      Result.map (fun r -> (id, r)) (parse_request rest))
+
+let parse_response_tagged s =
+  Result.bind (split_tag s) (fun (id, rest) ->
+      Result.map (fun r -> (id, r)) (parse_response rest))
+
 (* ------------------------------- framing -------------------------------- *)
 
 let max_frame = 16 * 1024 * 1024

@@ -36,6 +36,27 @@ val parse_request : string -> (request, string) result
 val print_response : response -> string
 val parse_response : string -> (response, string) result
 
+(** {2 Request ids (pipelining)}
+
+    A payload may carry a client-chosen id prefix (["@<id> <payload>"]).
+    Tagged requests form a pipeline: the client keeps a window of them in
+    flight on one connection, the server echoes each id on its response, and
+    responses may return in any order.  Untagged payloads keep the v1
+    one-at-a-time, in-order contract. *)
+
+val tag : int -> string -> string
+(** Prefix a payload with an id ([id >= 0]). *)
+
+val split_tag : string -> (int option * string, string) result
+(** Strip an id prefix if present; [Error] only for a malformed tag (e.g.
+    ["@x "] or a missing space), so a parse error after a valid tag still
+    yields the id for the error reply. *)
+
+val print_request_tagged : id:int -> request -> string
+val parse_request_tagged : string -> (int option * request, string) result
+val print_response_tagged : id:int -> response -> string
+val parse_response_tagged : string -> (int option * response, string) result
+
 val frame : string -> string
 (** Wrap a payload in a length-prefixed frame. *)
 

@@ -1,35 +1,47 @@
-(* The kexd network server: a TCP listener plus W worker domains serving the
-   (k-1)-resilient KV store.
+(* The kexd network server: a TCP listener plus worker domains serving a
+   sharded (k-1)-resilient KV store.
 
-   Data path: connection threads (one sysprem thread per accepted socket,
-   all living in the listener's domain) deframe and parse requests, push
-   work items onto a shared dispatch queue, and block on a per-item mailbox;
-   worker domains pop items, enter the store through the existing
-   Kex_lock/Assignment admission wrapper (so at most k workers mutate
-   concurrently), and deliver the response into the mailbox.  Because the
-   socket is owned by a connection thread and never by a worker, a worker
-   death never severs a client connection.
+   Data path: the store is split into S shards, each an independent
+   Kv_store behind its *own* Kex_lock/Assignment admission wrapper, with a
+   per-shard MPMC submission ring.  Connection threads (one sysprem thread
+   per accepted socket) deframe requests, route them to a shard by key
+   hash, and either
+
+   - block on a per-item mailbox (untagged v1 requests: one in flight,
+     responses in order), or
+   - stream them (id-tagged requests): the item carries the connection and
+     the id, the thread keeps reading — a client may hold a whole window
+     of requests in flight per connection.
+
+   Worker domains have shard affinity: each drains *its* shard's ring in
+   batches, enters the shard store through one (N,k)-assignment admission
+   per batch (amortizing the wrapper over the batch), executes, and
+   flushes all responses bound for the same connection as one coalesced
+   write.  Per-shard contention therefore stays <= k while aggregate
+   mutator parallelism is S*k — the paper's scaling story — and a worker
+   death costs one slot in one shard only.
 
    Fault injection: a "killed" worker (chaos schedule or the KILL admin
-   command) crashes at its next admission boundary — it returns its claimed
-   request to the front of the dispatch queue, then acquires an admission
-   slot and parks forever holding it.  To the protocol this is exactly the
-   paper's failure model: an undetectably crashed process inside the
-   wrapper, costing one of the k slots.  (OCaml domains cannot be
-   hard-killed, so the crash is cooperative; the slot is genuinely never
-   released for the lifetime of the run — parked workers are only reaped at
-   shutdown so tests and CI exit cleanly.)  Killing up to k-1 workers
-   therefore costs slots but zero client-visible failures; killing k wedges
-   every slot and the service stalls — the paper's resilience boundary,
-   observable on the wire. *)
+   command) crashes at its next admission boundary — it returns its
+   claimed batch to the front of its shard's ring, then acquires an
+   admission slot in its shard and parks forever holding it.  To the
+   protocol this is exactly the paper's failure model: an undetectably
+   crashed process inside the wrapper, costing one of that shard's k
+   slots.  (OCaml domains cannot be hard-killed, so the crash is
+   cooperative; parked workers are only reaped at shutdown so tests and CI
+   exit cleanly.)  Killing up to k-1 workers of one shard costs slots but
+   zero client-visible failures anywhere; killing k workers of a shard
+   wedges that shard — and only that shard. *)
 
 module Kex_lock = Kex_runtime.Kex_lock
 module Kv_store = Kex_resilient.Kv_store
+module Sharded = Kex_resilient.Sharded_store
 
 type config = {
   port : int;  (* 0 = ephemeral; read back with [port] *)
-  workers : int;
+  workers : int;  (* per shard *)
   k : int;
+  shards : int;
   algo : Kex_lock.algo;
   chaos : Chaos.event list;
   log : string -> unit;
@@ -39,9 +51,15 @@ let default_config =
   { port = 7070;
     workers = 4;
     k = 2;
+    shards = 1;
     algo = Kex_lock.Fast_path;
     chaos = [];
     log = (fun _ -> ()) }
+
+(* Workers sweep at most this many items per admission; bounds both the
+   latency a queued item can add to its batch-mates and the time one worker
+   keeps a slot. *)
+let max_batch = 32
 
 type mailbox = {
   mb_m : Mutex.t;
@@ -49,14 +67,36 @@ type mailbox = {
   mutable mb_resp : Protocol.response option;
 }
 
-type item = { req : Protocol.request; mailbox : mailbox }
+(* A connection as response target.  [c_wm] serializes every write to the
+   socket (workers flush pipelined responses concurrently with the
+   connection thread's inline replies); [c_pending] counts dispatched
+   tagged requests not yet answered so the closing thread can drain them;
+   [c_alive] stops workers from writing into a closing socket. *)
+type conn = {
+  c_fd : Unix.file_descr;
+  c_wm : Mutex.t;
+  c_pending : int Atomic.t;
+  c_alive : bool Atomic.t;
+}
+
+type reply = Sync of mailbox | Stream of conn * int  (* id to echo *)
+type item = { req : Protocol.request; reply : reply }
+
+(* One shard: its slice of the store (own admission wrapper), its ring, and
+   its metrics (merged exactly at STATS time). *)
+type shard_ctx = {
+  sh_id : int;
+  sh_store : Kv_store.t;
+  sh_queue : item Wqueue.t;
+  sh_metrics : Metrics.t;
+}
 
 type t = {
   cfg : config;
-  store : Kv_store.t;
-  queue : item Wqueue.t;
-  metrics : Metrics.t;
-  kill_flags : bool Atomic.t array;
+  store : Sharded.t;
+  shard_ctxs : shard_ctx array;
+  conn_metrics : Metrics.t;  (* connection-plane counters *)
+  kill_flags : bool Atomic.t array;  (* indexed by global worker id *)
   (* The morgue: killed workers park here holding their admission slot until
      shutdown releases them. *)
   morgue_m : Mutex.t;
@@ -69,20 +109,31 @@ type t = {
   mutable listener : Thread.t option;
   mutable chaos_thread : Thread.t option;
   conns_m : Mutex.t;
-  mutable conns : Unix.file_descr list;
+  mutable conns : conn list;
   mutable conn_threads : Thread.t list;
   started_at : float;
 }
 
 let port t = t.actual_port
+let total_workers t = t.cfg.shards * t.cfg.workers
+let shard_of_key t key = Sharded.shard_of_key t.store key
+
+let all_metrics t = t.conn_metrics :: Array.to_list (Array.map (fun s -> s.sh_metrics) t.shard_ctxs)
+
 let stats_pairs t =
-  Metrics.pairs t.metrics
-  @ [ ("workers", t.cfg.workers);
+  Metrics.pairs_merged (all_metrics t)
+  @ [ ("workers", total_workers t);
+      ("workers_per_shard", t.cfg.workers);
+      ("shards", t.cfg.shards);
       ("k", t.cfg.k);
-      ("keys", Kv_store.size t.store);
-      ("ops_linearized", Kv_store.operations t.store);
-      ("apply_calls", Kv_store.apply_calls t.store);
+      ("keys", Sharded.size t.store);
+      ("ops_linearized", Sharded.operations t.store);
+      ("apply_calls", Sharded.apply_calls t.store);
       ("uptime_ms", int_of_float ((Unix.gettimeofday () -. t.started_at) *. 1000.)) ]
+  @ Array.to_list
+      (Array.map
+         (fun s -> (Printf.sprintf "ops_shard_%d" s.sh_id, Kv_store.operations s.sh_store))
+         t.shard_ctxs)
 
 let logf t fmt = Printf.ksprintf t.cfg.log fmt
 
@@ -105,67 +156,146 @@ let await mb =
   Mutex.unlock mb.mb_m;
   r
 
+(* --------------------------- response delivery -------------------------- *)
+
+(* Every socket write goes through the connection's write mutex so worker
+   flushes and inline (connection-thread) replies never interleave bytes. *)
+let write_conn conn s =
+  if Atomic.get conn.c_alive then begin
+    Mutex.lock conn.c_wm;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock conn.c_wm)
+      (fun () -> try Netio.write_all conn.c_fd s with Unix.Unix_error _ -> ())
+  end
+
+let frame_reply reply resp =
+  match reply with
+  | Sync _ -> Protocol.frame (Protocol.print_response resp)
+  | Stream (_, id) -> Protocol.frame (Protocol.print_response_tagged ~id resp)
+
+(* Deliver one finished item.  Mailbox items wake their connection thread;
+   stream items are written directly (used for the un-coalesced paths:
+   shutdown refusals and error replies). *)
+let deliver_item item resp =
+  match item.reply with
+  | Sync mb -> deliver mb resp
+  | Stream (conn, _) ->
+      write_conn conn (frame_reply item.reply resp);
+      ignore (Atomic.fetch_and_add conn.c_pending (-1))
+
 (* -------------------------------- workers ------------------------------- *)
 
-let exec_store_op t ~pid (req : Protocol.request) : Protocol.response =
-  let timed cls f =
-    let t0 = Unix.gettimeofday () in
-    let resp = f () in
-    Metrics.record t.metrics cls ~lat_us:(int_of_float ((Unix.gettimeofday () -. t0) *. 1e6));
-    resp
-  in
+let op_of_req (req : Protocol.request) : Kv_store.op option =
   match req with
-  | Protocol.Get key -> timed Metrics.C_get (fun () -> Protocol.Value (Kv_store.get t.store ~pid ~key))
-  | Protocol.Set (key, v) ->
-      timed Metrics.C_set (fun () ->
-          Kv_store.set t.store ~pid ~key v;
-          Protocol.Ok)
-  | Protocol.Del key ->
-      timed Metrics.C_del (fun () -> Protocol.Deleted (Kv_store.delete t.store ~pid ~key))
-  | Protocol.Update (key, delta) ->
-      timed Metrics.C_update (fun () -> Protocol.Int (Kv_store.fetch_add t.store ~pid ~key delta))
-  | Protocol.Ping | Protocol.Stats | Protocol.Kill _ ->
-      (* Routed inline by connection threads; never reaches a worker. *)
-      Protocol.Error "not a store operation"
+  | Protocol.Get key -> Some (Kv_store.Get key)
+  | Protocol.Set (key, v) -> Some (Kv_store.Set (key, v))
+  | Protocol.Del key -> Some (Kv_store.Delete key)
+  | Protocol.Update (key, delta) -> Some (Kv_store.Fetch_add (key, delta))
+  | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> None
 
-(* Crash: park forever holding an admission slot.  If every slot is already
-   wedged the acquire itself blocks — indistinguishable from the park, and
-   exactly the k-th-failure stall the paper predicts. *)
-let die t ~pid =
-  Metrics.incr_deaths t.metrics;
-  logf t "worker %d: killed (crashing at the admission boundary)" pid;
-  let asg = Kv_store.assignment t.store in
-  let name = Kex_lock.Assignment.acquire asg ~pid in
+let class_of_req (req : Protocol.request) =
+  match req with
+  | Protocol.Get _ -> Some Metrics.C_get
+  | Protocol.Set _ -> Some Metrics.C_set
+  | Protocol.Del _ -> Some Metrics.C_del
+  | Protocol.Update _ -> Some Metrics.C_update
+  | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> None
+
+let resp_of_result (r : Kv_store.result) : Protocol.response =
+  match r with
+  | Kv_store.Unit -> Protocol.Ok
+  | Kv_store.Value v -> Protocol.Value v
+  | Kv_store.Existed b -> Protocol.Deleted b
+  | Kv_store.New_value v -> Protocol.Int v
+
+(* Execute a drained batch: one admission for the whole batch, then flush
+   all responses bound for the same connection as a single write. *)
+let exec_batch sh ~lpid items =
+  let store_items, stray =
+    List.partition (fun it -> op_of_req it.req <> None) items
+  in
+  (* Routed inline by connection threads; never reaches a worker. *)
+  List.iter (fun it -> deliver_item it (Protocol.Error "not a store operation")) stray;
+  if store_items <> [] then begin
+    let ops = List.filter_map (fun it -> op_of_req it.req) store_items in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      match Kv_store.perform_batch sh.sh_store ~pid:lpid ops with
+      | rs -> List.map (fun r -> resp_of_result r) rs
+      | exception e ->
+          let msg = Protocol.Error (Printexc.to_string e) in
+          List.map (fun _ -> msg) store_items
+    in
+    let lat_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    let n = List.length store_items in
+    let share_us = lat_us / max 1 n in
+    Metrics.incr_batches sh.sh_metrics;
+    (* Group responses per connection so a pipelining client gets one
+       coalesced write per (batch, connection) instead of one per request. *)
+    let flushes : (conn * Buffer.t * int ref) list ref = ref [] in
+    List.iter2
+      (fun it resp ->
+        (match (class_of_req it.req, resp) with
+        | Some cls, (Protocol.Error _ : Protocol.response) ->
+            ignore cls;
+            Metrics.incr_errors sh.sh_metrics
+        | Some cls, _ -> Metrics.record sh.sh_metrics cls ~lat_us:share_us
+        | None, _ -> ());
+        match it.reply with
+        | Sync mb -> deliver mb resp
+        | Stream (conn, _) -> (
+            let payload = frame_reply it.reply resp in
+            match List.find_opt (fun (c, _, _) -> c == conn) !flushes with
+            | Some (_, buf, count) ->
+                Buffer.add_string buf payload;
+                incr count
+            | None ->
+                let buf = Buffer.create 256 in
+                Buffer.add_string buf payload;
+                flushes := (conn, buf, ref 1) :: !flushes))
+      store_items results;
+    List.iter
+      (fun (conn, buf, count) ->
+        write_conn conn (Buffer.contents buf);
+        ignore (Atomic.fetch_and_add conn.c_pending (- !count)))
+      !flushes
+  end
+
+(* Crash: park forever holding one of this shard's admission slots.  If
+   every slot is already wedged the acquire itself blocks — same observable
+   stall, exactly the k-th-failure boundary the paper predicts, scoped to
+   the shard. *)
+let die t sh ~lpid ~gid =
+  Metrics.incr_deaths sh.sh_metrics;
+  logf t "worker %d (shard %d): killed (crashing at the admission boundary)" gid sh.sh_id;
+  let asg = Kv_store.assignment sh.sh_store in
+  let name = Kex_lock.Assignment.acquire asg ~pid:lpid in
   Mutex.lock t.morgue_m;
   while not t.morgue_open do
     Condition.wait t.morgue_c t.morgue_m
   done;
   Mutex.unlock t.morgue_m;
   (* Shutdown reaps the morgue so domains join and the process exits 0. *)
-  Kex_lock.Assignment.release asg ~pid ~name
+  Kex_lock.Assignment.release asg ~pid:lpid ~name
 
-let worker_loop t pid =
+let worker_loop t sh ~lpid ~gid =
   let rec loop () =
-    match Wqueue.pop t.queue with
-    | None -> ()
-    | Some item ->
-        if Atomic.get t.kill_flags.(pid) then begin
-          (* Mid-request crash: the claimed request is re-dispatched (the
-             supervisor's job in a multi-process deployment); the slot this
-             worker is about to take is lost for good. *)
-          ignore (Wqueue.push_front t.queue item);
-          Metrics.incr_redispatched t.metrics;
-          die t ~pid
+    match Wqueue.pop_batch sh.sh_queue ~max:max_batch with
+    | [] -> ()  (* ring closed: shutdown *)
+    | items ->
+        if Atomic.get t.kill_flags.(gid) then begin
+          (* Mid-claim crash: the claimed batch is re-dispatched in order
+             (the supervisor's job in a multi-process deployment); the slot
+             this worker is about to take is lost for good. *)
+          List.iter
+            (fun it ->
+              ignore (Wqueue.push_front sh.sh_queue it);
+              Metrics.incr_redispatched sh.sh_metrics)
+            (List.rev items);
+          die t sh ~lpid ~gid
         end
         else begin
-          let resp =
-            match exec_store_op t ~pid item.req with
-            | resp -> resp
-            | exception e ->
-                Metrics.incr_errors t.metrics;
-                Protocol.Error (Printexc.to_string e)
-          in
-          deliver item.mailbox resp;
+          exec_batch sh ~lpid items;
           loop ()
         end
   in
@@ -174,16 +304,22 @@ let worker_loop t pid =
 (* ---------------------------- fault injection --------------------------- *)
 
 let kill_worker t w =
-  if w < 0 || w >= t.cfg.workers then
-    Error (Printf.sprintf "worker %d out of range 0..%d" w (t.cfg.workers - 1))
+  if w < 0 || w >= total_workers t then
+    Error (Printf.sprintf "worker %d out of range 0..%d" w (total_workers t - 1))
   else begin
     Atomic.set t.kill_flags.(w) true;
     Ok ()
   end
 
-(* kill-worker with no target: lowest-index worker not yet marked. *)
+(* kill-worker with no target: lowest-index worker not yet marked (global
+   ids start in shard 0, so an untargeted chaos schedule concentrates its
+   kills in one shard — the per-shard resilience experiment). *)
 let next_victim t =
-  let rec go w = if w >= t.cfg.workers then None else if Atomic.get t.kill_flags.(w) then go (w + 1) else Some w in
+  let rec go w =
+    if w >= total_workers t then None
+    else if Atomic.get t.kill_flags.(w) then go (w + 1)
+    else Some w
+  in
   go 0
 
 let chaos_loop t events =
@@ -203,43 +339,65 @@ let chaos_loop t events =
 
 (* ------------------------------ connections ----------------------------- *)
 
-let write_all fd s =
-  let len = String.length s in
-  let bytes = Bytes.of_string s in
-  let rec go off =
-    if off < len then begin
-      let n = Unix.write fd bytes off (len - off) in
-      go (off + n)
-    end
-  in
-  go 0
+let key_of_req (req : Protocol.request) =
+  match req with
+  | Protocol.Get key | Protocol.Set (key, _) | Protocol.Del key | Protocol.Update (key, _) ->
+      key
+  | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> ""
 
-let respond t fd payload =
-  let resp =
-    match Protocol.parse_request payload with
-    | Error msg ->
-        Metrics.incr_errors t.metrics;
-        Protocol.Error ("parse: " ^ msg)
-    | Ok Protocol.Ping -> Protocol.Pong
-    | Ok Protocol.Stats -> Protocol.Stats_reply (stats_pairs t)
-    | Ok (Protocol.Kill w) -> (
-        match kill_worker t w with
-        | Ok () -> Protocol.Ok
-        | Error msg ->
-            Metrics.incr_errors t.metrics;
-            Protocol.Error msg)
-    | Ok req ->
-        (* Store operation: dispatch to the worker pool and wait. *)
-        let mb = mailbox () in
-        if Wqueue.push t.queue { req; mailbox = mb } then await mb
-        else begin
-          Metrics.incr_errors t.metrics;
-          Protocol.Error "server shutting down"
-        end
+(* Inline reply from the connection thread, echoing the request id when the
+   request carried one. *)
+let respond_now conn tag resp =
+  let payload =
+    match tag with
+    | None -> Protocol.print_response resp
+    | Some id -> Protocol.print_response_tagged ~id resp
   in
-  write_all fd (Protocol.frame (Protocol.print_response resp))
+  write_conn conn (Protocol.frame payload)
 
-let handle_conn t fd =
+let handle_payload t conn payload =
+  match Protocol.split_tag payload with
+  | Error msg ->
+      (* Malformed id tag: answer untagged, keep the stream (framing is
+         intact, so the connection is still in sync). *)
+      Metrics.incr_errors t.conn_metrics;
+      respond_now conn None (Protocol.Error ("parse: " ^ msg))
+  | Ok (tag, body) -> (
+      match Protocol.parse_request body with
+      | Error msg ->
+          Metrics.incr_errors t.conn_metrics;
+          respond_now conn tag (Protocol.Error ("parse: " ^ msg))
+      | Ok Protocol.Ping -> respond_now conn tag Protocol.Pong
+      | Ok Protocol.Stats -> respond_now conn tag (Protocol.Stats_reply (stats_pairs t))
+      | Ok (Protocol.Kill w) -> (
+          match kill_worker t w with
+          | Ok () -> respond_now conn tag Protocol.Ok
+          | Error msg ->
+              Metrics.incr_errors t.conn_metrics;
+              respond_now conn tag (Protocol.Error msg))
+      | Ok req -> (
+          let sh = t.shard_ctxs.(shard_of_key t (key_of_req req)) in
+          match tag with
+          | None ->
+              (* v1 contract: one in flight, in order — dispatch and wait. *)
+              let mb = mailbox () in
+              if Wqueue.push sh.sh_queue { req; reply = Sync mb } then
+                respond_now conn None (await mb)
+              else begin
+                Metrics.incr_errors t.conn_metrics;
+                respond_now conn None (Protocol.Error "server shutting down")
+              end
+          | Some id ->
+              (* Pipelined: dispatch and keep reading; a worker writes the
+                 response (coalesced with its batch-mates). *)
+              Atomic.incr conn.c_pending;
+              if not (Wqueue.push sh.sh_queue { req; reply = Stream (conn, id) }) then begin
+                ignore (Atomic.fetch_and_add conn.c_pending (-1));
+                Metrics.incr_errors t.conn_metrics;
+                respond_now conn tag (Protocol.Error "server shutting down")
+              end))
+
+let handle_conn t conn =
   let dec = Protocol.Decoder.create () in
   let buf = Bytes.create 8192 in
   let rec drain () =
@@ -249,32 +407,47 @@ let handle_conn t fd =
         false
     | Ok None -> true
     | Ok (Some payload) ->
-        respond t fd payload;
+        handle_payload t conn payload;
         drain ()
   in
   let rec serve () =
-    match Unix.read fd buf 0 (Bytes.length buf) with
+    match Netio.read conn.c_fd buf 0 (Bytes.length buf) with
     | 0 -> ()
     | n ->
         Protocol.Decoder.feed dec (Bytes.sub_string buf 0 n);
         if drain () then serve ()
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> serve ()
     | exception Unix.Unix_error _ -> ()
   in
   (try serve () with Unix.Unix_error _ -> ());
-  (try Unix.close fd with Unix.Unix_error _ -> ());
+  (* Let dispatched pipelined responses land before tearing the socket
+     down; a wedged shard can hold them forever, so the wait is bounded. *)
+  let deadline = Unix.gettimeofday () +. 5. in
+  while Atomic.get conn.c_pending > 0 && Unix.gettimeofday () < deadline do
+    Thread.delay 0.002
+  done;
+  Atomic.set conn.c_alive false;
+  (* Grab the write mutex once so no worker is mid-write at close. *)
+  Mutex.lock conn.c_wm;
+  Mutex.unlock conn.c_wm;
+  (try Unix.close conn.c_fd with Unix.Unix_error _ -> ());
   Mutex.lock t.conns_m;
-  t.conns <- List.filter (fun fd' -> fd' != fd) t.conns;
+  t.conns <- List.filter (fun c -> c != conn) t.conns;
   Mutex.unlock t.conns_m
 
 let accept_loop t =
   let rec loop () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
-        Metrics.incr_connections t.metrics;
+        Metrics.incr_connections t.conn_metrics;
+        let conn =
+          { c_fd = fd;
+            c_wm = Mutex.create ();
+            c_pending = Atomic.make 0;
+            c_alive = Atomic.make true }
+        in
         Mutex.lock t.conns_m;
-        t.conns <- fd :: t.conns;
-        let th = Thread.create (fun () -> handle_conn t fd) () in
+        t.conns <- conn :: t.conns;
+        let th = Thread.create (fun () -> handle_conn t conn) () in
         t.conn_threads <- th :: t.conn_threads;
         Mutex.unlock t.conns_m;
         loop ()
@@ -289,8 +462,9 @@ let accept_loop t =
 
 let start cfg =
   if cfg.workers < 1 then invalid_arg "Server.start: workers must be positive";
+  if cfg.shards < 1 then invalid_arg "Server.start: shards must be positive";
   if cfg.k < 1 || cfg.k > cfg.workers then
-    invalid_arg "Server.start: need 1 <= k <= workers";
+    invalid_arg "Server.start: need 1 <= k <= workers (per shard)";
   (* A worker death mid-write must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -302,12 +476,22 @@ let start cfg =
     | Unix.ADDR_INET (_, p) -> p
     | Unix.ADDR_UNIX _ -> assert false
   in
+  let store =
+    Sharded.create ~algo:cfg.algo ~shards:cfg.shards ~n:cfg.workers ~k:cfg.k ()
+  in
+  let shard_ctxs =
+    Array.init cfg.shards (fun i ->
+        { sh_id = i;
+          sh_store = Sharded.shard store i;
+          sh_queue = Wqueue.create ();
+          sh_metrics = Metrics.create () })
+  in
   let t =
     { cfg;
-      store = Kv_store.create ~algo:cfg.algo ~n:cfg.workers ~k:cfg.k ();
-      queue = Wqueue.create ();
-      metrics = Metrics.create ();
-      kill_flags = Array.init cfg.workers (fun _ -> Atomic.make false);
+      store;
+      shard_ctxs;
+      conn_metrics = Metrics.create ();
+      kill_flags = Array.init (cfg.shards * cfg.workers) (fun _ -> Atomic.make false);
       morgue_m = Mutex.create ();
       morgue_c = Condition.create ();
       morgue_open = false;
@@ -322,11 +506,16 @@ let start cfg =
       conn_threads = [];
       started_at = Unix.gettimeofday () }
   in
-  t.worker_domains <- List.init cfg.workers (fun pid -> Domain.spawn (fun () -> worker_loop t pid));
+  t.worker_domains <-
+    List.concat
+      (List.init cfg.shards (fun s ->
+           List.init cfg.workers (fun i ->
+               let gid = (s * cfg.workers) + i in
+               Domain.spawn (fun () -> worker_loop t t.shard_ctxs.(s) ~lpid:i ~gid))));
   t.listener <- Some (Thread.create (fun () -> accept_loop t) ());
   if cfg.chaos <> [] then t.chaos_thread <- Some (Thread.create (fun () -> chaos_loop t cfg.chaos) ());
-  logf t "kexd serve: listening on 127.0.0.1:%d (workers=%d k=%d algo in force)" actual_port
-    cfg.workers cfg.k;
+  logf t "kexd serve: listening on 127.0.0.1:%d (shards=%d workers=%d/shard k=%d algo in force)"
+    actual_port cfg.shards cfg.workers cfg.k;
   t
 
 let stop ?(drain_timeout_s = 5.) t =
@@ -336,9 +525,10 @@ let stop ?(drain_timeout_s = 5.) t =
      does (the accept fails with EINVAL/ECONNABORTED). *)
   (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
   (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
-  (* 2. Let in-flight work drain (bounded: a stalled pool never drains). *)
+  (* 2. Let in-flight work drain (bounded: a stalled shard never drains). *)
+  let queued () = Array.fold_left (fun acc s -> acc + Wqueue.length s.sh_queue) 0 t.shard_ctxs in
   let deadline = Unix.gettimeofday () +. drain_timeout_s in
-  while Wqueue.length t.queue > 0 && Unix.gettimeofday () < deadline do
+  while queued () > 0 && Unix.gettimeofday () < deadline do
     Thread.delay 0.01
   done;
   (* 3. Reap the morgue: parked "dead" workers release their slots and
@@ -347,20 +537,27 @@ let stop ?(drain_timeout_s = 5.) t =
   t.morgue_open <- true;
   Condition.broadcast t.morgue_c;
   Mutex.unlock t.morgue_m;
-  (* 4. Close the queue; refuse whatever never got dispatched. *)
-  let leftovers = Wqueue.close t.queue in
-  List.iter (fun item -> deliver item.mailbox (Protocol.Error "server shutting down")) leftovers;
+  (* 4. Close every ring; refuse whatever never got dispatched. *)
+  Array.iter
+    (fun s ->
+      let leftovers = Wqueue.close s.sh_queue in
+      List.iter (fun item -> deliver_item item (Protocol.Error "server shutting down")) leftovers)
+    t.shard_ctxs;
   (* 5. Join workers, then sever idle connections so their threads exit. *)
   List.iter Domain.join t.worker_domains;
   Mutex.lock t.conns_m;
   let conns = t.conns and conn_threads = t.conn_threads in
   Mutex.unlock t.conns_m;
-  List.iter (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()) conns;
+  List.iter
+    (fun c -> try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
   List.iter Thread.join conn_threads;
   Option.iter Thread.join t.listener;
   Option.iter Thread.join t.chaos_thread;
-  logf t "kexd serve: stopped (%d ops served, %d worker deaths)" (Metrics.served t.metrics)
-    (Metrics.deaths t.metrics)
+  let m = all_metrics t in
+  logf t "kexd serve: stopped (%d ops served, %d worker deaths)"
+    (List.fold_left (fun acc x -> acc + Metrics.served x) 0 m)
+    (List.fold_left (fun acc x -> acc + Metrics.deaths x) 0 m)
 
 let run ?duration_s cfg =
   let t = start cfg in

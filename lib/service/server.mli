@@ -1,14 +1,24 @@
-(** [kexd serve]: the resilient KV store on a TCP socket, with the paper's
-    resilience trade observable on the wire.
+(** [kexd serve]: the sharded resilient KV store on a TCP socket, with the
+    paper's resilience-and-scaling trade observable on the wire.
 
-    [workers] domains serve requests from a shared dispatch queue; every
-    store operation enters through the existing {!Kex_runtime.Kex_lock}
-    k-assignment wrapper, so at most [k] workers mutate concurrently and up
-    to [k-1] workers may crash (chaos schedule or the [KILL] admin command)
-    without a single client-visible failure — their claimed requests are
-    re-dispatched and their admission slots are simply lost.  Killing [k]
-    workers wedges every slot and the service stalls, which is exactly the
-    paper's resilience boundary.
+    The store is split into [shards] independent {!Kex_resilient.Kv_store}
+    shards, each behind its {e own} (N,k)-assignment wrapper and each with
+    its own submission ring drained by [workers] dedicated domains.  Keys
+    route to shards by hash, so per-shard contention stays <= [k] while
+    aggregate mutator parallelism is [shards * k].
+
+    Workers drain their shard's ring in batches and enter the store through
+    one admission per batch, amortizing the wrapper; responses to pipelined
+    (id-tagged) requests bound for the same connection are flushed as one
+    coalesced write.  Untagged requests keep the v1 contract: the connection
+    thread blocks on a mailbox and answers in order.
+
+    Up to [k-1] workers {e of one shard} may crash (chaos schedule or the
+    [KILL] admin command) without a single client-visible failure — their
+    claimed batches are re-dispatched and their admission slots are simply
+    lost; other shards never notice.  Killing [k] workers of a shard wedges
+    that shard (and only that shard), which is exactly the paper's
+    resilience boundary.
 
     Sockets are owned by per-connection threads, never by workers, so a
     worker death cannot sever a connection.  Crashes are cooperative (OCaml
@@ -17,28 +27,40 @@
 
 type config = {
   port : int;  (** 0 picks an ephemeral port — read it back with {!port} *)
-  workers : int;
-  k : int;  (** admission bound; requires [1 <= k <= workers] *)
+  workers : int;  (** worker domains {e per shard} *)
+  k : int;  (** per-shard admission bound; requires [1 <= k <= workers] *)
+  shards : int;  (** independent admission domains; keys route by hash *)
   algo : Kex_runtime.Kex_lock.algo;
   chaos : Chaos.event list;
   log : string -> unit;  (** sink for progress lines; ignore for quiet *)
 }
 
 val default_config : config
-(** port 7070, 4 workers, k=2, [Fast_path], no chaos, silent. *)
+(** port 7070, 1 shard, 4 workers, k=2, [Fast_path], no chaos, silent. *)
 
 type t
 
 val start : config -> t
-(** Bind, spawn the listener and worker domains (and the chaos thread if a
-    schedule was given), and return immediately. *)
+(** Bind, spawn the listener and per-shard worker domains (and the chaos
+    thread if a schedule was given), and return immediately. *)
 
 val port : t -> int
+
+val total_workers : t -> int
+(** [shards * workers] — the range of worker ids [KILL] accepts. *)
+
+val shard_of_key : t -> string -> int
+(** The server's key routing, exposed so tests can aim kills at the shard
+    that owns a given key. *)
+
 val kill_worker : t -> int -> (unit, string) result
-(** Programmatic [KILL] — what the admin command and tests use. *)
+(** Programmatic [KILL] by global worker id (shard [s]'s workers are ids
+    [s*workers .. s*workers + workers - 1]) — what the admin command and
+    tests use. *)
 
 val stats_pairs : t -> (string * int) list
-(** The [STATS] reply: metrics counters plus store/admission state. *)
+(** The [STATS] reply: metrics counters (merged exactly across shards) plus
+    store/admission state and per-shard op counts. *)
 
 val stop : ?drain_timeout_s:float -> t -> unit
 (** Graceful shutdown: stop accepting, drain in-flight requests (bounded

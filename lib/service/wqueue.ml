@@ -47,6 +47,30 @@ let pop t =
   Mutex.unlock t.m;
   r
 
+(* Blocking batch pop: wait for the first item, then sweep up to [max]-1
+   more that are already queued without waiting again.  Front (re-dispatch)
+   items keep their priority and their order. *)
+let pop_batch t ~max =
+  if max < 1 then invalid_arg "Wqueue.pop_batch: max must be positive";
+  Mutex.lock t.m;
+  while t.front = [] && Queue.is_empty t.q && not t.closed do
+    Condition.wait t.c t.m
+  done;
+  let rec sweep n acc =
+    if n >= max then List.rev acc
+    else
+      match t.front with
+      | x :: rest ->
+          t.front <- rest;
+          sweep (n + 1) (x :: acc)
+      | [] ->
+          if Queue.is_empty t.q then List.rev acc
+          else sweep (n + 1) (Queue.pop t.q :: acc)
+  in
+  let batch = sweep 0 [] in
+  Mutex.unlock t.m;
+  batch
+
 let length t =
   Mutex.lock t.m;
   let n = List.length t.front + Queue.length t.q in

@@ -17,6 +17,12 @@ val pop : 'a t -> 'a option
 (** Block until an item is available; [None] once the queue is closed and
     drained of nothing (close empties the queue, so [None] means shutdown). *)
 
+val pop_batch : 'a t -> max:int -> 'a list
+(** Block until at least one item is available, then return up to [max]
+    already-queued items in dispatch order (front/re-dispatched items
+    first).  [[]] means the queue was closed — the shutdown signal.  This is
+    how workers amortize one admission over a batch. *)
+
 val length : 'a t -> int
 
 val close : 'a t -> 'a list

@@ -21,6 +21,88 @@ let percentile data p =
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
+(* A fixed-layout log-scaled histogram (HDR-style: power-of-two major
+   buckets, 8 sub-buckets each, so relative bucket error <= 12.5%).  Because
+   every histogram shares the same layout, merging is an elementwise count
+   add — exact, order-independent, and well-defined no matter how samples
+   were split across shards, workers or connections.  That is the property
+   concatenating raw sample arrays loses once the samples live in different
+   places: percentiles computed from any merge order agree to the bucket. *)
+module Hist = struct
+  let sub_bits = 3
+  let sub = 1 lsl sub_bits
+  let n_buckets = 512
+
+  type t = { counts : int array; mutable total : int; mutable max_v : int }
+
+  let bucket_of v =
+    if v < 2 * sub then max 0 v
+    else begin
+      (* order = floor(log2 v) - sub_bits; v lands in major bucket [order+1]
+         at sub-position (v >> order) - sub. *)
+      let rec msb acc v = if v <= 1 then acc else msb (acc + 1) (v lsr 1) in
+      let order = msb 0 v - sub_bits in
+      min (n_buckets - 1) (((order + 1) * sub) + (v lsr order) - sub)
+    end
+
+  let upper_bound i =
+    if i < 2 * sub then i
+    else begin
+      let order = (i / sub) - 1 in
+      let m = (i mod sub) + sub in
+      (((m + 1) lsl order) - 1)
+    end
+
+  let create () = { counts = Array.make n_buckets 0; total = 0; max_v = 0 }
+
+  let add t v =
+    let v = max 0 v in
+    t.counts.(bucket_of v) <- t.counts.(bucket_of v) + 1;
+    t.total <- t.total + 1;
+    if v > t.max_v then t.max_v <- v
+
+  let of_counts ?(max_v = 0) counts =
+    let t = create () in
+    let n = min (Array.length counts) n_buckets in
+    let hi = ref 0 in
+    for i = 0 to n - 1 do
+      t.counts.(i) <- counts.(i);
+      t.total <- t.total + counts.(i);
+      if counts.(i) > 0 then hi := i
+    done;
+    t.max_v <- (if max_v > 0 then max_v else upper_bound !hi);
+    t
+
+  let merge_into ~into t =
+    for i = 0 to n_buckets - 1 do
+      into.counts.(i) <- into.counts.(i) + t.counts.(i)
+    done;
+    into.total <- into.total + t.total;
+    if t.max_v > into.max_v then into.max_v <- t.max_v
+
+  let merge ts =
+    let acc = create () in
+    List.iter (fun t -> merge_into ~into:acc t) ts;
+    acc
+
+  let count t = t.total
+  let max_value t = t.max_v
+
+  let percentile t p =
+    if t.total = 0 then 0
+    else begin
+      let rank = max 1 (min t.total (int_of_float (ceil (p *. float_of_int t.total)))) in
+      let rec go i seen =
+        if i >= n_buckets then t.max_v
+        else begin
+          let seen = seen + t.counts.(i) in
+          if seen >= rank then min (upper_bound i) t.max_v else go (i + 1) seen
+        end
+      in
+      go 0 0
+    end
+end
+
 let summarize (r : Runner.result) =
   let per = per_acquisition r in
   let acquisitions = Array.length per in

@@ -179,6 +179,40 @@ let test_json_roundtrip () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "nul" ]
 
+(* --------------------------- unit: id tagging --------------------------- *)
+
+let test_tagging () =
+  (* Tagged payloads carry "@<id> "; untagged payloads pass through, so v1
+     clients and v2 pipelining share one wire format. *)
+  Alcotest.(check string) "tag" "@7 PING" (P.print_request_tagged ~id:7 P.Ping);
+  (match P.split_tag "@12 GET 1:a" with
+  | Ok (Some 12, "GET 1:a") -> ()
+  | r ->
+      Alcotest.failf "split_tag: %s"
+        (match r with
+        | Ok (id, rest) ->
+            Printf.sprintf "Ok (%s, %S)"
+              (match id with Some i -> string_of_int i | None -> "None")
+              rest
+        | Error e -> "Error " ^ e));
+  (match P.split_tag "PING" with
+  | Ok (None, "PING") -> ()
+  | _ -> Alcotest.fail "untagged payload must pass through");
+  (* A value that *contains* '@' is protected by the length prefix of the
+     field codec, not the tag: only a leading '@' is tag syntax. *)
+  (match P.parse_request_tagged "@3 SET 2:@x 1:y" with
+  | Ok (Some 3, P.Set ("@x", "y")) -> ()
+  | _ -> Alcotest.fail "tagged SET with @ in key");
+  List.iter
+    (fun s ->
+      match P.split_tag s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not split" s)
+    [ "@"; "@12"; "@x PING"; "@-1 PING"; "@ PING" ];
+  match P.parse_response_tagged "@0 VAL 1:z" with
+  | Ok (Some 0, P.Value (Some "z")) -> ()
+  | _ -> Alcotest.fail "tagged response parse"
+
 (* ---------------------------- qcheck: codecs ---------------------------- *)
 
 let gen_str = Q.Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_range 0 40))
@@ -248,8 +282,84 @@ let prop_decoder_reassembles =
         cuts;
       !ok && !got = payloads)
 
+(* Tagged round-trip: the id survives print/parse composed with the plain
+   codec for any request/response. *)
+let prop_tagged_roundtrip =
+  Q.Test.make ~name:"tagged request/response round-trips" ~count:500
+    ~print:(fun (id, req, resp) ->
+      Printf.sprintf "@%d %s / %s" id (P.print_request req) (P.print_response resp))
+    Q.Gen.(
+      let* id = int_range 0 1_000_000 in
+      let* req = gen_request in
+      let* resp = gen_response in
+      return (id, req, resp))
+    (fun (id, req, resp) ->
+      P.parse_request_tagged (P.print_request_tagged ~id req) = Ok (Some id, req)
+      && P.parse_response_tagged (P.print_response_tagged ~id resp) = Ok (Some id, resp))
+
+(* The pipelining wire contract end to end: tagged responses framed in an
+   arbitrary (out-of-order) permutation, cut into arbitrary chunks, must
+   reassemble into exactly the sent id->response mapping. *)
+let gen_out_of_order_stream =
+  let open Q.Gen in
+  let* resps = list_size (int_range 0 8) gen_response in
+  let tagged = List.mapi (fun id r -> (id, r)) resps in
+  (* A deterministic shuffle driven by generated swap indices. *)
+  let* swaps = list_size (int_range 0 16) (int_range 0 (max 1 (List.length tagged) - 1)) in
+  let arr = Array.of_list tagged in
+  List.iteri
+    (fun i j ->
+      if Array.length arr > 0 then begin
+        let i = i mod Array.length arr in
+        let t = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- t
+      end)
+    swaps;
+  let order = Array.to_list arr in
+  let stream =
+    String.concat ""
+      (List.map (fun (id, r) -> P.frame (P.print_response_tagged ~id r)) order)
+  in
+  let* cuts = list_size (int_range 0 10) (int_range 0 (String.length stream)) in
+  return (tagged, stream, List.sort_uniq compare cuts)
+
+let prop_out_of_order_tagged_reassembly =
+  Q.Test.make ~name:"out-of-order tagged responses reassemble by id under any split" ~count:300
+    ~print:(fun (sent, _, cuts) ->
+      Printf.sprintf "%d responses, cuts at %s" (List.length sent)
+        (String.concat "," (List.map string_of_int cuts)))
+    gen_out_of_order_stream
+    (fun (sent, stream, cuts) ->
+      let dec = P.Decoder.create () in
+      let got = ref [] in
+      let ok = ref true in
+      let prev = ref 0 in
+      List.iter
+        (fun cut ->
+          P.Decoder.feed dec (String.sub stream !prev (cut - !prev));
+          prev := cut;
+          match drain dec with
+          | Ok ps -> got := !got @ ps
+          | Error _ -> ok := false)
+        (cuts @ [ String.length stream ]);
+      let parsed =
+        List.map
+          (fun p ->
+            match P.parse_response_tagged p with
+            | Ok (Some id, r) -> (id, r)
+            | _ ->
+                ok := false;
+                (-1, P.Error "unparsed"))
+          !got
+      in
+      !ok
+      && List.length parsed = List.length sent
+      && List.for_all (fun (id, r) -> List.assoc_opt id parsed = Some r) sent)
+
 let suite =
   [ Helpers.tc "request round-trips" test_request_roundtrips;
+    Helpers.tc "id tagging" test_tagging;
     Helpers.tc "response round-trips" test_response_roundtrips;
     Helpers.tc "malformed payloads rejected" test_malformed_rejected;
     Helpers.tc "decoder: whole and split frames" test_decoder_whole_and_split;
@@ -258,4 +368,5 @@ let suite =
     Helpers.tc "loadgen mix parses" test_parse_mix;
     Helpers.tc "json round-trips and tolerates absence" test_json_roundtrip ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_request_roundtrip; prop_response_roundtrip; prop_decoder_reassembles ]
+      [ prop_request_roundtrip; prop_response_roundtrip; prop_decoder_reassembles;
+        prop_tagged_roundtrip; prop_out_of_order_tagged_reassembly ]

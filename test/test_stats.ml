@@ -96,8 +96,97 @@ let prop_graceful_interpolates =
       && (c > k || Spec.thm4 ~k ~c = Spec.thm3_low ~k)
       && Spec.thm8 ~k ~c:(c + 1) >= Spec.thm8 ~k ~c)
 
+(* ------------------------- histogram aggregation ------------------------- *)
+
+module Hist = Stats.Hist
+
+let test_hist_small_values_exact () =
+  (* Values below 16 get a bucket each: percentiles are exact there. *)
+  let h = Hist.create () in
+  List.iter (Hist.add h) [ 0; 1; 2; 3; 7; 15; 15 ];
+  Alcotest.(check int) "count" 7 (Hist.count h);
+  Alcotest.(check int) "max" 15 (Hist.max_value h);
+  Alcotest.(check int) "p50" 3 (Hist.percentile h 0.5);
+  Alcotest.(check int) "p100" 15 (Hist.percentile h 1.0);
+  Alcotest.(check int) "empty" 0 (Hist.percentile (Hist.create ()) 0.5);
+  (* The reported percentile is clipped to the observed maximum. *)
+  let h = Hist.create () in
+  Hist.add h 1000;
+  Alcotest.(check int) "singleton clipped to max" 1000 (Hist.percentile h 0.99)
+
+let test_hist_of_counts_roundtrip () =
+  (* Lock-free callers keep raw bucket counts (Metrics does); adopting them
+     with of_counts must reproduce add-built percentiles. *)
+  let vals = List.init 500 (fun i -> i * 7919 mod 100_000) in
+  let h = Hist.create () in
+  List.iter (Hist.add h) vals;
+  let counts = Array.make Hist.n_buckets 0 in
+  List.iter (fun v -> counts.(Hist.bucket_of v) <- counts.(Hist.bucket_of v) + 1) vals;
+  let h' = Hist.of_counts ~max_v:(Hist.max_value h) counts in
+  Alcotest.(check int) "count" (Hist.count h) (Hist.count h');
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%.0f" (p *. 100.))
+        (Hist.percentile h p) (Hist.percentile h' p))
+    [ 0.1; 0.5; 0.9; 0.99; 1.0 ]
+
+let prop_hist_bucket_error_bound =
+  QCheck2.Test.make ~name:"hist bucket relative error <= 12.5%" ~count:1000
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 0 1_000_000_000)
+    (fun v ->
+      let b = Hist.bucket_of v in
+      b >= 0 && b < Hist.n_buckets
+      && Hist.upper_bound b >= v
+      && Hist.upper_bound b - v <= (v / 8) + 1)
+
+let prop_hist_percentile_tracks_exact =
+  QCheck2.Test.make ~name:"hist percentile within bucket error of exact" ~count:300
+    ~print:(fun (vs, p) -> Printf.sprintf "%d values, p=%.2f" (List.length vs) p)
+    QCheck2.Gen.(
+      let* vs = list_size (int_range 1 200) (int_range 0 1_000_000) in
+      let* p = float_range 0.01 1.0 in
+      return (vs, p))
+    (fun (vs, p) ->
+      let h = Hist.create () in
+      List.iter (Hist.add h) vs;
+      let exact = Stats.percentile (Array.of_list vs) p in
+      let got = Hist.percentile h p in
+      got >= exact && got - exact <= (exact / 8) + 1)
+
+let prop_hist_merge_is_exact =
+  (* Splitting a sample over any number of histograms and merging gives the
+     same buckets as recording into one — the property Metrics/STATS rely
+     on when aggregating per-shard histograms. *)
+  QCheck2.Test.make ~name:"hist merge == single histogram" ~count:300
+    ~print:(fun parts -> Printf.sprintf "%d parts" (List.length parts))
+    QCheck2.Gen.(list_size (int_range 0 6) (list_size (int_range 0 50) (int_range 0 1_000_000)))
+    (fun parts ->
+      let one = Hist.create () in
+      List.iter (List.iter (Hist.add one)) parts;
+      let merged =
+        Hist.merge
+          (List.map
+             (fun vs ->
+               let h = Hist.create () in
+               List.iter (Hist.add h) vs;
+               h)
+             parts)
+      in
+      Hist.count one = Hist.count merged
+      && Hist.max_value one = Hist.max_value merged
+      && List.for_all
+           (fun p -> Hist.percentile one p = Hist.percentile merged p)
+           [ 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ])
+
 let suite =
   [ Helpers.tc "percentile (nearest rank)" test_percentile;
+    Helpers.tc "hist: small values exact" test_hist_small_values_exact;
+    Helpers.tc "hist: of_counts round-trip" test_hist_of_counts_roundtrip;
+    QCheck_alcotest.to_alcotest prop_hist_bucket_error_bound;
+    QCheck_alcotest.to_alcotest prop_hist_percentile_tracks_exact;
+    QCheck_alcotest.to_alcotest prop_hist_merge_is_exact;
     Helpers.tc "percentile edge cases" test_percentile_edges;
     Helpers.tc "percentile pinned distributions" test_percentile_pinned;
     Helpers.tc "ceil_log2" test_ceil_log2;
