@@ -316,7 +316,10 @@ let serve_cmd =
          with zero client-visible failures.  Killing k workers of one shard stalls that shard \
          (and only that shard): the paper's resilience boundary, live on the wire.  Workers \
          drain requests in batches through one admission per batch, and id-tagged (pipelined) \
-         requests get their responses coalesced per connection." ]
+         requests get their responses coalesced per connection.  GETs are answered wait-free \
+         by connection threads from each shard's published snapshot — no admission slot, so \
+         reads stay live even on a fully wedged shard; $(b,--admission-reads) routes them \
+         through the wrapper like mutations instead." ]
   in
   let workers_arg =
     Arg.(value & opt int 4 & info [ "workers"; "w" ] ~doc:"worker domains per shard")
@@ -348,11 +351,19 @@ let serve_cmd =
       & opt (some float) None
       & info [ "duration" ] ~docv:"S" ~doc:"stop after S seconds (default: on SIGINT/SIGTERM)")
   in
-  let run port workers k shards algo chaos duration quiet =
+  let admission_reads_arg =
+    Arg.(
+      value & flag
+      & info [ "admission-reads" ]
+          ~doc:"route GETs through the admission wrapper like mutations (default: answer them \
+                wait-free from the shard snapshot)")
+  in
+  let run port workers k shards algo chaos duration admission_reads quiet =
     let log = if quiet then fun _ -> () else fun s -> print_endline s; flush stdout in
     match
       Kex_service.Server.run ?duration_s:duration
-        { Kex_service.Server.port; workers; k; shards; algo; chaos; log }
+        { Kex_service.Server.port; workers; k; shards; algo; chaos;
+          wait_free_reads = not admission_reads; log }
     with
     | () -> 0
     | exception Invalid_argument msg ->
@@ -365,7 +376,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ port_arg $ workers_arg $ k_arg $ shards_arg $ algo_arg $ chaos_arg
-      $ duration_arg $ quiet_arg)
+      $ duration_arg $ admission_reads_arg $ quiet_arg)
 
 (* ------------------------------- loadgen ---------------------------------- *)
 
@@ -412,7 +423,7 @@ let loadgen_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v2)")
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v3)")
   in
   let fail_on_errors_arg =
     Arg.(
@@ -460,9 +471,14 @@ let serve_sweep_cmd =
          $(b,--k)), kills $(b,--kills) workers (default k-1, concentrated in shard 0) halfway \
          through, drives it with the load generator at pipeline depth W, and records \
          throughput and latency percentiles.  Every cell therefore doubles as a resilience \
-         assertion: with kills <= k-1 the expected error count is zero.  Writes the \
-         kexclusion-serve/v2 record with the full matrix under $(b,sweep) and the \
-         (max S, max W) cell as the headline $(b,totals)." ]
+         assertion: with kills <= k-1 the expected error count is zero.  After the matrix it \
+         runs a GET-heavy read-path quad at the (max S, max W) cell — GETs through admission \
+         vs. the wait-free snapshot path, healthy and with one shard's whole worker pool \
+         killed mid-run (wedged cells use a pure-GET mix; the wait-free side must finish \
+         with zero errors, while the admission side's timeouts are the measured baseline \
+         and are exempt from $(b,--fail-on-errors)).  Writes the kexclusion-serve/v3 record \
+         with the matrix under $(b,sweep), the read quad under $(b,read_path) and the \
+         (max S, max W) matrix cell as the headline $(b,totals)." ]
   in
   let shards_list_arg =
     Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "shards-list" ] ~doc:"shard counts to sweep")
@@ -500,7 +516,7 @@ let serve_sweep_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-serve/v2 sweep record")
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-serve/v3 sweep record")
   in
   let fail_on_errors_arg =
     Arg.(
@@ -512,17 +528,17 @@ let serve_sweep_cmd =
       kills json fail_on_errors quiet =
     let kills = Option.value kills ~default:(max 0 (k - 1)) in
     let mix = [ ("get", 70); ("set", 20); ("update", 10) ] in
-    let run_cell ~shards ~pipeline =
+    let run_cell ~shards ~pipeline ~mix ~wait_free_reads ~kills ~kill_at =
       (* Untargeted kills pick the lowest-index live worker, i.e. they pile
          into shard 0 — the per-shard resilience experiment. *)
       let chaos =
         List.init kills (fun i ->
-            { Kex_service.Chaos.at_s = (duration /. 2.) +. (0.05 *. float_of_int i);
-              target = None })
+            { Kex_service.Chaos.at_s = kill_at +. (0.05 *. float_of_int i); target = None })
       in
       let server =
         Kex_service.Server.start
-          { Kex_service.Server.port = 0; workers; k; shards; algo; chaos; log = (fun _ -> ()) }
+          { Kex_service.Server.port = 0; workers; k; shards; algo; chaos; wait_free_reads;
+            log = (fun _ -> ()) }
       in
       let cfg =
         { Kex_service.Loadgen.host = "127.0.0.1";
@@ -535,11 +551,21 @@ let serve_sweep_cmd =
           seed;
           timeout_s = 5.;
           pipeline;
-          phase_marks = [ duration /. 2. ] }
+          phase_marks = (if kills > 0 then [ kill_at ] else []) }
       in
       let summary = Kex_service.Loadgen.run cfg in
       Kex_service.Server.stop server;
       summary
+    in
+    (* Successful GETs per second — the read-plane comparison metric. *)
+    let get_rps (s : Kex_service.Loadgen.summary) =
+      match
+        Stdlib.List.find_opt (fun b -> b.Kex_service.Loadgen.label = "get") s.Kex_service.Loadgen.ops
+      with
+      | Some b when s.Kex_service.Loadgen.wall_s > 0. ->
+          float_of_int (b.Kex_service.Loadgen.requests - b.Kex_service.Loadgen.errors)
+          /. s.Kex_service.Loadgen.wall_s
+      | _ -> 0.
     in
     if not quiet then
       Format.printf "%-7s %-9s %9s %7s %12s %9s %9s@." "shards" "pipeline" "requests" "errors"
@@ -549,7 +575,10 @@ let serve_sweep_cmd =
         (fun shards ->
           Stdlib.List.map
             (fun pipeline ->
-              let s = run_cell ~shards ~pipeline in
+              let s =
+                run_cell ~shards ~pipeline ~mix ~wait_free_reads:true ~kills
+                  ~kill_at:(duration /. 2.)
+              in
               if not quiet then
                 Format.printf "%-7d %-9d %9d %7d %12.0f %9d %9d@." shards pipeline
                   s.Kex_service.Loadgen.requests s.Kex_service.Loadgen.errors
@@ -568,6 +597,42 @@ let serve_sweep_cmd =
           | _ -> Some (s, w, sum))
         None cells
     in
+    (* The read-plane quad: the same (max S, max W) cell under a GET-heavy
+       mix, with GETs routed through admission vs. the wait-free snapshot
+       path, healthy and with shard 0's whole worker pool killed a quarter
+       of the way in.  The healthy pair prices the wrapper on the read path;
+       the wedged pair is the availability claim — snapshot GETs keep
+       answering at full rate on a dead shard while admission GETs park
+       behind its queue.  Wedged cells use a pure-GET mix so the wait-free
+       side's zero errors is an assertion, not luck (any mutation routed to
+       the dead shard would stall its connection). *)
+    let read_mix = [ ("get", 95); ("set", 5) ] in
+    let wedged_mix = [ ("get", 100) ] in
+    let rp_shards, rp_pipeline =
+      match headline with Some (s, w, _) -> (s, w) | None -> (1, 1)
+    in
+    let read_cells =
+      Stdlib.List.map
+        (fun (label, wfr, wedged) ->
+          let mix = if wedged then wedged_mix else read_mix in
+          let kills = if wedged then workers else 0 in
+          let s =
+            run_cell ~shards:rp_shards ~pipeline:rp_pipeline ~mix ~wait_free_reads:wfr ~kills
+              ~kill_at:(duration /. 4.)
+          in
+          if not quiet then
+            Format.printf
+              "reads=%-17s (S=%d W=%d %s) %9d req %7d err %12.0f req/s  get %9.0f/s@." label
+              rp_shards rp_pipeline
+              (Kex_service.Loadgen.mix_to_string mix)
+              s.Kex_service.Loadgen.requests s.Kex_service.Loadgen.errors
+              s.Kex_service.Loadgen.throughput_rps (get_rps s);
+          (label, mix, kills, s))
+        [ ("admission", false, false);
+          ("wait-free", true, false);
+          ("admission-wedged", false, true);
+          ("wait-free-wedged", true, true) ]
+    in
     (match (json, headline) with
     | Some file, Some (hs, hw, hsum) ->
         let open Kex_service.Json in
@@ -583,9 +648,23 @@ let serve_sweep_cmd =
               ("p99_us", Int s.p99_us);
               ("max_us", Int s.max_us) ]
         in
+        let read_cell_json (label, mix, kills, (s : Kex_service.Loadgen.summary)) =
+          Obj
+            [ ("reads", String label);
+              ("shards", Int rp_shards);
+              ("pipeline", Int rp_pipeline);
+              ("mix", String (Kex_service.Loadgen.mix_to_string mix));
+              ("kills", Int kills);
+              ("requests", Int s.requests);
+              ("errors", Int s.errors);
+              ("throughput_rps", Float s.throughput_rps);
+              ("get_rps", Float (get_rps s));
+              ("p50_us", Int s.p50_us);
+              ("p99_us", Int s.p99_us) ]
+        in
         let doc =
           Obj
-            [ ("schema", String "kexclusion-serve/v2");
+            [ ("schema", String "kexclusion-serve/v3");
               ("git_rev", String (Kex_service.Provenance.git_rev ()));
               ("hostname", String (Kex_service.Provenance.hostname ()));
               ("ocaml", String Sys.ocaml_version);
@@ -603,21 +682,31 @@ let serve_sweep_cmd =
                     ("seed", Int seed);
                     ("kills", Int kills) ] );
               ("totals", Kex_service.Loadgen.summary_json hsum);
-              ("sweep", List (Stdlib.List.map cell_json cells)) ]
+              ("sweep", List (Stdlib.List.map cell_json cells));
+              ("read_path", List (Stdlib.List.map read_cell_json read_cells)) ]
         in
         let oc = open_out file in
         output_string oc (to_string ~indent:2 doc);
         output_char oc '\n';
         close_out oc
     | _ -> ());
+    (* The admission-wedged cell is the deliberately degraded baseline — its
+       timeouts are the experiment, so it is exempt from the error gate.
+       The wait-free-wedged cell is NOT exempt: zero errors there is the
+       availability assertion this sweep exists to check. *)
+    let all_summaries =
+      Stdlib.List.map (fun (_, _, s) -> s) cells
+      @ Stdlib.List.filter_map
+          (fun (label, _, _, s) -> if label = "admission-wedged" then None else Some s)
+          read_cells
+    in
     let total_errors =
-      Stdlib.List.fold_left (fun acc (_, _, s) -> acc + s.Kex_service.Loadgen.errors) 0 cells
+      Stdlib.List.fold_left (fun acc s -> acc + s.Kex_service.Loadgen.errors) 0 all_summaries
     in
     let no_successes =
       Stdlib.List.exists
-        (fun (_, _, s) ->
-          s.Kex_service.Loadgen.requests <= s.Kex_service.Loadgen.errors)
-        cells
+        (fun s -> s.Kex_service.Loadgen.requests <= s.Kex_service.Loadgen.errors)
+        all_summaries
     in
     if no_successes then begin
       Format.eprintf "kexd serve-sweep: a cell had no successful request@.";
@@ -788,7 +877,7 @@ let lint_cmd =
 (* ----------------------------- bench-report ------------------------------- *)
 
 let bench_report_cmd =
-  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve v1/v2, sweep schemas)" in
+  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve v1-v3, sweep schemas)" in
   let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let require_zero_errors_arg =
     Arg.(value & flag & info [ "require-zero-errors" ] ~doc:"exit 1 unless the record has 0 errors")
@@ -871,6 +960,20 @@ let bench_report_cmd =
                   (Option.value (member_int "p50_us" cell) ~default:0)
                   (Option.value (member_int "p99_us" cell) ~default:0))
               (member_list "sweep" doc);
+            (* v3 read-plane pair; absent from v1/v2 records. *)
+            List.iter
+              (fun cell ->
+                Format.printf
+                  "  reads %-10s S=%d W=%d  %8d req %5d err  %9.0f req/s  get %9.0f/s  p99 %6d us@."
+                  (Option.value (member_str "reads" cell) ~default:"?")
+                  (Option.value (member_int "shards" cell) ~default:0)
+                  (Option.value (member_int "pipeline" cell) ~default:0)
+                  (Option.value (member_int "requests" cell) ~default:0)
+                  (Option.value (member_int "errors" cell) ~default:0)
+                  (Option.value (member_number "throughput_rps" cell) ~default:0.)
+                  (Option.value (member_number "get_rps" cell) ~default:0.)
+                  (Option.value (member_int "p99_us" cell) ~default:0))
+              (member_list "read_path" doc);
             errors
           end
           else begin

@@ -36,6 +36,15 @@ let set t ~pid ~key v =
 let get t ~pid ~key =
   match Resilient.perform t ~pid (Get key) with Value v -> v | _ -> assert false
 
+(* The wait-free read plane: no pid, no admission, live on a wedged store. *)
+let read t ~key = Smap.find_opt key (Resilient.read t)
+
+let read_versioned t =
+  let version, m = Resilient.read_versioned t in
+  (version, Smap.bindings m)
+
+let read_version t = fst (Resilient.read_versioned t)
+
 let delete t ~pid ~key =
   match Resilient.perform t ~pid (Delete key) with Existed b -> b | _ -> assert false
 

@@ -23,6 +23,23 @@ val create : ?algo:Kex_runtime.Kex_lock.algo -> n:int -> k:int -> unit -> t
 
 val set : t -> pid:int -> key:string -> string -> unit
 val get : t -> pid:int -> key:string -> string option
+(** Linearized read {e through the admission wrapper} — the paper's
+    uniform path.  Prefer {!read} unless you specifically want the wrapped
+    access (e.g. to measure it). *)
+
+val read : t -> key:string -> string option
+(** Wait-free read of the published snapshot: no pid, no name, no slot.
+    Reflects every acknowledged mutation (publication happens before a
+    mutation returns) and keeps answering when all k admission slots are
+    wedged by crashed clients — the service's GET path. *)
+
+val read_versioned : t -> int * (string * string) list
+(** Consistent (version, bindings) pair from the published snapshot — the
+    cheap shard snapshot the live-migration story needs. *)
+
+val read_version : t -> int
+(** Operations committed in the currently published snapshot. *)
+
 val delete : t -> pid:int -> key:string -> bool
 (** [true] iff the key existed. *)
 

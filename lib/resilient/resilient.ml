@@ -1,6 +1,7 @@
 type ('s, 'op, 'r) t = {
   assignment : Kex_runtime.Kex_lock.Assignment.t;
   obj : ('s, 'op, 'r) Universal.t;
+  snap : 's Snapshot.t;  (* published read plane; see read *)
   n : int;
   k : int;
 }
@@ -8,12 +9,27 @@ type ('s, 'op, 'r) t = {
 let create ?algo ~n ~k ~init ~apply () =
   { assignment = Kex_runtime.Kex_lock.Assignment.create ?algo ~n ~k ();
     obj = Universal.create ~k ~init ~apply;
+    snap = Snapshot.create ~version:0 init;
     n;
     k }
 
+(* Export the latest committed state to the read plane.  Runs after the
+   admission wrapper releases (publication is not a mutation, so it needs no
+   slot) but before the operation's result is returned — so by the time a
+   mutation is acknowledged anywhere, a snapshot at least as new as that
+   mutation is published, which is what makes wait-free reads linearizable
+   with respect to acknowledged writes. *)
+let publish_committed t =
+  let version, state = Universal.committed t.obj in
+  Snapshot.publish t.snap ~version state
+
 let perform t ~pid op =
-  Kex_runtime.Kex_lock.Assignment.with_name t.assignment ~pid (fun name ->
-      Universal.perform t.obj ~tid:name op)
+  let r =
+    Kex_runtime.Kex_lock.Assignment.with_name t.assignment ~pid (fun name ->
+        Universal.perform t.obj ~tid:name op)
+  in
+  publish_committed t;
+  r
 
 (* One admission (one slot acquire/release, one name) amortized over a whole
    batch of operations — the service's per-shard workers drain their rings
@@ -27,9 +43,15 @@ let perform_batch t ~pid ops =
   | [] -> []
   | [ op ] -> [ perform t ~pid op ]
   | ops ->
-      Kex_runtime.Kex_lock.Assignment.with_name t.assignment ~pid (fun name ->
-          List.map (fun op -> Universal.perform t.obj ~tid:name op) ops)
+      let rs =
+        Kex_runtime.Kex_lock.Assignment.with_name t.assignment ~pid (fun name ->
+            List.map (fun op -> Universal.perform t.obj ~tid:name op) ops)
+      in
+      publish_committed t;
+      rs
 
+let read t = snd (Snapshot.read t.snap)
+let read_versioned t = Snapshot.read t.snap
 let peek t = Universal.state t.obj
 let operations t = Universal.applied_count t.obj
 let apply_calls t = Universal.apply_calls t.obj

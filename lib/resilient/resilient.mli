@@ -36,8 +36,23 @@ val perform_batch : ('s, 'op, 'r) t -> pid:int -> 'op list -> 'r list
     workers rely on.  Results align with the input list.  Equivalent to
     mapping {!perform}, except the wrapper entry/exit cost is paid once. *)
 
+val read : ('s, 'op, 'r) t -> 's
+(** Wait-free linearizable read of the {e published} snapshot — no pid, no
+    name, no admission slot.  Mutators publish (seqlock-style, see
+    {!Snapshot}) after every operation but before returning, so a read
+    always reflects every acknowledged mutation; it stays live even when
+    all k admission slots are wedged by crashed processes.  This is the
+    read plane GETs ride in the networked service, and the cheap shard
+    snapshot live migration will ship. *)
+
+val read_versioned : ('s, 'op, 'r) t -> int * 's
+(** {!read} plus the snapshot's linearization version (operations
+    committed when it was published) — a consistent pair. *)
+
 val peek : ('s, 'op, 'r) t -> 's
-(** Latest committed state, without acquiring a slot. *)
+(** Latest committed state, without acquiring a slot.  Unlike {!read} this
+    looks at the universal object's head directly: it can observe
+    operations that have linearized but are not yet acknowledged. *)
 
 val operations : ('s, 'op, 'r) t -> int
 (** Operations linearized so far. *)

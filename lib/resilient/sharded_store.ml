@@ -35,6 +35,7 @@ let shard_of_key t key =
 
 let set t ~pid ~key v = Kv_store.set t.shards.(shard_of_key t key) ~pid ~key v
 let get t ~pid ~key = Kv_store.get t.shards.(shard_of_key t key) ~pid ~key
+let read t ~key = Kv_store.read t.shards.(shard_of_key t key) ~key
 let delete t ~pid ~key = Kv_store.delete t.shards.(shard_of_key t key) ~pid ~key
 let fetch_add t ~pid ~key delta = Kv_store.fetch_add t.shards.(shard_of_key t key) ~pid ~key delta
 

@@ -20,6 +20,12 @@ val shard_of_key : t -> string -> int
 
 val set : t -> pid:int -> key:string -> string -> unit
 val get : t -> pid:int -> key:string -> string option
+
+val read : t -> key:string -> string option
+(** Wait-free read of the owning shard's published snapshot — no pid, no
+    admission; answers even when that shard's k slots are all wedged.  See
+    {!Kv_store.read}. *)
+
 val delete : t -> pid:int -> key:string -> bool
 val fetch_add : t -> pid:int -> key:string -> int -> int
 

@@ -1,0 +1,76 @@
+(* A seqlock-published versioned snapshot: the read-plane export of a
+   resilient object.  Mutators (at most k at a time, already serialized
+   through the admission wrapper's universal object) publish the latest
+   committed state here; readers consume it wait-free without a name, a
+   slot, or any resilience accounting.
+
+   The publication protocol is the classic even/odd sequence lock:
+
+     writer                          reader
+     ------                         ------
+     CAS seq: even s -> s+1 (odd)    s1 := seq; retry while s1 odd
+     value   := v                    v := value
+     version := n                    n := version
+     seq     := s+2 (even)           retry unless seq = s1
+
+   Writers race: whichever CAS lands owns the odd window; losers re-check
+   whether a *newer* version already got out and simply return if so, so a
+   publication is never replaced by an older one and a lagging worker never
+   spins behind a faster one for long.  Publications happen outside the
+   admission wrapper and take a handful of instructions, and workers in this
+   codebase only "crash" at the admission boundary — so the odd window is
+   never wedged by a death, which is what keeps the read side live on a
+   shard whose k workers are all dead (ROADMAP item 5; the e2e test pins
+   this).
+
+   The payload is two separate mutable fields (value and version) on
+   purpose: that is exactly the torn-read hazard the sequence check exists
+   to defend, and it is the shape the verify-side model
+   (Kex_verify.Seqlock_model) checks and the qcheck tearing property
+   hammers.  Values themselves are immutable OCaml structures, so a racy
+   read can only yield a stale pair, never a corrupt value. *)
+
+type 'a t = {
+  seq : int Atomic.t;  (* even = stable, odd = publication in progress *)
+  mutable value : 'a;
+  mutable version : int;
+}
+
+let create ?(version = 0) value = { seq = Atomic.make 0; value; version }
+
+let rec publish t ~version v =
+  (* Racy fast check — re-verified inside the odd window before writing. *)
+  if t.version < version then begin
+    let s = Atomic.get t.seq in
+    if s land 1 = 1 then begin
+      (* Another publication is mid-flight; it may carry a newer version. *)
+      Domain.cpu_relax ();
+      publish t ~version v
+    end
+    else if Atomic.compare_and_set t.seq s (s + 1) then begin
+      if t.version < version then begin
+        t.value <- v;
+        t.version <- version
+      end;
+      Atomic.set t.seq (s + 2)
+    end
+    else publish t ~version v
+  end
+
+let rec read t =
+  let s1 = Atomic.get t.seq in
+  if s1 land 1 = 1 then begin
+    Domain.cpu_relax ();
+    read t
+  end
+  else begin
+    let v = t.value in
+    let n = t.version in
+    if Atomic.get t.seq = s1 then (n, v)
+    else begin
+      Domain.cpu_relax ();
+      read t
+    end
+  end
+
+let version t = fst (read t)

@@ -1,0 +1,32 @@
+(** A seqlock-published versioned snapshot — the wait-free read plane of a
+    resilient object.
+
+    Mutators publish the latest committed state with its linearization
+    version after each operation (or batch); readers take the even/odd
+    sequence-lock protocol: read the sequence, read the payload, re-read the
+    sequence, retry on mismatch.  Reads need no name, no admission slot and
+    no resilience accounting, and they stay live even when every mutator
+    slot is wedged by crashed workers, because publications happen outside
+    the admission wrapper and deaths in this codebase occur only at the
+    admission boundary — never inside the odd window.
+
+    Versions are monotone: {!publish} drops any publication older than what
+    is already out, so racing mutators cannot roll the snapshot back. *)
+
+type 'a t
+
+val create : ?version:int -> 'a -> 'a t
+(** Published immediately: readers before the first {!publish} see this
+    value at [version] (default 0). *)
+
+val publish : 'a t -> version:int -> 'a -> unit
+(** Publish [v] as the state after [version] linearized operations.  Safe
+    under concurrent publishers (they serialize on the sequence lock);
+    stale versions are discarded.  Lock-free: a publisher only waits while
+    another publisher is inside its (constant-length) odd window. *)
+
+val read : 'a t -> int * 'a
+(** The latest published (version, value), consistent — never a torn pair.
+    Retries only while a publication is mid-flight. *)
+
+val version : 'a t -> int

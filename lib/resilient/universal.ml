@@ -88,5 +88,9 @@ let announce_only t ~tid op =
 
 let state t = (Atomic.get t.head).state
 let applied_count t = (Atomic.get t.head).seq
+
+let committed t =
+  let h = Atomic.get t.head in
+  (h.seq, h.state)
 let apply_calls t = Atomic.get t.applies
 let k t = t.k

@@ -34,6 +34,10 @@ val state : ('s, 'op, 'r) t -> 's
 val applied_count : ('s, 'op, 'r) t -> int
 (** Number of operations linearized so far. *)
 
+val committed : ('s, 'op, 'r) t -> int * 's
+(** [(applied_count, state)] from one atomic read of the head cell — the
+    pair is consistent, which is what snapshot publication needs. *)
+
 val apply_calls : ('s, 'op, 'r) t -> int
 (** Number of times [apply] has been invoked, including helper re-executions
     that lost the commit race.  [apply_calls t - applied_count t] is the

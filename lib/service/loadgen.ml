@@ -186,6 +186,9 @@ let sync_loop cfg ~t0 ~conn_id samples =
   while Unix.gettimeofday () < deadline do
     let kind, req = pick_op cfg rng in
     let start = Unix.gettimeofday () in
+    (* Latency from the monotonicized clock (a wall-clock step backwards
+       would record a negative round-trip); phase offsets stay wall-based. *)
+    let start_us = Metrics.now_us () in
     let ok =
       match
         let fd, dec = get_conn () in
@@ -201,10 +204,9 @@ let sync_loop cfg ~t0 ~conn_id samples =
           if failed_to_connect then Thread.delay 0.05;
           false
     in
-    let finish = Unix.gettimeofday () in
     samples_push samples
       ~t_off_ms:(int_of_float ((start -. t0) *. 1000.))
-      ~lat_us:(int_of_float ((finish -. start) *. 1e6))
+      ~lat_us:(Metrics.now_us () - start_us)
       ~kind ~ok
   done;
   drop_conn ()
@@ -212,7 +214,7 @@ let sync_loop cfg ~t0 ~conn_id samples =
 (* Pipelined path: keep a window of W tagged requests in flight; responses
    match by id and may arrive in any order.  Each in-flight request remembers
    its enqueue time and kind. *)
-type inflight = { if_enq : float; if_t_off_ms : int; if_kind : int }
+type inflight = { if_enq_us : int; if_t_off_ms : int; if_kind : int }
 
 let pipelined_loop cfg ~t0 ~conn_id samples =
   let rng = Random.State.make [| cfg.seed; conn_id |] in
@@ -227,10 +229,9 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
   (* On a dead connection every in-flight request becomes an error charged
      from its enqueue time — the client-visible truth. *)
   let fail_inflight () =
-    let now = Unix.gettimeofday () in
+    let now_us = Metrics.now_us () in
     Hashtbl.iter
-      (fun _ inf ->
-        record_sample inf ~lat_us:(int_of_float ((now -. inf.if_enq) *. 1e6)) ~ok:false)
+      (fun _ inf -> record_sample inf ~lat_us:(now_us - inf.if_enq_us) ~ok:false)
       inflight;
     Hashtbl.reset inflight
   in
@@ -249,7 +250,9 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
         incr next_id;
         let enq = Unix.gettimeofday () in
         Hashtbl.replace inflight id
-          { if_enq = enq; if_t_off_ms = int_of_float ((enq -. t0) *. 1000.); if_kind = kind };
+          { if_enq_us = Metrics.now_us ();
+            if_t_off_ms = int_of_float ((enq -. t0) *. 1000.);
+            if_kind = kind };
         Buffer.add_string out (Protocol.frame (Protocol.print_request_tagged ~id req))
       done;
       Netio.write_all fd (Buffer.contents out)
@@ -270,7 +273,7 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
             | None -> raise (Req_failed (Printf.sprintf "response for unknown id %d" id))
             | Some inf ->
                 Hashtbl.remove inflight id;
-                let lat_us = int_of_float ((Unix.gettimeofday () -. inf.if_enq) *. 1e6) in
+                let lat_us = Metrics.now_us () - inf.if_enq_us in
                 record_sample inf ~lat_us
                   ~ok:(match resp with Protocol.Error _ -> false | _ -> true)));
         drain dec
@@ -464,7 +467,7 @@ let summary_json s =
 
 let to_json cfg s =
   Json.Obj
-    [ ("schema", Json.String "kexclusion-serve/v2");
+    [ ("schema", Json.String "kexclusion-serve/v3");
       ("git_rev", Json.String (Provenance.git_rev ()));
       ("hostname", Json.String (Provenance.hostname ()));
       ("ocaml", Json.String Sys.ocaml_version);

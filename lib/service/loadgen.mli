@@ -64,7 +64,10 @@ val summary_json : summary -> Json.t
 (** The [totals] object alone — reused by the sweep record. *)
 
 val to_json : config -> summary -> Json.t
-(** Schema [kexclusion-serve/v2], provenance-stamped (git_rev, hostname). *)
+(** Schema [kexclusion-serve/v3], provenance-stamped (git_rev, hostname).
+    v3 over v2: latency stamps come from the monotonicized clock
+    ({!Metrics.now_us}), and sweep records may carry a [read_path]
+    section.  [bench-report] reads any [kexclusion-serve/*] prefix. *)
 
 val emit_json : file:string -> config -> summary -> unit
 val pp_summary : Format.formatter -> summary -> unit

@@ -6,6 +6,25 @@ let class_name = function C_get -> "get" | C_set -> "set" | C_del -> "del" | C_u
 
 module Hist = Kex_sim.Stats.Hist
 
+(* Latency stamps.  Wall time can step backwards (NTP slew, VM clock
+   fixups), and a negative stamp used to poison [lat_sum_us] while the
+   histogram clamped — skewing the mean away from the percentiles.  Without
+   a monotonic clock in the stdlib, the next best thing is a monotonicized
+   wall clock: one process-wide high-water mark, so consecutive stamps never
+   decrease and latency deltas are never negative.  (A backwards step shows
+   up as a brief run of zero-latency samples instead of a poisoned mean.) *)
+let now_floor_us = Atomic.make 0
+
+let now_us () =
+  let t = int_of_float (Unix.gettimeofday () *. 1e6) in
+  let rec bump () =
+    let prev = Atomic.get now_floor_us in
+    if t <= prev then prev
+    else if Atomic.compare_and_set now_floor_us prev t then t
+    else bump ()
+  in
+  bump ()
+
 type t = {
   served : int Atomic.t array;  (* completed store ops, per class *)
   errors : int Atomic.t;  (* requests answered with ERR *)
@@ -13,6 +32,7 @@ type t = {
   connections : int Atomic.t;  (* connections accepted, lifetime *)
   redispatched : int Atomic.t;  (* requests requeued off a dead worker *)
   batches : int Atomic.t;  (* admission entries (one per drained batch) *)
+  inline_reads : int Atomic.t;  (* GETs served wait-free by conn threads *)
   lat_sum_us : int Atomic.t array;  (* per class, for a cheap mean *)
   lat_max_us : int Atomic.t array;
   (* Per-class latency histograms, one atomic counter per fixed bucket.
@@ -29,6 +49,7 @@ let create () =
     connections = Atomic.make 0;
     redispatched = Atomic.make 0;
     batches = Atomic.make 0;
+    inline_reads = Atomic.make 0;
     lat_sum_us = Array.init 4 (fun _ -> Atomic.make 0);
     lat_max_us = Array.init 4 (fun _ -> Atomic.make 0);
     lat_hist = Array.init 4 (fun _ -> Array.init Hist.n_buckets (fun _ -> Atomic.make 0)) }
@@ -40,18 +61,23 @@ let bump_max a v =
   in
   go ()
 
+(* Clamp once, up front: sum, max and histogram must agree on the sample,
+   or a single negative stamp drags the mean below percentiles that never
+   saw it. *)
 let record t cls ~lat_us =
+  let lat_us = max 0 lat_us in
   let i = class_index cls in
   Atomic.incr t.served.(i);
   ignore (Atomic.fetch_and_add t.lat_sum_us.(i) lat_us);
   bump_max t.lat_max_us.(i) lat_us;
-  Atomic.incr t.lat_hist.(i).(Hist.bucket_of (max 0 lat_us))
+  Atomic.incr t.lat_hist.(i).(Hist.bucket_of lat_us)
 
 let incr_errors t = Atomic.incr t.errors
 let incr_deaths t = Atomic.incr t.deaths
 let incr_connections t = Atomic.incr t.connections
 let incr_redispatched t = Atomic.incr t.redispatched
 let incr_batches t = Atomic.incr t.batches
+let incr_inline_reads t = Atomic.incr t.inline_reads
 let deaths t = Atomic.get t.deaths
 
 let served t = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.served
@@ -79,6 +105,7 @@ let pairs_merged ts =
     ("connections", sum_over ts (fun t -> Atomic.get t.connections));
     ("redispatched", sum_over ts (fun t -> Atomic.get t.redispatched));
     ("batches", sum_over ts (fun t -> Atomic.get t.batches));
+    ("inline_reads", sum_over ts (fun t -> Atomic.get t.inline_reads));
     ("p50_us", Hist.percentile all_hist 0.5);
     ("p99_us", Hist.percentile all_hist 0.99) ]
   @ per_class (fun c ->

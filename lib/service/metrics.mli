@@ -12,13 +12,28 @@ val class_name : op_class -> string
 
 type t
 
+val now_us : unit -> int
+(** Monotonicized wall clock in microseconds: [Unix.gettimeofday] floored by
+    a process-wide high-water mark, so consecutive stamps never decrease and
+    latency deltas taken from it are never negative.  Use this for latency
+    stamps; keep raw wall time only where absolute time matters (deadlines,
+    log offsets). *)
+
 val create : unit -> t
+
 val record : t -> op_class -> lat_us:int -> unit
+(** Record one completed op.  [lat_us] is clamped to [>= 0] once, before it
+    reaches the sum, max {e and} histogram, so all three views agree. *)
+
 val incr_errors : t -> unit
 val incr_deaths : t -> unit
 val incr_connections : t -> unit
 val incr_redispatched : t -> unit
 val incr_batches : t -> unit
+
+val incr_inline_reads : t -> unit
+(** A GET answered wait-free by a connection thread from the shard's
+    published snapshot, bypassing the submission ring and admission. *)
 
 val served : t -> int
 val deaths : t -> int
@@ -28,6 +43,6 @@ val pairs : t -> (string * int) list
 
 val pairs_merged : t list -> (string * int) list
 (** Snapshot across instances as [STATS]-reply pairs: summed [served],
-    [errors], [deaths], [connections], [redispatched], [batches], merged
-    overall [p50_us]/[p99_us], plus per-class [served_*], [mean_us_*],
-    [p99_us_*], [max_us_*]. *)
+    [errors], [deaths], [connections], [redispatched], [batches],
+    [inline_reads], merged overall [p50_us]/[p99_us], plus per-class
+    [served_*], [mean_us_*], [p99_us_*], [max_us_*]. *)

@@ -23,8 +23,18 @@ let write_all fd s =
   in
   go 0
 
-(* [Unix.read] that retries EINTR and surfaces everything else. *)
+(* [Unix.read] with the same robustness as [write_all]: EINTR retries, and
+   EAGAIN/EWOULDBLOCK (a receive timeout or nonblocking fd) waits for
+   readability and retries.  The asymmetry used to be a real bug — a
+   SO_RCVTIMEO expiry inside the server's frame reader surfaced as a fatal
+   error and tore down the connection mid-stream, where the matching write
+   path would have quietly waited and resumed. *)
 let rec read fd buf off len =
   match Unix.read fd buf off len with
   | n -> n
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> read fd buf off len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* Wait until data arrives; select itself may be interrupted. *)
+      (try ignore (Unix.select [ fd ] [] [] 1.0) with
+      | Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      read fd buf off len

@@ -10,4 +10,7 @@ val write_all : Unix.file_descr -> string -> unit
     ([EPIPE], [ECONNRESET], ...). *)
 
 val read : Unix.file_descr -> Bytes.t -> int -> int -> int
-(** [Unix.read] retrying [EINTR]. *)
+(** [Unix.read] retrying [EINTR], and — symmetric with {!write_all} —
+    [EAGAIN]/[EWOULDBLOCK] (receive timeouts / nonblocking fds) after
+    waiting for readability.  Clients that want a receive timeout to
+    {e surface} should call [Unix.read] directly. *)

@@ -44,6 +44,7 @@ type config = {
   shards : int;
   algo : Kex_lock.algo;
   chaos : Chaos.event list;
+  wait_free_reads : bool;  (* GETs answered inline from the snapshot *)
   log : string -> unit;
 }
 
@@ -54,6 +55,7 @@ let default_config =
     shards = 1;
     algo = Kex_lock.Fast_path;
     chaos = [];
+    wait_free_reads = true;
     log = (fun _ -> ()) }
 
 (* Workers sweep at most this many items per admission; bounds both the
@@ -218,7 +220,7 @@ let exec_batch sh ~lpid items =
   List.iter (fun it -> deliver_item it (Protocol.Error "not a store operation")) stray;
   if store_items <> [] then begin
     let ops = List.filter_map (fun it -> op_of_req it.req) store_items in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Metrics.now_us () in
     let results =
       match Kv_store.perform_batch sh.sh_store ~pid:lpid ops with
       | rs -> List.map (fun r -> resp_of_result r) rs
@@ -226,7 +228,7 @@ let exec_batch sh ~lpid items =
           let msg = Protocol.Error (Printexc.to_string e) in
           List.map (fun _ -> msg) store_items
     in
-    let lat_us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+    let lat_us = Metrics.now_us () - t0 in
     let n = List.length store_items in
     let share_us = lat_us / max 1 n in
     Metrics.incr_batches sh.sh_metrics;
@@ -346,35 +348,49 @@ let key_of_req (req : Protocol.request) =
   | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> ""
 
 (* Inline reply from the connection thread, echoing the request id when the
-   request carried one. *)
-let respond_now conn tag resp =
+   request carried one.  Framed into [out] and flushed once per drained
+   socket read, so a pipelined window of inline GETs costs one write — the
+   connection thread's counterpart of the workers' coalesced flushes. *)
+let respond_now out tag resp =
   let payload =
     match tag with
     | None -> Protocol.print_response resp
     | Some id -> Protocol.print_response_tagged ~id resp
   in
-  write_conn conn (Protocol.frame payload)
+  Buffer.add_string out (Protocol.frame payload)
 
-let handle_payload t conn payload =
+let handle_payload t conn out payload =
   match Protocol.split_tag payload with
   | Error msg ->
       (* Malformed id tag: answer untagged, keep the stream (framing is
          intact, so the connection is still in sync). *)
       Metrics.incr_errors t.conn_metrics;
-      respond_now conn None (Protocol.Error ("parse: " ^ msg))
+      respond_now out None (Protocol.Error ("parse: " ^ msg))
   | Ok (tag, body) -> (
       match Protocol.parse_request body with
       | Error msg ->
           Metrics.incr_errors t.conn_metrics;
-          respond_now conn tag (Protocol.Error ("parse: " ^ msg))
-      | Ok Protocol.Ping -> respond_now conn tag Protocol.Pong
-      | Ok Protocol.Stats -> respond_now conn tag (Protocol.Stats_reply (stats_pairs t))
+          respond_now out tag (Protocol.Error ("parse: " ^ msg))
+      | Ok Protocol.Ping -> respond_now out tag Protocol.Pong
+      | Ok Protocol.Stats -> respond_now out tag (Protocol.Stats_reply (stats_pairs t))
       | Ok (Protocol.Kill w) -> (
           match kill_worker t w with
-          | Ok () -> respond_now conn tag Protocol.Ok
+          | Ok () -> respond_now out tag Protocol.Ok
           | Error msg ->
               Metrics.incr_errors t.conn_metrics;
-              respond_now conn tag (Protocol.Error msg))
+              respond_now out tag (Protocol.Error msg))
+      | Ok (Protocol.Get key) when t.cfg.wait_free_reads ->
+          (* The wait-free read plane: answer from the owning shard's
+             published snapshot, right here on the connection thread — no
+             ring, no worker, no admission slot.  Publication happens before
+             any mutation is acknowledged, so an acknowledged SET is always
+             visible; and because no slot is needed, this keeps answering
+             when all k of the shard's workers are dead. *)
+          let t0 = Metrics.now_us () in
+          let v = Sharded.read t.store ~key in
+          Metrics.record t.conn_metrics Metrics.C_get ~lat_us:(Metrics.now_us () - t0);
+          Metrics.incr_inline_reads t.conn_metrics;
+          respond_now out tag (Protocol.Value v)
       | Ok req -> (
           let sh = t.shard_ctxs.(shard_of_key t (key_of_req req)) in
           match tag with
@@ -382,10 +398,10 @@ let handle_payload t conn payload =
               (* v1 contract: one in flight, in order — dispatch and wait. *)
               let mb = mailbox () in
               if Wqueue.push sh.sh_queue { req; reply = Sync mb } then
-                respond_now conn None (await mb)
+                respond_now out None (await mb)
               else begin
                 Metrics.incr_errors t.conn_metrics;
-                respond_now conn None (Protocol.Error "server shutting down")
+                respond_now out None (Protocol.Error "server shutting down")
               end
           | Some id ->
               (* Pipelined: dispatch and keep reading; a worker writes the
@@ -394,12 +410,13 @@ let handle_payload t conn payload =
               if not (Wqueue.push sh.sh_queue { req; reply = Stream (conn, id) }) then begin
                 ignore (Atomic.fetch_and_add conn.c_pending (-1));
                 Metrics.incr_errors t.conn_metrics;
-                respond_now conn tag (Protocol.Error "server shutting down")
+                respond_now out tag (Protocol.Error "server shutting down")
               end))
 
 let handle_conn t conn =
   let dec = Protocol.Decoder.create () in
   let buf = Bytes.create 8192 in
+  let out = Buffer.create 1024 in
   let rec drain () =
     match Protocol.Decoder.next dec with
     | Error msg ->
@@ -407,15 +424,23 @@ let handle_conn t conn =
         false
     | Ok None -> true
     | Ok (Some payload) ->
-        handle_payload t conn payload;
+        handle_payload t conn out payload;
         drain ()
+  in
+  let flush_out () =
+    if Buffer.length out > 0 then begin
+      write_conn conn (Buffer.contents out);
+      Buffer.clear out
+    end
   in
   let rec serve () =
     match Netio.read conn.c_fd buf 0 (Bytes.length buf) with
     | 0 -> ()
     | n ->
         Protocol.Decoder.feed dec (Bytes.sub_string buf 0 n);
-        if drain () then serve ()
+        let keep = drain () in
+        flush_out ();
+        if keep then serve ()
     | exception Unix.Unix_error _ -> ()
   in
   (try serve () with Unix.Unix_error _ -> ());

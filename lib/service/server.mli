@@ -20,6 +20,14 @@
     that shard (and only that shard), which is exactly the paper's
     resilience boundary.
 
+    GETs take a separate, wait-free read plane by default: the connection
+    thread answers straight from the owning shard's published snapshot
+    (seqlock-versioned, refreshed before any mutation is acknowledged) —
+    no ring, no worker, no admission slot.  Reads therefore stay live even
+    on a fully wedged shard; only mutations pay the admission path.  Set
+    [wait_free_reads = false] to route GETs through admission like any
+    other op (the measurement baseline).
+
     Sockets are owned by per-connection threads, never by workers, so a
     worker death cannot sever a connection.  Crashes are cooperative (OCaml
     domains cannot be hard-killed): a killed worker parks forever holding
@@ -32,11 +40,17 @@ type config = {
   shards : int;  (** independent admission domains; keys route by hash *)
   algo : Kex_runtime.Kex_lock.algo;
   chaos : Chaos.event list;
+  wait_free_reads : bool;
+      (** [true]: GETs are answered inline by connection threads from the
+          shard's published snapshot (wait-free, admission-free).  [false]:
+          GETs queue through the submission ring and admission wrapper like
+          mutations — the baseline for measuring the read plane. *)
   log : string -> unit;  (** sink for progress lines; ignore for quiet *)
 }
 
 val default_config : config
-(** port 7070, 1 shard, 4 workers, k=2, [Fast_path], no chaos, silent. *)
+(** port 7070, 1 shard, 4 workers, k=2, [Fast_path], no chaos, wait-free
+    reads on, silent. *)
 
 type t
 

@@ -2,11 +2,14 @@ type 'a t = {
   m : Mutex.t;
   c : Condition.t;
   mutable front : 'a list;  (* re-dispatched items, popped first *)
+  mutable front_len : int;  (* |front|, so [length] never walks the list *)
   q : 'a Queue.t;
   mutable closed : bool;
 }
 
-let create () = { m = Mutex.create (); c = Condition.create (); front = []; q = Queue.create (); closed = false }
+let create () =
+  { m = Mutex.create (); c = Condition.create (); front = []; front_len = 0;
+    q = Queue.create (); closed = false }
 
 let push t x =
   Mutex.lock t.m;
@@ -23,6 +26,7 @@ let push_front t x =
   let accepted = not t.closed in
   if accepted then begin
     t.front <- x :: t.front;
+    t.front_len <- t.front_len + 1;
     Condition.signal t.c
   end;
   Mutex.unlock t.m;
@@ -34,6 +38,7 @@ let pop t =
     match t.front with
     | x :: rest ->
         t.front <- rest;
+        t.front_len <- t.front_len - 1;
         Some x
     | [] ->
         if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
@@ -62,6 +67,7 @@ let pop_batch t ~max =
       match t.front with
       | x :: rest ->
           t.front <- rest;
+          t.front_len <- t.front_len - 1;
           sweep (n + 1) (x :: acc)
       | [] ->
           if Queue.is_empty t.q then List.rev acc
@@ -71,9 +77,11 @@ let pop_batch t ~max =
   Mutex.unlock t.m;
   batch
 
+(* O(1): admission control calls this per request, and walking [front]
+   under the mutex made every submit pay for the redispatch backlog. *)
 let length t =
   Mutex.lock t.m;
-  let n = List.length t.front + Queue.length t.q in
+  let n = t.front_len + Queue.length t.q in
   Mutex.unlock t.m;
   n
 
@@ -82,6 +90,7 @@ let close t =
   t.closed <- true;
   let leftovers = t.front @ List.of_seq (Queue.to_seq t.q) in
   t.front <- [];
+  t.front_len <- 0;
   Queue.clear t.q;
   Condition.broadcast t.c;
   Mutex.unlock t.m;

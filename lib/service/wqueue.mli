@@ -24,6 +24,9 @@ val pop_batch : 'a t -> max:int -> 'a list
     how workers amortize one admission over a batch. *)
 
 val length : 'a t -> int
+(** Items currently queued (front + back).  O(1): the front list keeps a
+    counter, so callers polling the backlog don't pay for the re-dispatch
+    list length under the mutex. *)
 
 val close : 'a t -> 'a list
 (** Close the queue, wake every blocked consumer, and return the items that

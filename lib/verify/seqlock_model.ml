@@ -1,0 +1,199 @@
+(* The service's wait-free read plane, as a checkable model: k writers
+   (admission-wrapped mutators) publish (version, value) snapshots through a
+   seqlock — odd sequence while the pair is half-written, even when stable —
+   and readers run the retry protocol from Snapshot.read: read an even s1,
+   read value, read version, accept only if the sequence still equals s1.
+
+   The payload is kept dependent on the version (value = 100 + version), so
+   "the reader observed a torn pair" is a single decidable predicate on the
+   reader's registers: a mixed old/new observation breaks value = 100 + ver.
+
+   Crashes follow the implementation's failure model: a writer may die idle
+   or while holding its admission slot *before* touching the seqlock (deaths
+   happen at the admission boundary), never inside the odd window — which is
+   exactly why a fully wedged shard (all k slots held by corpses) still
+   answers reads, and the possible-progress analysis below proves it.
+
+   Broken variants seed the bugs the protocol exists to prevent:
+   - [Skip_recheck]    reader accepts without comparing the sequence again;
+   - [Skip_odd_check]  reader starts its read inside the odd window;
+   - [Skip_seqlock]    writer publishes without marking the window at all. *)
+
+type variant = Faithful | Skip_recheck | Skip_odd_check | Skip_seqlock
+
+(* Writer pcs: 0 idle; 1 slot held, pre-publish; 2 odd window taken;
+   3 value written; 4 version written; 99 retired.
+   Reader pcs: 0 idle; 1 reading s1; 2 reading value; 3 reading version;
+   4 recheck; 5 done (absorbing). *)
+type state = {
+  seq : int;  (* seqlock sequence: odd = publication in progress *)
+  ver : int;  (* published version *)
+  value : int;  (* published payload; consistent iff 100 + ver *)
+  slots : int;  (* admission slots held; the k-exclusion resource *)
+  w_pc : int array;
+  w_ver : int array;  (* version a mid-publish writer is installing *)
+  w_crashed : bool array;
+  r_pc : int array;
+  r_s1 : int array;
+  r_val : int array;
+  r_ver : int array;
+  r_start : int array;  (* published version when the read began *)
+}
+
+let reader_done s j = s.r_pc.(j) = 5
+let reader_reading s j = s.r_pc.(j) >= 1 && s.r_pc.(j) <= 4
+
+let crash_count s =
+  Array.fold_left (fun acc c -> if c then acc + 1 else acc) 0 s.w_crashed
+
+let model ?(variant = Faithful) ~writers ~readers ~k ~max_crashes () :
+    (module System.MODEL with type state = state) =
+  (module struct
+    type nonrec state = state
+
+    let name =
+      Printf.sprintf "seqlock[w=%d,r=%d,k=%d,crashes<=%d%s]" writers readers k max_crashes
+        (match variant with
+        | Faithful -> ""
+        | Skip_recheck -> ",skip-recheck"
+        | Skip_odd_check -> ",skip-odd-check"
+        | Skip_seqlock -> ",skip-seqlock")
+
+    let initial =
+      [ { seq = 0;
+          ver = 0;
+          value = 100;
+          slots = 0;
+          w_pc = Array.make writers 0;
+          w_ver = Array.make writers 0;
+          w_crashed = Array.make writers false;
+          r_pc = Array.make readers 0;
+          r_s1 = Array.make readers 0;
+          r_val = Array.make readers 0;
+          r_ver = Array.make readers 0;
+          r_start = Array.make readers 0 } ]
+
+    let set_arr a i v = (let a = Array.copy a in a.(i) <- v; a)
+
+    let next s =
+      let moves = ref [] in
+      let add label s' = moves := (label, s') :: !moves in
+      for i = 0 to writers - 1 do
+        if not s.w_crashed.(i) then begin
+          let lbl fmt = Printf.sprintf ("w%d: " ^^ fmt) i in
+          (match s.w_pc.(i) with
+          | 0 ->
+              if s.slots < k then
+                add (lbl "acquire slot") { s with slots = s.slots + 1; w_pc = set_arr s.w_pc i 1 };
+              add (lbl "retire") { s with w_pc = set_arr s.w_pc i 99 }
+          | 1 ->
+              (* Commit the mutation and open the publication window.  A
+                 faithful writer waits out someone else's odd window; the
+                 mutant writes with no window at all. *)
+              if variant = Skip_seqlock then
+                add (lbl "commit v%d (no seqlock)" (s.ver + 1))
+                  { s with w_ver = set_arr s.w_ver i (s.ver + 1); w_pc = set_arr s.w_pc i 2 }
+              else if s.seq land 1 = 0 then
+                add (lbl "seqlock odd, commit v%d" (s.ver + 1))
+                  { s with
+                    seq = s.seq + 1;
+                    w_ver = set_arr s.w_ver i (s.ver + 1);
+                    w_pc = set_arr s.w_pc i 2 }
+          | 2 ->
+              add (lbl "write value")
+                { s with value = 100 + s.w_ver.(i); w_pc = set_arr s.w_pc i 3 }
+          | 3 ->
+              add (lbl "write version") { s with ver = s.w_ver.(i); w_pc = set_arr s.w_pc i 4 }
+          | 4 ->
+              add (lbl "seqlock even, release slot")
+                { s with
+                  seq = (if variant = Skip_seqlock then s.seq else s.seq + 1);
+                  slots = s.slots - 1;
+                  w_pc = set_arr s.w_pc i 99 }
+          | _ -> ());
+          (* Deaths only at the admission boundary: idle, or slot held but
+             the seqlock untouched.  A crash at pc=1 parks the slot forever
+             (the wedged-shard scenario); the odd window can never wedge. *)
+          if (s.w_pc.(i) = 0 || s.w_pc.(i) = 1) && crash_count s < max_crashes then
+            add (lbl "crash") { s with w_crashed = set_arr s.w_crashed i true }
+        end
+      done;
+      for j = 0 to readers - 1 do
+        let lbl fmt = Printf.sprintf ("r%d: " ^^ fmt) j in
+        match s.r_pc.(j) with
+        | 0 ->
+            add (lbl "start read")
+              { s with r_start = set_arr s.r_start j s.ver; r_pc = set_arr s.r_pc j 1 }
+        | 1 ->
+            if s.seq land 1 = 0 || variant = Skip_odd_check then
+              add (lbl "read s1=%d" s.seq)
+                { s with r_s1 = set_arr s.r_s1 j s.seq; r_pc = set_arr s.r_pc j 2 }
+            else add (lbl "s1 odd: spin") s
+        | 2 ->
+            add (lbl "read value")
+              { s with r_val = set_arr s.r_val j s.value; r_pc = set_arr s.r_pc j 3 }
+        | 3 ->
+            add (lbl "read version")
+              { s with r_ver = set_arr s.r_ver j s.ver; r_pc = set_arr s.r_pc j 4 }
+        | 4 ->
+            if variant = Skip_recheck then
+              add (lbl "accept (no recheck)") { s with r_pc = set_arr s.r_pc j 5 }
+            else if s.seq = s.r_s1.(j) then
+              add (lbl "recheck ok: accept") { s with r_pc = set_arr s.r_pc j 5 }
+            else add (lbl "recheck failed: retry") { s with r_pc = set_arr s.r_pc j 1 }
+        | _ -> ()
+      done;
+      List.rev !moves
+
+    let encode s =
+      let b = Buffer.create 64 in
+      Buffer.add_string b (Printf.sprintf "%d|%d|%d|%d" s.seq s.ver s.value s.slots);
+      Array.iteri
+        (fun i pc ->
+          Buffer.add_string b
+            (Printf.sprintf ";w%d=%d,%d,%b" i pc s.w_ver.(i) s.w_crashed.(i)))
+        s.w_pc;
+      Array.iteri
+        (fun j pc ->
+          Buffer.add_string b
+            (Printf.sprintf ";r%d=%d,%d,%d,%d,%d" j pc s.r_s1.(j) s.r_val.(j) s.r_ver.(j)
+               s.r_start.(j)))
+        s.r_pc;
+      Buffer.contents b
+
+    let pp ppf s =
+      Format.fprintf ppf "seq=%d ver=%d value=%d slots=%d" s.seq s.ver s.value s.slots;
+      Array.iteri
+        (fun i pc ->
+          Format.fprintf ppf " w%d:pc=%d%s%s" i pc
+            (if pc >= 2 && pc <= 4 then Printf.sprintf "(v%d)" s.w_ver.(i) else "")
+            (if s.w_crashed.(i) then "(dead)" else ""))
+        s.w_pc;
+      Array.iteri
+        (fun j pc ->
+          Format.fprintf ppf " r%d:pc=%d" j pc;
+          if pc = 5 then Format.fprintf ppf "(saw v%d=%d)" s.r_ver.(j) s.r_val.(j))
+        s.r_pc
+
+    let invariants =
+      [ ("k-exclusion", fun s -> s.slots <= k);
+        ( "torn snapshot",
+          fun s ->
+            Array.for_all Fun.id
+              (Array.init readers (fun j ->
+                   (not (reader_done s j)) || s.r_val.(j) = 100 + s.r_ver.(j))) );
+        ( "stale snapshot",
+          fun s ->
+            Array.for_all Fun.id
+              (Array.init readers (fun j ->
+                   (not (reader_done s j)) || s.r_ver.(j) >= s.r_start.(j))) ) ]
+      @
+      (* Writer-side regression, meaningful only when the writer actually
+         keeps the discipline: a stable (even) sequence implies the
+         published pair is whole. *)
+      if variant = Faithful then
+        [ ("stable pair consistent", fun s -> s.seq land 1 = 1 || s.value = 100 + s.ver) ]
+      else []
+
+    let step_invariants = [ ("version monotone", fun s s' -> s'.ver >= s.ver) ]
+  end)

@@ -1,0 +1,53 @@
+(** The wait-free read plane's seqlock publication protocol
+    ({!Kex_resilient.Snapshot}) as a checkable model: k admission-wrapped
+    writers publish (version, value) pairs through an even/odd sequence
+    counter while readers run the read-retry protocol, with the payload tied
+    to the version (value = 100 + version) so a torn observation is a single
+    predicate on the reader's registers.
+
+    Invariants: [k-exclusion] (at most k slots held), [torn snapshot]
+    (finished readers observed a whole pair), [stale snapshot] (finished
+    readers observed at least the version published when their read began —
+    acknowledged mutations are visible), plus, for the faithful variant,
+    [stable pair consistent] (an even sequence implies a whole published
+    pair).  Step invariant: the published version never decreases.
+
+    Writer crashes occur only at the admission boundary — idle or slot held
+    before the seqlock is touched — mirroring the service, where a killed
+    worker dies before entering the store.  A crashed writer parks its slot
+    forever, so exhausting the crash budget models a fully wedged shard;
+    reads must (and do) still terminate, which tests check with
+    {!Explore.possible_progress}. *)
+
+type variant =
+  | Faithful
+  | Skip_recheck  (** reader accepts without re-reading the sequence *)
+  | Skip_odd_check  (** reader starts inside the odd window *)
+  | Skip_seqlock  (** writer publishes without marking the window *)
+
+type state = {
+  seq : int;
+  ver : int;
+  value : int;
+  slots : int;
+  w_pc : int array;
+  w_ver : int array;
+  w_crashed : bool array;
+  r_pc : int array;
+  r_s1 : int array;
+  r_val : int array;
+  r_ver : int array;
+  r_start : int array;
+}
+
+val reader_done : state -> int -> bool
+val reader_reading : state -> int -> bool
+
+val model :
+  ?variant:variant ->
+  writers:int ->
+  readers:int ->
+  k:int ->
+  max_crashes:int ->
+  unit ->
+  (module System.MODEL with type state = state)

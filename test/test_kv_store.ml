@@ -94,6 +94,70 @@ let test_update_reexecuted_not_double_applied () =
   Alcotest.(check bool) "apply_calls counts helper re-executions" true
     (Kv_store.apply_calls s >= Kv_store.operations s)
 
+let test_read_wait_free_on_wedged_store () =
+  (* Wedge the store completely — every admission slot held by a dead
+     client — then read.  get/read through the snapshot never enters
+     admission, so it answers instantly where a pid-carrying get would
+     spin forever. *)
+  let k = 2 in
+  let s = Kv_store.create ~n:4 ~k () in
+  Kv_store.set s ~pid:2 ~key:"a" "1";
+  Kv_store.set s ~pid:3 ~key:"b" "2";
+  for pid = 0 to k - 1 do
+    ignore (Kex_runtime.Kex_lock.Assignment.acquire (Kv_store.assignment s) ~pid)
+  done;
+  Alcotest.(check (option string)) "read answers on wedged store" (Some "1")
+    (Kv_store.read s ~key:"a");
+  Alcotest.(check (option string)) "missing key still None" None (Kv_store.read s ~key:"nope");
+  let ver, pairs = Kv_store.read_versioned s in
+  Alcotest.(check int) "snapshot version = operations applied" 2 ver;
+  Alcotest.(check (list (pair string string))) "whole map visible" [ ("a", "1"); ("b", "2") ]
+    (List.sort compare pairs);
+  Alcotest.(check int) "read_version agrees" 2 (Kv_store.read_version s)
+
+let test_read_sees_acknowledged_writes () =
+  (* Publish-before-return: any mutation that has returned is visible to a
+     subsequent snapshot read, across every key of a busy store. *)
+  let s = Kv_store.create ~n:2 ~k:1 () in
+  for i = 1 to 40 do
+    let key = Printf.sprintf "k%d" i in
+    Kv_store.set s ~pid:(i mod 2) ~key (string_of_int i);
+    Alcotest.(check (option string))
+      (Printf.sprintf "read sees acked set %d" i)
+      (Some (string_of_int i))
+      (Kv_store.read s ~key)
+  done;
+  Alcotest.(check int) "version tracks every op" 40 (Kv_store.read_version s)
+
+let test_sharded_read () =
+  let s = Sharded_store.create ~shards:4 ~n:2 ~k:1 () in
+  for i = 1 to 20 do
+    Sharded_store.set s ~pid:0 ~key:(Printf.sprintf "key%d" i) (string_of_int i)
+  done;
+  for i = 1 to 20 do
+    Alcotest.(check (option string))
+      (Printf.sprintf "routed read key%d" i)
+      (Some (string_of_int i))
+      (Sharded_store.read s ~key:(Printf.sprintf "key%d" i))
+  done;
+  Alcotest.(check (option string)) "missing key" None (Sharded_store.read s ~key:"absent");
+  (* Wedge one shard's only slot: its keys still read; other shards still
+     mutate. *)
+  let victim = Sharded_store.shard_of_key s "key1" in
+  ignore (Kex_runtime.Kex_lock.Assignment.acquire (Sharded_store.assignment s victim) ~pid:0);
+  Alcotest.(check (option string)) "read on wedged shard" (Some "1")
+    (Sharded_store.read s ~key:"key1");
+  (match
+     List.find_opt (fun i -> Sharded_store.shard_of_key s (Printf.sprintf "key%d" i) <> victim)
+       (List.init 20 (fun i -> i + 1))
+   with
+  | Some i ->
+      let key = Printf.sprintf "key%d" i in
+      Sharded_store.set s ~pid:1 ~key "fresh";
+      Alcotest.(check (option string)) "other shard mutates and reads" (Some "fresh")
+        (Sharded_store.read s ~key)
+  | None -> Alcotest.fail "all 20 keys hashed to one shard")
+
 let test_available_with_wedged_client () =
   let n = 4 and k = 2 in
   let s = Kv_store.create ~n ~k () in
@@ -115,4 +179,7 @@ let suite =
     Helpers.tc "fetch_add is a closure-free RMW" test_fetch_add;
     Helpers.tc "no lost updates under domains" test_concurrent_counters;
     Helpers.tc "re-executed updates commit exactly once" test_update_reexecuted_not_double_applied;
-    Helpers.tc "available with a wedged client" test_available_with_wedged_client ]
+    Helpers.tc "available with a wedged client" test_available_with_wedged_client;
+    Helpers.tc "wait-free read on a fully wedged store" test_read_wait_free_on_wedged_store;
+    Helpers.tc "read sees every acknowledged write" test_read_sees_acknowledged_writes;
+    Helpers.tc "sharded wait-free reads route and survive wedging" test_sharded_read ]

@@ -1,0 +1,43 @@
+(* Metrics correctness fixes: negative latency stamps are clamped before
+   they reach ANY of the three views (sum, max, histogram), so the mean can
+   never be dragged below percentiles that never saw the sample; and the
+   monotonicized clock never steps backwards. *)
+
+module Metrics = Kex_service.Metrics
+
+let assoc name pairs =
+  match List.assoc_opt name pairs with
+  | Some v -> v
+  | None -> Alcotest.failf "no %S in pairs" name
+
+let test_negative_latency_clamped_everywhere () =
+  let m = Metrics.create () in
+  Metrics.record m Metrics.C_get ~lat_us:(-50);
+  Metrics.record m Metrics.C_get ~lat_us:100;
+  let pairs = Metrics.pairs m in
+  Alcotest.(check int) "both samples served" 2 (assoc "served_get" pairs);
+  (* Unclamped sum would give (100 - 50) / 2 = 25. *)
+  Alcotest.(check int) "mean over clamped samples" 50 (assoc "mean_us_get" pairs);
+  Alcotest.(check int) "max unaffected" 100 (assoc "max_us_get" pairs)
+
+let test_now_us_monotone () =
+  let prev = ref (Metrics.now_us ()) in
+  for _ = 1 to 10_000 do
+    let t = Metrics.now_us () in
+    if t < !prev then Alcotest.failf "clock stepped back: %d after %d" t !prev;
+    prev := t
+  done
+
+let test_inline_reads_merged () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.incr_inline_reads a;
+  Metrics.incr_inline_reads a;
+  Metrics.incr_inline_reads b;
+  Alcotest.(check int) "summed across instances" 3
+    (assoc "inline_reads" (Metrics.pairs_merged [ a; b ]))
+
+let suite =
+  [ Helpers.tc "negative latency clamped in sum, max and histogram"
+      test_negative_latency_clamped_everywhere;
+    Helpers.tc "now_us never steps backwards" test_now_us_monotone;
+    Helpers.tc "inline_reads summed across instances" test_inline_reads_merged ]

@@ -1,0 +1,51 @@
+(* Netio's symmetric robustness: [read] must survive EAGAIN/EWOULDBLOCK (a
+   SO_RCVTIMEO expiry) the same way [write_all] does, instead of tearing the
+   connection down mid-stream. *)
+
+module Netio = Kex_service.Netio
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with Unix.Unix_error _ -> ());
+      try Unix.close b with Unix.Unix_error _ -> ())
+    (fun () -> f a b)
+
+(* The receive timeout fires several times before the peer writes; a read
+   that treated EAGAIN as fatal (the old asymmetry) would raise instead of
+   delivering the late bytes. *)
+let test_read_retries_past_rcvtimeo () =
+  with_socketpair (fun a b ->
+      Unix.setsockopt_float a Unix.SO_RCVTIMEO 0.05;
+      let writer =
+        Thread.create
+          (fun () ->
+            Thread.delay 0.25;
+            ignore (Unix.write b (Bytes.of_string "late") 0 4))
+          ()
+      in
+      let buf = Bytes.create 16 in
+      let n = Netio.read a buf 0 16 in
+      Thread.join writer;
+      Alcotest.(check int) "got the late bytes" 4 n;
+      Alcotest.(check string) "payload intact" "late" (Bytes.sub_string buf 0 n))
+
+let test_read_eof_is_zero () =
+  with_socketpair (fun a b ->
+      Unix.setsockopt_float a Unix.SO_RCVTIMEO 0.05;
+      Unix.close b;
+      let buf = Bytes.create 8 in
+      Alcotest.(check int) "EOF reads as 0" 0 (Netio.read a buf 0 8))
+
+let test_read_delivers_available_data () =
+  with_socketpair (fun a b ->
+      ignore (Unix.write b (Bytes.of_string "now") 0 3);
+      let buf = Bytes.create 8 in
+      let n = Netio.read a buf 0 8 in
+      Alcotest.(check string) "immediate data" "now" (Bytes.sub_string buf 0 n))
+
+let suite =
+  [ Helpers.tc "read retries past a receive timeout" test_read_retries_past_rcvtimeo;
+    Helpers.tc "read returns 0 at EOF" test_read_eof_is_zero;
+    Helpers.tc "read delivers already-available data" test_read_delivers_available_data ]

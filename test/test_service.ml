@@ -299,6 +299,69 @@ let test_shard_kill_isolated () =
                 (rpc admin (P.Get k1));
               Alcotest.(check int) "all of shard 0's pool died" workers (stat "deaths" t))))
 
+(* The headline of the wait-free read plane, on the wire: kill ALL k workers
+   so every admission slot is wedged and mutations time out — yet GETs keep
+   answering, exactly, because the connection thread serves them from the
+   shard's published snapshot without entering admission. *)
+let test_get_survives_wedged_shard () =
+  let workers = 2 and k = 2 in
+  with_server { quiet with workers; k } (fun t ->
+      (* Seed state while the shard is alive. *)
+      let c = connect (Server.port t) in
+      assert_resp "seed set" P.Ok (rpc c (P.Set ("a", "alive")));
+      assert_resp "seed ctr" (P.Int 1) (rpc c (P.Update ("ctr", 1)));
+      (match Server.kill_worker t 0 with Ok () -> () | Error e -> Alcotest.fail e);
+      (match Server.kill_worker t 1 with Ok () -> () | Error e -> Alcotest.fail e);
+      (* Drive mutations until the shard is actually wedged (each kill takes
+         effect at the victim's next admission). *)
+      Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 1.0;
+      let rec wedge tries =
+        if tries > 10 then Alcotest.fail "shard never wedged"
+        else
+          match rpc c (P.Update ("ctr", 1)) with
+          | exception Timeout -> ()
+          | P.Int _ -> wedge (tries + 1)
+          | r -> Alcotest.failf "mutation answered %s" (P.print_response r)
+      in
+      wedge 0;
+      let deadline = Unix.gettimeofday () +. 5. in
+      while stat "deaths" t < k && Unix.gettimeofday () < deadline do
+        Thread.delay 0.02
+      done;
+      Alcotest.(check int) "all k workers dead" k (stat "deaths" t);
+      (* Fresh connection (c's thread is parked on the stalled update): GETs
+         must answer, with the exact acknowledged values, 50 times in a row. *)
+      let reader = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close reader) (fun () ->
+          for i = 1 to 50 do
+            assert_resp (Printf.sprintf "wedged GET %d" i) (P.Value (Some "alive"))
+              (rpc reader (P.Get "a"))
+          done;
+          assert_resp "wedged GET missing" (P.Value None) (rpc reader (P.Get "nope"));
+          (match rpc reader (P.Get "ctr") with
+          | P.Value (Some _) -> ()
+          | r -> Alcotest.failf "ctr GET answered %s" (P.print_response r));
+          Alcotest.(check bool) "GETs served inline" true (stat "inline_reads" t >= 52));
+      (* Mutations are still dead: a second fresh connection's SET times out. *)
+      let writer = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close writer) (fun () ->
+          Unix.setsockopt_float writer.fd Unix.SO_RCVTIMEO 1.0;
+          match rpc writer (P.Set ("b", "2")) with
+          | exception Timeout -> ()
+          | r -> Alcotest.failf "wedged SET answered %s" (P.print_response r));
+      close c)
+
+(* The measurement baseline: with wait_free_reads off, GETs go through the
+   admission wrapper like any mutation and the inline counter stays zero. *)
+let test_admission_reads_baseline () =
+  with_server { quiet with workers = 1; k = 1; wait_free_reads = false } (fun t ->
+      let c = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c) (fun () ->
+          assert_resp "set" P.Ok (rpc c (P.Set ("a", "1")));
+          assert_resp "get through admission" (P.Value (Some "1")) (rpc c (P.Get "a"));
+          assert_resp "get missing" (P.Value None) (rpc c (P.Get "z"));
+          Alcotest.(check int) "no inline reads" 0 (stat "inline_reads" t)))
+
 (* Enqueue-time latency accounting (not send-time): with a window of 16 a
    request spends time queued behind its window-mates, so its measured p50
    must be at least the unpipelined p50.  Guards against the flattering
@@ -331,4 +394,7 @@ let suite =
     Helpers.tc_slow "kill k workers: stall, then clean stop" test_kill_k_stalls_but_stops;
     Helpers.tc_slow "shard kill isolation: wedged shard, live neighbours"
       test_shard_kill_isolated;
+    Helpers.tc_slow "GETs survive a fully wedged shard" test_get_survives_wedged_shard;
+    Helpers.tc "admission-reads baseline serves GETs via workers"
+      test_admission_reads_baseline;
     Helpers.tc_slow "pipelined latency stamped at enqueue" test_pipelined_latency_honest ]

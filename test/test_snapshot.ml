@@ -1,0 +1,71 @@
+(* The seqlock snapshot behind the wait-free read plane: published
+   (version, value) pairs must never be observed torn, never run backwards,
+   and stale publications must be discarded.  Values are kept as a function
+   of the version (value = 7 * version + 3) so "torn" is one equality. *)
+
+module Snapshot = Kex_resilient.Snapshot
+module Q = QCheck2
+
+let value_of v = (7 * v) + 3
+
+let test_basics () =
+  let t = Snapshot.create (value_of 0) in
+  Alcotest.(check int) "initial version" 0 (Snapshot.version t);
+  Snapshot.publish t ~version:3 (value_of 3);
+  Alcotest.(check (pair int int)) "published" (3, value_of 3) (Snapshot.read t);
+  Snapshot.publish t ~version:2 (value_of 2);
+  Alcotest.(check (pair int int)) "stale publish discarded" (3, value_of 3) (Snapshot.read t);
+  Snapshot.publish t ~version:3 9999;
+  Alcotest.(check (pair int int)) "same-version publish discarded" (3, value_of 3)
+    (Snapshot.read t);
+  Snapshot.publish t ~version:4 (value_of 4);
+  Alcotest.(check (pair int int)) "newer publish lands" (4, value_of 4) (Snapshot.read t)
+
+(* Any sequence of publications leaves the newest version's pair, whole. *)
+let prop_publish_keeps_max =
+  Q.Test.make ~name:"publish keeps the newest version, never a torn pair" ~count:500
+    Q.Gen.(small_list (int_range 0 50))
+    (fun versions ->
+      let t = Snapshot.create (value_of 0) in
+      List.iter (fun v -> Snapshot.publish t ~version:v (value_of v)) versions;
+      let v, value = Snapshot.read t in
+      let expect = List.fold_left max 0 versions in
+      v = expect && value = value_of expect)
+
+(* Writer and reader domains hammer one snapshot: every read must return a
+   whole pair, and per-reader versions must be monotone (publication is
+   version-guarded, so an older pair can never overwrite a newer one). *)
+let test_never_torn_under_domains () =
+  let t = Snapshot.create (value_of 0) in
+  let next = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let bad = Atomic.make 0 in
+  let per_writer = 2_000 and writers = 2 and readers = 3 in
+  let writer () =
+    for _ = 1 to per_writer do
+      let v = 1 + Atomic.fetch_and_add next 1 in
+      Snapshot.publish t ~version:v (value_of v)
+    done
+  in
+  let reader () =
+    let last = ref (-1) in
+    while not (Atomic.get stop) do
+      let v, value = Snapshot.read t in
+      if value <> value_of v || v < !last then Atomic.incr bad;
+      last := v
+    done
+  in
+  let rs = List.init readers (fun _ -> Domain.spawn reader) in
+  let ws = List.init writers (fun _ -> Domain.spawn writer) in
+  List.iter Domain.join ws;
+  Atomic.set stop true;
+  List.iter Domain.join rs;
+  Alcotest.(check int) "no torn or backwards read" 0 (Atomic.get bad);
+  let final = writers * per_writer in
+  Alcotest.(check (pair int int)) "final snapshot is the newest publication" (final, value_of final)
+    (Snapshot.read t)
+
+let suite =
+  [ Helpers.tc "publish/read basics, stale publications discarded" test_basics;
+    QCheck_alcotest.to_alcotest prop_publish_keeps_max;
+    Helpers.tc_slow "never torn under concurrent domains" test_never_torn_under_domains ]

@@ -1,0 +1,38 @@
+(* Wqueue bookkeeping: [length] must count the re-dispatch (front) list as
+   well as the back queue — via the O(1) counter, not a list walk — through
+   pushes, front-pushes, pops, batch pops and close. *)
+
+module Wqueue = Kex_service.Wqueue
+
+let test_length_tracks_both_lanes () =
+  let q : int Wqueue.t = Wqueue.create () in
+  Alcotest.(check int) "empty" 0 (Wqueue.length q);
+  Alcotest.(check bool) "push 1" true (Wqueue.push q 1);
+  Alcotest.(check bool) "push 2" true (Wqueue.push q 2);
+  Alcotest.(check int) "back only" 2 (Wqueue.length q);
+  Alcotest.(check bool) "push_front 0" true (Wqueue.push_front q 0);
+  Alcotest.(check int) "front counted" 3 (Wqueue.length q);
+  Alcotest.(check (option int)) "front has priority" (Some 0) (Wqueue.pop q);
+  Alcotest.(check int) "pop decrements" 2 (Wqueue.length q);
+  Alcotest.(check bool) "push_front 9" true (Wqueue.push_front q 9);
+  Alcotest.(check bool) "push_front 8" true (Wqueue.push_front q 8);
+  Alcotest.(check int) "front refilled" 4 (Wqueue.length q);
+  (* Batch pop drains front (in order) before the back queue. *)
+  Alcotest.(check (list int)) "dispatch order" [ 8; 9; 1 ] (Wqueue.pop_batch q ~max:3);
+  Alcotest.(check int) "batch decremented both lanes" 1 (Wqueue.length q);
+  Alcotest.(check (list int)) "rest" [ 2 ] (Wqueue.pop_batch q ~max:8);
+  Alcotest.(check int) "drained" 0 (Wqueue.length q)
+
+let test_close_resets_length () =
+  let q : int Wqueue.t = Wqueue.create () in
+  ignore (Wqueue.push q 1);
+  ignore (Wqueue.push_front q 0);
+  Alcotest.(check (list int)) "leftovers in dispatch order" [ 0; 1 ] (Wqueue.close q);
+  Alcotest.(check int) "closed queue is empty" 0 (Wqueue.length q);
+  Alcotest.(check bool) "push refused after close" false (Wqueue.push q 2);
+  Alcotest.(check bool) "push_front refused after close" false (Wqueue.push_front q 2);
+  Alcotest.(check int) "still empty" 0 (Wqueue.length q)
+
+let suite =
+  [ Helpers.tc "length counts front and back" test_length_tracks_both_lanes;
+    Helpers.tc "close empties and refuses" test_close_resets_length ]
