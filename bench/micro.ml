@@ -54,6 +54,61 @@ let mcs_test () =
          Kex_runtime.Mcs.acquire lock ~pid:7;
          Kex_runtime.Mcs.release lock ~pid:7))
 
+(* Wire codec: encode/decode cost per frame on both framings, over reused
+   buffers — the per-op cost the binary wire exists to shrink.  Decoders
+   persist across iterations, so the scratch-buffer reuse (no per-frame
+   allocation) is what's being measured. *)
+let codec_tests () =
+  let module P = Kex_service.Protocol in
+  let key = "k00001234" in
+  let value = String.make 64 'v' in
+  let buf = Buffer.create 512 in
+  let enc name wire req =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           Buffer.clear buf;
+           P.encode_request_wire buf wire ~id:(Some 7) req))
+  in
+  let dec_req name wire req =
+    let frame =
+      let b = Buffer.create 64 in
+      P.encode_request_wire b wire ~id:(Some 7) req;
+      Buffer.contents b
+    in
+    let dec = P.Req_decoder.create () in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           P.Req_decoder.feed dec frame;
+           match P.Req_decoder.next dec with
+           | P.Dec_frame _ -> ()
+           | _ -> failwith "codec bench: frame did not decode"))
+  in
+  let dec_resp name wire resp =
+    let frame =
+      let b = Buffer.create 128 in
+      P.encode_response_wire b wire ~id:(Some 7) resp;
+      Buffer.contents b
+    in
+    let dec = P.Resp_decoder.create wire in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           P.Resp_decoder.feed dec frame;
+           match P.Resp_decoder.next dec with
+           | P.Dec_frame _ -> ()
+           | _ -> failwith "codec bench: response did not decode"))
+  in
+  Test.make_grouped ~name:"codec"
+    [ enc "text encode GET" P.Text (P.Get key);
+      enc "bin encode GET" P.Binary (P.Get key);
+      enc "text encode SET" P.Text (P.Set (key, value));
+      enc "bin encode SET" P.Binary (P.Set (key, value));
+      dec_req "text decode GET" P.Text (P.Get key);
+      dec_req "bin decode GET" P.Binary (P.Get key);
+      dec_req "text decode SET" P.Text (P.Set (key, value));
+      dec_req "bin decode SET" P.Binary (P.Set (key, value));
+      dec_resp "text decode VAL" P.Text (P.Value (Some value));
+      dec_resp "bin decode VAL" P.Binary (P.Value (Some value)) ]
+
 let tests () =
   Test.make_grouped ~name:"runtime"
     [ mcs_test ();
@@ -87,4 +142,20 @@ let run () =
   in
   List.iter
     (fun (name, ns) -> Out.row "  %-32s %10.1f ns/op@." name ns)
-    (List.sort compare rows)
+    (List.sort compare rows);
+  Out.section "RT: wire codec microbench (encode/decode, ops/s)";
+  let codec_raw = Benchmark.all cfg Instance.[ monotonic_clock ] (codec_tests ()) in
+  let codec_results = Analyze.all ols Instance.monotonic_clock codec_raw in
+  let codec_rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns =
+          match Analyze.OLS.estimates est with Some (v :: _) -> v | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      codec_results []
+  in
+  List.iter
+    (fun (name, ns) ->
+      Out.row "  %-32s %10.1f ns/op %10.2f Mops/s@." name ns (1000. /. ns))
+    (List.sort compare codec_rows)

@@ -398,10 +398,53 @@ let loadgen_cmd =
     Arg.(
       value
       & opt mix_conv Kex_service.Loadgen.default_config.Kex_service.Loadgen.mix
-      & info [ "mix" ] ~doc:"weighted op mix, e.g. get=80,set=20 (ops: get/set/del/update)")
+      & info [ "mix" ]
+          ~doc:"weighted op mix, e.g. get=95,set=5 (ops: get/set/del/update/rmw/scan; rmw = \
+                GET-then-SET charged as one request, scan = ordered range read)")
   in
-  let keys_arg = Arg.(value & opt int 64 & info [ "keys" ] ~doc:"keyspace size") in
+  let keys_arg =
+    Arg.(value & opt int 64 & info [ "keys" ] ~doc:"keyspace size (millions are fine)")
+  in
+  let dist_conv =
+    let parse s =
+      match Kex_service.Keydist.dist_of_string s with
+      | Some d -> Ok d
+      | None -> Error (`Msg (Printf.sprintf "unknown distribution %S (use uniform/zipfian/latest)" s))
+    in
+    let print ppf d = Format.pp_print_string ppf (Kex_service.Keydist.dist_name d) in
+    Arg.conv (parse, print)
+  in
+  let dist_arg =
+    Arg.(
+      value
+      & opt dist_conv Kex_service.Keydist.Uniform
+      & info [ "dist" ] ~doc:"key distribution: uniform, zipfian (YCSB theta=0.99) or latest")
+  in
   let value_size_arg = Arg.(value & opt int 16 & info [ "value-size" ] ~doc:"SET payload bytes") in
+  let value_size_max_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "value-size-max" ]
+          ~doc:"when > --value-size, SET sizes draw uniformly from [value-size, value-size-max]")
+  in
+  let scan_len_arg =
+    Arg.(value & opt int 16 & info [ "scan-len" ] ~doc:"range length for scan ops")
+  in
+  let wire_conv =
+    let parse = function
+      | "text" -> Ok Kex_service.Protocol.Text
+      | "binary" | "bin" -> Ok Kex_service.Protocol.Binary
+      | s -> Error (`Msg (Printf.sprintf "unknown wire %S (use text or binary)" s))
+    in
+    let print ppf w = Format.pp_print_string ppf (Kex_service.Protocol.wire_name w) in
+    Arg.conv (parse, print)
+  in
+  let wire_arg =
+    Arg.(
+      value
+      & opt wire_conv Kex_service.Protocol.Text
+      & info [ "wire" ] ~doc:"framing: text (v1) or binary (v2); the server sniffs per connection")
+  in
   let lg_seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed") in
   let timeout_arg =
     Arg.(value & opt float 2. & info [ "timeout" ] ~docv:"S" ~doc:"per-request timeout (timeouts count as errors)")
@@ -423,18 +466,19 @@ let loadgen_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v3)")
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v4)")
   in
   let fail_on_errors_arg =
     Arg.(
       value & flag
       & info [ "fail-on-errors" ] ~doc:"exit 1 if any request failed (CI resilience assertion)")
   in
-  let run host port connections duration mix keys value_size seed timeout pipeline phase_marks
-      json fail_on_errors quiet =
+  let run host port connections duration mix keys dist value_size value_size_max scan_len wire
+      seed timeout pipeline phase_marks json fail_on_errors quiet =
     let cfg =
-      { Kex_service.Loadgen.host; port; connections; duration_s = duration; mix; keys;
-        value_size; seed; timeout_s = timeout; pipeline; phase_marks }
+      { Kex_service.Loadgen.host; port; connections; duration_s = duration; mix; keys; dist;
+        value_size; value_size_max; scan_len; seed; timeout_s = timeout; pipeline; wire;
+        phase_marks }
     in
     match Kex_service.Loadgen.run cfg with
     | summary ->
@@ -456,8 +500,8 @@ let loadgen_cmd =
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(
       const run $ host_arg $ port_arg $ conns_arg $ duration_arg $ mix_arg $ keys_arg
-      $ value_size_arg $ lg_seed_arg $ timeout_arg $ pipeline_arg $ phase_marks_arg $ json_arg
-      $ fail_on_errors_arg $ quiet_arg)
+      $ dist_arg $ value_size_arg $ value_size_max_arg $ scan_len_arg $ wire_arg $ lg_seed_arg
+      $ timeout_arg $ pipeline_arg $ phase_marks_arg $ json_arg $ fail_on_errors_arg $ quiet_arg)
 
 (* ------------------------------ serve-sweep ------------------------------- *)
 
@@ -476,9 +520,12 @@ let serve_sweep_cmd =
          vs. the wait-free snapshot path, healthy and with one shard's whole worker pool \
          killed mid-run (wedged cells use a pure-GET mix; the wait-free side must finish \
          with zero errors, while the admission side's timeouts are the measured baseline \
-         and are exempt from $(b,--fail-on-errors)).  Writes the kexclusion-serve/v3 record \
-         with the matrix under $(b,sweep), the read quad under $(b,read_path) and the \
-         (max S, max W) matrix cell as the headline $(b,totals)." ]
+         and are exempt from $(b,--fail-on-errors)).  Then it runs the wire quad: one server \
+         at the same (max S, max W) cell preloaded with $(b,--wire-keys) keys, driven with \
+         YCSB-B (get=95,set=5) over text-v1 vs binary-v2 framing, uniform vs Zipfian keys — \
+         no kills, so any error fails the gate.  Writes the kexclusion-serve/v4 record with \
+         the matrix under $(b,sweep), the read quad under $(b,read_path), the wire quad \
+         under $(b,wire) and the (max S, max W) matrix cell as the headline $(b,totals)." ]
   in
   let shards_list_arg =
     Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "shards-list" ] ~doc:"shard counts to sweep")
@@ -516,7 +563,14 @@ let serve_sweep_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-serve/v3 sweep record")
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-serve/v4 sweep record")
+  in
+  let wire_keys_arg =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "wire-keys" ]
+          ~doc:"preloaded keyspace for the text-vs-binary wire quad (0 skips the quad)")
   in
   let fail_on_errors_arg =
     Arg.(
@@ -525,7 +579,7 @@ let serve_sweep_cmd =
           ~doc:"exit 1 if any cell saw a failed request (CI resilience assertion)")
   in
   let run shards_list pipeline_list workers k algo connections duration keys value_size seed
-      kills json fail_on_errors quiet =
+      kills wire_keys json fail_on_errors quiet =
     let kills = Option.value kills ~default:(max 0 (k - 1)) in
     let mix = [ ("get", 70); ("set", 20); ("update", 10) ] in
     let run_cell ~shards ~pipeline ~mix ~wait_free_reads ~kills ~kill_at =
@@ -547,10 +601,14 @@ let serve_sweep_cmd =
           duration_s = duration;
           mix;
           keys;
+          dist = Kex_service.Keydist.Uniform;
           value_size;
+          value_size_max = 0;
+          scan_len = 16;
           seed;
           timeout_s = 5.;
           pipeline;
+          wire = Kex_service.Protocol.Text;
           phase_marks = (if kills > 0 then [ kill_at ] else []) }
       in
       let summary = Kex_service.Loadgen.run cfg in
@@ -633,6 +691,65 @@ let serve_sweep_cmd =
           ("admission-wedged", false, true);
           ("wait-free-wedged", true, true) ]
     in
+    (* The wire quad: the same (max S, max W) cell under YCSB-B (get=95,set=5)
+       against one server preloaded with [wire_keys] bindings, crossing
+       text-v1 vs binary-v2 framing with uniform vs Zipfian key choice.  No
+       kills — the quad prices the codec, not the resilience, so every error
+       here fails the gate.  One shared server keeps the million-key preload
+       out of the per-cell cost and means all four cells read the same
+       store. *)
+    let wire_mix = [ ("get", 95); ("set", 5) ] in
+    let wire_cells =
+      if wire_keys <= 0 then []
+      else begin
+        let server =
+          Kex_service.Server.start
+            { Kex_service.Server.port = 0; workers; k; shards = rp_shards; algo; chaos = [];
+              wait_free_reads = true; log = (fun _ -> ()) }
+        in
+        let value = String.make (max 1 value_size) 'v' in
+        Kex_service.Server.preload server
+          (Seq.init wire_keys (fun i -> (Kex_service.Keydist.key_of_index i, value)));
+        let cells =
+          Stdlib.List.map
+            (fun (wire, dist) ->
+              let cfg =
+                { Kex_service.Loadgen.host = "127.0.0.1";
+                  port = Kex_service.Server.port server;
+                  connections;
+                  duration_s = duration;
+                  mix = wire_mix;
+                  keys = wire_keys;
+                  dist;
+                  value_size;
+                  value_size_max = 0;
+                  scan_len = 16;
+                  seed;
+                  timeout_s = 5.;
+                  pipeline = rp_pipeline;
+                  wire;
+                  phase_marks = [] }
+              in
+              let s = Kex_service.Loadgen.run cfg in
+              if not quiet then
+                Format.printf
+                  "wire=%-6s dist=%-8s (S=%d W=%d keys=%d) %9d req %7d err %12.0f req/s  p99 \
+                   %6d us@."
+                  (Kex_service.Protocol.wire_name wire)
+                  (Kex_service.Keydist.dist_name dist)
+                  rp_shards rp_pipeline wire_keys s.Kex_service.Loadgen.requests
+                  s.Kex_service.Loadgen.errors s.Kex_service.Loadgen.throughput_rps
+                  s.Kex_service.Loadgen.p99_us;
+              (wire, dist, s))
+            [ (Kex_service.Protocol.Text, Kex_service.Keydist.Uniform);
+              (Kex_service.Protocol.Text, Kex_service.Keydist.Zipfian);
+              (Kex_service.Protocol.Binary, Kex_service.Keydist.Uniform);
+              (Kex_service.Protocol.Binary, Kex_service.Keydist.Zipfian) ]
+        in
+        Kex_service.Server.stop server;
+        cells
+      end
+    in
     (match (json, headline) with
     | Some file, Some (hs, hw, hsum) ->
         let open Kex_service.Json in
@@ -662,9 +779,24 @@ let serve_sweep_cmd =
               ("p50_us", Int s.p50_us);
               ("p99_us", Int s.p99_us) ]
         in
+        let wire_cell_json (wire, dist, (s : Kex_service.Loadgen.summary)) =
+          Obj
+            [ ("wire", String (Kex_service.Protocol.wire_name wire));
+              ("dist", String (Kex_service.Keydist.dist_name dist));
+              ("shards", Int rp_shards);
+              ("pipeline", Int rp_pipeline);
+              ("keys", Int wire_keys);
+              ("mix", String (Kex_service.Loadgen.mix_to_string wire_mix));
+              ("kills", Int 0);
+              ("requests", Int s.requests);
+              ("errors", Int s.errors);
+              ("throughput_rps", Float s.throughput_rps);
+              ("p50_us", Int s.p50_us);
+              ("p99_us", Int s.p99_us) ]
+        in
         let doc =
           Obj
-            [ ("schema", String "kexclusion-serve/v3");
+            [ ("schema", String "kexclusion-serve/v4");
               ("git_rev", String (Kex_service.Provenance.git_rev ()));
               ("hostname", String (Kex_service.Provenance.hostname ()));
               ("ocaml", String Sys.ocaml_version);
@@ -680,10 +812,12 @@ let serve_sweep_cmd =
                     ("keys", Int keys);
                     ("value_size", Int value_size);
                     ("seed", Int seed);
-                    ("kills", Int kills) ] );
+                    ("kills", Int kills);
+                    ("wire_keys", Int wire_keys) ] );
               ("totals", Kex_service.Loadgen.summary_json hsum);
               ("sweep", List (Stdlib.List.map cell_json cells));
-              ("read_path", List (Stdlib.List.map read_cell_json read_cells)) ]
+              ("read_path", List (Stdlib.List.map read_cell_json read_cells));
+              ("wire", List (Stdlib.List.map wire_cell_json wire_cells)) ]
         in
         let oc = open_out file in
         output_string oc (to_string ~indent:2 doc);
@@ -699,6 +833,7 @@ let serve_sweep_cmd =
       @ Stdlib.List.filter_map
           (fun (label, _, _, s) -> if label = "admission-wedged" then None else Some s)
           read_cells
+      @ Stdlib.List.map (fun (_, _, s) -> s) wire_cells
     in
     let total_errors =
       Stdlib.List.fold_left (fun acc s -> acc + s.Kex_service.Loadgen.errors) 0 all_summaries
@@ -721,8 +856,8 @@ let serve_sweep_cmd =
   Cmd.v (Cmd.info "serve-sweep" ~doc ~man)
     Term.(
       const run $ shards_list_arg $ pipeline_list_arg $ workers_arg $ k_arg $ algo_arg
-      $ conns_arg $ duration_arg $ keys_arg $ value_size_arg $ seed_arg $ kills_arg $ json_arg
-      $ fail_on_errors_arg $ quiet_arg)
+      $ conns_arg $ duration_arg $ keys_arg $ value_size_arg $ seed_arg $ kills_arg
+      $ wire_keys_arg $ json_arg $ fail_on_errors_arg $ quiet_arg)
 
 (* -------------------------------- lint ----------------------------------- *)
 
@@ -877,7 +1012,7 @@ let lint_cmd =
 (* ----------------------------- bench-report ------------------------------- *)
 
 let bench_report_cmd =
-  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve v1-v3, sweep schemas)" in
+  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve v1-v4, sweep schemas)" in
   let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let require_zero_errors_arg =
     Arg.(value & flag & info [ "require-zero-errors" ] ~doc:"exit 1 unless the record has 0 errors")
@@ -974,6 +1109,22 @@ let bench_report_cmd =
                   (Option.value (member_number "get_rps" cell) ~default:0.)
                   (Option.value (member_int "p99_us" cell) ~default:0))
               (member_list "read_path" doc);
+            (* v4 wire quad (text vs binary x uniform vs zipfian); absent
+               from v1-v3 records. *)
+            List.iter
+              (fun cell ->
+                Format.printf
+                  "  wire %-6s %-8s keys=%-8d  %8d req %5d err  %9.0f req/s  p50 %6d  p99 %6d \
+                   us@."
+                  (Option.value (member_str "wire" cell) ~default:"?")
+                  (Option.value (member_str "dist" cell) ~default:"?")
+                  (Option.value (member_int "keys" cell) ~default:0)
+                  (Option.value (member_int "requests" cell) ~default:0)
+                  (Option.value (member_int "errors" cell) ~default:0)
+                  (Option.value (member_number "throughput_rps" cell) ~default:0.)
+                  (Option.value (member_int "p50_us" cell) ~default:0)
+                  (Option.value (member_int "p99_us" cell) ~default:0))
+              (member_list "wire" doc);
             errors
           end
           else begin

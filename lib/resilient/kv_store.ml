@@ -39,6 +39,22 @@ let get t ~pid ~key =
 (* The wait-free read plane: no pid, no admission, live on a wedged store. *)
 let read t ~key = Smap.find_opt key (Resilient.read t)
 
+(* Ordered range read off the same published snapshot: the Smap *is* the
+   sorted index — every mutation maintains it — so a scan is one consistent
+   [to_seq_from] walk over a single snapshot, wait-free like [read]. *)
+let scan t ~start ~count =
+  if count <= 0 then []
+  else begin
+    let rec take n seq acc =
+      if n = 0 then List.rev acc
+      else
+        match seq () with
+        | Seq.Nil -> List.rev acc
+        | Seq.Cons (kv, rest) -> take (n - 1) rest (kv :: acc)
+    in
+    take count (Smap.to_seq_from start (Resilient.read t)) []
+  end
+
 let read_versioned t =
   let version, m = Resilient.read_versioned t in
   (version, Smap.bindings m)

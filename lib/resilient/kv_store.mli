@@ -33,6 +33,12 @@ val read : t -> key:string -> string option
     mutation returns) and keeps answering when all k admission slots are
     wedged by crashed clients — the service's GET path. *)
 
+val scan : t -> start:string -> count:int -> (string * string) list
+(** Wait-free ordered range read: the first [count] bindings with key >=
+    [start], ascending, all taken from {e one} published snapshot (the
+    store's map is the sorted index, maintained by every mutation).  Like
+    {!read}, it needs no pid and keeps answering on a wedged store. *)
+
 val read_versioned : t -> int * (string * string) list
 (** Consistent (version, bindings) pair from the published snapshot — the
     cheap shard snapshot the live-migration story needs. *)

@@ -37,6 +37,20 @@ let set t ~pid ~key v = Kv_store.set t.shards.(shard_of_key t key) ~pid ~key v
 let get t ~pid ~key = Kv_store.get t.shards.(shard_of_key t key) ~pid ~key
 let read t ~key = Kv_store.read t.shards.(shard_of_key t key) ~key
 let delete t ~pid ~key = Kv_store.delete t.shards.(shard_of_key t key) ~pid ~key
+
+(* Range reads span shards (routing is by hash, not by range), so a scan
+   merges every shard's wait-free snapshot scan.  Each per-shard slice is
+   internally consistent; the merge is the usual sharded-store contract of
+   per-shard (not global) atomicity. *)
+let scan t ~start ~count =
+  if count <= 0 then []
+  else begin
+    let all =
+      Array.fold_left (fun acc s -> List.rev_append (Kv_store.scan s ~start ~count) acc) [] t.shards
+    in
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) all in
+    List.filteri (fun i _ -> i < count) sorted
+  end
 let fetch_add t ~pid ~key delta = Kv_store.fetch_add t.shards.(shard_of_key t key) ~pid ~key delta
 
 (* Per-shard stats, merged: sums are exact under any interleaving because

@@ -26,6 +26,11 @@ val read : t -> key:string -> string option
     admission; answers even when that shard's k slots are all wedged.  See
     {!Kv_store.read}. *)
 
+val scan : t -> start:string -> count:int -> (string * string) list
+(** The first [count] bindings with key >= [start], ascending, merged from
+    every shard's wait-free snapshot scan ({!Kv_store.scan}).  Each shard's
+    slice is a consistent snapshot; a wedged shard still answers. *)
+
 val delete : t -> pid:int -> key:string -> bool
 val fetch_add : t -> pid:int -> key:string -> int -> int
 

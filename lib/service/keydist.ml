@@ -1,0 +1,114 @@
+(* YCSB-style key-index generators for the load generator: which of the N
+   keys does the next operation touch?  Three shapes, all deterministic
+   under a caller-supplied [Random.State]:
+
+   - Uniform: every key equally likely — the pre-PR-7 behavior.
+   - Zipfian: YCSB's bounded Zipf(theta) generator (Gray et al.'s quick
+     approximation): rank-r keys are hit with probability ~ 1/r^theta, so a
+     handful of hot keys absorb most of the traffic.  theta defaults to
+     YCSB's 0.99.
+   - Latest: zipfian over *recency* — the newest key is the hottest
+     (YCSB workload D's read-latest shape).  [advance] grows the window by
+     one (an insert); the zeta constant updates incrementally so inserts
+     stay O(1). *)
+
+type dist = Uniform | Zipfian | Latest
+
+let dist_name = function Uniform -> "uniform" | Zipfian -> "zipfian" | Latest -> "latest"
+
+let dist_of_string = function
+  | "uniform" -> Some Uniform
+  | "zipfian" -> Some Zipfian
+  | "latest" -> Some Latest
+  | _ -> None
+
+let default_theta = 0.99
+
+type t = {
+  dist : dist;
+  theta : float;
+  mutable n : int;  (* window size: number of keys the sampler draws from *)
+  mutable zetan : float;  (* zeta(n, theta), maintained incrementally *)
+  mutable alpha : float;  (* 1 / (1 - theta), cached *)
+  mutable eta : float;  (* YCSB's eta, recomputed when n changes *)
+  zeta2 : float;  (* zeta(2, theta), constant *)
+}
+
+let zeta n theta =
+  let acc = ref 0.0 in
+  for i = 1 to n do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int i) theta)
+  done;
+  !acc
+
+let recompute_eta t =
+  t.eta <-
+    (1.0 -. Float.pow (2.0 /. float_of_int t.n) (1.0 -. t.theta))
+    /. (1.0 -. (t.zeta2 /. t.zetan))
+
+let create ?(theta = default_theta) dist ~keys =
+  if keys < 1 then invalid_arg "Keydist.create: keys must be positive";
+  let t =
+    { dist;
+      theta;
+      n = keys;
+      zetan = zeta keys theta;
+      alpha = 1.0 /. (1.0 -. theta);
+      eta = 0.0;
+      zeta2 = zeta 2 theta }
+  in
+  recompute_eta t;
+  t
+
+let size t = t.n
+let newest t = t.n - 1
+
+(* One new key inserted at the head of the window.  zeta(n+1) = zeta(n) +
+   1/(n+1)^theta, so Latest's hot end tracks inserts at O(1) each. *)
+let advance t =
+  t.n <- t.n + 1;
+  t.zetan <- t.zetan +. (1.0 /. Float.pow (float_of_int t.n) t.theta);
+  recompute_eta t
+
+(* YCSB ZipfianGenerator.nextLong: returns a rank in [0, n), rank 0 hottest. *)
+let zipf_rank t rng =
+  let u = Random.State.float rng 1.0 in
+  let uz = u *. t.zetan in
+  if uz < 1.0 then 0
+  else if uz < 1.0 +. Float.pow 0.5 t.theta then 1
+  else
+    let r =
+      int_of_float (float_of_int t.n *. Float.pow ((t.eta *. u) -. t.eta +. 1.0) t.alpha)
+    in
+    if r >= t.n then t.n - 1 else if r < 0 then 0 else r
+
+let sample t rng =
+  match t.dist with
+  | Uniform -> Random.State.int rng t.n
+  | Zipfian -> zipf_rank t rng
+  | Latest ->
+      (* Hottest = most recently inserted: rank 0 maps to the newest key. *)
+      t.n - 1 - zipf_rank t rng
+
+(* Head-key hit probability — what a perfect Zipf(theta) sampler gives rank
+   0.  Exposed so distribution-sanity tests compare frequencies against the
+   analytic value rather than a magic constant. *)
+let head_probability t =
+  match t.dist with Uniform -> 1.0 /. float_of_int t.n | Zipfian | Latest -> 1.0 /. t.zetan
+
+(* Keys are zero-padded decimals so lexicographic order == numeric order —
+   that's what makes SCAN ranges meaningful against loadgen's key space.
+   Hand-rolled (no sprintf) because this runs once per generated request. *)
+let key_width = 8
+
+let key_of_index i =
+  let b = Bytes.make (key_width + 1) '0' in
+  Bytes.set b 0 'k';
+  let rec go p i =
+    if i > 0 && p > 0 then begin
+      Bytes.set b p (Char.unsafe_chr (48 + (i mod 10)));
+      go (p - 1) (i / 10)
+    end
+  in
+  go key_width i;
+  Bytes.unsafe_to_string b

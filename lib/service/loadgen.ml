@@ -1,6 +1,8 @@
 (* The kexd load generator: C client domains drive a server with a weighted
-   GET/SET/DEL/UPDATE mix, record per-request latency, and aggregate with
-   the repo's own histogram machinery (Kex_sim.Stats.Hist).  Requests that
+   YCSB-style mix (GET/SET/DEL/UPDATE plus read-modify-write and SCAN) over
+   a configurable key space — uniform, Zipfian, or latest-biased key
+   choice (Keydist) — record per-request latency, and aggregate with the
+   repo's own histogram machinery (Kex_sim.Stats.Hist).  Requests that
    time out or hit a dropped connection count as errors and the client
    reconnects — so a stalled server (k workers killed) shows up as errors
    and collapsed throughput rather than a hung tool.
@@ -9,8 +11,14 @@
    requests in flight and matches responses by id (they may return out of
    order).  Latency is stamped at *enqueue* — the moment the request joins
    the window, before any socket write — so queueing delay inside the
-   window is charged to the request, not hidden.  W = 1 keeps the v1
-   untagged one-at-a-time wire exchange, byte-identical to older clients. *)
+   window is charged to the request, not hidden.  W = 1 keeps the
+   untagged one-at-a-time wire exchange, byte-identical to older clients.
+
+   [wire] selects the framing: the v1 text protocol or the binary v2
+   frames — same ops, same semantics, different codec cost.  RMW is a GET
+   followed by a SET of the same key, charged as one request whose latency
+   spans both legs (in the pipelined loop the SET inherits the GET's
+   enqueue stamp). *)
 
 module Hist = Kex_sim.Stats.Hist
 
@@ -19,12 +27,16 @@ type config = {
   port : int;
   connections : int;
   duration_s : float;
-  mix : (string * int) list;  (* ("get"|"set"|"del"|"update", weight) *)
+  mix : (string * int) list;  (* ("get"|"set"|...|"rmw"|"scan", weight) *)
   keys : int;
+  dist : Keydist.dist;  (* how ops pick keys from [0, keys) *)
   value_size : int;
+  value_size_max : int;  (* > value_size: sizes uniform in the range *)
+  scan_len : int;  (* SCAN range length *)
   seed : int;
   timeout_s : float;  (* per-request socket timeout *)
-  pipeline : int;  (* requests in flight per connection; 1 = v1 wire *)
+  pipeline : int;  (* requests in flight per connection; 1 = v1 contract *)
+  wire : Protocol.wire;
   phase_marks : float list;  (* split [0..duration] for per-phase stats *)
 }
 
@@ -35,13 +47,18 @@ let default_config =
     duration_s = 5.;
     mix = [ ("get", 80); ("set", 20) ];
     keys = 64;
+    dist = Keydist.Uniform;
     value_size = 16;
+    value_size_max = 0;
+    scan_len = 16;
     seed = 42;
     timeout_s = 2.;
     pipeline = 1;
+    wire = Protocol.Text;
     phase_marks = [] }
 
-let op_kinds = [ "get"; "set"; "del"; "update" ]
+let op_kinds = [ "get"; "set"; "del"; "update"; "rmw"; "scan" ]
+let n_kinds = List.length op_kinds
 
 let parse_mix s =
   let parts = String.split_on_char ',' s in
@@ -118,21 +135,21 @@ let connect cfg =
       raise e
 
 (* Send one framed request and block for its framed response. *)
-let roundtrip fd dec req =
-  Netio.write_all fd (Protocol.frame (Protocol.print_request req));
+let roundtrip cfg fd (dec : Protocol.Resp_decoder.t) out req =
+  Buffer.clear out;
+  Protocol.encode_request_wire out cfg.wire ~id:None req;
+  Netio.write_all fd (Buffer.contents out);
   let buf = Bytes.create 8192 in
   let rec await () =
-    match Protocol.Decoder.next dec with
-    | Error msg -> raise (Req_failed ("bad frame: " ^ msg))
-    | Ok (Some payload) -> (
-        match Protocol.parse_response payload with
-        | Ok resp -> resp
-        | Error msg -> raise (Req_failed ("bad response: " ^ msg)))
-    | Ok None -> (
+    match Protocol.Resp_decoder.next dec with
+    | Protocol.Dec_frame (_, resp) -> resp
+    | Protocol.Dec_skip (_, msg) -> raise (Req_failed ("bad response: " ^ msg))
+    | Protocol.Dec_broken msg -> raise (Req_failed ("bad frame: " ^ msg))
+    | Protocol.Dec_more -> (
         match Unix.read fd buf 0 (Bytes.length buf) with
         | 0 -> raise (Req_failed "connection closed")
         | n ->
-            Protocol.Decoder.feed dec (Bytes.sub_string buf 0 n);
+            Protocol.Resp_decoder.feed_bytes dec buf ~off:0 ~len:n;
             await ()
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
         | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
@@ -141,40 +158,85 @@ let roundtrip fd dec req =
   in
   await ()
 
-let kind_index k = match k with "get" -> 0 | "set" -> 1 | "del" -> 2 | "update" -> 3 | _ -> -1
+let kind_index k =
+  match k with
+  | "get" -> 0
+  | "set" -> 1
+  | "del" -> 2
+  | "update" -> 3
+  | "rmw" -> 4
+  | "scan" -> 5
+  | _ -> -1
 
-let pick_op cfg rng =
+(* Per-connection generator state: the key sampler plus a pre-rolled random
+   blob values are sliced from, so the hot path allocates one string per
+   SET instead of running a char-level closure. *)
+type gen = { g_rng : Random.State.t; g_kd : Keydist.t; g_blob : string }
+
+let gen_create cfg ~conn_id =
+  let rng = Random.State.make [| cfg.seed; conn_id |] in
+  let vmax = max cfg.value_size cfg.value_size_max in
+  { g_rng = rng;
+    g_kd = Keydist.create cfg.dist ~keys:cfg.keys;
+    g_blob = String.init (max 1 vmax) (fun _ -> Char.chr (32 + Random.State.int rng 95)) }
+
+let gen_value cfg g =
+  let vmax = max cfg.value_size cfg.value_size_max in
+  let len =
+    if vmax > cfg.value_size then
+      cfg.value_size + Random.State.int g.g_rng (vmax - cfg.value_size + 1)
+    else cfg.value_size
+  in
+  String.sub g.g_blob 0 len
+
+(* One generated operation: the request to send, its mix kind, and (for
+   RMW) the key to SET once the GET leg completes. *)
+type gen_op = { g_kind : int; g_req : Protocol.request; g_rmw : string option }
+
+let pick_op cfg g =
   let total = List.fold_left (fun acc (_, w) -> acc + w) 0 cfg.mix in
-  let roll = Random.State.int rng total in
+  let roll = Random.State.int g.g_rng total in
   let rec pick acc = function
     | [] -> assert false
     | (kind, w) :: rest -> if roll < acc + w then kind else pick (acc + w) rest
   in
   let kind = pick 0 cfg.mix in
-  let key = Printf.sprintf "k%04d" (Random.State.int rng cfg.keys) in
-  let req =
-    match kind with
-    | "get" -> Protocol.Get key
-    | "set" ->
-        Protocol.Set
-          (key, String.init cfg.value_size (fun _ -> Char.chr (32 + Random.State.int rng 95)))
-    | "del" -> Protocol.Del key
-    | "update" -> Protocol.Update (key, 1)
-    | _ -> assert false
-  in
-  (kind_index kind, req)
+  let sample_key () = Keydist.key_of_index (Keydist.sample g.g_kd g.g_rng) in
+  match kind with
+  | "get" -> { g_kind = 0; g_req = Protocol.Get (sample_key ()); g_rmw = None }
+  | "set" ->
+      (* Under the latest-biased distribution a SET is an *insert*: it
+         extends the key space by one and becomes the new hot end (YCSB
+         workload D's writer).  Other distributions overwrite in place. *)
+      let key =
+        match cfg.dist with
+        | Keydist.Latest ->
+            Keydist.advance g.g_kd;
+            Keydist.key_of_index (Keydist.newest g.g_kd)
+        | _ -> sample_key ()
+      in
+      { g_kind = 1; g_req = Protocol.Set (key, gen_value cfg g); g_rmw = None }
+  | "del" -> { g_kind = 2; g_req = Protocol.Del (sample_key ()); g_rmw = None }
+  | "update" -> { g_kind = 3; g_req = Protocol.Update (sample_key (), 1); g_rmw = None }
+  | "rmw" ->
+      let key = sample_key () in
+      { g_kind = 4; g_req = Protocol.Get key; g_rmw = Some key }
+  | "scan" -> { g_kind = 5; g_req = Protocol.Scan (sample_key (), cfg.scan_len); g_rmw = None }
+  | _ -> assert false
 
-(* v1 path: one request in flight, latency = the whole wire round-trip. *)
+(* One-at-a-time path: one request in flight, latency = the whole wire
+   round-trip (both legs, for RMW). *)
 let sync_loop cfg ~t0 ~conn_id samples =
-  let rng = Random.State.make [| cfg.seed; conn_id |] in
+  let g = gen_create cfg ~conn_id in
   let deadline = t0 +. cfg.duration_s in
+  let out = Buffer.create 256 in
   let conn = ref None in
   let get_conn () =
     match !conn with
     | Some c -> c
     | None ->
         let fd = connect cfg in
-        let c = (fd, Protocol.Decoder.create ()) in
+        let c = (fd, Protocol.Resp_decoder.create cfg.wire) in
         conn := Some c;
         c
   in
@@ -184,7 +246,7 @@ let sync_loop cfg ~t0 ~conn_id samples =
     conn := None
   in
   while Unix.gettimeofday () < deadline do
-    let kind, req = pick_op cfg rng in
+    let op = pick_op cfg g in
     let start = Unix.gettimeofday () in
     (* Latency from the monotonicized clock (a wall-clock step backwards
        would record a negative round-trip); phase offsets stay wall-based. *)
@@ -192,7 +254,12 @@ let sync_loop cfg ~t0 ~conn_id samples =
     let ok =
       match
         let fd, dec = get_conn () in
-        roundtrip fd dec req
+        match (roundtrip cfg fd dec out op.g_req, op.g_rmw) with
+        | (Protocol.Error _ as r), _ -> r
+        | _, Some key ->
+            (* RMW's write leg: same key, same sample. *)
+            roundtrip cfg fd dec out (Protocol.Set (key, gen_value cfg g))
+        | r, None -> r
       with
       | Protocol.Error _ -> false
       | _resp -> true
@@ -207,22 +274,26 @@ let sync_loop cfg ~t0 ~conn_id samples =
     samples_push samples
       ~t_off_ms:(int_of_float ((start -. t0) *. 1000.))
       ~lat_us:(Metrics.now_us () - start_us)
-      ~kind ~ok
+      ~kind:op.g_kind ~ok
   done;
   drop_conn ()
 
 (* Pipelined path: keep a window of W tagged requests in flight; responses
    match by id and may arrive in any order.  Each in-flight request remembers
-   its enqueue time and kind. *)
-type inflight = { if_enq_us : int; if_t_off_ms : int; if_kind : int }
+   its enqueue time and kind; an RMW entry additionally carries the key its
+   write leg must SET when the read leg lands. *)
+type inflight = { if_enq_us : int; if_t_off_ms : int; if_kind : int; if_rmw : string option }
 
 let pipelined_loop cfg ~t0 ~conn_id samples =
-  let rng = Random.State.make [| cfg.seed; conn_id |] in
+  let g = gen_create cfg ~conn_id in
   let deadline = t0 +. cfg.duration_s in
   let buf = Bytes.create 65536 in
   let next_id = ref 0 in
   let inflight : (int, inflight) Hashtbl.t = Hashtbl.create (2 * cfg.pipeline) in
   let conn = ref None in
+  (* Follow-up RMW writes generated while draining responses; flushed as one
+     write after the drain. *)
+  let followups = Buffer.create 256 in
   let record_sample inf ~lat_us ~ok =
     samples_push samples ~t_off_ms:inf.if_t_off_ms ~lat_us ~kind:inf.if_kind ~ok
   in
@@ -238,6 +309,7 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
   let drop_conn () =
     (match !conn with Some (fd, _) -> (try Unix.close fd with Unix.Unix_error _ -> ()) | None -> ());
     conn := None;
+    Buffer.clear followups;
     fail_inflight ()
   in
   (* Top the window up to W and ship the new requests as one write. *)
@@ -245,15 +317,16 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
     if Hashtbl.length inflight < cfg.pipeline then begin
       let out = Buffer.create 512 in
       while Hashtbl.length inflight < cfg.pipeline do
-        let kind, req = pick_op cfg rng in
+        let op = pick_op cfg g in
         let id = !next_id in
         incr next_id;
         let enq = Unix.gettimeofday () in
         Hashtbl.replace inflight id
           { if_enq_us = Metrics.now_us ();
             if_t_off_ms = int_of_float ((enq -. t0) *. 1000.);
-            if_kind = kind };
-        Buffer.add_string out (Protocol.frame (Protocol.print_request_tagged ~id req))
+            if_kind = op.g_kind;
+            if_rmw = op.g_rmw };
+        Protocol.encode_request_wire out cfg.wire ~id:(Some id) op.g_req
       done;
       Netio.write_all fd (Buffer.contents out)
     end
@@ -261,18 +334,27 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
   (* Process every decoded frame; any malformed or unknown-id response means
      the stream is out of sync — treat the connection as lost. *)
   let rec drain dec =
-    match Protocol.Decoder.next dec with
-    | Error msg -> raise (Req_failed ("bad frame: " ^ msg))
-    | Ok None -> ()
-    | Ok (Some payload) ->
-        (match Protocol.parse_response_tagged payload with
-        | Error msg -> raise (Req_failed ("bad response: " ^ msg))
-        | Ok (None, _) -> raise (Req_failed "untagged response on a pipelined stream")
-        | Ok (Some id, resp) -> (
-            match Hashtbl.find_opt inflight id with
-            | None -> raise (Req_failed (Printf.sprintf "response for unknown id %d" id))
-            | Some inf ->
-                Hashtbl.remove inflight id;
+    match Protocol.Resp_decoder.next dec with
+    | Protocol.Dec_broken msg -> raise (Req_failed ("bad frame: " ^ msg))
+    | Protocol.Dec_skip (_, msg) -> raise (Req_failed ("bad response: " ^ msg))
+    | Protocol.Dec_more -> ()
+    | Protocol.Dec_frame (None, _) -> raise (Req_failed "untagged response on a pipelined stream")
+    | Protocol.Dec_frame (Some id, resp) ->
+        (match Hashtbl.find_opt inflight id with
+        | None -> raise (Req_failed (Printf.sprintf "response for unknown id %d" id))
+        | Some inf -> (
+            Hashtbl.remove inflight id;
+            match (inf.if_rmw, resp) with
+            | Some key, resp when (match resp with Protocol.Error _ -> false | _ -> true) ->
+                (* RMW read leg done: launch the write leg under a fresh id
+                   but the *original* enqueue stamp, so the one recorded
+                   sample spans the whole read-modify-write. *)
+                let fid = !next_id in
+                incr next_id;
+                Hashtbl.replace inflight fid { inf with if_rmw = None };
+                Protocol.encode_request_wire followups cfg.wire ~id:(Some fid)
+                  (Protocol.Set (key, gen_value cfg g))
+            | _ ->
                 let lat_us = Metrics.now_us () - inf.if_enq_us in
                 record_sample inf ~lat_us
                   ~ok:(match resp with Protocol.Error _ -> false | _ -> true)));
@@ -282,8 +364,12 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
     match Unix.read fd buf 0 (Bytes.length buf) with
     | 0 -> raise (Req_failed "connection closed")
     | n ->
-        Protocol.Decoder.feed dec (Bytes.sub_string buf 0 n);
-        drain dec
+        Protocol.Resp_decoder.feed_bytes dec buf ~off:0 ~len:n;
+        drain dec;
+        if Buffer.length followups > 0 then begin
+          Netio.write_all fd (Buffer.contents followups);
+          Buffer.clear followups
+        end
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
         raise (Req_failed "timeout")
@@ -296,7 +382,7 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
         | Some c -> c
         | None ->
             let fd = connect cfg in
-            let c = (fd, Protocol.Decoder.create ()) in
+            let c = (fd, Protocol.Resp_decoder.create cfg.wire) in
             conn := Some c;
             c
       in
@@ -379,8 +465,8 @@ let summarize cfg ~wall_s (all : samples list) =
   let n_phases = List.length marks + 1 in
   let phase_hist = Array.init n_phases (fun _ -> Hist.create ()) in
   let phase_errs = Array.make n_phases 0 in
-  let op_hist = Array.init 4 (fun _ -> Hist.create ()) in
-  let op_errs = Array.make 4 0 in
+  let op_hist = Array.init n_kinds (fun _ -> Hist.create ()) in
+  let op_errs = Array.make n_kinds 0 in
   List.iter
     (fun s ->
       for i = 0 to s.len - 1 do
@@ -467,7 +553,7 @@ let summary_json s =
 
 let to_json cfg s =
   Json.Obj
-    [ ("schema", Json.String "kexclusion-serve/v3");
+    [ ("schema", Json.String "kexclusion-serve/v4");
       ("git_rev", Json.String (Provenance.git_rev ()));
       ("hostname", Json.String (Provenance.hostname ()));
       ("ocaml", Json.String Sys.ocaml_version);
@@ -479,7 +565,11 @@ let to_json cfg s =
             ("duration_s", Json.Float cfg.duration_s);
             ("mix", Json.String (mix_to_string cfg.mix));
             ("keys", Json.Int cfg.keys);
+            ("dist", Json.String (Keydist.dist_name cfg.dist));
             ("value_size", Json.Int cfg.value_size);
+            ("value_size_max", Json.Int (max cfg.value_size cfg.value_size_max));
+            ("scan_len", Json.Int cfg.scan_len);
+            ("wire", Json.String (Protocol.wire_name cfg.wire));
             ("seed", Json.Int cfg.seed);
             ("pipeline", Json.Int cfg.pipeline) ] );
       ("totals", summary_json s);

@@ -20,19 +20,27 @@ type config = {
   connections : int;  (** one client domain each *)
   duration_s : float;
   mix : (string * int) list;  (** weighted op mix, e.g. [("get",80);("set",20)] *)
-  keys : int;  (** keyspace size *)
+  keys : int;  (** keyspace size — millions are fine *)
+  dist : Keydist.dist;  (** key-choice distribution (uniform/zipfian/latest) *)
   value_size : int;
+  value_size_max : int;
+      (** when > [value_size], SET values draw a length uniformly from
+          [[value_size, value_size_max]]; otherwise fixed [value_size] *)
+  scan_len : int;  (** range length for [scan] ops *)
   seed : int;  (** per-connection PRNGs derive from this *)
   timeout_s : float;
-  pipeline : int;  (** requests in flight per connection; 1 = v1 wire *)
+  pipeline : int;  (** requests in flight per connection; 1 = untagged *)
+  wire : Protocol.wire;  (** text v1 or binary v2 framing *)
   phase_marks : float list;  (** split points (seconds) for per-phase stats *)
 }
 
 val default_config : config
 
 val parse_mix : string -> ((string * int) list, string) result
-(** ["get=80,set=20"] — kinds get/set/del/update, non-negative weights, at
-    least one positive. *)
+(** ["get=80,set=20"] — kinds get/set/del/update/rmw/scan, non-negative
+    weights, at least one positive.  [rmw] is a GET then a SET of the same
+    key charged as one request; [scan] is an ordered range read of
+    [scan_len] keys from a sampled start key. *)
 
 val mix_to_string : (string * int) list -> string
 
@@ -64,10 +72,11 @@ val summary_json : summary -> Json.t
 (** The [totals] object alone — reused by the sweep record. *)
 
 val to_json : config -> summary -> Json.t
-(** Schema [kexclusion-serve/v3], provenance-stamped (git_rev, hostname).
-    v3 over v2: latency stamps come from the monotonicized clock
-    ({!Metrics.now_us}), and sweep records may carry a [read_path]
-    section.  [bench-report] reads any [kexclusion-serve/*] prefix. *)
+(** Schema [kexclusion-serve/v4], provenance-stamped (git_rev, hostname).
+    v4 over v3: the config block records [wire]/[dist]/[scan_len]/
+    [value_size_max], and sweep records may carry a [wire] section (the
+    text-vs-binary × uniform-vs-zipfian quad).  [bench-report] reads any
+    [kexclusion-serve/*] prefix. *)
 
 val emit_json : file:string -> config -> summary -> unit
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,8 +1,13 @@
-type op_class = C_get | C_set | C_del | C_update
+type op_class = C_get | C_set | C_del | C_update | C_scan
 
-let op_classes = [| C_get; C_set; C_del; C_update |]
-let class_index = function C_get -> 0 | C_set -> 1 | C_del -> 2 | C_update -> 3
-let class_name = function C_get -> "get" | C_set -> "set" | C_del -> "del" | C_update -> "update"
+let op_classes = [| C_get; C_set; C_del; C_update; C_scan |]
+let class_index = function C_get -> 0 | C_set -> 1 | C_del -> 2 | C_update -> 3 | C_scan -> 4
+let class_name = function
+  | C_get -> "get"
+  | C_set -> "set"
+  | C_del -> "del"
+  | C_update -> "update"
+  | C_scan -> "scan"
 
 module Hist = Kex_sim.Stats.Hist
 
@@ -43,16 +48,16 @@ type t = {
 }
 
 let create () =
-  { served = Array.init 4 (fun _ -> Atomic.make 0);
+  { served = Array.init (Array.length op_classes) (fun _ -> Atomic.make 0);
     errors = Atomic.make 0;
     deaths = Atomic.make 0;
     connections = Atomic.make 0;
     redispatched = Atomic.make 0;
     batches = Atomic.make 0;
     inline_reads = Atomic.make 0;
-    lat_sum_us = Array.init 4 (fun _ -> Atomic.make 0);
-    lat_max_us = Array.init 4 (fun _ -> Atomic.make 0);
-    lat_hist = Array.init 4 (fun _ -> Array.init Hist.n_buckets (fun _ -> Atomic.make 0)) }
+    lat_sum_us = Array.init (Array.length op_classes) (fun _ -> Atomic.make 0);
+    lat_max_us = Array.init (Array.length op_classes) (fun _ -> Atomic.make 0);
+    lat_hist = Array.init (Array.length op_classes) (fun _ -> Array.init Hist.n_buckets (fun _ -> Atomic.make 0)) }
 
 let bump_max a v =
   let rec go () =
@@ -96,7 +101,7 @@ let sum_over ts f = List.fold_left (fun acc t -> acc + f t) 0 ts
 let pairs_merged ts =
   let per_class f = Array.to_list (Array.map (fun c -> f c) op_classes) in
   let class_hists =
-    Array.init 4 (fun i -> Hist.merge (List.map (fun t -> hist_of t i) ts))
+    Array.init (Array.length op_classes) (fun i -> Hist.merge (List.map (fun t -> hist_of t i) ts))
   in
   let all_hist = Hist.merge (Array.to_list class_hists) in
   [ ("served", sum_over ts served);

@@ -6,7 +6,7 @@
     well-defined under sharding, which concatenating raw samples would not
     give. *)
 
-type op_class = C_get | C_set | C_del | C_update
+type op_class = C_get | C_set | C_del | C_update | C_scan
 
 val class_name : op_class -> string
 

@@ -1,6 +1,9 @@
-(* The kexd wire protocol: a length-prefixed text protocol whose codec is
-   pure — parse/print work on strings, framing on an incremental decoder —
-   so the whole thing unit- and property-tests without a socket.
+(* The kexd wire protocol: two framings over one request/response alphabet,
+   selected per connection by sniffing the first byte, with a codec that is
+   pure — parse/print work on strings and buffers, framing on incremental
+   decoders — so the whole thing unit- and property-tests without a socket.
+
+   v1 (text), kept for compatibility:
 
    Frame      := <payload-length in decimal> '\n' <payload>
    Payload    := one request or response line
@@ -9,8 +12,15 @@
 
    Requests:   PING | STATS | KILL <int>
                GET <s> | SET <s> <s> | DEL <s> | UPDATE <s> <int>
+               SCAN <s> <int>
    Responses:  PONG | OK | NIL | VAL <s> | DELETED 0|1 | INT <int>
-               STATS <count> { <s> <int> } | ERR <s> *)
+               STATS <count> { <s> <int> } | ERR <s>
+               RANGE <count> { <s> <s> }
+
+   v2 (binary), the hot-path wire — see the [Bin] module below for the
+   frame layout.  A text frame always starts with a decimal digit and a
+   binary frame with the magic byte 0xB2, so the first byte of a connection
+   decides its wire once and for all. *)
 
 type request =
   | Ping
@@ -18,6 +28,7 @@ type request =
   | Set of string * string
   | Del of string
   | Update of string * int  (* atomic fetch-and-add on the decimal value *)
+  | Scan of string * int  (* ordered range read: first [count] keys >= start *)
   | Stats
   | Kill of int  (* admin: crash worker [w] at its next admission *)
 
@@ -28,7 +39,12 @@ type response =
   | Deleted of bool
   | Int of int
   | Stats_reply of (string * int) list
+  | Range of (string * string) list  (* SCAN result, ascending by key *)
   | Error of string
+
+type wire = Text | Binary
+
+let wire_name = function Text -> "text" | Binary -> "binary"
 
 (* ------------------------------- printing ------------------------------- *)
 
@@ -57,7 +73,11 @@ let print_request r =
   | Update (key, delta) ->
       Buffer.add_string b "UPDATE ";
       str_arg b key;
-      Buffer.add_string b (Printf.sprintf " %d" delta));
+      Buffer.add_string b (Printf.sprintf " %d" delta)
+  | Scan (start, count) ->
+      Buffer.add_string b "SCAN ";
+      str_arg b start;
+      Buffer.add_string b (Printf.sprintf " %d" count));
   Buffer.contents b
 
 let print_response r =
@@ -78,6 +98,15 @@ let print_response r =
           Buffer.add_char b ' ';
           str_arg b name;
           Buffer.add_string b (Printf.sprintf " %d" v))
+        pairs
+  | Range pairs ->
+      Buffer.add_string b (Printf.sprintf "RANGE %d" (List.length pairs));
+      List.iter
+        (fun (key, v) ->
+          Buffer.add_char b ' ';
+          str_arg b key;
+          Buffer.add_char b ' ';
+          str_arg b v)
         pairs
   | Error msg ->
       Buffer.add_string b "ERR ";
@@ -160,6 +189,13 @@ let parse_request =
           let key = str_tok c in
           eat_space c;
           Update (key, int_tok c)
+      | "SCAN" ->
+          eat_space c;
+          let start = str_tok c in
+          eat_space c;
+          let count = int_tok c in
+          if count < 0 then fail "negative SCAN count";
+          Scan (start, count)
       | kw -> fail "unknown request %S" kw)
 
 let parse_response =
@@ -192,6 +228,18 @@ let parse_response =
                 (name, int_tok c))
           in
           Stats_reply pairs
+      | "RANGE" ->
+          eat_space c;
+          let count = int_tok c in
+          if count < 0 then fail "negative RANGE count";
+          let pairs =
+            List.init count (fun _ ->
+                eat_space c;
+                let key = str_tok c in
+                eat_space c;
+                (key, str_tok c))
+          in
+          Range pairs
       | "ERR" ->
           eat_space c;
           Error (str_tok c)
@@ -243,6 +291,7 @@ module Decoder = struct
   let create () = { buf = Buffer.create 256; scan = 0 }
 
   let feed t s = Buffer.add_string t.buf s
+  let feed_bytes t b ~off ~len = Buffer.add_subbytes t.buf b off len
 
   let compact t =
     if t.scan > 0 then begin
@@ -275,4 +324,452 @@ module Decoder = struct
               t.scan <- nl + 1 + payload_len;
               Stdlib.Ok (Some payload)
             end)
+end
+
+(* --------------------------- decoded events ----------------------------- *)
+
+(* Both wires surface frames through one event alphabet, so the server's
+   dispatch loop is wire-agnostic.  [Dec_skip] is the resynchronization
+   contract: the frame's length was intact, so its bytes were consumed and
+   the connection may continue after an ERR reply.  [Dec_broken] means the
+   byte stream itself can no longer be trusted (bad magic, bad header,
+   oversized length): reply ERR once, then close. *)
+type 'a decoded =
+  | Dec_frame of int option * 'a
+  | Dec_skip of int option * string
+  | Dec_more
+  | Dec_broken of string
+
+(* --------------------------- binary v2 frames --------------------------- *)
+
+(* Frame layout (all multi-byte fields big-endian):
+
+     byte 0      magic 0xB2      (never a decimal digit, so sniffable)
+     byte 1      opcode          (request 0x01-0x08, response 0x81-0x89)
+     byte 2      flags           (bit0: request id present; others ignored)
+     byte 3      reserved        (must be 0)
+     bytes 4-7   request id      (uint32, 0 when untagged)
+     varint      body length     (LEB128, <= max_frame)
+     body        opcode-specific segments
+
+   Segments: strings are varint-length-prefixed bytes; integers are
+   zigzag-encoded LEB128 varints.  The body length makes every frame
+   skippable: a malformed body is consumed and answered with ERR without
+   losing framing. *)
+module Bin = struct
+  let magic = 0xB2
+
+  let req_opcode = function
+    | Ping -> 0x01
+    | Stats -> 0x02
+    | Kill _ -> 0x03
+    | Get _ -> 0x04
+    | Set _ -> 0x05
+    | Del _ -> 0x06
+    | Update _ -> 0x07
+    | Scan _ -> 0x08
+
+  let resp_opcode = function
+    | Pong -> 0x81
+    | Ok -> 0x82
+    | Value None -> 0x83
+    | Value (Some _) -> 0x84
+    | Deleted _ -> 0x85
+    | Int _ -> 0x86
+    | Stats_reply _ -> 0x87
+    | Error _ -> 0x88
+    | Range _ -> 0x89
+
+  (* LEB128 varints over OCaml's 63-bit ints; signed values go through
+     zigzag so small magnitudes stay small on the wire. *)
+  let zigzag n = (n lsl 1) lxor (n asr 62)
+  let unzigzag v = (v lsr 1) lxor (-(v land 1))
+
+  let varint_size n =
+    let rec go n acc = if n < 0x80 then acc else go (n lsr 7) (acc + 1) in
+    go n 1
+
+  let add_varint b n =
+    let rec go n =
+      if n < 0x80 then Buffer.add_char b (Char.unsafe_chr n)
+      else begin
+        Buffer.add_char b (Char.unsafe_chr (0x80 lor (n land 0x7f)));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let add_int b n = add_varint b (zigzag n)
+  let int_size n = varint_size (zigzag n)
+
+  let add_str b s =
+    add_varint b (String.length s);
+    Buffer.add_string b s
+
+  let str_size s = varint_size (String.length s) + String.length s
+
+  let add_header b ~opcode ~id ~body_len =
+    Buffer.add_char b (Char.unsafe_chr magic);
+    Buffer.add_char b (Char.unsafe_chr opcode);
+    let flags, idv = match id with None -> (0, 0) | Some i -> (1, i land 0xFFFFFFFF) in
+    Buffer.add_char b (Char.unsafe_chr flags);
+    Buffer.add_char b '\000';
+    Buffer.add_char b (Char.unsafe_chr ((idv lsr 24) land 0xff));
+    Buffer.add_char b (Char.unsafe_chr ((idv lsr 16) land 0xff));
+    Buffer.add_char b (Char.unsafe_chr ((idv lsr 8) land 0xff));
+    Buffer.add_char b (Char.unsafe_chr (idv land 0xff));
+    add_varint b body_len
+
+  let req_body_size = function
+    | Ping | Stats -> 0
+    | Kill w -> int_size w
+    | Get key | Del key -> str_size key
+    | Set (key, v) -> str_size key + str_size v
+    | Update (key, delta) -> str_size key + int_size delta
+    | Scan (start, count) -> str_size start + int_size count
+
+  let resp_body_size = function
+    | Pong | Ok | Value None -> 0
+    | Value (Some v) -> str_size v
+    | Deleted _ -> 1
+    | Int n -> int_size n
+    | Stats_reply pairs ->
+        List.fold_left
+          (fun acc (name, v) -> acc + str_size name + int_size v)
+          (int_size (List.length pairs))
+          pairs
+    | Range pairs ->
+        List.fold_left
+          (fun acc (key, v) -> acc + str_size key + str_size v)
+          (int_size (List.length pairs))
+          pairs
+    | Error msg -> str_size msg
+
+  let encode_request b ~id r =
+    add_header b ~opcode:(req_opcode r) ~id ~body_len:(req_body_size r);
+    match r with
+    | Ping | Stats -> ()
+    | Kill w -> add_int b w
+    | Get key | Del key -> add_str b key
+    | Set (key, v) ->
+        add_str b key;
+        add_str b v
+    | Update (key, delta) ->
+        add_str b key;
+        add_int b delta
+    | Scan (start, count) ->
+        add_str b start;
+        add_int b count
+
+  let encode_response b ~id r =
+    add_header b ~opcode:(resp_opcode r) ~id ~body_len:(resp_body_size r);
+    match r with
+    | Pong | Ok | Value None -> ()
+    | Value (Some v) -> add_str b v
+    | Deleted existed -> Buffer.add_char b (if existed then '\001' else '\000')
+    | Int n -> add_int b n
+    | Stats_reply pairs ->
+        add_int b (List.length pairs);
+        List.iter
+          (fun (name, v) ->
+            add_str b name;
+            add_int b v)
+          pairs
+    | Range pairs ->
+        add_int b (List.length pairs);
+        List.iter
+          (fun (key, v) ->
+            add_str b key;
+            add_str b v)
+          pairs
+    | Error msg -> add_str b msg
+
+  (* ------------------------- body parsing -------------------------------- *)
+
+  (* A cursor over the decoder's scratch bytes; parse errors raise [Fail]
+     and become [Dec_skip] (the frame was already consumed by length). *)
+  type bcur = { b : Bytes.t; mutable p : int; stop : int }
+
+  let b_byte c =
+    if c.p >= c.stop then fail "body truncated";
+    let v = Bytes.get_uint8 c.b c.p in
+    c.p <- c.p + 1;
+    v
+
+  let b_uvarint c =
+    let rec go shift acc =
+      if shift > 62 then fail "varint too long";
+      let byte = b_byte c in
+      let acc = acc lor ((byte land 0x7f) lsl shift) in
+      if byte land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let b_int c = unzigzag (b_uvarint c)
+
+  let b_str c =
+    let len = b_uvarint c in
+    if len < 0 || c.p + len > c.stop then fail "string extends past body";
+    let s = Bytes.sub_string c.b c.p len in
+    c.p <- c.p + len;
+    s
+
+  let b_eof c = if c.p <> c.stop then fail "trailing bytes in body"
+
+  let parse_req_body ~opcode buf ~off ~len =
+    let c = { b = buf; p = off; stop = off + len } in
+    match
+      let r =
+        match opcode with
+        | 0x01 -> Ping
+        | 0x02 -> Stats
+        | 0x03 -> Kill (b_int c)
+        | 0x04 -> Get (b_str c)
+        | 0x05 ->
+            let key = b_str c in
+            Set (key, b_str c)
+        | 0x06 -> Del (b_str c)
+        | 0x07 ->
+            let key = b_str c in
+            Update (key, b_int c)
+        | 0x08 ->
+            let start = b_str c in
+            let count = b_int c in
+            if count < 0 then fail "negative SCAN count";
+            Scan (start, count)
+        | op -> fail "unknown request opcode 0x%02x" op
+      in
+      b_eof c;
+      r
+    with
+    | r -> Stdlib.Ok r
+    | exception Fail msg -> Stdlib.Error msg
+
+  let parse_resp_body ~opcode buf ~off ~len =
+    let c = { b = buf; p = off; stop = off + len } in
+    match
+      let r =
+        match opcode with
+        | 0x81 -> Pong
+        | 0x82 -> Ok
+        | 0x83 -> Value None
+        | 0x84 -> Value (Some (b_str c))
+        | 0x85 -> (
+            match b_byte c with
+            | 0 -> Deleted false
+            | 1 -> Deleted true
+            | n -> fail "DELETED expects 0 or 1, got %d" n)
+        | 0x86 -> Int (b_int c)
+        | 0x87 ->
+            let count = b_int c in
+            if count < 0 then fail "negative STATS count";
+            Stats_reply
+              (List.init count (fun _ ->
+                   let name = b_str c in
+                   (name, b_int c)))
+        | 0x88 -> Error (b_str c)
+        | 0x89 ->
+            let count = b_int c in
+            if count < 0 then fail "negative RANGE count";
+            Range
+              (List.init count (fun _ ->
+                   let key = b_str c in
+                   (key, b_str c)))
+        | op -> fail "unknown response opcode 0x%02x" op
+      in
+      b_eof c;
+      r
+    with
+    | r -> Stdlib.Ok r
+    | exception Fail msg -> Stdlib.Error msg
+
+  (* ------------------------- incremental decoder ------------------------- *)
+
+  module Decoder = struct
+    type t = { mutable buf : Bytes.t; mutable len : int; mutable pos : int }
+    (* One grow-only scratch buffer per connection: bytes [pos, len) are
+       live, [compact] slides them down instead of reallocating, and the
+       backing [buf] only ever grows (doubling) — no per-frame churn. *)
+
+    let create () = { buf = Bytes.create 4096; len = 0; pos = 0 }
+
+    let compact t =
+      if t.pos > 0 then begin
+        let live = t.len - t.pos in
+        if live > 0 then Bytes.blit t.buf t.pos t.buf 0 live;
+        t.len <- live;
+        t.pos <- 0
+      end
+
+    let reserve t n =
+      if t.len + n > Bytes.length t.buf then begin
+        compact t;
+        if t.len + n > Bytes.length t.buf then begin
+          let cap = ref (Bytes.length t.buf) in
+          while t.len + n > !cap do
+            cap := !cap * 2
+          done;
+          let nb = Bytes.create !cap in
+          Bytes.blit t.buf 0 nb 0 t.len;
+          t.buf <- nb
+        end
+      end
+
+    let feed_bytes t b ~off ~len =
+      reserve t len;
+      Bytes.blit b off t.buf t.len len;
+      t.len <- t.len + len
+
+    let feed t s =
+      reserve t (String.length s);
+      Bytes.blit_string s 0 t.buf t.len (String.length s);
+      t.len <- t.len + String.length s
+
+    (* Read the body-length varint at [pos]; bounded at 9 bytes. *)
+    let read_varint t ~pos =
+      let rec go p shift acc =
+        if p >= t.len then `More
+        else if shift > 62 then `Bad
+        else
+          let byte = Bytes.get_uint8 t.buf p in
+          let acc = acc lor ((byte land 0x7f) lsl shift) in
+          if byte land 0x80 = 0 then `Done (acc, p + 1) else go (p + 1) (shift + 7) acc
+      in
+      go pos 0 0
+
+    let next t ~parse_body =
+      let avail = t.len - t.pos in
+      if avail = 0 then Dec_more
+      else
+        let b0 = Bytes.get_uint8 t.buf t.pos in
+        if b0 <> magic then Dec_broken (Printf.sprintf "bad magic byte 0x%02x" b0)
+        else if avail < 8 then Dec_more
+        else begin
+          let opcode = Bytes.get_uint8 t.buf (t.pos + 1) in
+          let flags = Bytes.get_uint8 t.buf (t.pos + 2) in
+          let reserved = Bytes.get_uint8 t.buf (t.pos + 3) in
+          let idv =
+            (Bytes.get_uint8 t.buf (t.pos + 4) lsl 24)
+            lor (Bytes.get_uint8 t.buf (t.pos + 5) lsl 16)
+            lor (Bytes.get_uint8 t.buf (t.pos + 6) lsl 8)
+            lor Bytes.get_uint8 t.buf (t.pos + 7)
+          in
+          let id = if flags land 1 = 1 then Some idv else None in
+          match read_varint t ~pos:(t.pos + 8) with
+          | `More -> Dec_more
+          | `Bad -> Dec_broken "bad body-length varint"
+          | `Done (body_len, body_off) ->
+              if body_len < 0 || body_len > max_frame then
+                Dec_broken (Printf.sprintf "frame body length %d out of range" body_len)
+              else if body_off + body_len > t.len then Dec_more
+              else begin
+                t.pos <- body_off + body_len;
+                if reserved <> 0 then
+                  Dec_skip (id, Printf.sprintf "nonzero reserved byte 0x%02x" reserved)
+                else
+                  match parse_body ~opcode t.buf ~off:body_off ~len:body_len with
+                  | Stdlib.Ok v -> Dec_frame (id, v)
+                  | Stdlib.Error msg -> Dec_skip (id, msg)
+              end
+        end
+
+    let next_request t = next t ~parse_body:parse_req_body
+    let next_response t = next t ~parse_body:parse_resp_body
+  end
+end
+
+(* --------------------------- wire dispatch ------------------------------ *)
+
+let frame_into b payload =
+  Buffer.add_string b (string_of_int (String.length payload));
+  Buffer.add_char b '\n';
+  Buffer.add_string b payload
+
+let encode_request_wire b wire ~id r =
+  match wire with
+  | Binary -> Bin.encode_request b ~id r
+  | Text ->
+      let payload = print_request r in
+      frame_into b (match id with None -> payload | Some i -> tag i payload)
+
+let encode_response_wire b wire ~id r =
+  match wire with
+  | Binary -> Bin.encode_response b ~id r
+  | Text ->
+      let payload = print_response r in
+      frame_into b (match id with None -> payload | Some i -> tag i payload)
+
+(* A decoder that sniffs the wire from the connection's first byte: text
+   frames open with a decimal digit (the length header), binary frames
+   with the 0xB2 magic.  Anything else is routed to the text decoder whose
+   header check reports it as a broken stream. *)
+module Req_decoder = struct
+  type t = {
+    mutable wire : wire option;
+    text : Decoder.t;
+    bin : Bin.Decoder.t;
+  }
+
+  let create () = { wire = None; text = Decoder.create (); bin = Bin.Decoder.create () }
+  let wire t = t.wire
+
+  let sniff t byte =
+    if t.wire = None then
+      t.wire <- Some (if byte = Bin.magic then Binary else Text)
+
+  let feed_bytes t b ~off ~len =
+    if len > 0 then begin
+      sniff t (Bytes.get_uint8 b off);
+      match t.wire with
+      | Some Binary -> Bin.Decoder.feed_bytes t.bin b ~off ~len
+      | _ -> Decoder.feed_bytes t.text b ~off ~len
+    end
+
+  let feed t s =
+    if String.length s > 0 then begin
+      sniff t (Char.code s.[0]);
+      match t.wire with
+      | Some Binary -> Bin.Decoder.feed t.bin s
+      | _ -> Decoder.feed t.text s
+    end
+
+  let next_text dec ~parse =
+    match Decoder.next dec with
+    | Stdlib.Error msg -> Dec_broken msg
+    | Stdlib.Ok None -> Dec_more
+    | Stdlib.Ok (Some payload) -> (
+        match split_tag payload with
+        | Stdlib.Error msg -> Dec_skip (None, msg)
+        | Stdlib.Ok (id, rest) -> (
+            match parse rest with
+            | Stdlib.Ok r -> Dec_frame (id, r)
+            | Stdlib.Error msg -> Dec_skip (id, msg)))
+
+  let next t =
+    match t.wire with
+    | None -> Dec_more
+    | Some Binary -> Bin.Decoder.next_request t.bin
+    | Some Text -> next_text t.text ~parse:parse_request
+end
+
+(* The client side knows which wire it opened, so no sniffing. *)
+module Resp_decoder = struct
+  type t = { wire : wire; text : Decoder.t; bin : Bin.Decoder.t }
+
+  let create wire = { wire; text = Decoder.create (); bin = Bin.Decoder.create () }
+
+  let feed_bytes t b ~off ~len =
+    match t.wire with
+    | Binary -> Bin.Decoder.feed_bytes t.bin b ~off ~len
+    | Text -> Decoder.feed_bytes t.text b ~off ~len
+
+  let feed t s =
+    match t.wire with
+    | Binary -> Bin.Decoder.feed t.bin s
+    | Text -> Decoder.feed t.text s
+
+  let next t =
+    match t.wire with
+    | Binary -> Bin.Decoder.next_response t.bin
+    | Text -> Req_decoder.next_text t.text ~parse:parse_response
 end

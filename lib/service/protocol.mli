@@ -1,11 +1,16 @@
-(** The kexd wire protocol — a small length-prefixed text protocol with a
-    pure codec: parse/print round-trip on strings and framing is an
-    incremental decoder over fed byte chunks, so everything here is testable
-    without sockets.
+(** The kexd wire protocol — two framings over one request/response
+    alphabet, with a pure codec: parse/print round-trip on strings and
+    buffers, framing is an incremental decoder over fed byte chunks, so
+    everything here is testable without sockets.
 
-    Frame: [<payload length in decimal>'\n'<payload>].  String arguments are
-    netstring-style ([<len>:<bytes>]), so keys and values may contain any
-    byte, including spaces and newlines. *)
+    {b v1 (text)}: frame is [<payload length in decimal>'\n'<payload>].
+    String arguments are netstring-style ([<len>:<bytes>]), so keys and
+    values may contain any byte, including spaces and newlines.
+
+    {b v2 (binary)}: length-prefixed binary frame with a fixed 8-byte
+    header — see {!Bin}.  A text frame always opens with a decimal digit
+    and a binary frame with the magic byte [0xB2], so the first byte of a
+    connection selects its wire ({!Req_decoder} sniffs it). *)
 
 type request =
   | Ping
@@ -16,6 +21,10 @@ type request =
       (** [Update (key, delta)]: atomic fetch-and-add on the key's decimal
           value (absent or non-numeric reads as 0); responds with the new
           value ([Int]). *)
+  | Scan of string * int
+      (** [Scan (start, count)]: ordered range read — the first [count]
+          key/value pairs with key >= [start], ascending, served off the
+          wait-free snapshot; responds with [Range]. *)
   | Stats
   | Kill of int
       (** Admin/chaos: crash worker [w] at its next admission — the worker
@@ -29,7 +38,12 @@ type response =
   | Deleted of bool  (** whether the key existed *)
   | Int of int
   | Stats_reply of (string * int) list
+  | Range of (string * string) list  (** [SCAN] result, ascending by key *)
   | Error of string
+
+type wire = Text | Binary
+
+val wire_name : wire -> string
 
 val print_request : request -> string
 val parse_request : string -> (request, string) result
@@ -42,7 +56,8 @@ val parse_response : string -> (response, string) result
     Tagged requests form a pipeline: the client keeps a window of them in
     flight on one connection, the server echoes each id on its response, and
     responses may return in any order.  Untagged payloads keep the v1
-    one-at-a-time, in-order contract. *)
+    one-at-a-time, in-order contract.  On the binary wire the id rides in
+    the fixed header instead (flags bit 0 marks it present). *)
 
 val tag : int -> string -> string
 (** Prefix a payload with an id ([id >= 0]). *)
@@ -58,21 +73,111 @@ val print_response_tagged : id:int -> response -> string
 val parse_response_tagged : string -> (int option * response, string) result
 
 val frame : string -> string
-(** Wrap a payload in a length-prefixed frame. *)
+(** Wrap a payload in a length-prefixed text frame. *)
+
+val frame_into : Buffer.t -> string -> unit
+(** [frame_into b payload] appends the text frame for [payload] to [b]
+    without building an intermediate string. *)
 
 val max_frame : int
-(** Frames longer than this are rejected by the decoder. *)
+(** Frames (text payloads / binary bodies) longer than this are rejected. *)
 
-(** Incremental deframer: feed raw byte chunks (any split), pop complete
-    payloads. *)
+(** Incremental text deframer: feed raw byte chunks (any split), pop
+    complete payloads. *)
 module Decoder : sig
   type t
 
   val create : unit -> t
   val feed : t -> string -> unit
 
+  val feed_bytes : t -> Bytes.t -> off:int -> len:int -> unit
+  (** Like {!feed} but straight from a read buffer, no intermediate string. *)
+
   val next : t -> (string option, string) result
   (** [Ok None] = need more bytes; [Ok (Some payload)] = one complete frame;
       [Error _] = the stream is garbage (bad or oversized header) and the
       connection should be dropped. *)
+end
+
+(** {2 Decoded events}
+
+    Both wires surface frames through one event alphabet so the dispatch
+    loop is wire-agnostic. *)
+type 'a decoded =
+  | Dec_frame of int option * 'a  (** one complete, well-formed frame *)
+  | Dec_skip of int option * string
+      (** a malformed frame whose bytes were fully consumed (length intact):
+          reply [ERR] and keep the connection — the stream is resynchronized *)
+  | Dec_more  (** need more bytes *)
+  | Dec_broken of string
+      (** the byte stream can no longer be trusted (bad magic/header,
+          oversized length): reply [ERR] once, then close *)
+
+(** {2 Binary v2 frames}
+
+    Layout (multi-byte fields big-endian):
+    {v
+      byte 0     magic 0xB2     (never a decimal digit, so sniffable)
+      byte 1     opcode         (request 0x01-0x08, response 0x81-0x89)
+      byte 2     flags          (bit 0: request id present)
+      byte 3     reserved       (must be 0)
+      bytes 4-7  request id     (uint32, 0 when untagged)
+      varint     body length    (LEB128, <= max_frame)
+      body       opcode-specific segments
+    v}
+    Strings are varint-length-prefixed bytes; integers are zigzag LEB128
+    varints.  The body length makes every frame skippable: a malformed body
+    is consumed whole and answered with [ERR] without losing framing. *)
+module Bin : sig
+  val magic : int
+
+  val encode_request : Buffer.t -> id:int option -> request -> unit
+  (** Append one binary request frame to [b]; allocation-free for requests
+      already in hand (writes header and segments directly). *)
+
+  val encode_response : Buffer.t -> id:int option -> response -> unit
+
+  (** Incremental binary deframer over one grow-only scratch buffer — the
+      backing bytes are reused across frames (compacted, doubled on demand),
+      never reallocated per frame. *)
+  module Decoder : sig
+    type t
+
+    val create : unit -> t
+    val feed : t -> string -> unit
+    val feed_bytes : t -> Bytes.t -> off:int -> len:int -> unit
+    val next_request : t -> request decoded
+    val next_response : t -> response decoded
+  end
+end
+
+val encode_request_wire : Buffer.t -> wire -> id:int option -> request -> unit
+(** Append one framed request in the given wire's encoding. *)
+
+val encode_response_wire : Buffer.t -> wire -> id:int option -> response -> unit
+
+(** Server-side decoder that sniffs the wire from the connection's first
+    byte and then deframes + parses requests on that wire for the rest of
+    the connection. *)
+module Req_decoder : sig
+  type t
+
+  val create : unit -> t
+
+  val wire : t -> wire option
+  (** [None] until the first byte arrives. *)
+
+  val feed : t -> string -> unit
+  val feed_bytes : t -> Bytes.t -> off:int -> len:int -> unit
+  val next : t -> request decoded
+end
+
+(** Client-side decoder; the client knows which wire it opened. *)
+module Resp_decoder : sig
+  type t
+
+  val create : wire -> t
+  val feed : t -> string -> unit
+  val feed_bytes : t -> Bytes.t -> off:int -> len:int -> unit
+  val next : t -> response decoded
 end

@@ -79,6 +79,10 @@ type conn = {
   c_wm : Mutex.t;
   c_pending : int Atomic.t;
   c_alive : bool Atomic.t;
+  (* Which framing this connection speaks — sniffed from its first byte and
+     written once by the connection thread before any request is dispatched,
+     so the ring's mutex publishes it to every worker that replies here. *)
+  mutable c_wire : Protocol.wire;
 }
 
 type reply = Sync of mailbox | Stream of conn * int  (* id to echo *)
@@ -170,19 +174,16 @@ let write_conn conn s =
       (fun () -> try Netio.write_all conn.c_fd s with Unix.Unix_error _ -> ())
   end
 
-let frame_reply reply resp =
-  match reply with
-  | Sync _ -> Protocol.frame (Protocol.print_response resp)
-  | Stream (_, id) -> Protocol.frame (Protocol.print_response_tagged ~id resp)
-
 (* Deliver one finished item.  Mailbox items wake their connection thread;
    stream items are written directly (used for the un-coalesced paths:
    shutdown refusals and error replies). *)
 let deliver_item item resp =
   match item.reply with
   | Sync mb -> deliver mb resp
-  | Stream (conn, _) ->
-      write_conn conn (frame_reply item.reply resp);
+  | Stream (conn, id) ->
+      let b = Buffer.create 64 in
+      Protocol.encode_response_wire b conn.c_wire ~id:(Some id) resp;
+      write_conn conn (Buffer.contents b);
       ignore (Atomic.fetch_and_add conn.c_pending (-1))
 
 (* -------------------------------- workers ------------------------------- *)
@@ -193,7 +194,9 @@ let op_of_req (req : Protocol.request) : Kv_store.op option =
   | Protocol.Set (key, v) -> Some (Kv_store.Set (key, v))
   | Protocol.Del key -> Some (Kv_store.Delete key)
   | Protocol.Update (key, delta) -> Some (Kv_store.Fetch_add (key, delta))
-  | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> None
+  (* SCAN is cross-shard and wait-free: always served inline by the
+     connection thread off the published snapshots, never dispatched. *)
+  | Protocol.Scan _ | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> None
 
 let class_of_req (req : Protocol.request) =
   match req with
@@ -201,6 +204,7 @@ let class_of_req (req : Protocol.request) =
   | Protocol.Set _ -> Some Metrics.C_set
   | Protocol.Del _ -> Some Metrics.C_del
   | Protocol.Update _ -> Some Metrics.C_update
+  | Protocol.Scan _ -> Some Metrics.C_scan
   | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> None
 
 let resp_of_result (r : Kv_store.result) : Protocol.response =
@@ -245,15 +249,16 @@ let exec_batch sh ~lpid items =
         | None, _ -> ());
         match it.reply with
         | Sync mb -> deliver mb resp
-        | Stream (conn, _) -> (
-            let payload = frame_reply it.reply resp in
+        | Stream (conn, id) -> (
+            (* Serialize straight into the connection's coalescing buffer in
+               its own wire's framing — no intermediate payload string. *)
             match List.find_opt (fun (c, _, _) -> c == conn) !flushes with
             | Some (_, buf, count) ->
-                Buffer.add_string buf payload;
+                Protocol.encode_response_wire buf conn.c_wire ~id:(Some id) resp;
                 incr count
             | None ->
                 let buf = Buffer.create 256 in
-                Buffer.add_string buf payload;
+                Protocol.encode_response_wire buf conn.c_wire ~id:(Some id) resp;
                 flushes := (conn, buf, ref 1) :: !flushes))
       store_items results;
     List.iter
@@ -345,87 +350,96 @@ let key_of_req (req : Protocol.request) =
   match req with
   | Protocol.Get key | Protocol.Set (key, _) | Protocol.Del key | Protocol.Update (key, _) ->
       key
-  | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> ""
+  | Protocol.Scan _ | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> ""
+
+(* SCAN result sizes are clamped so one request can't build a response
+   anywhere near [max_frame]. *)
+let max_scan = 4096
 
 (* Inline reply from the connection thread, echoing the request id when the
-   request carried one.  Framed into [out] and flushed once per drained
-   socket read, so a pipelined window of inline GETs costs one write — the
-   connection thread's counterpart of the workers' coalesced flushes. *)
-let respond_now out tag resp =
-  let payload =
-    match tag with
-    | None -> Protocol.print_response resp
-    | Some id -> Protocol.print_response_tagged ~id resp
-  in
-  Buffer.add_string out (Protocol.frame payload)
+   request carried one.  Framed into [out] in the connection's own wire and
+   flushed once per drained socket read, so a pipelined window of inline
+   GETs costs one write — the connection thread's counterpart of the
+   workers' coalesced flushes. *)
+let respond_now conn out tag resp = Protocol.encode_response_wire out conn.c_wire ~id:tag resp
 
-let handle_payload t conn out payload =
-  match Protocol.split_tag payload with
-  | Error msg ->
-      (* Malformed id tag: answer untagged, keep the stream (framing is
-         intact, so the connection is still in sync). *)
-      Metrics.incr_errors t.conn_metrics;
-      respond_now out None (Protocol.Error ("parse: " ^ msg))
-  | Ok (tag, body) -> (
-      match Protocol.parse_request body with
+let handle_request t conn out tag (req : Protocol.request) =
+  match req with
+  | Protocol.Ping -> respond_now conn out tag Protocol.Pong
+  | Protocol.Stats -> respond_now conn out tag (Protocol.Stats_reply (stats_pairs t))
+  | Protocol.Kill w -> (
+      match kill_worker t w with
+      | Ok () -> respond_now conn out tag Protocol.Ok
       | Error msg ->
           Metrics.incr_errors t.conn_metrics;
-          respond_now out tag (Protocol.Error ("parse: " ^ msg))
-      | Ok Protocol.Ping -> respond_now out tag Protocol.Pong
-      | Ok Protocol.Stats -> respond_now out tag (Protocol.Stats_reply (stats_pairs t))
-      | Ok (Protocol.Kill w) -> (
-          match kill_worker t w with
-          | Ok () -> respond_now out tag Protocol.Ok
-          | Error msg ->
-              Metrics.incr_errors t.conn_metrics;
-              respond_now out tag (Protocol.Error msg))
-      | Ok (Protocol.Get key) when t.cfg.wait_free_reads ->
-          (* The wait-free read plane: answer from the owning shard's
-             published snapshot, right here on the connection thread — no
-             ring, no worker, no admission slot.  Publication happens before
-             any mutation is acknowledged, so an acknowledged SET is always
-             visible; and because no slot is needed, this keeps answering
-             when all k of the shard's workers are dead. *)
-          let t0 = Metrics.now_us () in
-          let v = Sharded.read t.store ~key in
-          Metrics.record t.conn_metrics Metrics.C_get ~lat_us:(Metrics.now_us () - t0);
-          Metrics.incr_inline_reads t.conn_metrics;
-          respond_now out tag (Protocol.Value v)
-      | Ok req -> (
-          let sh = t.shard_ctxs.(shard_of_key t (key_of_req req)) in
-          match tag with
-          | None ->
-              (* v1 contract: one in flight, in order — dispatch and wait. *)
-              let mb = mailbox () in
-              if Wqueue.push sh.sh_queue { req; reply = Sync mb } then
-                respond_now out None (await mb)
-              else begin
-                Metrics.incr_errors t.conn_metrics;
-                respond_now out None (Protocol.Error "server shutting down")
-              end
-          | Some id ->
-              (* Pipelined: dispatch and keep reading; a worker writes the
-                 response (coalesced with its batch-mates). *)
-              Atomic.incr conn.c_pending;
-              if not (Wqueue.push sh.sh_queue { req; reply = Stream (conn, id) }) then begin
-                ignore (Atomic.fetch_and_add conn.c_pending (-1));
-                Metrics.incr_errors t.conn_metrics;
-                respond_now out tag (Protocol.Error "server shutting down")
-              end))
+          respond_now conn out tag (Protocol.Error msg))
+  | Protocol.Get key when t.cfg.wait_free_reads ->
+      (* The wait-free read plane: answer from the owning shard's
+         published snapshot, right here on the connection thread — no
+         ring, no worker, no admission slot.  Publication happens before
+         any mutation is acknowledged, so an acknowledged SET is always
+         visible; and because no slot is needed, this keeps answering
+         when all k of the shard's workers are dead. *)
+      let t0 = Metrics.now_us () in
+      let v = Sharded.read t.store ~key in
+      Metrics.record t.conn_metrics Metrics.C_get ~lat_us:(Metrics.now_us () - t0);
+      Metrics.incr_inline_reads t.conn_metrics;
+      respond_now conn out tag (Protocol.Value v)
+  | Protocol.Scan (start, count) ->
+      (* Range reads ride the same wait-free plane: every shard's slice
+         comes off its published snapshot, so a SCAN answers consistently
+         even when a whole shard's worker pool is dead. *)
+      let t0 = Metrics.now_us () in
+      let pairs = Sharded.scan t.store ~start ~count:(min count max_scan) in
+      Metrics.record t.conn_metrics Metrics.C_scan ~lat_us:(Metrics.now_us () - t0);
+      Metrics.incr_inline_reads t.conn_metrics;
+      respond_now conn out tag (Protocol.Range pairs)
+  | req -> (
+      let sh = t.shard_ctxs.(shard_of_key t (key_of_req req)) in
+      match tag with
+      | None ->
+          (* v1 contract: one in flight, in order — dispatch and wait. *)
+          let mb = mailbox () in
+          if Wqueue.push sh.sh_queue { req; reply = Sync mb } then
+            respond_now conn out None (await mb)
+          else begin
+            Metrics.incr_errors t.conn_metrics;
+            respond_now conn out None (Protocol.Error "server shutting down")
+          end
+      | Some id ->
+          (* Pipelined: dispatch and keep reading; a worker writes the
+             response (coalesced with its batch-mates). *)
+          Atomic.incr conn.c_pending;
+          if not (Wqueue.push sh.sh_queue { req; reply = Stream (conn, id) }) then begin
+            ignore (Atomic.fetch_and_add conn.c_pending (-1));
+            Metrics.incr_errors t.conn_metrics;
+            respond_now conn out tag (Protocol.Error "server shutting down")
+          end)
 
 let handle_conn t conn =
-  let dec = Protocol.Decoder.create () in
+  let dec = Protocol.Req_decoder.create () in
   let buf = Bytes.create 8192 in
   let out = Buffer.create 1024 in
   let rec drain () =
-    match Protocol.Decoder.next dec with
-    | Error msg ->
-        logf t "connection: dropping garbage stream (%s)" msg;
-        false
-    | Ok None -> true
-    | Ok (Some payload) ->
-        handle_payload t conn out payload;
+    match Protocol.Req_decoder.next dec with
+    | Protocol.Dec_more -> true
+    | Protocol.Dec_frame (tag, req) ->
+        handle_request t conn out tag req;
         drain ()
+    | Protocol.Dec_skip (tag, msg) ->
+        (* Malformed frame with intact framing: answer ERR and keep the
+           stream — the decoder already consumed the bad frame's bytes. *)
+        Metrics.incr_errors t.conn_metrics;
+        respond_now conn out tag (Protocol.Error ("parse: " ^ msg));
+        drain ()
+    | Protocol.Dec_broken msg ->
+        (* The byte stream itself is garbage: say why, then hang up.  The
+           ERR reply (flushed below) is the clean-close contract — a
+           pipelining client sees a reply, not a silent RST. *)
+        Metrics.incr_errors t.conn_metrics;
+        respond_now conn out None (Protocol.Error ("protocol: " ^ msg));
+        logf t "connection: closing garbage stream (%s)" msg;
+        false
   in
   let flush_out () =
     if Buffer.length out > 0 then begin
@@ -437,7 +451,13 @@ let handle_conn t conn =
     match Netio.read conn.c_fd buf 0 (Bytes.length buf) with
     | 0 -> ()
     | n ->
-        Protocol.Decoder.feed dec (Bytes.sub_string buf 0 n);
+        Protocol.Req_decoder.feed_bytes dec buf ~off:0 ~len:n;
+        (* The first bytes decide the wire; workers read [c_wire] only for
+           requests dispatched after this point, so the plain write is
+           published by the ring's mutex. *)
+        (match Protocol.Req_decoder.wire dec with
+        | Some w -> conn.c_wire <- w
+        | None -> ());
         let keep = drain () in
         flush_out ();
         if keep then serve ()
@@ -468,7 +488,8 @@ let accept_loop t =
           { c_fd = fd;
             c_wm = Mutex.create ();
             c_pending = Atomic.make 0;
-            c_alive = Atomic.make true }
+            c_alive = Atomic.make true;
+            c_wire = Protocol.Text }
         in
         Mutex.lock t.conns_m;
         t.conns <- conn :: t.conns;
@@ -583,6 +604,33 @@ let stop ?(drain_timeout_s = 5.) t =
   logf t "kexd serve: stopped (%d ops served, %d worker deaths)"
     (List.fold_left (fun acc x -> acc + Metrics.served x) 0 m)
     (List.fold_left (fun acc x -> acc + Metrics.deaths x) 0 m)
+
+(* Bulk-load bindings before opening traffic, batched per shard through one
+   admission per <= 512 ops so preloading a million-key key space takes
+   seconds, not minutes.  Uses each shard's pid 0, which is safe only while
+   no requests are in flight (idle workers block on their rings without
+   touching admission) — i.e. right after [start], before clients arrive. *)
+let preload t seq =
+  let nshards = Sharded.shard_count t.store in
+  let bufs = Array.make nshards [] in
+  let counts = Array.make nshards 0 in
+  let flush i =
+    if counts.(i) > 0 then begin
+      ignore (Kv_store.perform_batch (Sharded.shard t.store i) ~pid:0 (List.rev bufs.(i)));
+      bufs.(i) <- [];
+      counts.(i) <- 0
+    end
+  in
+  Seq.iter
+    (fun (key, v) ->
+      let i = Sharded.shard_of_key t.store key in
+      bufs.(i) <- Kv_store.Set (key, v) :: bufs.(i);
+      counts.(i) <- counts.(i) + 1;
+      if counts.(i) >= 512 then flush i)
+    seq;
+  for i = 0 to nshards - 1 do
+    flush i
+  done
 
 let run ?duration_s cfg =
   let t = start cfg in

@@ -1,0 +1,94 @@
+(* The YCSB key generators: sampled frequencies must match the analytic
+   distribution (the loadgen's Zipfian claim rests on this), the Latest
+   window must follow inserts, and everything must be deterministic under a
+   fixed seed — the property that makes BENCH records reproducible. *)
+
+module Kd = Kex_service.Keydist
+
+let freq_of ?(samples = 100_000) t ~seed idx =
+  let rng = Random.State.make [| seed |] in
+  let hits = ref 0 in
+  for _ = 1 to samples do
+    if Kd.sample t rng = idx then incr hits
+  done;
+  float_of_int !hits /. float_of_int samples
+
+let test_zipf_head_frequency () =
+  let keys = 1000 in
+  let t = Kd.create Kd.Zipfian ~keys in
+  let p0 = Kd.head_probability t in
+  (* theta=0.99 over 1000 keys: the hottest key takes ~13% of traffic. *)
+  Alcotest.(check bool) "head probability is hot" true (p0 > 0.05);
+  let f0 = freq_of t ~seed:7 0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled %.4f vs analytic %.4f" f0 p0)
+    true
+    (abs_float (f0 -. p0) /. p0 < 0.15);
+  (* Rank 1 must be measurably colder than rank 0 but still hot. *)
+  let f1 = freq_of t ~seed:7 1 in
+  Alcotest.(check bool) "rank 1 colder than rank 0" true (f1 < f0);
+  Alcotest.(check bool) "rank 1 still hot" true (f1 > 1.5 /. float_of_int keys);
+  (* Uniform head is just 1/n. *)
+  let u = Kd.create Kd.Uniform ~keys in
+  Alcotest.(check (float 1e-9)) "uniform head" (1. /. float_of_int keys) (Kd.head_probability u);
+  let fu = freq_of u ~seed:7 0 in
+  Alcotest.(check bool) "uniform head frequency" true (fu < 3. /. float_of_int keys)
+
+let test_latest_window () =
+  let keys = 100 in
+  let t = Kd.create Kd.Latest ~keys in
+  Alcotest.(check int) "newest" (keys - 1) (Kd.newest t);
+  let f_new = freq_of t ~seed:11 (keys - 1) in
+  let p0 = Kd.head_probability t in
+  Alcotest.(check bool)
+    (Printf.sprintf "newest key hottest: %.4f vs %.4f" f_new p0)
+    true
+    (abs_float (f_new -. p0) /. p0 < 0.15);
+  (* Inserts move the hot end: after advancing, the window grew and the new
+     newest key takes over the head frequency. *)
+  for _ = 1 to 10 do
+    Kd.advance t
+  done;
+  Alcotest.(check int) "window grew" (keys + 10) (Kd.size t);
+  Alcotest.(check int) "newest moved" (keys + 9) (Kd.newest t);
+  let f_new' = freq_of t ~seed:11 (keys + 9) in
+  Alcotest.(check bool) "new newest is hottest" true (f_new' > freq_of t ~seed:11 (keys - 1));
+  (* Samples never escape the window. *)
+  let rng = Random.State.make [| 3 |] in
+  for _ = 1 to 10_000 do
+    let i = Kd.sample t rng in
+    if i < 0 || i >= Kd.size t then Alcotest.failf "sample %d outside window" i
+  done
+
+let test_deterministic_under_seed () =
+  List.iter
+    (fun dist ->
+      let run () =
+        let t = Kd.create dist ~keys:512 in
+        let rng = Random.State.make [| 42 |] in
+        List.init 1000 (fun _ -> Kd.sample t rng)
+      in
+      Alcotest.(check (list int)) (Kd.dist_name dist) (run ()) (run ()))
+    [ Kd.Uniform; Kd.Zipfian; Kd.Latest ]
+
+let test_key_of_index () =
+  Alcotest.(check string) "padded" "k00000007" (Kd.key_of_index 7);
+  Alcotest.(check int) "width" (1 + Kd.key_width) (String.length (Kd.key_of_index 123456));
+  (* Lexicographic order == numeric order, so SCAN ranges line up. *)
+  let ks = List.init 200 (fun i -> Kd.key_of_index (i * 517)) in
+  Alcotest.(check (list string)) "sorted" ks (List.sort compare ks)
+
+let test_dist_names () =
+  List.iter
+    (fun d -> Alcotest.(check (option string)) (Kd.dist_name d)
+        (Some (Kd.dist_name d))
+        (Option.map Kd.dist_name (Kd.dist_of_string (Kd.dist_name d))))
+    [ Kd.Uniform; Kd.Zipfian; Kd.Latest ];
+  Alcotest.(check bool) "unknown rejected" true (Kd.dist_of_string "pareto" = None)
+
+let suite =
+  [ Helpers.tc "zipfian head frequency matches analytic" test_zipf_head_frequency;
+    Helpers.tc "latest window follows inserts" test_latest_window;
+    Helpers.tc "deterministic under fixed seed" test_deterministic_under_seed;
+    Helpers.tc "key_of_index is zero-padded and ordered" test_key_of_index;
+    Helpers.tc "dist names round-trip" test_dist_names ]

@@ -17,12 +17,14 @@ let connect port =
 
 let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
 
-let send_raw c s =
+let write_all fd s =
   let b = Bytes.of_string s in
   let rec go off =
-    if off < Bytes.length b then go (off + Unix.write c.fd b off (Bytes.length b - off))
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
   in
   go 0
+
+let send_raw c s = write_all c.fd s
 
 exception Timeout
 
@@ -119,6 +121,10 @@ let test_garbage_stream_dropped () =
       let c = connect (Server.port t) in
       Fun.protect ~finally:(fun () -> close c) (fun () ->
           send_raw c "this is not a frame header\n";
+          (* An untrusted stream gets one ERR, then the hangup. *)
+          (match recv c with
+          | P.Error _ -> ()
+          | r -> Alcotest.failf "garbage stream answered %s" (P.print_response r));
           Alcotest.(check int) "connection dropped" 0 (Unix.read c.fd c.buf 0 1)))
 
 (* Kill k-1 of the workers mid-load: every request still succeeds, the
@@ -385,6 +391,243 @@ let test_pipelined_latency_honest () =
       Alcotest.(check bool) "p50 includes in-window queueing" true
         (s16.Kex_service.Loadgen.p50_us >= s1.Kex_service.Loadgen.p50_us))
 
+(* ------------------------ binary-wire test client ----------------------- *)
+
+type bclient = { bfd : Unix.file_descr; bdec : P.Resp_decoder.t; bbuf : Bytes.t }
+
+let bconnect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  { bfd = fd; bdec = P.Resp_decoder.create P.Binary; bbuf = Bytes.create 4096 }
+
+let bclose c = try Unix.close c.bfd with Unix.Unix_error _ -> ()
+
+(* Read one decoded event (frame or skip/broken), pulling bytes as needed. *)
+let brecv_event c =
+  let rec go () =
+    match P.Resp_decoder.next c.bdec with
+    | P.Dec_more -> (
+        match Unix.read c.bfd c.bbuf 0 (Bytes.length c.bbuf) with
+        | 0 -> failwith "server closed the connection"
+        | n ->
+            P.Resp_decoder.feed_bytes c.bdec c.bbuf ~off:0 ~len:n;
+            go ())
+    | ev -> ev
+  in
+  go ()
+
+let brecv c =
+  match brecv_event c with
+  | P.Dec_frame (id, r) -> (id, r)
+  | P.Dec_skip (_, msg) -> failwith ("client skip: " ^ msg)
+  | P.Dec_broken msg -> failwith ("client broken: " ^ msg)
+  | P.Dec_more -> assert false
+
+let brpc ?id c r =
+  let b = Buffer.create 64 in
+  P.Bin.encode_request b ~id r;
+  write_all c.bfd (Buffer.contents b);
+  brecv c
+
+(* Binary CRUD + SCAN end to end, with the id echoed from the header, and
+   the malformed-frame contract: a length-intact bad frame gets an ERR and
+   the connection keeps working; a broken stream gets one ERR then the
+   hangup — same semantics as the text wire. *)
+let test_binary_wire_e2e () =
+  with_server { quiet with workers = 2; k = 2; shards = 2 } (fun t ->
+      let c = bconnect (Server.port t) in
+      Fun.protect ~finally:(fun () -> bclose c) (fun () ->
+          (match brpc c P.Ping with
+          | None, P.Pong -> ()
+          | _, r -> Alcotest.failf "binary PING answered %s" (P.print_response r));
+          (match brpc c (P.Set ("a", "binary\x00value")) with
+          | None, P.Ok -> ()
+          | _, r -> Alcotest.failf "binary SET answered %s" (P.print_response r));
+          (match brpc ~id:99 c (P.Get "a") with
+          | Some 99, P.Value (Some "binary\x00value") -> ()
+          | id, r ->
+              Alcotest.failf "binary GET answered (%s) %s"
+                (match id with Some i -> string_of_int i | None -> "-")
+                (P.print_response r));
+          (match brpc c (P.Update ("ctr", 4)) with
+          | None, P.Int 4 -> ()
+          | _, r -> Alcotest.failf "binary UPDATE answered %s" (P.print_response r));
+          for i = 0 to 4 do
+            match brpc c (P.Set (Printf.sprintf "scan%d" i, string_of_int i)) with
+            | None, P.Ok -> ()
+            | _, r -> Alcotest.failf "scan seed answered %s" (P.print_response r)
+          done;
+          (match brpc c (P.Scan ("scan", 10)) with
+          | None, P.Range kvs ->
+              Alcotest.(check (list (pair string string)))
+                "binary SCAN"
+                (List.init 5 (fun i -> (Printf.sprintf "scan%d" i, string_of_int i)))
+                kvs
+          | _, r -> Alcotest.failf "binary SCAN answered %s" (P.print_response r));
+          (* Unknown opcode, intact length: ERR, then business as usual. *)
+          write_all c.bfd "\xB2\x7F\x00\x00\x00\x00\x00\x00\x04junk";
+          (match brecv c with
+          | _, P.Error _ -> ()
+          | _, r -> Alcotest.failf "bad opcode answered %s" (P.print_response r));
+          (match brpc c P.Ping with
+          | None, P.Pong -> ()
+          | _, r -> Alcotest.failf "post-skip PING answered %s" (P.print_response r)));
+      (* Bad magic mid-stream on a sniffed-binary connection: ERR then close. *)
+      let c2 = bconnect (Server.port t) in
+      Fun.protect ~finally:(fun () -> bclose c2) (fun () ->
+          (match brpc c2 P.Ping with
+          | None, P.Pong -> ()
+          | _, r -> Alcotest.failf "c2 PING answered %s" (P.print_response r));
+          write_all c2.bfd "\x00garbage";
+          (match brecv c2 with
+          | _, P.Error _ -> ()
+          | _, r -> Alcotest.failf "broken stream answered %s" (P.print_response r));
+          Alcotest.(check int) "connection dropped" 0 (Unix.read c2.bfd c2.bbuf 0 1)))
+
+(* An oversized declared frame must not wedge or OOM the server: ERR (or
+   straight hangup), and a fresh connection still gets served. *)
+let test_oversized_frame_rejected () =
+  with_server { quiet with workers = 1; k = 1 } (fun t ->
+      (* Text wire. *)
+      let c = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c) (fun () ->
+          send_raw c (string_of_int (P.max_frame + 1) ^ "\n");
+          (match recv c with
+          | P.Error _ -> ()
+          | r -> Alcotest.failf "oversized text frame answered %s" (P.print_response r)
+          | exception Failure _ -> ());
+          Alcotest.(check int) "text conn dropped" 0
+            (try Unix.read c.fd c.buf 0 1 with Unix.Unix_error _ -> 0));
+      (* Binary wire: header declaring a > max_frame body. *)
+      let c2 = bconnect (Server.port t) in
+      Fun.protect ~finally:(fun () -> bclose c2) (fun () ->
+          let b = Buffer.create 16 in
+          Buffer.add_string b "\xB2\x01\x00\x00\x00\x00\x00\x00";
+          let rec add_uvarint n =
+            if n < 0x80 then Buffer.add_char b (Char.chr n)
+            else begin
+              Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+              add_uvarint (n lsr 7)
+            end
+          in
+          add_uvarint (P.max_frame + 1);
+          write_all c2.bfd (Buffer.contents b);
+          (match brecv c2 with
+          | _, P.Error _ -> ()
+          | _, r -> Alcotest.failf "oversized binary frame answered %s" (P.print_response r)
+          | exception Failure _ -> ());
+          Alcotest.(check int) "binary conn dropped" 0
+            (try Unix.read c2.bfd c2.bbuf 0 1 with Unix.Unix_error _ -> 0));
+      (* The server is still healthy for the next client. *)
+      let c3 = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c3) (fun () ->
+          assert_resp "server still up" P.Pong (rpc c3 P.Ping)))
+
+(* SCAN off the wait-free snapshot: seed a range spanning both shards, wedge
+   shard 0's whole worker pool, and the full ordered range still comes back
+   consistent — the acceptance criterion for the ordered-read story. *)
+let test_scan_survives_wedged_shard () =
+  let workers = 2 and k = 2 and shards = 2 in
+  with_server { quiet with workers; k; shards } (fun t ->
+      let expected = List.init 20 (fun i -> (Printf.sprintf "s%02d" i, Printf.sprintf "v%d" i)) in
+      let c = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c) (fun () ->
+          List.iter (fun (k, v) -> assert_resp ("seed " ^ k) P.Ok (rpc c (P.Set (k, v)))) expected;
+          (* Both shards hold part of the range — otherwise the wedge proves
+             nothing. *)
+          let shard_hits = Array.make shards 0 in
+          List.iter
+            (fun (k, _) -> shard_hits.(Server.shard_of_key t k) <- 1 + shard_hits.(Server.shard_of_key t k))
+            expected;
+          Alcotest.(check bool) "range spans both shards" true
+            (Array.for_all (fun n -> n > 0) shard_hits);
+          (match rpc c (P.Scan ("s", 20)) with
+          | P.Range kvs -> Alcotest.(check (list (pair string string))) "healthy SCAN" expected kvs
+          | r -> Alcotest.failf "healthy SCAN answered %s" (P.print_response r));
+          (* Wedge shard 0: kill its whole pool, then drive mutations on a
+             shard-0 key (sorting before "s") until one stalls. *)
+          let key0 =
+            let rec go i =
+              let key = Printf.sprintf "a%d" i in
+              if Server.shard_of_key t key = 0 then key else go (i + 1)
+            in
+            go 0
+          in
+          for gid = 0 to workers - 1 do
+            match Server.kill_worker t gid with Ok () -> () | Error e -> Alcotest.fail e
+          done;
+          Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 1.0;
+          let rec wedge tries =
+            if tries > 10 then Alcotest.fail "shard never wedged"
+            else
+              match rpc c (P.Update (key0, 1)) with
+              | exception Timeout -> ()
+              | P.Int _ -> wedge (tries + 1)
+              | r -> Alcotest.failf "mutation answered %s" (P.print_response r)
+          in
+          wedge 0;
+          (* Fresh connections (text and binary): the whole ordered range,
+             including the wedged shard's keys, exactly as acknowledged. *)
+          let reader = connect (Server.port t) in
+          Fun.protect ~finally:(fun () -> close reader) (fun () ->
+              match rpc reader (P.Scan ("s", 20)) with
+              | P.Range kvs ->
+                  Alcotest.(check (list (pair string string))) "wedged SCAN" expected kvs
+              | r -> Alcotest.failf "wedged SCAN answered %s" (P.print_response r));
+          let breader = bconnect (Server.port t) in
+          Fun.protect ~finally:(fun () -> bclose breader) (fun () ->
+              match brpc breader (P.Scan ("s", 20)) with
+              | None, P.Range kvs ->
+                  Alcotest.(check (list (pair string string))) "wedged binary SCAN" expected kvs
+              | _, r -> Alcotest.failf "wedged binary SCAN answered %s" (P.print_response r))))
+
+(* The YCSB stack end to end: Zipfian keys, RMW and SCAN in the mix, binary
+   wire, pipelined — zero errors and progress. *)
+let test_loadgen_binary_ycsb () =
+  with_server { quiet with workers = 2; k = 2; shards = 2 } (fun t ->
+      let cfg =
+        { Kex_service.Loadgen.default_config with
+          port = Server.port t;
+          connections = 2;
+          duration_s = 0.6;
+          keys = 200;
+          dist = Kex_service.Keydist.Zipfian;
+          mix = [ ("get", 60); ("set", 20); ("rmw", 10); ("scan", 10) ];
+          wire = P.Binary;
+          pipeline = 8;
+          seed = 5 }
+      in
+      let s = Kex_service.Loadgen.run cfg in
+      Alcotest.(check int) "zero errors" 0 s.Kex_service.Loadgen.errors;
+      Alcotest.(check bool) "made progress" true (s.Kex_service.Loadgen.requests > 0);
+      (* Every mixed kind actually ran. *)
+      List.iter
+        (fun kind ->
+          match
+            List.find_opt (fun b -> b.Kex_service.Loadgen.label = kind) s.Kex_service.Loadgen.ops
+          with
+          | Some b -> Alcotest.(check bool) (kind ^ " ran") true (b.Kex_service.Loadgen.requests > 0)
+          | None -> Alcotest.failf "no %s bucket" kind)
+        [ "get"; "set"; "rmw"; "scan" ])
+
+(* Server.preload: bulk bindings are visible to GET and SCAN on both wires. *)
+let test_preload () =
+  with_server { quiet with workers = 2; k = 2; shards = 2 } (fun t ->
+      let n = 5_000 in
+      Server.preload t
+        (Seq.init n (fun i -> (Kex_service.Keydist.key_of_index i, string_of_int i)));
+      let c = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c) (fun () ->
+          assert_resp "preloaded get" (P.Value (Some "4321"))
+            (rpc c (P.Get (Kex_service.Keydist.key_of_index 4321)));
+          match rpc c (P.Scan (Kex_service.Keydist.key_of_index 100, 3)) with
+          | P.Range kvs ->
+              Alcotest.(check (list (pair string string)))
+                "preloaded scan"
+                (List.init 3 (fun i -> (Kex_service.Keydist.key_of_index (100 + i), string_of_int (100 + i))))
+                kvs
+          | r -> Alcotest.failf "preloaded SCAN answered %s" (P.print_response r)))
+
 let suite =
   [ Helpers.tc "CRUD over a socket" test_crud_over_socket;
     Helpers.tc "garbage stream dropped" test_garbage_stream_dropped;
@@ -397,4 +640,9 @@ let suite =
     Helpers.tc_slow "GETs survive a fully wedged shard" test_get_survives_wedged_shard;
     Helpers.tc "admission-reads baseline serves GETs via workers"
       test_admission_reads_baseline;
-    Helpers.tc_slow "pipelined latency stamped at enqueue" test_pipelined_latency_honest ]
+    Helpers.tc_slow "pipelined latency stamped at enqueue" test_pipelined_latency_honest;
+    Helpers.tc "binary wire e2e: CRUD, SCAN, skip and break" test_binary_wire_e2e;
+    Helpers.tc "oversized frames rejected on both wires" test_oversized_frame_rejected;
+    Helpers.tc_slow "SCAN survives a fully wedged shard" test_scan_survives_wedged_shard;
+    Helpers.tc_slow "loadgen YCSB mix on the binary wire" test_loadgen_binary_ycsb;
+    Helpers.tc "preload feeds GET and SCAN" test_preload ]

@@ -33,19 +33,21 @@ let test_request_roundtrips () =
       roundtrip_req (P.Get s);
       roundtrip_req (P.Del s);
       roundtrip_req (P.Set (s, s ^ "-v"));
-      roundtrip_req (P.Update (s, -3)))
+      roundtrip_req (P.Update (s, -3));
+      roundtrip_req (P.Scan (s, 64)))
     nasty
 
 let test_response_roundtrips () =
   List.iter roundtrip_resp
     [ P.Pong; P.Ok; P.Value None; P.Deleted true; P.Deleted false; P.Int (-42);
-      P.Stats_reply []; P.Stats_reply [ ("served", 12); ("a b", 0) ]; P.Error "boom" ];
+      P.Stats_reply []; P.Stats_reply [ ("served", 12); ("a b", 0) ]; P.Error "boom";
+      P.Range []; P.Range [ ("a", "1"); ("b\n", " ") ] ];
   List.iter (fun s -> roundtrip_resp (P.Value (Some s))) nasty
 
 let test_malformed_rejected () =
   let bad_req =
     [ ""; "NOPE"; "GET"; "GET x"; "GET 5:ab"; "GET 2:abc"; "SET 1:a"; "UPDATE 1:a x";
-      "KILL"; "KILL x"; "PING extra"; "GET -1:a" ]
+      "KILL"; "KILL x"; "PING extra"; "GET -1:a"; "SCAN 1:a"; "SCAN 1:a x"; "SCAN 1:a -1" ]
   in
   List.iter
     (fun s ->
@@ -226,7 +228,8 @@ let gen_request =
       map (fun s -> P.Get s) gen_str;
       map2 (fun k v -> P.Set (k, v)) gen_str gen_str;
       map (fun s -> P.Del s) gen_str;
-      map2 (fun k d -> P.Update (k, d)) gen_str (int_range (-1000) 1000) ]
+      map2 (fun k d -> P.Update (k, d)) gen_str (int_range (-1000) 1000);
+      map2 (fun s n -> P.Scan (s, n)) gen_str (int_range 0 1000) ]
 
 let gen_response =
   let open Q.Gen in
@@ -238,6 +241,7 @@ let gen_response =
       map (fun b -> P.Deleted b) bool;
       map (fun n -> P.Int n) (int_range (-100000) 100000);
       map (fun ps -> P.Stats_reply ps) (list_size (int_range 0 8) (pair gen_str (int_range 0 1000)));
+      map (fun ps -> P.Range ps) (list_size (int_range 0 8) (pair gen_str gen_str));
       map (fun s -> P.Error s) gen_str ]
 
 let prop_request_roundtrip =
@@ -357,6 +361,257 @@ let prop_out_of_order_tagged_reassembly =
       && List.length parsed = List.length sent
       && List.for_all (fun (id, r) -> List.assoc_opt id parsed = Some r) sent)
 
+(* ------------------------- binary v2 framing ---------------------------- *)
+
+let buf_str f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b
+
+(* Drain a decoder's [next] thunk until it asks for more bytes. *)
+let drain_dec next =
+  let rec go acc =
+    match next () with
+    | P.Dec_frame (id, x) -> go ((id, x) :: acc)
+    | P.Dec_more -> Stdlib.Ok (List.rev acc)
+    | P.Dec_skip (_, msg) -> Stdlib.Error ("skip: " ^ msg)
+    | P.Dec_broken msg -> Stdlib.Error ("broken: " ^ msg)
+  in
+  go []
+
+let all_requests =
+  [ P.Ping; P.Stats; P.Kill 3; P.Get "k"; P.Set ("k", "v"); P.Del ""; P.Update ("k", -9);
+    P.Scan ("k\x00\xff", 17) ]
+
+let all_responses =
+  [ P.Pong; P.Ok; P.Value None; P.Value (Some "x y\n"); P.Deleted true; P.Deleted false;
+    P.Int (-1234567); P.Stats_reply [ ("served", 1) ]; P.Range [ ("a", "1"); ("b", "") ];
+    P.Error "boom" ]
+
+let test_bin_roundtrips () =
+  List.iteri
+    (fun i r ->
+      let id = if i mod 2 = 0 then Some (i * 1000) else None in
+      let dec = P.Bin.Decoder.create () in
+      P.Bin.Decoder.feed dec (buf_str (fun b -> P.Bin.encode_request b ~id r));
+      match P.Bin.Decoder.next_request dec with
+      | P.Dec_frame (id', r') ->
+          Alcotest.(check bool) (P.print_request r) true (id' = id && r' = r);
+          (match P.Bin.Decoder.next_request dec with
+          | P.Dec_more -> ()
+          | _ -> Alcotest.fail "trailing bytes after one frame")
+      | _ -> Alcotest.failf "no frame for %s" (P.print_request r))
+    all_requests;
+  List.iteri
+    (fun i r ->
+      let id = if i mod 2 = 1 then Some i else None in
+      let dec = P.Bin.Decoder.create () in
+      P.Bin.Decoder.feed dec (buf_str (fun b -> P.Bin.encode_response b ~id r));
+      match P.Bin.Decoder.next_response dec with
+      | P.Dec_frame (id', r') ->
+          Alcotest.(check bool) (P.print_response r) true (id' = id && r' = r)
+      | _ -> Alcotest.failf "no frame for %s" (P.print_response r))
+    all_responses
+
+let add_uvarint b n =
+  let rec go n =
+    if n < 0x80 then Buffer.add_char b (Char.chr n)
+    else begin
+      Buffer.add_char b (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go n
+
+(* Hand-build a frame so malformed headers/bodies are expressible. *)
+let raw_frame ?(magic = P.Bin.magic) ?(flags = 0) ?(reserved = 0) ~opcode ~id body =
+  buf_str (fun b ->
+      Buffer.add_char b (Char.chr magic);
+      Buffer.add_char b (Char.chr opcode);
+      Buffer.add_char b (Char.chr flags);
+      Buffer.add_char b (Char.chr reserved);
+      Buffer.add_char b (Char.chr ((id lsr 24) land 0xff));
+      Buffer.add_char b (Char.chr ((id lsr 16) land 0xff));
+      Buffer.add_char b (Char.chr ((id lsr 8) land 0xff));
+      Buffer.add_char b (Char.chr (id land 0xff));
+      add_uvarint b (String.length body);
+      Buffer.add_string b body)
+
+let test_bin_malformed () =
+  let ping = buf_str (fun b -> P.Bin.encode_request b ~id:(Some 7) P.Ping) in
+  (* Bad magic: the stream is untrusted — broken, not skipped. *)
+  let dec = P.Bin.Decoder.create () in
+  P.Bin.Decoder.feed dec "\x00rubbish";
+  (match P.Bin.Decoder.next_request dec with
+  | P.Dec_broken _ -> ()
+  | _ -> Alcotest.fail "bad magic must break the stream");
+  (* Oversized declared body: broken (we refuse to buffer it). *)
+  let dec = P.Bin.Decoder.create () in
+  let b = Buffer.create 16 in
+  Buffer.add_string b (String.sub ping 0 8);
+  add_uvarint b (P.max_frame + 1);
+  P.Bin.Decoder.feed dec (Buffer.contents b);
+  (match P.Bin.Decoder.next_request dec with
+  | P.Dec_broken _ -> ()
+  | _ -> Alcotest.fail "oversized body accepted");
+  (* Non-zero reserved byte: a length-intact frame — skipped, and the stream
+     resynchronizes on the next frame. *)
+  let dec = P.Bin.Decoder.create () in
+  P.Bin.Decoder.feed dec (raw_frame ~reserved:1 ~opcode:0x01 ~id:0 "" ^ ping);
+  (match P.Bin.Decoder.next_request dec with
+  | P.Dec_skip _ -> ()
+  | _ -> Alcotest.fail "reserved byte must skip");
+  (match P.Bin.Decoder.next_request dec with
+  | P.Dec_frame (Some 7, P.Ping) -> ()
+  | _ -> Alcotest.fail "stream must resynchronize after a skip");
+  (* Unknown opcode and short body: skipped, framing kept. *)
+  let dec = P.Bin.Decoder.create () in
+  P.Bin.Decoder.feed dec (raw_frame ~opcode:0x7f ~id:0 "junk" ^ ping);
+  (match P.Bin.Decoder.next_request dec with
+  | P.Dec_skip _ -> ()
+  | _ -> Alcotest.fail "unknown opcode must skip");
+  (match P.Bin.Decoder.next_request dec with
+  | P.Dec_frame (Some 7, P.Ping) -> ()
+  | _ -> Alcotest.fail "stream must resynchronize after unknown opcode");
+  (* GET body missing its key bytes: length-intact, skipped. *)
+  let dec = P.Bin.Decoder.create () in
+  P.Bin.Decoder.feed dec (raw_frame ~opcode:0x04 ~id:0 "\x05ab" ^ ping);
+  (match P.Bin.Decoder.next_request dec with
+  | P.Dec_skip _ -> ()
+  | _ -> Alcotest.fail "truncated segment must skip");
+  (* An incomplete frame is just Dec_more until the rest arrives. *)
+  let dec = P.Bin.Decoder.create () in
+  P.Bin.Decoder.feed dec (String.sub ping 0 5);
+  (match P.Bin.Decoder.next_request dec with
+  | P.Dec_more -> ()
+  | _ -> Alcotest.fail "partial frame must ask for more");
+  P.Bin.Decoder.feed dec (String.sub ping 5 (String.length ping - 5));
+  match P.Bin.Decoder.next_request dec with
+  | P.Dec_frame (Some 7, P.Ping) -> ()
+  | _ -> Alcotest.fail "completed frame must decode"
+
+let gen_opt_id = Q.Gen.(oneof [ return None; map (fun i -> Some i) (int_range 0 1_000_000) ])
+
+(* Binary frame streams, cut at arbitrary byte offsets, reassemble exactly. *)
+let gen_bin_stream =
+  let open Q.Gen in
+  let* reqs = list_size (int_range 0 8) (pair gen_opt_id gen_request) in
+  let stream =
+    String.concat ""
+      (List.map (fun (id, r) -> buf_str (fun b -> P.Bin.encode_request b ~id r)) reqs)
+  in
+  let* cuts = list_size (int_range 0 12) (int_range 0 (String.length stream)) in
+  return (reqs, stream, List.sort_uniq compare cuts)
+
+let feed_in_cuts feed stream cuts =
+  let prev = ref 0 in
+  List.iter
+    (fun cut ->
+      feed (String.sub stream !prev (cut - !prev));
+      prev := cut)
+    (cuts @ [ String.length stream ])
+
+let prop_bin_reassembles =
+  Q.Test.make ~name:"binary decoder reassembles arbitrarily split frame streams" ~count:300
+    ~print:(fun (reqs, _, cuts) ->
+      Printf.sprintf "%d frames, cuts at %s" (List.length reqs)
+        (String.concat "," (List.map string_of_int cuts)))
+    gen_bin_stream
+    (fun (reqs, stream, cuts) ->
+      let dec = P.Bin.Decoder.create () in
+      let got = ref [] in
+      let ok = ref true in
+      feed_in_cuts
+        (fun chunk ->
+          P.Bin.Decoder.feed dec chunk;
+          match drain_dec (fun () -> P.Bin.Decoder.next_request dec) with
+          | Ok frames -> got := !got @ frames
+          | Error _ -> ok := false)
+        stream cuts;
+      !ok && !got = reqs)
+
+(* Out-of-order tagged completion on the binary wire: responses framed in a
+   shuffled order still reassemble into the sent id->response mapping. *)
+let gen_bin_out_of_order =
+  let open Q.Gen in
+  let* resps = list_size (int_range 0 8) gen_response in
+  let tagged = List.mapi (fun id r -> (id, r)) resps in
+  let* swaps = list_size (int_range 0 16) (int_range 0 (max 1 (List.length tagged) - 1)) in
+  let arr = Array.of_list tagged in
+  List.iteri
+    (fun i j ->
+      if Array.length arr > 0 then begin
+        let i = i mod Array.length arr in
+        let t = arr.(i) in
+        arr.(i) <- arr.(j);
+        arr.(j) <- t
+      end)
+    swaps;
+  let stream =
+    String.concat ""
+      (List.map
+         (fun (id, r) -> buf_str (fun b -> P.Bin.encode_response b ~id:(Some id) r))
+         (Array.to_list arr))
+  in
+  let* cuts = list_size (int_range 0 10) (int_range 0 (String.length stream)) in
+  return (tagged, stream, List.sort_uniq compare cuts)
+
+let prop_bin_out_of_order =
+  Q.Test.make ~name:"binary out-of-order tagged responses reassemble by id" ~count:300
+    ~print:(fun (sent, _, cuts) ->
+      Printf.sprintf "%d responses, cuts at %s" (List.length sent)
+        (String.concat "," (List.map string_of_int cuts)))
+    gen_bin_out_of_order
+    (fun (sent, stream, cuts) ->
+      let dec = P.Resp_decoder.create P.Binary in
+      let got = ref [] in
+      let ok = ref true in
+      feed_in_cuts
+        (fun chunk ->
+          P.Resp_decoder.feed dec chunk;
+          match drain_dec (fun () -> P.Resp_decoder.next dec) with
+          | Ok frames -> got := !got @ frames
+          | Error _ -> ok := false)
+        stream cuts;
+      let parsed =
+        List.filter_map (function Some id, r -> Some (id, r) | None, _ -> None) !got
+      in
+      !ok
+      && List.length parsed = List.length sent
+      && List.for_all (fun (id, r) -> List.assoc_opt id parsed = Some r) sent)
+
+(* Sniff dispatch: the server-side decoder detects each connection's wire
+   from its first byte and decodes the same (id, request) sequence on
+   either framing. *)
+let gen_sniffed_conn =
+  let open Q.Gen in
+  let* wire = oneofl [ P.Text; P.Binary ] in
+  let* reqs = list_size (int_range 1 8) (pair gen_opt_id gen_request) in
+  let stream =
+    String.concat ""
+      (List.map (fun (id, r) -> buf_str (fun b -> P.encode_request_wire b wire ~id r)) reqs)
+  in
+  let* cuts = list_size (int_range 0 10) (int_range 0 (String.length stream)) in
+  return (wire, reqs, stream, List.sort_uniq compare cuts)
+
+let prop_sniff_dispatch =
+  Q.Test.make ~name:"Req_decoder sniffs text vs binary per connection" ~count:300
+    ~print:(fun (wire, reqs, _, _) ->
+      Printf.sprintf "%s, %d frames" (P.wire_name wire) (List.length reqs))
+    gen_sniffed_conn
+    (fun (wire, reqs, stream, cuts) ->
+      let dec = P.Req_decoder.create () in
+      let got = ref [] in
+      let ok = ref true in
+      feed_in_cuts
+        (fun chunk ->
+          P.Req_decoder.feed dec chunk;
+          match drain_dec (fun () -> P.Req_decoder.next dec) with
+          | Ok frames -> got := !got @ frames
+          | Error _ -> ok := false)
+        stream cuts;
+      !ok && P.Req_decoder.wire dec = Some wire && !got = reqs)
+
 let suite =
   [ Helpers.tc "request round-trips" test_request_roundtrips;
     Helpers.tc "id tagging" test_tagging;
@@ -366,7 +621,10 @@ let suite =
     Helpers.tc "decoder rejects garbage" test_decoder_rejects_garbage;
     Helpers.tc "chaos spec parses and round-trips" test_chaos_parse;
     Helpers.tc "loadgen mix parses" test_parse_mix;
-    Helpers.tc "json round-trips and tolerates absence" test_json_roundtrip ]
+    Helpers.tc "json round-trips and tolerates absence" test_json_roundtrip;
+    Helpers.tc "binary frames round-trip" test_bin_roundtrips;
+    Helpers.tc "binary malformed frames skip or break" test_bin_malformed ]
   @ List.map QCheck_alcotest.to_alcotest
       [ prop_request_roundtrip; prop_response_roundtrip; prop_decoder_reassembles;
-        prop_tagged_roundtrip; prop_out_of_order_tagged_reassembly ]
+        prop_tagged_roundtrip; prop_out_of_order_tagged_reassembly; prop_bin_reassembles;
+        prop_bin_out_of_order; prop_sniff_dispatch ]
