@@ -358,12 +358,26 @@ let serve_cmd =
           ~doc:"route GETs through the admission wrapper like mutations (default: answer them \
                 wait-free from the shard snapshot)")
   in
-  let run port workers k shards algo chaos duration admission_reads quiet =
+  let cluster_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "cluster" ] ~docv:"ADDRS"
+          ~doc:"join a cluster: comma-separated host:port list, identical on every node, with \
+                $(b,--shards) then the global shard count (shard s starts on node s mod n)")
+  in
+  let node_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "node" ] ~docv:"I" ~doc:"this node's index into the $(b,--cluster) list")
+  in
+  let run port workers k shards algo chaos duration admission_reads cluster node quiet =
     let log = if quiet then fun _ -> () else fun s -> print_endline s; flush stdout in
     match
       Kex_service.Server.run ?duration_s:duration
         { Kex_service.Server.port; workers; k; shards; algo; chaos;
-          wait_free_reads = not admission_reads; log }
+          wait_free_reads = not admission_reads;
+          cluster = Option.map (fun addrs -> (node, addrs)) cluster; log }
     with
     | () -> 0
     | exception Invalid_argument msg ->
@@ -376,7 +390,7 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ port_arg $ workers_arg $ k_arg $ shards_arg $ algo_arg $ chaos_arg
-      $ duration_arg $ admission_reads_arg $ quiet_arg)
+      $ duration_arg $ admission_reads_arg $ cluster_arg $ node_arg $ quiet_arg)
 
 (* ------------------------------- loadgen ---------------------------------- *)
 
@@ -466,30 +480,51 @@ let loadgen_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v4)")
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v5)")
+  in
+  let cluster_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "cluster" ] ~docv:"ADDRS"
+          ~doc:"cluster seed nodes (comma-separated host:port): bootstrap the routing table \
+                with TOPO from any of them, follow MOVED redirects, refresh on node loss")
+  in
+  let expect_dead_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "expect-dead" ] ~docv:"ADDRS"
+          ~doc:"nodes expected to die mid-run (kill-node chaos): their errors are expected \
+                and exempt from $(b,--fail-on-errors)")
   in
   let fail_on_errors_arg =
     Arg.(
       value & flag
-      & info [ "fail-on-errors" ] ~doc:"exit 1 if any request failed (CI resilience assertion)")
+      & info [ "fail-on-errors" ]
+          ~doc:"exit 1 if any request failed (CI resilience assertion); errors attributed to \
+                $(b,--expect-dead) nodes are exempt")
   in
   let run host port connections duration mix keys dist value_size value_size_max scan_len wire
-      seed timeout pipeline phase_marks json fail_on_errors quiet =
+      seed timeout pipeline phase_marks json cluster expect_dead fail_on_errors quiet =
     let cfg =
       { Kex_service.Loadgen.host; port; connections; duration_s = duration; mix; keys; dist;
         value_size; value_size_max; scan_len; seed; timeout_s = timeout; pipeline; wire;
-        phase_marks }
+        phase_marks; cluster; expect_dead }
     in
     match Kex_service.Loadgen.run cfg with
     | summary ->
         if not quiet then Format.printf "%a" Kex_service.Loadgen.pp_summary summary;
         Option.iter (fun file -> Kex_service.Loadgen.emit_json ~file cfg summary) json;
+        let unexpected =
+          summary.Kex_service.Loadgen.errors - summary.Kex_service.Loadgen.expected_errors
+        in
         if summary.Kex_service.Loadgen.requests <= summary.Kex_service.Loadgen.errors then begin
           Format.eprintf "kexd loadgen: no request succeeded — is the server up?@.";
           1
         end
-        else if fail_on_errors && summary.Kex_service.Loadgen.errors > 0 then begin
-          Format.eprintf "kexd loadgen: %d failed requests@." summary.Kex_service.Loadgen.errors;
+        else if fail_on_errors && unexpected > 0 then begin
+          Format.eprintf "kexd loadgen: %d unexpected failed requests@." unexpected;
           1
         end
         else 0
@@ -501,7 +536,8 @@ let loadgen_cmd =
     Term.(
       const run $ host_arg $ port_arg $ conns_arg $ duration_arg $ mix_arg $ keys_arg
       $ dist_arg $ value_size_arg $ value_size_max_arg $ scan_len_arg $ wire_arg $ lg_seed_arg
-      $ timeout_arg $ pipeline_arg $ phase_marks_arg $ json_arg $ fail_on_errors_arg $ quiet_arg)
+      $ timeout_arg $ pipeline_arg $ phase_marks_arg $ json_arg $ cluster_arg $ expect_dead_arg
+      $ fail_on_errors_arg $ quiet_arg)
 
 (* ------------------------------ serve-sweep ------------------------------- *)
 
@@ -587,12 +623,13 @@ let serve_sweep_cmd =
          into shard 0 — the per-shard resilience experiment. *)
       let chaos =
         List.init kills (fun i ->
-            { Kex_service.Chaos.at_s = kill_at +. (0.05 *. float_of_int i); target = None })
+            { Kex_service.Chaos.at_s = kill_at +. (0.05 *. float_of_int i);
+              action = Kex_service.Chaos.Kill_worker; target = None })
       in
       let server =
         Kex_service.Server.start
           { Kex_service.Server.port = 0; workers; k; shards; algo; chaos; wait_free_reads;
-            log = (fun _ -> ()) }
+            cluster = None; log = (fun _ -> ()) }
       in
       let cfg =
         { Kex_service.Loadgen.host = "127.0.0.1";
@@ -609,7 +646,9 @@ let serve_sweep_cmd =
           timeout_s = 5.;
           pipeline;
           wire = Kex_service.Protocol.Text;
-          phase_marks = (if kills > 0 then [ kill_at ] else []) }
+          phase_marks = (if kills > 0 then [ kill_at ] else []);
+          cluster = [];
+          expect_dead = [] }
       in
       let summary = Kex_service.Loadgen.run cfg in
       Kex_service.Server.stop server;
@@ -705,7 +744,7 @@ let serve_sweep_cmd =
         let server =
           Kex_service.Server.start
             { Kex_service.Server.port = 0; workers; k; shards = rp_shards; algo; chaos = [];
-              wait_free_reads = true; log = (fun _ -> ()) }
+              wait_free_reads = true; cluster = None; log = (fun _ -> ()) }
         in
         let value = String.make (max 1 value_size) 'v' in
         Kex_service.Server.preload server
@@ -728,7 +767,9 @@ let serve_sweep_cmd =
                   timeout_s = 5.;
                   pipeline = rp_pipeline;
                   wire;
-                  phase_marks = [] }
+                  phase_marks = [];
+                  cluster = [];
+                  expect_dead = [] }
               in
               let s = Kex_service.Loadgen.run cfg in
               if not quiet then
@@ -858,6 +899,274 @@ let serve_sweep_cmd =
       const run $ shards_list_arg $ pipeline_list_arg $ workers_arg $ k_arg $ algo_arg
       $ conns_arg $ duration_arg $ keys_arg $ value_size_arg $ seed_arg $ kills_arg
       $ wire_keys_arg $ json_arg $ fail_on_errors_arg $ quiet_arg)
+
+(* ----------------------------- cluster-sweep ------------------------------ *)
+
+let cluster_sweep_cmd =
+  let doc = "measure the multi-node cluster: node-count scaling, live migration, node kill" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "For every N in $(b,--nodes-list), stands up an in-process shared-nothing cluster of \
+         N kexd nodes over $(b,--shards) global shards (shard s starts on node s mod N, \
+         epoch 1) and drives it with the cluster-aware load generator — clients bootstrap \
+         the routing table with TOPO, route keys to shard owners and follow MOVED \
+         redirects — at pipeline depth $(b,--pipeline) over the binary wire.  Then two \
+         2-node resilience cells: $(b,migration), where shard 0 is handed off live between \
+         nodes halfway through (bulk snapshot, fence + drain, delta + epoch bump) and zero \
+         client-visible errors asserts that no acknowledged write was lost; and $(b,kill), \
+         where one node is crashed abruptly mid-run (kill-node chaos) and its shards are \
+         reassigned to the survivor shortly after — errors on the dead node are expected \
+         and separately counted, while a single error on a surviving shard fails \
+         $(b,--fail-on-errors).  Writes the kexclusion-serve/v5 record with the scaling \
+         cells under $(b,cluster), the resilience cells under $(b,migration)/$(b,kill) and \
+         the max-N scaling cell as the headline $(b,totals)." ]
+  in
+  let nodes_list_arg =
+    Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "nodes-list" ] ~doc:"cluster sizes to sweep")
+  in
+  let workers_arg =
+    Arg.(value & opt int 2 & info [ "workers"; "w" ] ~doc:"worker domains per shard per node")
+  in
+  let k_arg =
+    Arg.(value & opt int 2 & info [ "k"; "degree" ] ~doc:"per-shard admission bound (k <= workers)")
+  in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards"; "s" ] ~doc:"global shard count (spread over nodes)")
+  in
+  let pipeline_arg =
+    Arg.(value & opt int 16 & info [ "pipeline" ] ~docv:"W" ~doc:"requests in flight per client")
+  in
+  let conns_arg = Arg.(value & opt int 4 & info [ "connections"; "c" ] ~doc:"client domains") in
+  let duration_arg =
+    Arg.(value & opt float 2. & info [ "duration" ] ~docv:"S" ~doc:"seconds of load per cell")
+  in
+  let keys_arg = Arg.(value & opt int 64 & info [ "keys" ] ~doc:"keyspace size") in
+  let value_size_arg = Arg.(value & opt int 16 & info [ "value-size" ] ~doc:"SET payload bytes") in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed") in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-serve/v5 sweep record")
+  in
+  let fail_on_errors_arg =
+    Arg.(
+      value & flag
+      & info [ "fail-on-errors" ]
+          ~doc:"exit 1 if any surviving-shard cell saw a failed request (CI resilience \
+                assertion); the kill cell's dead-node errors are expected and exempt")
+  in
+  let run nodes_list workers k shards pipeline connections duration keys value_size seed json
+      fail_on_errors quiet =
+    let mix = [ ("get", 70); ("set", 20); ("update", 10) ] in
+    (* An in-process N-node cluster on ephemeral ports: start every node
+       cluster-less, read the ports back, then hand every node the shared
+       address list — the same deterministic bootstrap real deployments
+       compute from a fixed --cluster flag. *)
+    let start_cluster ?(chaos = fun _ -> []) n =
+      let servers =
+        List.init n (fun i ->
+            Kex_service.Server.start
+              { Kex_service.Server.port = 0; workers; k; shards;
+                algo = Kex_runtime.Kex_lock.Fast_path; chaos = chaos i;
+                wait_free_reads = true; cluster = None; log = (fun _ -> ()) })
+      in
+      let addrs =
+        List.map (fun s -> Printf.sprintf "127.0.0.1:%d" (Kex_service.Server.port s)) servers
+      in
+      List.iteri (fun i s -> Kex_service.Server.enable_cluster s ~node:i ~addrs) servers;
+      (servers, addrs)
+    in
+    let lg_cfg ~addrs ~expect_dead ~marks =
+      { Kex_service.Loadgen.host = "127.0.0.1";
+        port = 0;
+        connections;
+        duration_s = duration;
+        mix;
+        keys;
+        dist = Kex_service.Keydist.Uniform;
+        value_size;
+        value_size_max = 0;
+        scan_len = 16;
+        seed;
+        timeout_s = 5.;
+        pipeline;
+        wire = Kex_service.Protocol.Binary;
+        phase_marks = marks;
+        cluster = addrs;
+        expect_dead }
+    in
+    let print_cell label (s : Kex_service.Loadgen.summary) =
+      if not quiet then
+        Format.printf
+          "%-12s (S=%d W=%d) %9d req %6d err (%d expected) %6d redirects %12.0f req/s  p99 %6d \
+           us@."
+          label shards pipeline s.Kex_service.Loadgen.requests s.Kex_service.Loadgen.errors
+          s.Kex_service.Loadgen.expected_errors s.Kex_service.Loadgen.redirects
+          s.Kex_service.Loadgen.throughput_rps s.Kex_service.Loadgen.p99_us
+    in
+    (* Node-count scaling cells. *)
+    let cells =
+      Stdlib.List.map
+        (fun n ->
+          let servers, addrs = start_cluster n in
+          let s = Kex_service.Loadgen.run (lg_cfg ~addrs ~expect_dead:[] ~marks:[]) in
+          Stdlib.List.iter Kex_service.Server.stop servers;
+          print_cell (Printf.sprintf "nodes=%d" n) s;
+          (n, s))
+        nodes_list
+    in
+    (* Migration under load: shard 0 moves from node 0 to node 1 halfway
+       through.  Zero client-visible errors here is the zero-lost-acks
+       assertion: every write acknowledged before the fence is in the bulk
+       or delta shipment, none is acknowledged during it, and blocked
+       clients wake to a MOVED naming the new owner. *)
+    let migration_cell =
+      let servers, addrs = start_cluster 2 in
+      let src = Stdlib.List.nth servers 0 and dst_addr = Stdlib.List.nth addrs 1 in
+      let mig_result = ref (Error "migration thread never ran") in
+      let mig_thread =
+        Thread.create
+          (fun () ->
+            Thread.delay (duration /. 2.);
+            mig_result := Kex_service.Server.handoff src ~shard:0 ~addr:dst_addr)
+          ()
+      in
+      let s = Kex_service.Loadgen.run (lg_cfg ~addrs ~expect_dead:[] ~marks:[ duration /. 2. ]) in
+      Thread.join mig_thread;
+      Stdlib.List.iter Kex_service.Server.stop servers;
+      print_cell "migration" s;
+      (match !mig_result with
+      | Ok () -> ()
+      | Error msg -> Format.eprintf "kexd cluster-sweep: migration failed: %s@." msg);
+      (s, !mig_result)
+    in
+    (* Node kill + failover: node 1 crashes abruptly mid-run (kill-node
+       chaos); its shards fail fast at clients — expected errors — until
+       the survivor adopts them at a successor epoch and routing converges
+       back to full coverage.  Surviving shards must not see one error. *)
+    let kill_cell =
+      let kill_at = duration /. 2. and adopt_at = duration *. 0.65 in
+      let chaos i =
+        if i = 1 then
+          [ { Kex_service.Chaos.at_s = kill_at; action = Kex_service.Chaos.Kill_node;
+              target = None } ]
+        else []
+      in
+      let servers, addrs = start_cluster ~chaos 2 in
+      let survivor = Stdlib.List.nth servers 0 and dead_addr = Stdlib.List.nth addrs 1 in
+      let adopt_thread =
+        Thread.create
+          (fun () ->
+            Thread.delay adopt_at;
+            for shard = 0 to shards - 1 do
+              if shard mod 2 = 1 then
+                match Kex_service.Server.adopt survivor ~shard with
+                | Ok () -> ()
+                | Error msg ->
+                    Format.eprintf "kexd cluster-sweep: adopt shard %d: %s@." shard msg
+            done)
+          ()
+      in
+      let s =
+        Kex_service.Loadgen.run
+          (lg_cfg ~addrs ~expect_dead:[ dead_addr ] ~marks:[ kill_at; adopt_at ])
+      in
+      Thread.join adopt_thread;
+      Stdlib.List.iter Kex_service.Server.stop servers;
+      print_cell "kill-node" s;
+      (s, dead_addr)
+    in
+    let headline =
+      Stdlib.List.fold_left
+        (fun acc (n, s) -> match acc with Some (n', _) when n' >= n -> acc | _ -> Some (n, s))
+        None cells
+    in
+    (match (json, headline) with
+    | Some file, Some (hn, hsum) ->
+        let open Kex_service.Json in
+        let base (s : Kex_service.Loadgen.summary) =
+          [ ("shards", Int shards);
+            ("pipeline", Int pipeline);
+            ("requests", Int s.requests);
+            ("errors", Int s.errors);
+            ("expected_errors", Int s.expected_errors);
+            ("redirects", Int s.redirects);
+            ("throughput_rps", Float s.throughput_rps);
+            ("p50_us", Int s.p50_us);
+            ("p99_us", Int s.p99_us) ]
+        in
+        let mig_sum, mig_result = migration_cell in
+        let kill_sum, dead_addr = kill_cell in
+        let doc =
+          Obj
+            [ ("schema", String "kexclusion-serve/v5");
+              ("git_rev", String (Kex_service.Provenance.git_rev ()));
+              ("hostname", String (Kex_service.Provenance.hostname ()));
+              ("ocaml", String Sys.ocaml_version);
+              ( "config",
+                Obj
+                  [ ("workers", Int workers);
+                    ("k", Int k);
+                    ("shards", Int shards);
+                    ("pipeline", Int pipeline);
+                    ("nodes", Int hn);
+                    ("connections", Int connections);
+                    ("duration_s", Float duration);
+                    ("mix", String (Kex_service.Loadgen.mix_to_string mix));
+                    ("keys", Int keys);
+                    ("value_size", Int value_size);
+                    ("seed", Int seed) ] );
+              ("totals", Kex_service.Loadgen.summary_json hsum);
+              ( "cluster",
+                List
+                  (Stdlib.List.map
+                     (fun (n, s) -> Obj (("nodes", Int n) :: base s))
+                     cells) );
+              ( "migration",
+                Obj
+                  (("nodes", Int 2) :: ("shard", Int 0)
+                  :: ("ok", Int (match mig_result with Ok () -> 1 | Error _ -> 0))
+                  :: base mig_sum) );
+              ( "kill",
+                Obj (("nodes", Int 2) :: ("dead", String dead_addr) :: base kill_sum) ) ]
+        in
+        let oc = open_out file in
+        output_string oc (to_string ~indent:2 doc);
+        output_char oc '\n';
+        close_out oc
+    | _ -> ());
+    let mig_sum, mig_result = migration_cell in
+    let kill_sum, _ = kill_cell in
+    let all_summaries = Stdlib.List.map snd cells @ [ mig_sum; kill_sum ] in
+    let no_successes =
+      Stdlib.List.exists
+        (fun (s : Kex_service.Loadgen.summary) -> s.requests <= s.errors)
+        all_summaries
+    in
+    let unexpected =
+      Stdlib.List.fold_left
+        (fun acc (s : Kex_service.Loadgen.summary) -> acc + s.errors - s.expected_errors)
+        0 all_summaries
+    in
+    if no_successes then begin
+      Format.eprintf "kexd cluster-sweep: a cell had no successful request@.";
+      1
+    end
+    else if mig_result <> Ok () then 1
+    else if fail_on_errors && unexpected > 0 then begin
+      Format.eprintf "kexd cluster-sweep: %d unexpected failed requests across the cells@."
+        unexpected;
+      1
+    end
+    else 0
+  in
+  Cmd.v (Cmd.info "cluster-sweep" ~doc ~man)
+    Term.(
+      const run $ nodes_list_arg $ workers_arg $ k_arg $ shards_arg $ pipeline_arg $ conns_arg
+      $ duration_arg $ keys_arg $ value_size_arg $ seed_arg $ json_arg $ fail_on_errors_arg
+      $ quiet_arg)
 
 (* -------------------------------- lint ----------------------------------- *)
 
@@ -1012,7 +1321,7 @@ let lint_cmd =
 (* ----------------------------- bench-report ------------------------------- *)
 
 let bench_report_cmd =
-  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve v1-v4, sweep schemas)" in
+  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve v1-v5, sweep schemas)" in
   let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let require_zero_errors_arg =
     Arg.(value & flag & info [ "require-zero-errors" ] ~doc:"exit 1 unless the record has 0 errors")
@@ -1125,6 +1434,36 @@ let bench_report_cmd =
                   (Option.value (member_int "p50_us" cell) ~default:0)
                   (Option.value (member_int "p99_us" cell) ~default:0))
               (member_list "wire" doc);
+            (* v5 cluster cells (node-count scaling + migration + kill);
+               absent from v1-v4 records. *)
+            let pp_cluster_cell label cell =
+              Format.printf
+                "  %-11s S=%d W=%d  %8d req %5d err (%d expected) %5d redirects  %9.0f req/s  \
+                 p99 %6d us@."
+                label
+                (Option.value (member_int "shards" cell) ~default:0)
+                (Option.value (member_int "pipeline" cell) ~default:0)
+                (Option.value (member_int "requests" cell) ~default:0)
+                (Option.value (member_int "errors" cell) ~default:0)
+                (Option.value (member_int "expected_errors" cell) ~default:0)
+                (Option.value (member_int "redirects" cell) ~default:0)
+                (Option.value (member_number "throughput_rps" cell) ~default:0.)
+                (Option.value (member_int "p99_us" cell) ~default:0)
+            in
+            List.iter
+              (fun cell ->
+                pp_cluster_cell
+                  (Printf.sprintf "nodes=%d" (Option.value (member_int "nodes" cell) ~default:0))
+                  cell)
+              (member_list "cluster" doc);
+            Option.iter
+              (fun cell ->
+                pp_cluster_cell
+                  (if Option.value (member_int "ok" cell) ~default:0 = 1 then "migration"
+                   else "migration!?")
+                  cell)
+              (member "migration" doc);
+            Option.iter (fun cell -> pp_cluster_cell "kill-node" cell) (member "kill" doc);
             errors
           end
           else begin
@@ -1189,4 +1528,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ run_cmd; sweep_cmd; verify_cmd; hunt_cmd; lint_cmd; serve_cmd; loadgen_cmd;
-            serve_sweep_cmd; bench_report_cmd ]))
+            serve_sweep_cmd; cluster_sweep_cmd; bench_report_cmd ]))

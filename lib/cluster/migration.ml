@@ -1,0 +1,53 @@
+(* Pure helpers for live shard migration: computing the fenced delta between
+   two snapshots of the same shard, and slicing change lists into bounded
+   wire chunks.
+
+   The migration protocol (driven by the server) is: ship a bulk snapshot of
+   the shard while it keeps serving, then fence its submission ring, drain
+   in-flight batches, and ship only the *difference* between the bulk
+   snapshot and the now-quiescent state.  Both snapshots come from
+   [Kv_store.read_versioned] and are sorted by key, so the diff is one
+   linear merge. *)
+
+(* A change is (key, Some v) = set, (key, None) = delete — the Mig_import
+   payload alphabet. *)
+
+let diff ~before ~after =
+  let rec go before after acc =
+    match (before, after) with
+    | [], [] -> List.rev acc
+    | [], (k, v) :: after -> go [] after ((k, Some v) :: acc)
+    | (k, _) :: before, [] -> go before [] ((k, None) :: acc)
+    | ((kb, vb) :: before' as before), ((ka, va) :: after' as after) ->
+        let c = compare kb ka in
+        if c < 0 then go before' after ((kb, None) :: acc)
+        else if c > 0 then go before after' ((ka, Some va) :: acc)
+        else go before' after' (if String.equal vb va then acc else (ka, Some va) :: acc)
+  in
+  go before after []
+
+module Smap = Map.Make (String)
+
+let apply ~before changes =
+  let m =
+    List.fold_left
+      (fun m (k, v) -> match v with Some v -> Smap.add k v m | None -> Smap.remove k m)
+      (Smap.of_seq (List.to_seq before))
+      changes
+  in
+  Smap.bindings m
+
+let chunks ~max items =
+  if max < 1 then invalid_arg "Migration.chunks: max must be positive";
+  let rec split n acc = function
+    | rest when n = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> split (n - 1) (x :: acc) rest
+  in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | items ->
+        let chunk, rest = split max [] items in
+        go (chunk :: acc) rest
+  in
+  go [] items

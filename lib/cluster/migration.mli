@@ -1,0 +1,26 @@
+(** Pure helpers for live shard migration.
+
+    A change is [(key, Some v)] = set, [(key, None)] = delete — the
+    [Mig_import] payload alphabet.  The server ships a shard as a bulk
+    snapshot while it keeps serving, then fences it, drains in-flight
+    batches, and ships {!diff} of the bulk snapshot against the quiescent
+    state as the final chunk. *)
+
+val diff :
+  before:(string * string) list ->
+  after:(string * string) list ->
+  (string * string option) list
+(** The change list turning [before] into [after].  Both inputs must be
+    sorted by key (what [Kv_store.read_versioned] returns); the output is
+    sorted by key, one linear merge.  Unchanged bindings are omitted. *)
+
+val apply :
+  before:(string * string) list ->
+  (string * string option) list ->
+  (string * string) list
+(** Apply a change list to sorted bindings; the test oracle for [diff]:
+    [apply ~before (diff ~before ~after) = after]. *)
+
+val chunks : max:int -> 'a list -> 'a list list
+(** Slice into consecutive chunks of at most [max] items (order kept), so a
+    bulk transfer never builds one frame near [max_frame]. *)

@@ -74,6 +74,26 @@ let fetch_add t ~pid ~key delta =
 
 let perform_batch t ~pid ops = Resilient.perform_batch t ~pid ops
 
+(* Bulk import for shard migration: apply (key, value option) changes in
+   order, <= 512 linearized ops per admission entry (same batching as the
+   service's preload).  [Some v] sets, [None] deletes. *)
+let apply_changes t ~pid changes =
+  let to_op (key, v) = match v with Some v -> Set (key, v) | None -> Delete key in
+  let rec go = function
+    | [] -> ()
+    | changes ->
+        let rec split n acc rest =
+          match rest with
+          | _ when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | c :: rest -> split (n - 1) (to_op c :: acc) rest
+        in
+        let batch, rest = split 512 [] changes in
+        ignore (Resilient.perform_batch t ~pid batch);
+        go rest
+  in
+  go changes
+
 let size t = Smap.cardinal (Resilient.peek t)
 let snapshot t = Smap.bindings (Resilient.peek t)
 let operations t = Resilient.operations t

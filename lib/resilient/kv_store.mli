@@ -62,6 +62,13 @@ val perform_batch : t -> pid:int -> op list -> result list
 (** Linearize each op in order through {e one} (N,k)-assignment entry —
     see {!Resilient.perform_batch}. *)
 
+val apply_changes : t -> pid:int -> (string * string option) list -> unit
+(** Bulk import for shard migration: apply changes in order ([Some v] =
+    set, [None] = delete), batched <= 512 ops per admission entry.  Like
+    [Server.preload], borrowing [pid] is only safe while no other traffic
+    uses it — migration destinations satisfy this because an unowned shard
+    receives no client mutations. *)
+
 val size : t -> int
 val snapshot : t -> (string * string) list
 (** Committed bindings, sorted by key (linearized read, no slot needed). *)

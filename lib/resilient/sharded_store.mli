@@ -18,6 +18,11 @@ val shard : t -> int -> Kv_store.t
 val shard_of_key : t -> string -> int
 (** Deterministic (FNV-1a) key-to-shard routing. *)
 
+val hash_key : string -> int
+(** The raw FNV-1a key hash behind {!shard_of_key}, exposed so cluster
+    clients and the routing layer compute the same shard ids without a
+    store in hand. *)
+
 val set : t -> pid:int -> key:string -> string -> unit
 val get : t -> pid:int -> key:string -> string option
 

@@ -1,9 +1,13 @@
-type event = { at_s : float; target : int option }
+type action = Kill_worker | Kill_node
+
+type event = { at_s : float; action : action; target : int option }
+
+let action_to_string = function Kill_worker -> "kill-worker" | Kill_node -> "kill-node"
 
 let event_to_string e =
   let target = match e.target with None -> "" | Some w -> Printf.sprintf ":%d" w in
   (* %g keeps "5" as "5", not "5." *)
-  Printf.sprintf "kill-worker%s@%gs" target e.at_s
+  Printf.sprintf "%s%s@%gs" (action_to_string e.action) target e.at_s
 
 let to_string events = String.concat "," (List.map event_to_string events)
 
@@ -26,17 +30,23 @@ let parse_event s =
             ( String.sub action 0 c,
               match int_of_string_opt w with
               | Some w when w >= 0 -> Ok (Some w)
-              | _ -> Error (Printf.sprintf "chaos event %S: bad worker index %S" s w) )
+              | _ -> Error (Printf.sprintf "chaos event %S: bad target index %S" s w) )
       in
-      if action <> "kill-worker" then
-        Error (Printf.sprintf "chaos event %S: unknown action %S (only kill-worker)" s action)
-      else
-        match (target, float_of_string_opt time) with
-        | Error e, _ -> Error e
-        | Ok _, None -> Error (Printf.sprintf "chaos event %S: bad time %S" s time)
-        | Ok _, Some at_s when at_s < 0. ->
-            Error (Printf.sprintf "chaos event %S: negative time" s)
-        | Ok target, Some at_s -> Ok { at_s; target }
+      let action =
+        match action with
+        | "kill-worker" -> Ok Kill_worker
+        | "kill-node" -> Ok Kill_node
+        | _ ->
+            Error
+              (Printf.sprintf "chaos event %S: unknown action %S (kill-worker | kill-node)" s
+                 action)
+      in
+      match (action, target, float_of_string_opt time) with
+      | Error e, _, _ | _, Error e, _ -> Error e
+      | Ok _, Ok _, None -> Error (Printf.sprintf "chaos event %S: bad time %S" s time)
+      | Ok _, Ok _, Some at_s when at_s < 0. ->
+          Error (Printf.sprintf "chaos event %S: negative time" s)
+      | Ok action, Ok target, Some at_s -> Ok { at_s; action; target }
 
 let parse spec =
   if String.trim spec = "" then Ok []

@@ -4,11 +4,20 @@
     {[
       kill-worker@5s            (* kill the lowest-index live worker at t=5s *)
       kill-worker:2@1.5s        (* kill worker 2 at t=1.5s *)
+      kill-node@3s              (* crash the whole node (cluster mode) at t=3s *)
       kill-worker@5s,kill-worker@10s
     ]} *)
 
+type action =
+  | Kill_worker  (** crash one worker inside its (N,k) admission cell *)
+  | Kill_node
+      (** crash the whole process abruptly: the listener and every live
+          connection are torn down with nothing drained — the unit of
+          failure the cluster layer must survive *)
+
 type event = {
   at_s : float;  (** seconds after server start *)
+  action : action;
   target : int option;  (** specific worker, or [None] = next live one *)
 }
 

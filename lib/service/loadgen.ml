@@ -38,6 +38,8 @@ type config = {
   pipeline : int;  (* requests in flight per connection; 1 = v1 contract *)
   wire : Protocol.wire;
   phase_marks : float list;  (* split [0..duration] for per-phase stats *)
+  cluster : string list;  (* seed node addrs; non-empty switches on routing *)
+  expect_dead : string list;  (* addrs whose errors are expected (kill-node) *)
 }
 
 let default_config =
@@ -55,7 +57,9 @@ let default_config =
     timeout_s = 2.;
     pipeline = 1;
     wire = Protocol.Text;
-    phase_marks = [] }
+    phase_marks = [];
+    cluster = [];
+    expect_dead = [] }
 
 let op_kinds = [ "get"; "set"; "del"; "update"; "rmw"; "scan" ]
 let n_kinds = List.length op_kinds
@@ -119,20 +123,29 @@ let samples_push s ~t_off_ms ~lat_us ~kind ~ok =
 
 exception Req_failed of string
 
-let connect cfg =
+let connect_to cfg ~host ~port =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   match
     (try
        Unix.setsockopt_float fd Unix.SO_RCVTIMEO cfg.timeout_s;
        Unix.setsockopt fd Unix.TCP_NODELAY true
      with Unix.Unix_error _ -> ());
-    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string cfg.host, cfg.port) in
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
     Unix.connect fd addr
   with
   | () -> fd
   | exception e ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
       raise e
+
+let connect cfg = connect_to cfg ~host:cfg.host ~port:cfg.port
+
+(* Reconnect backoff: a refused connect (server down) fails instantly, so
+   without a pause a dead server turns the client into a busy loop of
+   errors.  The delay starts at 50 ms and doubles to a 2 s cap; any
+   successful connect resets it. *)
+let backoff_init = 0.05
+let backoff_cap = 2.0
 
 (* Send one framed request and block for its framed response. *)
 let roundtrip cfg fd (dec : Protocol.Resp_decoder.t) out req =
@@ -231,6 +244,7 @@ let sync_loop cfg ~t0 ~conn_id samples =
   let deadline = t0 +. cfg.duration_s in
   let out = Buffer.create 256 in
   let conn = ref None in
+  let backoff = ref backoff_init in
   let get_conn () =
     match !conn with
     | Some c -> c
@@ -238,6 +252,7 @@ let sync_loop cfg ~t0 ~conn_id samples =
         let fd = connect cfg in
         let c = (fd, Protocol.Resp_decoder.create cfg.wire) in
         conn := Some c;
+        backoff := backoff_init;
         c
   in
   let connected () = !conn <> None in
@@ -264,11 +279,12 @@ let sync_loop cfg ~t0 ~conn_id samples =
       | Protocol.Error _ -> false
       | _resp -> true
       | exception (Req_failed _ | Unix.Unix_error _) ->
-          (* A refused connect (server down) fails instantly — back off so a
-             dead server yields an error *rate*, not a busy loop. *)
           let failed_to_connect = not (connected ()) in
           drop_conn ();
-          if failed_to_connect then Thread.delay 0.05;
+          if failed_to_connect then begin
+            Thread.delay !backoff;
+            backoff := Float.min (!backoff *. 2.) backoff_cap
+          end;
           false
     in
     samples_push samples
@@ -375,6 +391,7 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
         raise (Req_failed "timeout")
     | exception Unix.Unix_error (e, _, _) -> raise (Req_failed (Unix.error_message e))
   in
+  let backoff = ref backoff_init in
   while Unix.gettimeofday () < deadline do
     match
       let fd, dec =
@@ -384,6 +401,7 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
             let fd = connect cfg in
             let c = (fd, Protocol.Resp_decoder.create cfg.wire) in
             conn := Some c;
+            backoff := backoff_init;
             c
       in
       fill fd;
@@ -393,7 +411,10 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
     | exception (Req_failed _ | Unix.Unix_error _) ->
         let failed_to_connect = !conn = None in
         drop_conn ();
-        if failed_to_connect then Thread.delay 0.05
+        if failed_to_connect then begin
+          Thread.delay !backoff;
+          backoff := Float.min (!backoff *. 2.) backoff_cap
+        end
   done;
   (* Deadline: give responses already on the wire one timeout to land, then
      charge whatever never came back as errors. *)
@@ -408,8 +429,360 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
        with Req_failed _ | Unix.Unix_error _ -> ()));
   drop_conn ()
 
-let client_loop cfg ~t0 ~conn_id samples =
-  if cfg.pipeline <= 1 then sync_loop cfg ~t0 ~conn_id samples
+(* ----------------------------- cluster client ---------------------------- *)
+
+(* Cluster mode ([cluster] non-empty): the client holds the epoch-versioned
+   routing table — bootstrapped with TOPO from any seed node — routes every
+   key to its shard's owner, follows MOVED redirects (adopting any strictly
+   newer epoch it learns, so it chases at most one redirect per epoch), and
+   refreshes the table whenever a node stops answering.  Each connection
+   keeps at most [pipeline] tagged requests in flight *across all nodes*;
+   per-node sockets reconnect with the exponential backoff above, so a
+   killed node yields a bounded error rate while its shards are down and
+   full throughput again once they are reassigned.
+
+   Errors are attributed to the node they were routed to; errors on nodes
+   listed in [expect_dead] are additionally counted as *expected* — the
+   kill-node experiment's way of asserting "dead shards may time out, but
+   surviving shards must not fail". *)
+
+module Routing = Kex_cluster.Routing
+
+type cluster_stats = {
+  mutable cs_redirects : int;  (* MOVED replies followed *)
+  mutable cs_expected : int;  (* errors attributed to expect_dead nodes *)
+  cs_node_errors : (string, int ref) Hashtbl.t;  (* addr -> error count *)
+}
+
+let cluster_stats_create () =
+  { cs_redirects = 0; cs_expected = 0; cs_node_errors = Hashtbl.create 8 }
+
+let parse_addr addr =
+  match String.rindex_opt addr ':' with
+  | None -> None
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      match int_of_string_opt (String.sub addr (i + 1) (String.length addr - i - 1)) with
+      | Some port when port > 0 && port < 65536 -> Some (host, port)
+      | _ -> None)
+
+(* One TOPO exchange on a throwaway connection (interleaving it into a
+   pipelined stream would need its own id bookkeeping for no benefit).
+   Returns the table iff the node answered with a complete one. *)
+let fetch_topo cfg addr =
+  match parse_addr addr with
+  | None -> None
+  | Some (host, port) -> (
+      match connect_to cfg ~host ~port with
+      | exception (Unix.Unix_error _ | Failure _) -> None
+      | fd ->
+          let dec = Protocol.Resp_decoder.create cfg.wire in
+          let out = Buffer.create 64 in
+          let res =
+            match roundtrip cfg fd dec out Protocol.Topo with
+            | Protocol.Topo_reply (epoch, entries) when entries <> [] ->
+                let shards = List.length entries in
+                let owners = Array.make shards "" in
+                List.iter
+                  (fun (s, a) -> if s >= 0 && s < shards then owners.(s) <- a)
+                  entries;
+                if Array.exists (fun a -> a = "") owners then None else Some (epoch, entries, owners)
+            | _ -> None
+            | exception (Req_failed _ | Unix.Unix_error _) -> None
+          in
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          res)
+
+(* Per-node connection state.  [cn_retry_at]/[cn_backoff] implement the
+   reconnect backoff; while a node is inside its backoff window, requests
+   routed to it fail fast instead of re-attempting the refused connect. *)
+type cconn = {
+  cc_fd : Unix.file_descr;
+  cc_dec : Protocol.Resp_decoder.t;
+  mutable cc_last_rx : float;  (* progress stamp for the request timeout *)
+}
+
+type cnode = {
+  cn_addr : string;
+  cn_host : string;
+  cn_port : int;
+  mutable cn_conn : cconn option;
+  cn_inflight : (int, centry) Hashtbl.t;
+  mutable cn_backoff : float;
+  mutable cn_retry_at : float;
+}
+
+(* An in-flight (or re-dispatchable) request: enough to re-route it after a
+   MOVED and to launch the RMW write leg under the original enqueue stamp. *)
+and centry = {
+  ce_enq_us : int;
+  ce_t_off_ms : int;
+  ce_kind : int;
+  ce_key : string;  (* what the routing table hashes *)
+  ce_req : Protocol.request;
+  ce_rmw : bool;  (* a write leg still follows this request *)
+  ce_redirects : int;
+}
+
+(* A request may bounce MOVED a few times mid-migration (stale table, then
+   a table that is itself flipping); past this it counts as an error. *)
+let max_redirects = 3
+
+let cluster_loop cfg ~t0 ~conn_id samples cs =
+  let g = gen_create cfg ~conn_id in
+  let deadline = t0 +. cfg.duration_s in
+  let window = max 1 cfg.pipeline in
+  let buf = Bytes.create 65536 in
+  let nodes : (string, cnode) Hashtbl.t = Hashtbl.create 8 in
+  let node_of addr =
+    match Hashtbl.find_opt nodes addr with
+    | Some n -> n
+    | None ->
+        let host, port =
+          match parse_addr addr with Some hp -> hp | None -> ("127.0.0.1", 1)
+        in
+        let n =
+          { cn_addr = addr; cn_host = host; cn_port = port; cn_conn = None;
+            cn_inflight = Hashtbl.create 32; cn_backoff = backoff_init; cn_retry_at = 0. }
+        in
+        Hashtbl.add nodes addr n;
+        n
+  in
+  let routing = ref None in
+  let last_refresh = ref 0. in
+  (* Re-learn the table from whoever answers — seeds plus every address
+     MOVED ever named.  Rate-limited: a dead node triggers this on every
+     failure, and one TOPO per 200 ms is plenty to chase a migration. *)
+  let refresh () =
+    let now = Unix.gettimeofday () in
+    if now -. !last_refresh >= 0.2 then begin
+      last_refresh := now;
+      let addrs =
+        List.sort_uniq compare
+          (cfg.cluster @ Hashtbl.fold (fun a _ acc -> a :: acc) nodes [])
+      in
+      let rec try_addrs = function
+        | [] -> ()
+        | a :: rest -> (
+            match fetch_topo cfg a with
+            | Some (epoch, entries, owners) -> (
+                match !routing with
+                | None -> routing := Some (Routing.create ~epoch ~owners)
+                | Some r -> ignore (Routing.install r ~epoch ~owners:entries))
+            | None -> try_addrs rest)
+      in
+      try_addrs addrs
+    end
+  in
+  let total_inflight = ref 0 in
+  let pending : centry Queue.t = Queue.create () in
+  let next_id = ref 0 in
+  let stalled = ref false in
+  (* Ops that failed fast against a backoff window this round: they hold a
+     window slot for the iteration so a dead node errors at a bounded rate
+     without throttling traffic to the live ones. *)
+  let fast_fails = ref 0 in
+  let record_ok ce =
+    samples_push samples ~t_off_ms:ce.ce_t_off_ms
+      ~lat_us:(Metrics.now_us () - ce.ce_enq_us)
+      ~kind:ce.ce_kind ~ok:true
+  in
+  let record_err addr ce =
+    samples_push samples ~t_off_ms:ce.ce_t_off_ms
+      ~lat_us:(Metrics.now_us () - ce.ce_enq_us)
+      ~kind:ce.ce_kind ~ok:false;
+    (match Hashtbl.find_opt cs.cs_node_errors addr with
+    | Some r -> incr r
+    | None -> Hashtbl.add cs.cs_node_errors addr (ref 1));
+    if List.mem addr cfg.expect_dead then cs.cs_expected <- cs.cs_expected + 1
+  in
+  (* A node that closed, desynced or timed out: every request in flight
+     there becomes an error charged from its enqueue, the socket drops and
+     the backoff window opens. *)
+  let fail_node n =
+    Hashtbl.iter (fun _ ce -> record_err n.cn_addr ce) n.cn_inflight;
+    total_inflight := !total_inflight - Hashtbl.length n.cn_inflight;
+    Hashtbl.reset n.cn_inflight;
+    (match n.cn_conn with
+    | Some c -> ( try Unix.close c.cc_fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    n.cn_conn <- None;
+    n.cn_retry_at <- Unix.gettimeofday () +. n.cn_backoff;
+    n.cn_backoff <- Float.min (n.cn_backoff *. 2.) backoff_cap;
+    refresh ()
+  in
+  let send n c ce =
+    let id = !next_id in
+    incr next_id;
+    (* Going idle -> busy: the no-rx clock starts at this send, not at the
+       last response before the idle gap, or a quiet spell would count
+       toward the timeout and fail the first request after it. *)
+    if Hashtbl.length n.cn_inflight = 0 then c.cc_last_rx <- Unix.gettimeofday ();
+    Hashtbl.replace n.cn_inflight id ce;
+    incr total_inflight;
+    let out = Buffer.create 256 in
+    Protocol.encode_request_wire out cfg.wire ~id:(Some id) ce.ce_req;
+    match Netio.write_all c.cc_fd (Buffer.contents out) with
+    | () -> ()
+    | exception (Unix.Unix_error _ | Req_failed _) -> fail_node n
+  in
+  let dispatch ce =
+    match !routing with
+    | None ->
+        record_err "(no-topo)" ce;
+        stalled := true;
+        refresh ()
+    | Some r -> (
+        let addr = Routing.owner r (Routing.shard_of_key r ce.ce_key) in
+        let n = node_of addr in
+        match n.cn_conn with
+        | Some c -> send n c ce
+        | None ->
+            let now = Unix.gettimeofday () in
+            if now < n.cn_retry_at then begin
+              (* Inside the backoff window: fail fast, don't hammer connect. *)
+              record_err addr ce;
+              incr fast_fails
+            end
+            else (
+              match connect_to cfg ~host:n.cn_host ~port:n.cn_port with
+              | fd ->
+                  n.cn_backoff <- backoff_init;
+                  let c =
+                    { cc_fd = fd;
+                      cc_dec = Protocol.Resp_decoder.create cfg.wire;
+                      cc_last_rx = now }
+                  in
+                  n.cn_conn <- Some c;
+                  send n c ce
+              | exception (Unix.Unix_error _ | Failure _) ->
+                  n.cn_retry_at <- now +. n.cn_backoff;
+                  n.cn_backoff <- Float.min (n.cn_backoff *. 2.) backoff_cap;
+                  record_err addr ce;
+                  incr fast_fails;
+                  refresh ()))
+  in
+  let rec drain n c =
+    match Protocol.Resp_decoder.next c.cc_dec with
+    | Protocol.Dec_more -> ()
+    | Protocol.Dec_broken msg -> raise (Req_failed ("bad frame: " ^ msg))
+    | Protocol.Dec_skip (_, msg) -> raise (Req_failed ("bad response: " ^ msg))
+    | Protocol.Dec_frame (None, _) -> raise (Req_failed "untagged response on a pipelined stream")
+    | Protocol.Dec_frame (Some id, resp) ->
+        (match Hashtbl.find_opt n.cn_inflight id with
+        | None -> raise (Req_failed (Printf.sprintf "response for unknown id %d" id))
+        | Some ce -> (
+            Hashtbl.remove n.cn_inflight id;
+            decr total_inflight;
+            match resp with
+            | Protocol.Moved (shard, epoch, addr) ->
+                cs.cs_redirects <- cs.cs_redirects + 1;
+                (match !routing with
+                | Some r -> ignore (Routing.observe r ~shard ~epoch ~addr)
+                | None -> ());
+                if ce.ce_redirects >= max_redirects then record_err n.cn_addr ce
+                else Queue.add { ce with ce_redirects = ce.ce_redirects + 1 } pending
+            | Protocol.Error _ -> record_err n.cn_addr ce
+            | _ when ce.ce_rmw ->
+                (* Read leg landed: the write leg re-routes through [pending]
+                   (the shard may have moved meanwhile) under the original
+                   enqueue stamp. *)
+                Queue.add
+                  { ce with
+                    ce_rmw = false;
+                    ce_req = Protocol.Set (ce.ce_key, gen_value cfg g) }
+                  pending
+            | _ -> record_ok ce));
+        drain n c
+  in
+  let live_conns () =
+    Hashtbl.fold
+      (fun _ n acc -> match n.cn_conn with Some c -> (n, c) :: acc | None -> acc)
+      nodes []
+  in
+  let read_phase ~timeout =
+    match live_conns () with
+    | [] -> Thread.delay timeout
+    | live -> (
+        match Unix.select (List.map (fun (_, c) -> c.cc_fd) live) [] [] timeout with
+        | readable, _, _ ->
+            List.iter
+              (fun (n, c) ->
+                let still_current =
+                  match n.cn_conn with Some c' -> c' == c | None -> false
+                in
+                if still_current && List.memq c.cc_fd readable then
+                  match Unix.read c.cc_fd buf 0 (Bytes.length buf) with
+                  | 0 -> fail_node n
+                  | nread -> (
+                      c.cc_last_rx <- Unix.gettimeofday ();
+                      Protocol.Resp_decoder.feed_bytes c.cc_dec buf ~off:0 ~len:nread;
+                      try drain n c with Req_failed _ -> fail_node n)
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+                  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+                  | exception Unix.Unix_error _ -> fail_node n)
+              live
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    (* The timeout: a node with traffic in flight and no bytes for a whole
+       [timeout_s] is as good as dead. *)
+    let now = Unix.gettimeofday () in
+    Hashtbl.iter
+      (fun _ n ->
+        match n.cn_conn with
+        | Some c when Hashtbl.length n.cn_inflight > 0 && now -. c.cc_last_rx > cfg.timeout_s ->
+            fail_node n
+        | _ -> ())
+      nodes
+  in
+  (* Bootstrap: any seed that answers TOPO will do. *)
+  while !routing = None && Unix.gettimeofday () < deadline do
+    refresh ();
+    if !routing = None then Thread.delay backoff_init
+  done;
+  while Unix.gettimeofday () < deadline do
+    stalled := false;
+    fast_fails := 0;
+    while !total_inflight + !fast_fails < window && not !stalled do
+      let ce =
+        if not (Queue.is_empty pending) then Queue.pop pending
+        else begin
+          let op = pick_op cfg g in
+          let key =
+            match op.g_req with
+            | Protocol.Get k | Protocol.Set (k, _) | Protocol.Del k
+            | Protocol.Update (k, _) | Protocol.Scan (k, _) ->
+                k
+            | _ -> ""
+          in
+          { ce_enq_us = Metrics.now_us ();
+            ce_t_off_ms = int_of_float ((Unix.gettimeofday () -. t0) *. 1000.);
+            ce_kind = op.g_kind;
+            ce_key = key;
+            ce_req = op.g_req;
+            ce_rmw = op.g_rmw <> None;
+            ce_redirects = 0 }
+        end
+      in
+      dispatch ce
+    done;
+    read_phase ~timeout:0.02;
+    (* Nothing useful in flight and this round only produced fast failures
+       (or there is no topology at all): pace the loop so outage errors
+       accrue at a bounded rate, like the timeouts they stand for.  With
+       live traffic in flight, [read_phase] is pacing enough. *)
+    if !stalled || (!fast_fails > 0 && !total_inflight = 0) then Thread.delay 0.05
+  done;
+  (* Deadline: give responses already on the wire one timeout to land, then
+     charge whatever never came back as errors. *)
+  let drain_deadline = Unix.gettimeofday () +. cfg.timeout_s in
+  while !total_inflight > 0 && Unix.gettimeofday () < drain_deadline do
+    read_phase ~timeout:0.02
+  done;
+  Hashtbl.iter (fun _ n -> fail_node n) nodes
+
+let client_loop cfg ~t0 ~conn_id samples cs =
+  if cfg.cluster <> [] then cluster_loop cfg ~t0 ~conn_id samples cs
+  else if cfg.pipeline <= 1 then sync_loop cfg ~t0 ~conn_id samples
   else pipelined_loop cfg ~t0 ~conn_id samples
 
 (* ------------------------------ aggregation ----------------------------- *)
@@ -434,6 +807,9 @@ type summary = {
   max_us : int;
   phases : bucket list;
   ops : bucket list;
+  redirects : int;  (* MOVED replies followed (cluster mode) *)
+  expected_errors : int;  (* errors attributed to expect_dead nodes *)
+  node_errors : (string * int) list;  (* addr -> errors (cluster mode) *)
 }
 
 let bucket_of label ~window_s hist errors =
@@ -511,21 +887,39 @@ let summarize cfg ~wall_s (all : samples list) =
     p99_us = Hist.percentile all_hist 0.99;
     max_us = Hist.max_value all_hist;
     phases;
-    ops }
+    ops;
+    redirects = 0;
+    expected_errors = 0;
+    node_errors = [] }
 
 let run cfg =
   if cfg.pipeline < 1 then invalid_arg "Loadgen.run: pipeline must be positive";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let t0 = Unix.gettimeofday () in
   let samples = List.init cfg.connections (fun _ -> samples_create ()) in
+  let cstats = List.init cfg.connections (fun _ -> cluster_stats_create ()) in
   let domains =
     List.mapi
-      (fun conn_id s -> Domain.spawn (fun () -> client_loop cfg ~t0 ~conn_id s))
-      samples
+      (fun conn_id (s, cs) -> Domain.spawn (fun () -> client_loop cfg ~t0 ~conn_id s cs))
+      (List.combine samples cstats)
   in
   List.iter Domain.join domains;
   let wall_s = Unix.gettimeofday () -. t0 in
-  summarize cfg ~wall_s samples
+  let node_errors = Hashtbl.create 8 in
+  List.iter
+    (fun cs ->
+      Hashtbl.iter
+        (fun addr r ->
+          match Hashtbl.find_opt node_errors addr with
+          | Some acc -> acc := !acc + !r
+          | None -> Hashtbl.add node_errors addr (ref !r))
+        cs.cs_node_errors)
+    cstats;
+  { (summarize cfg ~wall_s samples) with
+    redirects = List.fold_left (fun acc cs -> acc + cs.cs_redirects) 0 cstats;
+    expected_errors = List.fold_left (fun acc cs -> acc + cs.cs_expected) 0 cstats;
+    node_errors =
+      List.sort compare (Hashtbl.fold (fun a r acc -> (a, !r) :: acc) node_errors []) }
 
 (* ------------------------------ reporting ------------------------------- *)
 
@@ -544,6 +938,8 @@ let summary_json s =
   Json.Obj
     [ ("requests", Json.Int s.requests);
       ("errors", Json.Int s.errors);
+      ("expected_errors", Json.Int s.expected_errors);
+      ("redirects", Json.Int s.redirects);
       ("wall_s", Json.Float s.wall_s);
       ("throughput_rps", Json.Float s.throughput_rps);
       ( "latency_us",
@@ -553,7 +949,7 @@ let summary_json s =
 
 let to_json cfg s =
   Json.Obj
-    [ ("schema", Json.String "kexclusion-serve/v4");
+    [ ("schema", Json.String "kexclusion-serve/v5");
       ("git_rev", Json.String (Provenance.git_rev ()));
       ("hostname", Json.String (Provenance.hostname ()));
       ("ocaml", Json.String Sys.ocaml_version);
@@ -571,10 +967,18 @@ let to_json cfg s =
             ("scan_len", Json.Int cfg.scan_len);
             ("wire", Json.String (Protocol.wire_name cfg.wire));
             ("seed", Json.Int cfg.seed);
-            ("pipeline", Json.Int cfg.pipeline) ] );
+            ("pipeline", Json.Int cfg.pipeline);
+            ("cluster", Json.List (List.map (fun a -> Json.String a) cfg.cluster));
+            ("expect_dead", Json.List (List.map (fun a -> Json.String a) cfg.expect_dead)) ] );
       ("totals", summary_json s);
       ("phases", Json.List (List.map bucket_json s.phases));
-      ("ops", Json.List (List.map bucket_json s.ops)) ]
+      ("ops", Json.List (List.map bucket_json s.ops));
+      ( "node_errors",
+        Json.List
+          (List.map
+             (fun (addr, n) ->
+               Json.Obj [ ("addr", Json.String addr); ("errors", Json.Int n) ])
+             s.node_errors) ) ]
 
 let emit_json ~file cfg s =
   let oc = open_out file in
@@ -586,6 +990,12 @@ let pp_summary ppf s =
   Format.fprintf ppf "requests   : %d (%.0f req/s, %d errors)@." s.requests s.throughput_rps
     s.errors;
   Format.fprintf ppf "latency    : p50 %d us, p99 %d us, max %d us@." s.p50_us s.p99_us s.max_us;
+  if s.redirects > 0 || s.expected_errors > 0 then
+    Format.fprintf ppf "cluster    : %d redirects followed, %d expected errors@." s.redirects
+      s.expected_errors;
+  List.iter
+    (fun (addr, n) -> Format.fprintf ppf "  node %-21s %6d errors@." addr n)
+    s.node_errors;
   if List.length s.phases > 1 then
     List.iter
       (fun b ->

@@ -9,10 +9,21 @@
     charged to the request.  W = 1 is the v1 untagged one-at-a-time wire.
 
     A request that times out or loses its connection counts as an error and
-    the client reconnects; against a stalled server (k workers killed) the
-    tool therefore terminates with collapsed throughput instead of
-    hanging.  Aggregation runs on fixed-layout histograms
-    ({!Kex_sim.Stats.Hist}), merged exactly across connections. *)
+    the client reconnects (with exponential backoff, 50 ms doubling to a
+    2 s cap, so a dead server yields a bounded error rate); against a
+    stalled server (k workers killed) the tool therefore terminates with
+    collapsed throughput instead of hanging.  Aggregation runs on
+    fixed-layout histograms ({!Kex_sim.Stats.Hist}), merged exactly across
+    connections.
+
+    With [cluster] non-empty the client is cluster-aware: it bootstraps
+    the epoch-versioned routing table with [TOPO] from any seed node,
+    routes each key to its shard's owner, follows [MOVED] redirects
+    (adopting strictly newer epochs only, so it chases at most one
+    redirect per epoch), and refreshes the table whenever a node stops
+    answering.  Errors are attributed per node; errors on [expect_dead]
+    nodes are separately counted as expected — the kill-node experiment's
+    gate exemption. *)
 
 type config = {
   host : string;
@@ -32,6 +43,12 @@ type config = {
   pipeline : int;  (** requests in flight per connection; 1 = untagged *)
   wire : Protocol.wire;  (** text v1 or binary v2 framing *)
   phase_marks : float list;  (** split points (seconds) for per-phase stats *)
+  cluster : string list;
+      (** seed node addresses ("host:port"); non-empty switches on
+          cluster-aware routing and makes [host]/[port] irrelevant *)
+  expect_dead : string list;
+      (** node addresses expected to die mid-run (kill-node chaos); their
+          errors count as [expected_errors] in the summary *)
 }
 
 val default_config : config
@@ -64,6 +81,11 @@ type summary = {
   max_us : int;
   phases : bucket list;
   ops : bucket list;
+  redirects : int;  (** MOVED replies followed (cluster mode) *)
+  expected_errors : int;
+      (** the subset of [errors] attributed to [expect_dead] nodes; gates
+          subtract these ("surviving shards saw zero errors") *)
+  node_errors : (string * int) list;  (** per-node error attribution *)
 }
 
 val run : config -> summary
@@ -72,11 +94,12 @@ val summary_json : summary -> Json.t
 (** The [totals] object alone — reused by the sweep record. *)
 
 val to_json : config -> summary -> Json.t
-(** Schema [kexclusion-serve/v4], provenance-stamped (git_rev, hostname).
-    v4 over v3: the config block records [wire]/[dist]/[scan_len]/
-    [value_size_max], and sweep records may carry a [wire] section (the
-    text-vs-binary × uniform-vs-zipfian quad).  [bench-report] reads any
-    [kexclusion-serve/*] prefix. *)
+(** Schema [kexclusion-serve/v5], provenance-stamped (git_rev, hostname).
+    v5 over v4: totals carry [redirects]/[expected_errors], the config
+    block records [cluster]/[expect_dead], a [node_errors] section
+    attributes errors per node, and sweep records may carry [cluster]/
+    [migration]/[kill] sections (the multi-node cells).  [bench-report]
+    reads any [kexclusion-serve/*] prefix. *)
 
 val emit_json : file:string -> config -> summary -> unit
 val pp_summary : Format.formatter -> summary -> unit

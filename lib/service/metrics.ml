@@ -1,13 +1,20 @@
-type op_class = C_get | C_set | C_del | C_update | C_scan
+type op_class = C_get | C_set | C_del | C_update | C_scan | C_moved
 
-let op_classes = [| C_get; C_set; C_del; C_update; C_scan |]
-let class_index = function C_get -> 0 | C_set -> 1 | C_del -> 2 | C_update -> 3 | C_scan -> 4
+let op_classes = [| C_get; C_set; C_del; C_update; C_scan; C_moved |]
+let class_index = function
+  | C_get -> 0
+  | C_set -> 1
+  | C_del -> 2
+  | C_update -> 3
+  | C_scan -> 4
+  | C_moved -> 5
 let class_name = function
   | C_get -> "get"
   | C_set -> "set"
   | C_del -> "del"
   | C_update -> "update"
   | C_scan -> "scan"
+  | C_moved -> "moved"
 
 module Hist = Kex_sim.Stats.Hist
 
@@ -38,6 +45,8 @@ type t = {
   redispatched : int Atomic.t;  (* requests requeued off a dead worker *)
   batches : int Atomic.t;  (* admission entries (one per drained batch) *)
   inline_reads : int Atomic.t;  (* GETs served wait-free by conn threads *)
+  migrations_out : int Atomic.t;  (* shards handed off to another node *)
+  migrations_in : int Atomic.t;  (* shards received from another node *)
   lat_sum_us : int Atomic.t array;  (* per class, for a cheap mean *)
   lat_max_us : int Atomic.t array;
   (* Per-class latency histograms, one atomic counter per fixed bucket.
@@ -55,6 +64,8 @@ let create () =
     redispatched = Atomic.make 0;
     batches = Atomic.make 0;
     inline_reads = Atomic.make 0;
+    migrations_out = Atomic.make 0;
+    migrations_in = Atomic.make 0;
     lat_sum_us = Array.init (Array.length op_classes) (fun _ -> Atomic.make 0);
     lat_max_us = Array.init (Array.length op_classes) (fun _ -> Atomic.make 0);
     lat_hist = Array.init (Array.length op_classes) (fun _ -> Array.init Hist.n_buckets (fun _ -> Atomic.make 0)) }
@@ -83,6 +94,8 @@ let incr_connections t = Atomic.incr t.connections
 let incr_redispatched t = Atomic.incr t.redispatched
 let incr_batches t = Atomic.incr t.batches
 let incr_inline_reads t = Atomic.incr t.inline_reads
+let incr_migrations_out t = Atomic.incr t.migrations_out
+let incr_migrations_in t = Atomic.incr t.migrations_in
 let deaths t = Atomic.get t.deaths
 
 let served t = Array.fold_left (fun acc a -> acc + Atomic.get a) 0 t.served
@@ -111,6 +124,8 @@ let pairs_merged ts =
     ("redispatched", sum_over ts (fun t -> Atomic.get t.redispatched));
     ("batches", sum_over ts (fun t -> Atomic.get t.batches));
     ("inline_reads", sum_over ts (fun t -> Atomic.get t.inline_reads));
+    ("migrations_out", sum_over ts (fun t -> Atomic.get t.migrations_out));
+    ("migrations_in", sum_over ts (fun t -> Atomic.get t.migrations_in));
     ("p50_us", Hist.percentile all_hist 0.5);
     ("p99_us", Hist.percentile all_hist 0.99) ]
   @ per_class (fun c ->

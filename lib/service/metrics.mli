@@ -6,7 +6,16 @@
     well-defined under sharding, which concatenating raw samples would not
     give. *)
 
-type op_class = C_get | C_set | C_del | C_update | C_scan
+type op_class =
+  | C_get
+  | C_set
+  | C_del
+  | C_update
+  | C_scan
+  | C_moved
+      (** Cluster redirects: requests answered [MOVED] because this node
+          does not own the key's shard (client side: responses that had to
+          be chased to another node). *)
 
 val class_name : op_class -> string
 
@@ -34,6 +43,14 @@ val incr_batches : t -> unit
 val incr_inline_reads : t -> unit
 (** A GET answered wait-free by a connection thread from the shard's
     published snapshot, bypassing the submission ring and admission. *)
+
+val incr_migrations_out : t -> unit
+(** A shard handed off to another node (source side, counted at the
+    routing flip). *)
+
+val incr_migrations_in : t -> unit
+(** A shard received from another node (destination side, counted at the
+    final import). *)
 
 val served : t -> int
 val deaths : t -> int

@@ -10,12 +10,16 @@
    String arg := <length>:<bytes>   (netstring-style, so keys and values may
                                      contain spaces, newlines, colons, ...)
 
-   Requests:   PING | STATS | KILL <int>
+   Requests:   PING | STATS | KILL <int> | TOPO
                GET <s> | SET <s> <s> | DEL <s> | UPDATE <s> <int>
                SCAN <s> <int>
+               HANDOFF <int> <s>
+               MIGIMPORT <int> <int> 0|1 <count> { <s> (1 <s> | 0) }
    Responses:  PONG | OK | NIL | VAL <s> | DELETED 0|1 | INT <int>
                STATS <count> { <s> <int> } | ERR <s>
                RANGE <count> { <s> <s> }
+               MOVED <int> <int> <s>
+               TOPO <int> <count> { <int> <s> }
 
    v2 (binary), the hot-path wire — see the [Bin] module below for the
    frame layout.  A text frame always starts with a decimal digit and a
@@ -31,6 +35,13 @@ type request =
   | Scan of string * int  (* ordered range read: first [count] keys >= start *)
   | Stats
   | Kill of int  (* admin: crash worker [w] at its next admission *)
+  (* Cluster control plane: *)
+  | Topo  (* fetch the node's routing table (epoch + shard owners) *)
+  | Handoff of int * string  (* admin: migrate shard [s] to node [addr] *)
+  | Mig_import of int * int * bool * (string * string option) list
+      (* migration data push: shard, epoch, final?, changes
+         ([Some v] = set, [None] = delete).  The final chunk carries the
+         post-fence delta and transfers ownership at [epoch]. *)
 
 type response =
   | Pong
@@ -41,6 +52,8 @@ type response =
   | Stats_reply of (string * int) list
   | Range of (string * string) list  (* SCAN result, ascending by key *)
   | Error of string
+  | Moved of int * int * string  (* shard, routing epoch, owner address *)
+  | Topo_reply of int * (int * string) list  (* epoch, shard -> owner address *)
 
 type wire = Text | Binary
 
@@ -77,7 +90,26 @@ let print_request r =
   | Scan (start, count) ->
       Buffer.add_string b "SCAN ";
       str_arg b start;
-      Buffer.add_string b (Printf.sprintf " %d" count));
+      Buffer.add_string b (Printf.sprintf " %d" count)
+  | Topo -> Buffer.add_string b "TOPO"
+  | Handoff (shard, addr) ->
+      Buffer.add_string b (Printf.sprintf "HANDOFF %d " shard);
+      str_arg b addr
+  | Mig_import (shard, epoch, final, changes) ->
+      Buffer.add_string b
+        (Printf.sprintf "MIGIMPORT %d %d %d %d" shard epoch
+           (if final then 1 else 0)
+           (List.length changes));
+      List.iter
+        (fun (key, v) ->
+          Buffer.add_char b ' ';
+          str_arg b key;
+          match v with
+          | Some v ->
+              Buffer.add_string b " 1 ";
+              str_arg b v
+          | None -> Buffer.add_string b " 0")
+        changes);
   Buffer.contents b
 
 let print_response r =
@@ -110,7 +142,17 @@ let print_response r =
         pairs
   | Error msg ->
       Buffer.add_string b "ERR ";
-      str_arg b msg);
+      str_arg b msg
+  | Moved (shard, epoch, addr) ->
+      Buffer.add_string b (Printf.sprintf "MOVED %d %d " shard epoch);
+      str_arg b addr
+  | Topo_reply (epoch, owners) ->
+      Buffer.add_string b (Printf.sprintf "TOPO %d %d" epoch (List.length owners));
+      List.iter
+        (fun (shard, addr) ->
+          Buffer.add_string b (Printf.sprintf " %d " shard);
+          str_arg b addr)
+        owners);
   Buffer.contents b
 
 (* ------------------------------- parsing -------------------------------- *)
@@ -196,6 +238,43 @@ let parse_request =
           let count = int_tok c in
           if count < 0 then fail "negative SCAN count";
           Scan (start, count)
+      | "TOPO" -> Topo
+      | "HANDOFF" ->
+          eat_space c;
+          let shard = int_tok c in
+          if shard < 0 then fail "negative HANDOFF shard";
+          eat_space c;
+          Handoff (shard, str_tok c)
+      | "MIGIMPORT" ->
+          eat_space c;
+          let shard = int_tok c in
+          if shard < 0 then fail "negative MIGIMPORT shard";
+          eat_space c;
+          let epoch = int_tok c in
+          if epoch < 0 then fail "negative MIGIMPORT epoch";
+          eat_space c;
+          let final =
+            match int_tok c with
+            | 0 -> false
+            | 1 -> true
+            | n -> fail "MIGIMPORT final expects 0 or 1, got %d" n
+          in
+          eat_space c;
+          let count = int_tok c in
+          if count < 0 then fail "negative MIGIMPORT count";
+          let changes =
+            List.init count (fun _ ->
+                eat_space c;
+                let key = str_tok c in
+                eat_space c;
+                match int_tok c with
+                | 0 -> (key, None)
+                | 1 ->
+                    eat_space c;
+                    (key, Some (str_tok c))
+                | n -> fail "MIGIMPORT change tag expects 0 or 1, got %d" n)
+          in
+          Mig_import (shard, epoch, final, changes)
       | kw -> fail "unknown request %S" kw)
 
 let parse_response =
@@ -243,6 +322,31 @@ let parse_response =
       | "ERR" ->
           eat_space c;
           Error (str_tok c)
+      | "MOVED" ->
+          eat_space c;
+          let shard = int_tok c in
+          if shard < 0 then fail "negative MOVED shard";
+          eat_space c;
+          let epoch = int_tok c in
+          if epoch < 0 then fail "negative MOVED epoch";
+          eat_space c;
+          Moved (shard, epoch, str_tok c)
+      | "TOPO" ->
+          eat_space c;
+          let epoch = int_tok c in
+          if epoch < 0 then fail "negative TOPO epoch";
+          eat_space c;
+          let count = int_tok c in
+          if count < 0 then fail "negative TOPO count";
+          let owners =
+            List.init count (fun _ ->
+                eat_space c;
+                let shard = int_tok c in
+                if shard < 0 then fail "negative TOPO shard";
+                eat_space c;
+                (shard, str_tok c))
+          in
+          Topo_reply (epoch, owners)
       | kw -> fail "unknown response %S" kw)
 
 (* ----------------------------- request ids ------------------------------ *)
@@ -345,7 +449,7 @@ type 'a decoded =
 (* Frame layout (all multi-byte fields big-endian):
 
      byte 0      magic 0xB2      (never a decimal digit, so sniffable)
-     byte 1      opcode          (request 0x01-0x08, response 0x81-0x89)
+     byte 1      opcode          (request 0x01-0x0B, response 0x81-0x8B)
      byte 2      flags           (bit0: request id present; others ignored)
      byte 3      reserved        (must be 0)
      bytes 4-7   request id      (uint32, 0 when untagged)
@@ -368,6 +472,9 @@ module Bin = struct
     | Del _ -> 0x06
     | Update _ -> 0x07
     | Scan _ -> 0x08
+    | Topo -> 0x09
+    | Handoff _ -> 0x0A
+    | Mig_import _ -> 0x0B
 
   let resp_opcode = function
     | Pong -> 0x81
@@ -379,6 +486,8 @@ module Bin = struct
     | Stats_reply _ -> 0x87
     | Error _ -> 0x88
     | Range _ -> 0x89
+    | Moved _ -> 0x8A
+    | Topo_reply _ -> 0x8B
 
   (* LEB128 varints over OCaml's 63-bit ints; signed values go through
      zigzag so small magnitudes stay small on the wire. *)
@@ -427,6 +536,14 @@ module Bin = struct
     | Set (key, v) -> str_size key + str_size v
     | Update (key, delta) -> str_size key + int_size delta
     | Scan (start, count) -> str_size start + int_size count
+    | Topo -> 0
+    | Handoff (shard, addr) -> int_size shard + str_size addr
+    | Mig_import (shard, epoch, _, changes) ->
+        List.fold_left
+          (fun acc (key, v) ->
+            acc + str_size key + 1 + match v with Some v -> str_size v | None -> 0)
+          (int_size shard + int_size epoch + 1 + int_size (List.length changes))
+          changes
 
   let resp_body_size = function
     | Pong | Ok | Value None -> 0
@@ -444,6 +561,12 @@ module Bin = struct
           (int_size (List.length pairs))
           pairs
     | Error msg -> str_size msg
+    | Moved (shard, epoch, addr) -> int_size shard + int_size epoch + str_size addr
+    | Topo_reply (epoch, owners) ->
+        List.fold_left
+          (fun acc (shard, addr) -> acc + int_size shard + str_size addr)
+          (int_size epoch + int_size (List.length owners))
+          owners
 
   let encode_request b ~id r =
     add_header b ~opcode:(req_opcode r) ~id ~body_len:(req_body_size r);
@@ -460,6 +583,24 @@ module Bin = struct
     | Scan (start, count) ->
         add_str b start;
         add_int b count
+    | Topo -> ()
+    | Handoff (shard, addr) ->
+        add_int b shard;
+        add_str b addr
+    | Mig_import (shard, epoch, final, changes) ->
+        add_int b shard;
+        add_int b epoch;
+        Buffer.add_char b (if final then '\001' else '\000');
+        add_int b (List.length changes);
+        List.iter
+          (fun (key, v) ->
+            add_str b key;
+            match v with
+            | Some v ->
+                Buffer.add_char b '\001';
+                add_str b v
+            | None -> Buffer.add_char b '\000')
+          changes
 
   let encode_response b ~id r =
     add_header b ~opcode:(resp_opcode r) ~id ~body_len:(resp_body_size r);
@@ -483,6 +624,18 @@ module Bin = struct
             add_str b v)
           pairs
     | Error msg -> add_str b msg
+    | Moved (shard, epoch, addr) ->
+        add_int b shard;
+        add_int b epoch;
+        add_str b addr
+    | Topo_reply (epoch, owners) ->
+        add_int b epoch;
+        add_int b (List.length owners);
+        List.iter
+          (fun (shard, addr) ->
+            add_int b shard;
+            add_str b addr)
+          owners
 
   (* ------------------------- body parsing -------------------------------- *)
 
@@ -537,6 +690,32 @@ module Bin = struct
             let count = b_int c in
             if count < 0 then fail "negative SCAN count";
             Scan (start, count)
+        | 0x09 -> Topo
+        | 0x0A ->
+            let shard = b_int c in
+            if shard < 0 then fail "negative HANDOFF shard";
+            Handoff (shard, b_str c)
+        | 0x0B ->
+            let shard = b_int c in
+            if shard < 0 then fail "negative MIGIMPORT shard";
+            let epoch = b_int c in
+            if epoch < 0 then fail "negative MIGIMPORT epoch";
+            let final =
+              match b_byte c with
+              | 0 -> false
+              | 1 -> true
+              | n -> fail "MIGIMPORT final expects 0 or 1, got %d" n
+            in
+            let count = b_int c in
+            if count < 0 then fail "negative MIGIMPORT count";
+            Mig_import
+              ( shard, epoch, final,
+                List.init count (fun _ ->
+                    let key = b_str c in
+                    match b_byte c with
+                    | 0 -> (key, None)
+                    | 1 -> (key, Some (b_str c))
+                    | n -> fail "MIGIMPORT change tag expects 0 or 1, got %d" n) )
         | op -> fail "unknown request opcode 0x%02x" op
       in
       b_eof c;
@@ -575,6 +754,23 @@ module Bin = struct
               (List.init count (fun _ ->
                    let key = b_str c in
                    (key, b_str c)))
+        | 0x8A ->
+            let shard = b_int c in
+            if shard < 0 then fail "negative MOVED shard";
+            let epoch = b_int c in
+            if epoch < 0 then fail "negative MOVED epoch";
+            Moved (shard, epoch, b_str c)
+        | 0x8B ->
+            let epoch = b_int c in
+            if epoch < 0 then fail "negative TOPO epoch";
+            let count = b_int c in
+            if count < 0 then fail "negative TOPO count";
+            Topo_reply
+              ( epoch,
+                List.init count (fun _ ->
+                    let shard = b_int c in
+                    if shard < 0 then fail "negative TOPO shard";
+                    (shard, b_str c)) )
         | op -> fail "unknown response opcode 0x%02x" op
       in
       b_eof c;

@@ -30,6 +30,20 @@ type request =
       (** Admin/chaos: crash worker [w] at its next admission — the worker
           abandons its claimed request back to the dispatch queue and parks
           forever holding an admission slot. *)
+  | Topo
+      (** Cluster control plane: fetch the node's routing table.  Responds
+          with {!constructor:Topo_reply}. *)
+  | Handoff of int * string
+      (** Admin: [Handoff (shard, addr)] live-migrates [shard] from this
+          node to the node listening at [addr] ("host:port").  Responds [Ok]
+          once routing has flipped, or [Error] if the handoff failed (the
+          source keeps ownership). *)
+  | Mig_import of int * int * bool * (string * string option) list
+      (** Node-to-node migration data push: [Mig_import (shard, epoch,
+          final, changes)] applies [changes] ([Some v] = set, [None] =
+          delete) to the receiver's copy of [shard].  The [final] chunk
+          carries the post-fence delta and transfers ownership to the
+          receiver at routing epoch [epoch]. *)
 
 type response =
   | Pong
@@ -40,6 +54,13 @@ type response =
   | Stats_reply of (string * int) list
   | Range of (string * string) list  (** [SCAN] result, ascending by key *)
   | Error of string
+  | Moved of int * int * string
+      (** [Moved (shard, epoch, addr)]: this node does not own the key's
+          shard — retry at [addr], and adopt the mapping if [epoch] is newer
+          than the client's routing table. *)
+  | Topo_reply of int * (int * string) list
+      (** [Topo_reply (epoch, owners)]: the node's routing table — one
+          [(shard, addr)] per shard, valid as of [epoch]. *)
 
 type wire = Text | Binary
 
@@ -118,7 +139,7 @@ type 'a decoded =
     Layout (multi-byte fields big-endian):
     {v
       byte 0     magic 0xB2     (never a decimal digit, so sniffable)
-      byte 1     opcode         (request 0x01-0x08, response 0x81-0x89)
+      byte 1     opcode         (request 0x01-0x0B, response 0x81-0x8B)
       byte 2     flags          (bit 0: request id present)
       byte 3     reserved       (must be 0)
       bytes 4-7  request id     (uint32, 0 when untagged)

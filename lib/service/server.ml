@@ -36,15 +36,18 @@
 module Kex_lock = Kex_runtime.Kex_lock
 module Kv_store = Kex_resilient.Kv_store
 module Sharded = Kex_resilient.Sharded_store
+module Routing = Kex_cluster.Routing
+module Migration = Kex_cluster.Migration
 
 type config = {
   port : int;  (* 0 = ephemeral; read back with [port] *)
   workers : int;  (* per shard *)
   k : int;
-  shards : int;
+  shards : int;  (* cluster mode: the *global* shard count, same everywhere *)
   algo : Kex_lock.algo;
   chaos : Chaos.event list;
   wait_free_reads : bool;  (* GETs answered inline from the snapshot *)
+  cluster : (int * string list) option;  (* (this node's index, all node addrs) *)
   log : string -> unit;
 }
 
@@ -56,6 +59,7 @@ let default_config =
     algo = Kex_lock.Fast_path;
     chaos = [];
     wait_free_reads = true;
+    cluster = None;
     log = (fun _ -> ()) }
 
 (* Workers sweep at most this many items per admission; bounds both the
@@ -89,12 +93,38 @@ type reply = Sync of mailbox | Stream of conn * int  (* id to echo *)
 type item = { req : Protocol.request; reply : reply }
 
 (* One shard: its slice of the store (own admission wrapper), its ring, and
-   its metrics (merged exactly at STATS time). *)
+   its metrics (merged exactly at STATS time).
+
+   The fence is the migration's write barrier: mutation dispatch takes
+   [sh_fence_m], waits while [sh_fenced], and re-checks ownership before
+   pushing, so once a migration sets the fence no new item can slip into the
+   ring, and once it clears the fence latecomers see the flipped routing and
+   get MOVED.  [sh_inflight] counts items pushed but not yet answered —
+   the fence-holder drains by waiting for it to reach 0, which covers both
+   the ring and batches already claimed by a worker. *)
 type shard_ctx = {
   sh_id : int;
   sh_store : Kv_store.t;
   sh_queue : item Wqueue.t;
   sh_metrics : Metrics.t;
+  sh_fence_m : Mutex.t;
+  sh_fence_c : Condition.t;
+  mutable sh_fenced : bool;
+  sh_inflight : int Atomic.t;
+}
+
+(* Cluster-mode state: which node we are, everyone's address, the
+   epoch-versioned routing table, and the ownership bitmap the data path
+   consults.  Every node allocates all [shards] global shards (stores,
+   rings, workers) and serves only the owned ones; an unowned shard's
+   workers idle on an empty ring, and its store is the landing zone for a
+   future migration in. *)
+type cluster = {
+  cl_node : int;
+  cl_addrs : string array;
+  cl_self : string;
+  cl_routing : Routing.t;
+  cl_owned : bool array;
 }
 
 type t = {
@@ -118,6 +148,8 @@ type t = {
   mutable conns : conn list;
   mutable conn_threads : Thread.t list;
   started_at : float;
+  mutable cluster : cluster option;
+  crashed : bool Atomic.t;  (* kill-node chaos fired: abrupt teardown *)
 }
 
 let port t = t.actual_port
@@ -140,6 +172,27 @@ let stats_pairs t =
       (Array.map
          (fun s -> (Printf.sprintf "ops_shard_%d" s.sh_id, Kv_store.operations s.sh_store))
          t.shard_ctxs)
+  (* Cluster topology, observable without parsing logs: who we are, the
+     routing epoch, and the owned-shard set (count + bitmask while it fits
+     an int).  Migration counters ride in the metrics pairs above. *)
+  @
+  match t.cluster with
+  | None -> []
+  | Some cl ->
+      let epoch, _ = Routing.snapshot cl.cl_routing in
+      let owned_count = Array.fold_left (fun acc o -> if o then acc + 1 else acc) 0 cl.cl_owned in
+      let owned_mask =
+        if Array.length cl.cl_owned > 62 then -1
+        else
+          Array.to_list cl.cl_owned
+          |> List.mapi (fun i o -> if o then 1 lsl i else 0)
+          |> List.fold_left ( lor ) 0
+      in
+      [ ("cluster_node", cl.cl_node);
+        ("cluster_nodes", Array.length cl.cl_addrs);
+        ("routing_epoch", epoch);
+        ("owned_shards", owned_count);
+        ("owned_mask", owned_mask) ]
 
 let logf t fmt = Printf.ksprintf t.cfg.log fmt
 
@@ -195,8 +248,11 @@ let op_of_req (req : Protocol.request) : Kv_store.op option =
   | Protocol.Del key -> Some (Kv_store.Delete key)
   | Protocol.Update (key, delta) -> Some (Kv_store.Fetch_add (key, delta))
   (* SCAN is cross-shard and wait-free: always served inline by the
-     connection thread off the published snapshots, never dispatched. *)
-  | Protocol.Scan _ | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> None
+     connection thread off the published snapshots, never dispatched.
+     Control-plane requests (TOPO/HANDOFF/MIGIMPORT) are inline too. *)
+  | Protocol.Scan _ | Protocol.Ping | Protocol.Stats | Protocol.Kill _ | Protocol.Topo
+  | Protocol.Handoff _ | Protocol.Mig_import _ ->
+      None
 
 let class_of_req (req : Protocol.request) =
   match req with
@@ -205,7 +261,9 @@ let class_of_req (req : Protocol.request) =
   | Protocol.Del _ -> Some Metrics.C_del
   | Protocol.Update _ -> Some Metrics.C_update
   | Protocol.Scan _ -> Some Metrics.C_scan
-  | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> None
+  | Protocol.Ping | Protocol.Stats | Protocol.Kill _ | Protocol.Topo | Protocol.Handoff _
+  | Protocol.Mig_import _ ->
+      None
 
 let resp_of_result (r : Kv_store.result) : Protocol.response =
   match r with
@@ -266,7 +324,10 @@ let exec_batch sh ~lpid items =
         write_conn conn (Buffer.contents buf);
         ignore (Atomic.fetch_and_add conn.c_pending (- !count)))
       !flushes
-  end
+  end;
+  (* Every item of this batch is answered: the migration fence's drain
+     ([sh_inflight] = 0) may now proceed past it. *)
+  ignore (Atomic.fetch_and_add sh.sh_inflight (-(List.length items)))
 
 (* Crash: park forever holding one of this shard's admission slots.  If
    every slot is already wedged the acquire itself blocks — same observable
@@ -329,19 +390,45 @@ let next_victim t =
   in
   go 0
 
+(* kill-node: crash the whole node abruptly — stop accepting and sever
+   every live connection with nothing drained.  Nothing inside the process
+   is cleaned up (workers idle, parked corpses stay parked): to clients and
+   cluster peers this node is simply gone, which is exactly the failure the
+   routing layer must route around.  [stop] still works afterwards so
+   harnesses join cleanly. *)
+let crash t =
+  if not (Atomic.exchange t.crashed true) then begin
+    logf t "kexd serve: node crash (kill-node)";
+    (try Unix.shutdown t.listen_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    Mutex.lock t.conns_m;
+    let conns = t.conns in
+    Mutex.unlock t.conns_m;
+    List.iter
+      (fun c ->
+        Atomic.set c.c_alive false;
+        try Unix.shutdown c.c_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+      conns
+  end
+
 let chaos_loop t events =
   List.iter
     (fun (e : Chaos.event) ->
       let wait = e.at_s -. (Unix.gettimeofday () -. t.started_at) in
       if wait > 0. then Thread.delay wait;
       if not (Atomic.get t.stopping) then
-        let target = match e.target with Some w -> Some w | None -> next_victim t in
-        match target with
-        | None -> logf t "chaos: no live worker left to kill"
-        | Some w -> (
-            match kill_worker t w with
-            | Ok () -> logf t "chaos: killing worker %d at t=%.1fs" w e.at_s
-            | Error msg -> logf t "chaos: %s" msg))
+        match e.action with
+        | Chaos.Kill_node ->
+            logf t "chaos: killing node at t=%.1fs" e.at_s;
+            crash t
+        | Chaos.Kill_worker -> (
+            let target = match e.target with Some w -> Some w | None -> next_victim t in
+            match target with
+            | None -> logf t "chaos: no live worker left to kill"
+            | Some w -> (
+                match kill_worker t w with
+                | Ok () -> logf t "chaos: killing worker %d at t=%.1fs" w e.at_s
+                | Error msg -> logf t "chaos: %s" msg)))
     events
 
 (* ------------------------------ connections ----------------------------- *)
@@ -350,7 +437,276 @@ let key_of_req (req : Protocol.request) =
   match req with
   | Protocol.Get key | Protocol.Set (key, _) | Protocol.Del key | Protocol.Update (key, _) ->
       key
-  | Protocol.Scan _ | Protocol.Ping | Protocol.Stats | Protocol.Kill _ -> ""
+  | Protocol.Scan _ | Protocol.Ping | Protocol.Stats | Protocol.Kill _ | Protocol.Topo
+  | Protocol.Handoff _ | Protocol.Mig_import _ ->
+      ""
+
+(* --------------------------- cluster data path --------------------------- *)
+
+let owns t shard = match t.cluster with None -> true | Some cl -> cl.cl_owned.(shard)
+
+(* The redirect a non-owner answers: the current owner stamped with the
+   current epoch, so the client adopts it iff it is news to them. *)
+let moved_resp t shard =
+  match t.cluster with
+  | None -> Protocol.Error "not in cluster mode"
+  | Some cl ->
+      Metrics.record t.conn_metrics Metrics.C_moved ~lat_us:0;
+      let epoch, _ = Routing.snapshot cl.cl_routing in
+      Protocol.Moved (shard, epoch, Routing.owner cl.cl_routing shard)
+
+(* The TOPO reply.  Outside cluster mode a node is a cluster of one: every
+   shard maps to this node at epoch 1, so cluster-aware clients bootstrap
+   against a plain single-node server unchanged. *)
+let topo_resp t =
+  match t.cluster with
+  | Some cl -> (
+      match Routing.snapshot cl.cl_routing with epoch, owners -> Protocol.Topo_reply (epoch, owners))
+  | None ->
+      let self = Printf.sprintf "127.0.0.1:%d" t.actual_port in
+      Protocol.Topo_reply (1, List.init t.cfg.shards (fun s -> (s, self)))
+
+(* Push one item at its shard's ring, against the migration fence: wait out
+   an active fence, re-check ownership (the fence-holder may have flipped
+   routing), and count the item in flight.  The check-then-push is under
+   [sh_fence_m], so a fence set after our check cannot miss our item — the
+   drain sees [sh_inflight] > 0. *)
+type dispatched = Pushed | Not_owner | Shutting_down
+
+let dispatch_item t sh item =
+  Mutex.lock sh.sh_fence_m;
+  while sh.sh_fenced do
+    Condition.wait sh.sh_fence_c sh.sh_fence_m
+  done;
+  let r =
+    if not (owns t sh.sh_id) then Not_owner
+    else if Wqueue.push sh.sh_queue item then begin
+      Atomic.incr sh.sh_inflight;
+      Pushed
+    end
+    else Shutting_down
+  in
+  Mutex.unlock sh.sh_fence_m;
+  r
+
+(* SCAN in cluster mode merges only the *owned* shards' snapshot scans: an
+   unowned shard's store may hold a stale copy from before a migration out.
+   (Cluster-wide scans are the client's scatter-gather, one node per owned
+   shard set; each node answers for what it owns.) *)
+let scan_local t ~start ~count =
+  match t.cluster with
+  | None -> Sharded.scan t.store ~start ~count
+  | Some cl ->
+      let all =
+        Array.fold_left
+          (fun acc sh ->
+            if cl.cl_owned.(sh.sh_id) then
+              List.rev_append (Kv_store.scan sh.sh_store ~start ~count) acc
+            else acc)
+          [] t.shard_ctxs
+      in
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) all in
+      List.filteri (fun i _ -> i < count) sorted
+
+(* ------------------------- migration (source side) ----------------------- *)
+
+(* Changes per MIGIMPORT frame: bounds frame size (keys+values also bound
+   by max_frame) and keeps the destination's per-admission batches sane. *)
+let mig_chunk = 1024
+
+let parse_addr addr =
+  match String.rindex_opt addr ':' with
+  | None -> Error (Printf.sprintf "bad node address %S (want host:port)" addr)
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      match int_of_string_opt (String.sub addr (i + 1) (String.length addr - i - 1)) with
+      | Some port when port > 0 && port < 65536 -> Ok (host, port)
+      | _ -> Error (Printf.sprintf "bad port in node address %S" addr))
+
+(* A tiny blocking RPC client over the binary wire — the node-to-node leg
+   of a migration.  One request in flight, bounded by a socket timeout. *)
+let rpc_connect ~addr ~timeout_s =
+  match parse_addr addr with
+  | Error msg -> Error msg
+  | Ok (host, port) -> (
+      match
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        (try
+           Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s;
+           Unix.setsockopt fd Unix.TCP_NODELAY true
+         with Unix.Unix_error _ -> ());
+        (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+         with e ->
+           (try Unix.close fd with Unix.Unix_error _ -> ());
+           raise e);
+        fd
+      with
+      | fd -> Ok (fd, Protocol.Resp_decoder.create Protocol.Binary, Buffer.create 4096)
+      | exception Unix.Unix_error (e, _, _) ->
+          Error (Printf.sprintf "connect %s: %s" addr (Unix.error_message e)))
+
+let rpc_close (fd, _, _) = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rpc (fd, dec, out) req =
+  Buffer.clear out;
+  Protocol.encode_request_wire out Protocol.Binary ~id:None req;
+  match
+    Netio.write_all fd (Buffer.contents out);
+    let buf = Bytes.create 8192 in
+    let rec await () =
+      match Protocol.Resp_decoder.next dec with
+      | Protocol.Dec_frame (_, resp) -> Ok resp
+      | Protocol.Dec_skip (_, msg) | Protocol.Dec_broken msg -> Error ("peer: " ^ msg)
+      | Protocol.Dec_more -> (
+          match Unix.read fd buf 0 (Bytes.length buf) with
+          | 0 -> Error "peer closed the connection"
+          | n ->
+              Protocol.Resp_decoder.feed_bytes dec buf ~off:0 ~len:n;
+              await ())
+    in
+    await ()
+  with
+  | r -> r
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
+(* Expect Ok back for one migration push. *)
+let rpc_ok conn req =
+  match rpc conn req with
+  | Ok Protocol.Ok -> Ok ()
+  | Ok (Protocol.Error msg) -> Error ("peer: " ^ msg)
+  | Ok _ -> Error "peer: unexpected response to migration push"
+  | Error _ as e -> e
+
+let fence sh on =
+  Mutex.lock sh.sh_fence_m;
+  sh.sh_fenced <- on;
+  if not on then Condition.broadcast sh.sh_fence_c;
+  Mutex.unlock sh.sh_fence_m
+
+(* Live handoff of [shard] to the node at [addr], run on the connection
+   thread that received HANDOFF.  Order of operations is the whole proof:
+
+     1. bulk-ship a [read_versioned] snapshot while the shard keeps
+        serving (writes landing meanwhile will be in the delta);
+     2. fence the ring and drain in-flight batches through admission —
+        from here no mutation is acknowledged at the source;
+     3. ship the delta (diff of a fresh snapshot against the bulk one)
+        stamped with the successor epoch; the destination applies it and
+        takes ownership;
+     4. flip local routing + ownership, then lift the fence, so blocked
+        mutators wake to a MOVED that names the new owner.
+
+   Every mutation acknowledged before the fence is in bulk state or delta;
+   none is acknowledged during it; every one after it happens at the new
+   owner — zero acknowledged writes can be lost.  On any failure before
+   step 4 the fence lifts and the source keeps serving the shard. *)
+let handoff t ~shard ~addr =
+  match t.cluster with
+  | None -> Error "not in cluster mode"
+  | Some cl ->
+      if shard < 0 || shard >= t.cfg.shards then
+        Error (Printf.sprintf "shard %d out of range 0..%d" shard (t.cfg.shards - 1))
+      else if not cl.cl_owned.(shard) then
+        Error (Printf.sprintf "shard %d is not owned by this node" shard)
+      else if String.equal addr cl.cl_self then Error "cannot hand off a shard to ourselves"
+      else begin
+        let sh = t.shard_ctxs.(shard) in
+        match rpc_connect ~addr ~timeout_s:10. with
+        | Error _ as e -> e
+        | Ok conn ->
+            let finish r =
+              rpc_close conn;
+              r
+            in
+            let rec ship_bulk = function
+              | [] -> Ok ()
+              | chunk :: rest -> (
+                  match
+                    rpc_ok conn
+                      (Protocol.Mig_import
+                         (shard, 0, false, List.map (fun (k, v) -> (k, Some v)) chunk))
+                  with
+                  | Ok () -> ship_bulk rest
+                  | Error _ as e -> e)
+            in
+            let _, bulk = Kv_store.read_versioned sh.sh_store in
+            logf t "handoff: shard %d -> %s (bulk %d keys)" shard addr (List.length bulk);
+            (match ship_bulk (Migration.chunks ~max:mig_chunk bulk) with
+            | Error _ as e -> finish e
+            | Ok () ->
+                fence sh true;
+                (* Drain: pushes are fenced out, so in-flight can only sink. *)
+                let deadline = Unix.gettimeofday () +. 5. in
+                while Atomic.get sh.sh_inflight > 0 && Unix.gettimeofday () < deadline do
+                  Thread.delay 0.001
+                done;
+                if Atomic.get sh.sh_inflight > 0 then begin
+                  fence sh false;
+                  finish (Error "drain timed out (shard wedged?); handoff aborted")
+                end
+                else begin
+                  let _, quiesced = Kv_store.read_versioned sh.sh_store in
+                  let delta = Migration.diff ~before:bulk ~after:quiesced in
+                  let next_epoch = Routing.epoch cl.cl_routing + 1 in
+                  match rpc_ok conn (Protocol.Mig_import (shard, next_epoch, true, delta)) with
+                  | Error msg ->
+                      fence sh false;
+                      finish (Error msg)
+                  | Ok () ->
+                      (* The destination owns the shard at [next_epoch];
+                         adopt that fact, drop ownership, lift the fence. *)
+                      ignore (Routing.observe cl.cl_routing ~shard ~epoch:next_epoch ~addr);
+                      cl.cl_owned.(shard) <- false;
+                      Metrics.incr_migrations_out t.conn_metrics;
+                      fence sh false;
+                      logf t "handoff: shard %d now owned by %s at epoch %d (delta %d changes)"
+                        shard addr next_epoch (List.length delta);
+                      finish (Ok ())
+                end)
+      end
+
+(* Migration import (destination side): apply the changes to our copy of the
+   shard, and on the final chunk take ownership at the sender's epoch.
+   Borrowing the shard's pid 0 is safe exactly because the shard is unowned:
+   no client mutation is dispatched to it, and its workers idle on an empty
+   ring (same argument as [preload]). *)
+let mig_import t ~shard ~epoch ~final changes =
+  match t.cluster with
+  | None -> Error "not in cluster mode"
+  | Some cl ->
+      if shard < 0 || shard >= t.cfg.shards then
+        Error (Printf.sprintf "shard %d out of range 0..%d" shard (t.cfg.shards - 1))
+      else if cl.cl_owned.(shard) then
+        Error (Printf.sprintf "shard %d is already owned by this node" shard)
+      else begin
+        let sh = t.shard_ctxs.(shard) in
+        Kv_store.apply_changes sh.sh_store ~pid:0 changes;
+        if final then begin
+          if not (Routing.observe cl.cl_routing ~shard ~epoch ~addr:cl.cl_self) then
+            Error
+              (Printf.sprintf "stale migration epoch %d (routing is at %d)" epoch
+                 (Routing.epoch cl.cl_routing))
+          else begin
+            cl.cl_owned.(shard) <- true;
+            Metrics.incr_migrations_in t.conn_metrics;
+            logf t "migration: imported shard %d, owned at epoch %d" shard epoch;
+            Ok ()
+          end
+        end
+        else Ok ()
+      end
+
+(* Forced takeover of an unowned shard at the successor epoch — the
+   failover harness's reassignment after [kill-node], equivalent to
+   receiving a final, empty MIGIMPORT.  The dead owner's data died with it
+   (the cluster is shared-nothing, no replication): the shard restarts
+   from whatever copy this node holds, trading durability for
+   availability.  Routing-wise it is indistinguishable from a migration,
+   so clients converge through the same TOPO/MOVED machinery. *)
+let adopt t ~shard =
+  match t.cluster with
+  | None -> Error "not in cluster mode"
+  | Some cl -> mig_import t ~shard ~epoch:(Routing.epoch cl.cl_routing + 1) ~final:true []
 
 (* SCAN result sizes are clamped so one request can't build a response
    anywhere near [max_frame]. *)
@@ -373,48 +729,76 @@ let handle_request t conn out tag (req : Protocol.request) =
       | Error msg ->
           Metrics.incr_errors t.conn_metrics;
           respond_now conn out tag (Protocol.Error msg))
+  | Protocol.Topo -> respond_now conn out tag (topo_resp t)
+  | Protocol.Handoff (shard, addr) -> (
+      (* Runs right here on the connection thread — bulk transfer, fence,
+         drain, delta, flip.  Other shards (and this connection's earlier
+         pipelined requests) keep being served by their workers. *)
+      match handoff t ~shard ~addr with
+      | Ok () -> respond_now conn out tag Protocol.Ok
+      | Error msg ->
+          Metrics.incr_errors t.conn_metrics;
+          respond_now conn out tag (Protocol.Error msg))
+  | Protocol.Mig_import (shard, epoch, final, changes) -> (
+      match mig_import t ~shard ~epoch ~final changes with
+      | Ok () -> respond_now conn out tag Protocol.Ok
+      | Error msg ->
+          Metrics.incr_errors t.conn_metrics;
+          respond_now conn out tag (Protocol.Error msg))
   | Protocol.Get key when t.cfg.wait_free_reads ->
       (* The wait-free read plane: answer from the owning shard's
          published snapshot, right here on the connection thread — no
          ring, no worker, no admission slot.  Publication happens before
          any mutation is acknowledged, so an acknowledged SET is always
          visible; and because no slot is needed, this keeps answering
-         when all k of the shard's workers are dead. *)
-      let t0 = Metrics.now_us () in
-      let v = Sharded.read t.store ~key in
-      Metrics.record t.conn_metrics Metrics.C_get ~lat_us:(Metrics.now_us () - t0);
-      Metrics.incr_inline_reads t.conn_metrics;
-      respond_now conn out tag (Protocol.Value v)
+         when all k of the shard's workers are dead.  In cluster mode an
+         unowned shard redirects instead: the local snapshot stops being
+         authoritative the moment routing flips. *)
+      let shard = shard_of_key t key in
+      if not (owns t shard) then respond_now conn out tag (moved_resp t shard)
+      else begin
+        let t0 = Metrics.now_us () in
+        let v = Sharded.read t.store ~key in
+        Metrics.record t.conn_metrics Metrics.C_get ~lat_us:(Metrics.now_us () - t0);
+        Metrics.incr_inline_reads t.conn_metrics;
+        respond_now conn out tag (Protocol.Value v)
+      end
   | Protocol.Scan (start, count) ->
       (* Range reads ride the same wait-free plane: every shard's slice
          comes off its published snapshot, so a SCAN answers consistently
-         even when a whole shard's worker pool is dead. *)
+         even when a whole shard's worker pool is dead.  Cluster mode
+         answers for the shards this node owns. *)
       let t0 = Metrics.now_us () in
-      let pairs = Sharded.scan t.store ~start ~count:(min count max_scan) in
+      let pairs = scan_local t ~start ~count:(min count max_scan) in
       Metrics.record t.conn_metrics Metrics.C_scan ~lat_us:(Metrics.now_us () - t0);
       Metrics.incr_inline_reads t.conn_metrics;
       respond_now conn out tag (Protocol.Range pairs)
   | req -> (
-      let sh = t.shard_ctxs.(shard_of_key t (key_of_req req)) in
+      let shard = shard_of_key t (key_of_req req) in
+      let sh = t.shard_ctxs.(shard) in
       match tag with
-      | None ->
+      | None -> (
           (* v1 contract: one in flight, in order — dispatch and wait. *)
           let mb = mailbox () in
-          if Wqueue.push sh.sh_queue { req; reply = Sync mb } then
-            respond_now conn out None (await mb)
-          else begin
-            Metrics.incr_errors t.conn_metrics;
-            respond_now conn out None (Protocol.Error "server shutting down")
-          end
-      | Some id ->
+          match dispatch_item t sh { req; reply = Sync mb } with
+          | Pushed -> respond_now conn out None (await mb)
+          | Not_owner -> respond_now conn out None (moved_resp t shard)
+          | Shutting_down ->
+              Metrics.incr_errors t.conn_metrics;
+              respond_now conn out None (Protocol.Error "server shutting down"))
+      | Some id -> (
           (* Pipelined: dispatch and keep reading; a worker writes the
              response (coalesced with its batch-mates). *)
           Atomic.incr conn.c_pending;
-          if not (Wqueue.push sh.sh_queue { req; reply = Stream (conn, id) }) then begin
-            ignore (Atomic.fetch_and_add conn.c_pending (-1));
-            Metrics.incr_errors t.conn_metrics;
-            respond_now conn out tag (Protocol.Error "server shutting down")
-          end)
+          match dispatch_item t sh { req; reply = Stream (conn, id) } with
+          | Pushed -> ()
+          | Not_owner ->
+              ignore (Atomic.fetch_and_add conn.c_pending (-1));
+              respond_now conn out tag (moved_resp t shard)
+          | Shutting_down ->
+              ignore (Atomic.fetch_and_add conn.c_pending (-1));
+              Metrics.incr_errors t.conn_metrics;
+              respond_now conn out tag (Protocol.Error "server shutting down")))
 
 let handle_conn t conn =
   let dec = Protocol.Req_decoder.create () in
@@ -506,6 +890,28 @@ let accept_loop t =
 
 (* ------------------------------- lifecycle ------------------------------ *)
 
+(* Join a cluster: record who we are and bootstrap routing/ownership with
+   the same deterministic round-robin every node (and cluster-aware client)
+   computes from the shared node list — no coordination needed to agree on
+   epoch 1.  Call right after [start], before traffic (tests start on
+   ephemeral ports, so addresses are only known post-bind). *)
+let enable_cluster t ~node ~addrs =
+  let n = List.length addrs in
+  if n = 0 then invalid_arg "Server.enable_cluster: no node addresses";
+  if node < 0 || node >= n then invalid_arg "Server.enable_cluster: node index out of range";
+  let routing = Routing.initial ~addrs ~shards:t.cfg.shards in
+  let addr_arr = Array.of_list addrs in
+  t.cluster <-
+    Some
+      { cl_node = node;
+        cl_addrs = addr_arr;
+        cl_self = addr_arr.(node);
+        cl_routing = routing;
+        cl_owned = Array.init t.cfg.shards (fun s -> s mod n = node) };
+  logf t "cluster: node %d/%d at %s, owning %d of %d shards" node n addr_arr.(node)
+    ((t.cfg.shards + n - 1 - node) / n)
+    t.cfg.shards
+
 let start cfg =
   if cfg.workers < 1 then invalid_arg "Server.start: workers must be positive";
   if cfg.shards < 1 then invalid_arg "Server.start: shards must be positive";
@@ -530,7 +936,11 @@ let start cfg =
         { sh_id = i;
           sh_store = Sharded.shard store i;
           sh_queue = Wqueue.create ();
-          sh_metrics = Metrics.create () })
+          sh_metrics = Metrics.create ();
+          sh_fence_m = Mutex.create ();
+          sh_fence_c = Condition.create ();
+          sh_fenced = false;
+          sh_inflight = Atomic.make 0 })
   in
   let t =
     { cfg;
@@ -550,8 +960,11 @@ let start cfg =
       conns_m = Mutex.create ();
       conns = [];
       conn_threads = [];
-      started_at = Unix.gettimeofday () }
+      started_at = Unix.gettimeofday ();
+      cluster = None;
+      crashed = Atomic.make false }
   in
+  Option.iter (fun (node, addrs) -> enable_cluster t ~node ~addrs) cfg.cluster;
   t.worker_domains <-
     List.concat
       (List.init cfg.shards (fun s ->
@@ -587,6 +1000,7 @@ let stop ?(drain_timeout_s = 5.) t =
   Array.iter
     (fun s ->
       let leftovers = Wqueue.close s.sh_queue in
+      ignore (Atomic.fetch_and_add s.sh_inflight (-(List.length leftovers)));
       List.iter (fun item -> deliver_item item (Protocol.Error "server shutting down")) leftovers)
     t.shard_ctxs;
   (* 5. Join workers, then sever idle connections so their threads exit. *)

@@ -31,7 +31,18 @@
     Sockets are owned by per-connection threads, never by workers, so a
     worker death cannot sever a connection.  Crashes are cooperative (OCaml
     domains cannot be hard-killed): a killed worker parks forever holding
-    its slot and is only reaped at shutdown. *)
+    its slot and is only reaped at shutdown.
+
+    {b Cluster mode} ([cluster] in the config, or {!enable_cluster}): N
+    nodes form a shared-nothing cluster over the same [shards] global
+    shards.  Every node allocates every shard but serves only the ones it
+    owns per the epoch-versioned routing table
+    ({!Kex_cluster.Routing}); a request for an unowned shard is answered
+    [MOVED shard epoch addr], and [TOPO] returns the whole table.  Shards
+    move between live nodes with [HANDOFF] (bulk snapshot, fence + drain,
+    delta + epoch bump, routing flip — zero acknowledged writes lost), and
+    [kill-node] chaos crashes the whole process abruptly, the failure unit
+    the routing layer must route around. *)
 
 type config = {
   port : int;  (** 0 picks an ephemeral port — read it back with {!port} *)
@@ -45,12 +56,18 @@ type config = {
           shard's published snapshot (wait-free, admission-free).  [false]:
           GETs queue through the submission ring and admission wrapper like
           mutations — the baseline for measuring the read plane. *)
+  cluster : (int * string list) option;
+      (** [Some (node, addrs)]: join a cluster as [addrs]'s [node]-th
+          member ([addrs] are "host:port", identical on every node, with
+          [shards] then the {e global} shard count).  Only usable when
+          ports are fixed up front; tests on ephemeral ports use
+          {!enable_cluster} after {!start} instead. *)
   log : string -> unit;  (** sink for progress lines; ignore for quiet *)
 }
 
 val default_config : config
 (** port 7070, 1 shard, 4 workers, k=2, [Fast_path], no chaos, wait-free
-    reads on, silent. *)
+    reads on, no cluster, silent. *)
 
 type t
 
@@ -71,6 +88,29 @@ val kill_worker : t -> int -> (unit, string) result
 (** Programmatic [KILL] by global worker id (shard [s]'s workers are ids
     [s*workers .. s*workers + workers - 1]) — what the admin command and
     tests use. *)
+
+val enable_cluster : t -> node:int -> addrs:string list -> unit
+(** Join a cluster as [addrs]'s [node]-th member.  Ownership and routing
+    bootstrap deterministically (shard [s] owned by node [s mod n], epoch
+    1), the same table every node and cluster-aware client computes from
+    the shared node list.  Call right after {!start}, before traffic. *)
+
+val crash : t -> unit
+(** Abrupt whole-node crash — what [kill-node] chaos fires: stop accepting
+    and sever every live connection, draining nothing.  The process keeps
+    running (workers idle) so a harness can still {!stop} it cleanly, but
+    to clients and cluster peers the node is gone. *)
+
+val handoff : t -> shard:int -> addr:string -> (unit, string) result
+(** Programmatic [HANDOFF]: live-migrate [shard] to the node at [addr]
+    (bulk snapshot, fence + drain, delta + epoch bump, routing flip).
+    [Error] leaves ownership at this node. *)
+
+val adopt : t -> shard:int -> (unit, string) result
+(** Forced takeover of an unowned shard at the successor epoch — the
+    failover move after a [kill-node]: equivalent to a final, empty
+    migration import.  The dead owner's data is gone (shared-nothing, no
+    replication); the shard restarts from this node's copy. *)
 
 val stats_pairs : t -> (string * int) list
 (** The [STATS] reply: metrics counters (merged exactly across shards) plus

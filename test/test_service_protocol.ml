@@ -27,27 +27,35 @@ let roundtrip_resp r =
 let nasty = [ ""; " "; "a b"; "x:y"; "12:fake"; "line1\nline2"; String.make 300 'z'; "\x00\x01" ]
 
 let test_request_roundtrips () =
-  List.iter roundtrip_req [ P.Ping; P.Stats; P.Kill 0; P.Kill 17 ];
+  List.iter roundtrip_req [ P.Ping; P.Stats; P.Kill 0; P.Kill 17; P.Topo ];
   List.iter
     (fun s ->
       roundtrip_req (P.Get s);
       roundtrip_req (P.Del s);
       roundtrip_req (P.Set (s, s ^ "-v"));
       roundtrip_req (P.Update (s, -3));
-      roundtrip_req (P.Scan (s, 64)))
-    nasty
+      roundtrip_req (P.Scan (s, 64));
+      roundtrip_req (P.Handoff (3, s));
+      roundtrip_req (P.Mig_import (0, 5, true, [ (s, Some (s ^ "-v")); (s ^ "2", None) ])))
+    nasty;
+  roundtrip_req (P.Mig_import (7, 0, false, []))
 
 let test_response_roundtrips () =
   List.iter roundtrip_resp
     [ P.Pong; P.Ok; P.Value None; P.Deleted true; P.Deleted false; P.Int (-42);
       P.Stats_reply []; P.Stats_reply [ ("served", 12); ("a b", 0) ]; P.Error "boom";
-      P.Range []; P.Range [ ("a", "1"); ("b\n", " ") ] ];
+      P.Range []; P.Range [ ("a", "1"); ("b\n", " ") ];
+      P.Moved (2, 7, "127.0.0.1:7071"); P.Topo_reply (1, []);
+      P.Topo_reply (3, [ (0, "127.0.0.1:7070"); (1, "10.0.0.2:7071") ]) ];
   List.iter (fun s -> roundtrip_resp (P.Value (Some s))) nasty
 
 let test_malformed_rejected () =
   let bad_req =
     [ ""; "NOPE"; "GET"; "GET x"; "GET 5:ab"; "GET 2:abc"; "SET 1:a"; "UPDATE 1:a x";
-      "KILL"; "KILL x"; "PING extra"; "GET -1:a"; "SCAN 1:a"; "SCAN 1:a x"; "SCAN 1:a -1" ]
+      "KILL"; "KILL x"; "PING extra"; "GET -1:a"; "SCAN 1:a"; "SCAN 1:a x"; "SCAN 1:a -1";
+      "TOPO extra"; "HANDOFF"; "HANDOFF -1 1:a"; "HANDOFF 0"; "MIGIMPORT";
+      "MIGIMPORT -1 1 0 0"; "MIGIMPORT 0 -1 0 0"; "MIGIMPORT 0 1 2 0"; "MIGIMPORT 0 1 0 -1";
+      "MIGIMPORT 0 1 0 1"; "MIGIMPORT 0 1 0 1 1:a 2"; "MIGIMPORT 0 1 0 2 1:a 0" ]
   in
   List.iter
     (fun s ->
@@ -55,7 +63,11 @@ let test_malformed_rejected () =
       | Ok _ -> Alcotest.failf "%S should not parse as a request" s
       | Error _ -> ())
     bad_req;
-  let bad_resp = [ ""; "WHAT"; "VAL"; "DELETED 2"; "STATS"; "STATS 2 1:a 1"; "INT"; "OK !" ] in
+  let bad_resp =
+    [ ""; "WHAT"; "VAL"; "DELETED 2"; "STATS"; "STATS 2 1:a 1"; "INT"; "OK !"; "MOVED";
+      "MOVED -1 1 1:a"; "MOVED 0 -1 1:a"; "MOVED 0 1"; "TOPO"; "TOPO -1 0"; "TOPO 1 -1";
+      "TOPO 1 1"; "TOPO 1 1 -1 1:a" ]
+  in
   List.iter
     (fun s ->
       match P.parse_response s with
@@ -128,9 +140,18 @@ let test_chaos_parse () =
       match Chaos.parse s with
       | Ok _ -> Alcotest.failf "%S should not parse as a chaos spec" s
       | Error _ -> ())
-    [ "kill-worker"; "kill-worker@"; "kill-worker@-1s"; "reboot@5s"; "kill-worker:x@5s" ];
+    [ "kill-worker"; "kill-worker@"; "kill-worker@-1s"; "reboot@5s"; "kill-worker:x@5s";
+      "kill-node@"; "kill-node@-2s" ];
+  (* kill-node actions parse alongside kill-worker. *)
+  (match Chaos.parse "kill-node@3s,kill-worker:1@1s" with
+  | Ok [ e1; e2 ] ->
+      Alcotest.(check bool) "kill-worker first" true
+        (e1.Chaos.action = Chaos.Kill_worker && e1.Chaos.at_s = 1. && e1.Chaos.target = Some 1);
+      Alcotest.(check bool) "kill-node second" true
+        (e2.Chaos.action = Chaos.Kill_node && e2.Chaos.at_s = 3.)
+  | _ -> Alcotest.fail "kill-node schedule must parse");
   (* to_string round-trips. *)
-  let spec = "kill-worker:1@0.5s,kill-worker@2s" in
+  let spec = "kill-worker:1@0.5s,kill-node@2s" in
   match Chaos.parse spec with
   | Error e -> Alcotest.fail e
   | Ok evs -> (
@@ -219,17 +240,25 @@ let test_tagging () =
 
 let gen_str = Q.Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_range 0 40))
 
+let gen_change = Q.Gen.(pair gen_str (oneof [ return None; map (fun v -> Some v) gen_str ]))
+
 let gen_request =
   let open Q.Gen in
   oneof
     [ return P.Ping;
       return P.Stats;
+      return P.Topo;
       map (fun w -> P.Kill w) (int_range 0 1000);
       map (fun s -> P.Get s) gen_str;
       map2 (fun k v -> P.Set (k, v)) gen_str gen_str;
       map (fun s -> P.Del s) gen_str;
       map2 (fun k d -> P.Update (k, d)) gen_str (int_range (-1000) 1000);
-      map2 (fun s n -> P.Scan (s, n)) gen_str (int_range 0 1000) ]
+      map2 (fun s n -> P.Scan (s, n)) gen_str (int_range 0 1000);
+      map2 (fun sh a -> P.Handoff (sh, a)) (int_range 0 64) gen_str;
+      map
+        (fun (sh, ep, fin, changes) -> P.Mig_import (sh, ep, fin, changes))
+        (quad (int_range 0 64) (int_range 0 100000) bool
+           (list_size (int_range 0 6) gen_change)) ]
 
 let gen_response =
   let open Q.Gen in
@@ -242,7 +271,13 @@ let gen_response =
       map (fun n -> P.Int n) (int_range (-100000) 100000);
       map (fun ps -> P.Stats_reply ps) (list_size (int_range 0 8) (pair gen_str (int_range 0 1000)));
       map (fun ps -> P.Range ps) (list_size (int_range 0 8) (pair gen_str gen_str));
-      map (fun s -> P.Error s) gen_str ]
+      map (fun s -> P.Error s) gen_str;
+      map
+        (fun ((sh, ep), a) -> P.Moved (sh, ep, a))
+        (pair (pair (int_range 0 64) (int_range 0 100000)) gen_str);
+      map
+        (fun (ep, owners) -> P.Topo_reply (ep, owners))
+        (pair (int_range 0 100000) (list_size (int_range 0 8) (pair (int_range 0 64) gen_str))) ]
 
 let prop_request_roundtrip =
   Q.Test.make ~name:"request print/parse round-trips" ~count:500 ~print:P.print_request
@@ -381,12 +416,15 @@ let drain_dec next =
 
 let all_requests =
   [ P.Ping; P.Stats; P.Kill 3; P.Get "k"; P.Set ("k", "v"); P.Del ""; P.Update ("k", -9);
-    P.Scan ("k\x00\xff", 17) ]
+    P.Scan ("k\x00\xff", 17); P.Topo; P.Handoff (2, "127.0.0.1:7071");
+    P.Mig_import (1, 4, false, [ ("k", Some "v\x00"); ("gone", None) ]);
+    P.Mig_import (3, 9, true, []) ]
 
 let all_responses =
   [ P.Pong; P.Ok; P.Value None; P.Value (Some "x y\n"); P.Deleted true; P.Deleted false;
     P.Int (-1234567); P.Stats_reply [ ("served", 1) ]; P.Range [ ("a", "1"); ("b", "") ];
-    P.Error "boom" ]
+    P.Error "boom"; P.Moved (0, 2, "127.0.0.1:7071");
+    P.Topo_reply (5, [ (0, "a:1"); (1, "b:2") ]) ]
 
 let test_bin_roundtrips () =
   List.iteri
