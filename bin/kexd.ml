@@ -1318,6 +1318,147 @@ let lint_cmd =
       const run $ algo_opt_arg $ model_opt_arg $ lint_n_arg $ lint_k_arg $ json_arg
       $ require_clean_arg $ mutant_arg $ mutants_arg $ static_only_arg $ verbose_arg)
 
+(* ------------------------------- srclint ---------------------------------- *)
+
+let srclint_cmd =
+  let doc = "lint the real OCaml service stack's concurrency discipline (S1-S5)" in
+  let man =
+    [ `S Manpage.s_description;
+      `P
+        "Parses every .ml under lib/ and bin/ with the compiler's grammar and walks each \
+         function with a path-sensitive model of lock state: S1 lock-leak (a Mutex.lock \
+         with a raising or early-return path that skips the unlock), S2 wait-without-recheck \
+         (Condition.wait not inside a while loop), S3 blocking-under-lock (Unix/Thread/Netio \
+         blocking calls while a mutex is held), S4 non-atomic RMW (Atomic.set computed from \
+         Atomic.get of the same cell), and S5 unguarded shared state (accesses that the \
+         per-module guarded-by manifest assigns to a lock, made without it).  Waivers — \
+         [@srclint.allow S3] attributes or manifest entries — are reported as waived, never \
+         dropped.  Writes the kexclusion-srclint/v1 JSON document with $(b,--json)." ]
+  in
+  let root_arg =
+    Arg.(value & opt string "." & info [ "root" ] ~docv:"DIR" ~doc:"repository root to scan")
+  in
+  let file_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "file" ] ~docv:"PATH" ~doc:"lint a single .ml file instead of scanning")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-srclint/v1 report")
+  in
+  let require_clean_arg =
+    Arg.(
+      value & flag
+      & info [ "require-clean" ] ~doc:"exit 1 on any non-waived finding (CI gate)")
+  in
+  let mutant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:"lint one seeded source mutant (expected dirty: exits nonzero when its \
+                expected check kills it)")
+  in
+  let mutants_arg =
+    Arg.(
+      value & flag
+      & info [ "mutants" ]
+          ~doc:"also run the seeded source-mutant corpus; exit 1 unless every mutant is \
+                killed by exactly its expected check")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"print every finding with its witness")
+  in
+  let run root file json require_clean mutant mutants verbose =
+    let module A = Kex_analysis in
+    match mutant with
+    | Some name -> (
+        match A.Srclint_mutants.find name with
+        | None ->
+            Format.eprintf "unknown mutant %S (have: %s)@." name
+              (String.concat ", "
+                 (Stdlib.List.map (fun m -> m.A.Srclint_mutants.sm_name) A.Srclint_mutants.all));
+            2
+        | Some m ->
+            let fr = A.Srclint_mutants.report m in
+            Format.printf "mutant %s: %s@." m.A.Srclint_mutants.sm_name
+              m.A.Srclint_mutants.sm_desc;
+            Format.printf "expected: %s — %s%s@."
+              (A.Finding.id m.A.Srclint_mutants.sm_expected)
+              (if A.Srclint_mutants.killed m fr then "KILLED" else "SURVIVED")
+              (if A.Srclint_mutants.killed m fr && not (A.Srclint_mutants.exact m fr) then
+                 " (but not exact)"
+               else "");
+            Format.printf "%a" A.Report.pp_srclint_findings fr;
+            Option.iter
+              (fun out ->
+                let oc = open_out out in
+                output_string oc
+                  (Kex_service.Json.to_string ~indent:2 (A.Report.srclint_to_json [ fr ]));
+                output_char oc '\n';
+                close_out oc)
+              json;
+            if A.Srclint_mutants.killed m fr then 1 else 0)
+    | None ->
+        let frs =
+          match file with
+          | Some f -> [ A.Srclint.lint_file f ]
+          | None -> A.Srclint.scan ~root ()
+        in
+        Format.printf "%a" A.Report.pp_srclint_table frs;
+        if verbose then
+          Stdlib.List.iter
+            (fun fr ->
+              if fr.A.Srclint.fr_findings <> [] then begin
+                Format.printf "@.%s:@." fr.A.Srclint.fr_path;
+                Format.printf "%a" A.Report.pp_srclint_findings fr
+              end)
+            frs;
+        let mutant_results =
+          if not mutants then []
+          else
+            Stdlib.List.map
+              (fun m ->
+                let fr = A.Srclint_mutants.report m in
+                (m, fr, A.Srclint_mutants.killed m fr, A.Srclint_mutants.exact m fr))
+              A.Srclint_mutants.all
+        in
+        if mutants then begin
+          Format.printf "@.%-26s %-26s %s@." "mutant" "expected" "verdict";
+          Format.printf "%s@." (String.make 66 '-');
+          Stdlib.List.iter
+            (fun (m, _, killed, exact) ->
+              Format.printf "%-26s %-26s %s@." m.A.Srclint_mutants.sm_name
+                (A.Finding.id m.A.Srclint_mutants.sm_expected)
+                (if killed && exact then "killed"
+                 else if killed then "KILLED-INEXACT"
+                 else "SURVIVED"))
+            mutant_results
+        end;
+        Option.iter
+          (fun out ->
+            let oc = open_out out in
+            output_string oc
+              (Kex_service.Json.to_string ~indent:2
+                 (A.Report.srclint_to_json ~mutants:mutant_results frs));
+            output_char oc '\n';
+            close_out oc)
+          json;
+        let dirty = not (A.Srclint.clean frs) in
+        let survived =
+          Stdlib.List.exists (fun (_, _, killed, exact) -> not (killed && exact)) mutant_results
+        in
+        if (require_clean && dirty) || survived then 1 else 0
+  in
+  Cmd.v (Cmd.info "srclint" ~doc ~man)
+    Term.(
+      const run $ root_arg $ file_opt_arg $ json_arg $ require_clean_arg $ mutant_arg
+      $ mutants_arg $ verbose_arg)
+
 (* ----------------------------- bench-report ------------------------------- *)
 
 let bench_report_cmd =
@@ -1527,5 +1668,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ run_cmd; sweep_cmd; verify_cmd; hunt_cmd; lint_cmd; serve_cmd; loadgen_cmd;
-            serve_sweep_cmd; cluster_sweep_cmd; bench_report_cmd ]))
+          [ run_cmd; sweep_cmd; verify_cmd; hunt_cmd; lint_cmd; srclint_cmd; serve_cmd;
+            loadgen_cmd; serve_sweep_cmd; cluster_sweep_cmd; bench_report_cmd ]))

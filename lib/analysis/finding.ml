@@ -4,6 +4,11 @@ type check =
   | L3_name_leak
   | L4_bfaa_range
   | A_incomplete
+  | S1_lock_leak
+  | S2_wait_no_recheck
+  | S3_blocking_under_lock
+  | S4_nonatomic_rmw
+  | S5_unguarded_state
   | S_kexclusion
   | S_duplicate_name
   | S_protected_write
@@ -26,6 +31,11 @@ let id = function
   | L3_name_leak -> "L3-name-leak"
   | L4_bfaa_range -> "L4-bfaa-range"
   | A_incomplete -> "A-incomplete"
+  | S1_lock_leak -> "S1-lock-leak"
+  | S2_wait_no_recheck -> "S2-wait-without-recheck"
+  | S3_blocking_under_lock -> "S3-blocking-under-lock"
+  | S4_nonatomic_rmw -> "S4-nonatomic-rmw"
+  | S5_unguarded_state -> "S5-unguarded-state"
   | S_kexclusion -> "S-kexclusion"
   | S_duplicate_name -> "S-duplicate-name"
   | S_protected_write -> "S-protected-write"
@@ -35,12 +45,16 @@ let id = function
 
 let all_checks =
   [ L1_remote_spin; L2_invalidation_in_loop; L3_name_leak; L4_bfaa_range; A_incomplete;
-    S_kexclusion; S_duplicate_name; S_protected_write; S_spin_watchdog; S_stall; S_monitor ]
+    S1_lock_leak; S2_wait_no_recheck; S3_blocking_under_lock; S4_nonatomic_rmw;
+    S5_unguarded_state; S_kexclusion; S_duplicate_name; S_protected_write; S_spin_watchdog;
+    S_stall; S_monitor ]
 
 let check_of_id s = List.find_opt (fun c -> String.equal (id c) s) all_checks
 
 let is_static = function
-  | L1_remote_spin | L2_invalidation_in_loop | L3_name_leak | L4_bfaa_range | A_incomplete ->
+  | L1_remote_spin | L2_invalidation_in_loop | L3_name_leak | L4_bfaa_range | A_incomplete
+  | S1_lock_leak | S2_wait_no_recheck | S3_blocking_under_lock | S4_nonatomic_rmw
+  | S5_unguarded_state ->
       true
   | _ -> false
 

@@ -17,7 +17,25 @@ type check =
       (** some path from a critical section to termination never releases
           the name's bit *)
   | L4_bfaa_range  (** a [Bounded_faa] whose bounds make it a no-op or stuck *)
-  | A_incomplete  (** the CFG exploration hit a node or depth cap *)
+  | A_incomplete
+      (** the CFG exploration hit a node or depth cap — or, for srclint, a
+          source file could not be parsed, so its verdict is a lower bound *)
+  | S1_lock_leak
+      (** a [Mutex.lock] has a raising or early-return path on which the
+          matching [Mutex.unlock] never runs (not wrapped in
+          [with_lock]/[Fun.protect]/try-finally) *)
+  | S2_wait_no_recheck
+      (** a [Condition.wait] not re-checked by an enclosing while loop *)
+  | S3_blocking_under_lock
+      (** a blocking syscall ([Unix.read]/[write]/[select]/…, [Thread.delay],
+          [Domain.join]) is reachable while a mutex is held *)
+  | S4_nonatomic_rmw
+      (** an [Atomic.set] whose value derives from an [Atomic.get] of the same
+          cell — the lost-update shape; use a CAS loop or [fetch_and_add] *)
+  | S5_unguarded_state
+      (** mutable state the guarded-by manifest assigns to a lock is accessed
+          without that lock held (or a manifest-declared atomic-only module
+          uses a mutex after all) *)
   | S_kexclusion  (** more than [k] processes observed in critical sections *)
   | S_duplicate_name  (** two holders share a name, or a name out of range *)
   | S_protected_write  (** write to a protected cell outside a critical section *)

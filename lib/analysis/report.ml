@@ -82,3 +82,58 @@ let pp_findings ppf (r : Lint.report) =
       Format.fprintf ppf "  %a@." Finding.pp f;
       List.iter (fun w -> Format.fprintf ppf "      %s@." w) f.Finding.witness)
     r.Lint.r_findings
+
+(* ------------------------------------------------------------------ *)
+(* srclint: the source-level sibling document and table.               *)
+
+let srclint_schema = "kexclusion-srclint/v1"
+
+let srclint_file_json (fr : Srclint.file_report) =
+  Json.Obj
+    [ ("path", Json.String fr.Srclint.fr_path);
+      ("clean", Json.Bool (Srclint.file_clean fr));
+      ("locks", Json.Int fr.Srclint.fr_locks);
+      ("waits", Json.Int fr.Srclint.fr_waits);
+      ("atomics", Json.Int fr.Srclint.fr_atomics);
+      ("findings", Json.List (List.map finding_json fr.Srclint.fr_findings)) ]
+
+let srclint_to_json ?(mutants = []) frs =
+  Json.Obj
+    [ ("schema", Json.String srclint_schema);
+      ("git_rev", Json.String (Kex_service.Provenance.git_rev ()));
+      ("host", Json.String (Kex_service.Provenance.hostname ()));
+      ("clean", Json.Bool (Srclint.clean frs));
+      ("files", Json.List (List.map srclint_file_json frs));
+      ( "mutants",
+        Json.List
+          (List.map
+             (fun (m, fr, killed, exact) ->
+               match srclint_file_json fr with
+               | Json.Obj fields ->
+                   Json.Obj
+                     (("mutant", Json.String m.Srclint_mutants.sm_name)
+                     :: ("expected", Json.String (Finding.id m.Srclint_mutants.sm_expected))
+                     :: ("killed", Json.Bool killed)
+                     :: ("exact", Json.Bool exact)
+                     :: fields)
+               | j -> j)
+             mutants) ) ]
+
+let pp_srclint_table ppf frs =
+  Format.fprintf ppf "%-34s %-6s %-6s %-8s %-8s %s@." "file" "locks" "waits" "atomics"
+    "verdict" "findings";
+  Format.fprintf ppf "%s@." (String.make 92 '-');
+  List.iter
+    (fun (fr : Srclint.file_report) ->
+      Format.fprintf ppf "%-34s %-6d %-6d %-8d %-8s %s@." fr.Srclint.fr_path
+        fr.Srclint.fr_locks fr.Srclint.fr_waits fr.Srclint.fr_atomics
+        (if Srclint.file_clean fr then "clean" else "DIRTY")
+        (summarize_findings fr.Srclint.fr_findings))
+    frs
+
+let pp_srclint_findings ppf (fr : Srclint.file_report) =
+  List.iter
+    (fun (f : Finding.t) ->
+      Format.fprintf ppf "  %a@." Finding.pp f;
+      List.iter (fun w -> Format.fprintf ppf "      %s@." w) f.Finding.witness)
+    fr.Srclint.fr_findings

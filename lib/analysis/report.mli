@@ -17,3 +17,20 @@ val to_json :
 
 val pp_table : Format.formatter -> Lint.report list -> unit
 val pp_findings : Format.formatter -> Lint.report -> unit
+
+(** {1 srclint} — the [kexclusion-srclint/v1] document and the table printed
+    by [kexd srclint]. *)
+
+val srclint_schema : string
+val srclint_file_json : Srclint.file_report -> Kex_service.Json.t
+
+val srclint_to_json :
+  ?mutants:(Srclint_mutants.t * Srclint.file_report * bool * bool) list ->
+  Srclint.file_report list ->
+  Kex_service.Json.t
+(** Whole-run document: schema id, provenance, one entry per scanned file
+    (with its lock/wait/atomic census), and — when the mutant corpus ran —
+    one entry per mutant with its [killed] and [exact] verdicts. *)
+
+val pp_srclint_table : Format.formatter -> Srclint.file_report list -> unit
+val pp_srclint_findings : Format.formatter -> Srclint.file_report -> unit

@@ -1,0 +1,101 @@
+(** srclint — source-level concurrency-discipline lint for the OCaml that
+    surrounds the simulated algorithms: the service stack under [lib/] and
+    [bin/].
+
+    Where the kexlint passes analyze {e Op programs} (the simulator's
+    instruction set), srclint parses real [.ml] files with the compiler's
+    grammar (via ppxlib's version-pinned Parsetree) and walks each function
+    with a path-sensitive model of lock state.  Five checks:
+
+    - {b S1 lock-leak} — a [Mutex.lock] with a raising or early-return path
+      that skips the matching unlock.  [Sync.with_lock], [Fun.protect
+      ~finally:unlock] and the explicit match-with-exception finally are
+      recognized as safe shapes; bare regions must be provably non-raising
+      on every path.
+    - {b S2 wait-without-recheck} — [Condition.wait] not inside a while
+      loop.
+    - {b S3 blocking-under-lock} — a blocking syscall reachable while a
+      mutex is held.
+    - {b S4 non-atomic RMW} — [Atomic.set a (… Atomic.get a …)], directly
+      or through a let-binding: the lost-update shape.
+    - {b S5 unguarded shared state} — access to a field the guarded-by
+      manifest assigns to a lock, without that lock held; or a mutex in a
+      manifest-declared atomic-only module.
+
+    Findings flow through the shared {!Finding} type; waived findings
+    ([@srclint.allow S3] attributes or manifest waivers) are reported with
+    [waived = true], never dropped.  A file that fails to parse yields an
+    un-waived {!Finding.A_incomplete} so [--require-clean] stays honest. *)
+
+(** {1 Guarded-by manifest} *)
+
+type guard = { g_lock : string; g_fields : string list }
+(** [g_lock] is the lock field's name (last component: [t.m] keys as ["m"]);
+    [g_fields] the mutable record fields it protects. *)
+
+type wrapper = { wr_fn : string; wr_lock : string }
+(** A module-local locking combinator: calls to [wr_fn] run their function
+    argument with [wr_lock] held (e.g. routing's [locked]). *)
+
+type waiver = { wv_check : Finding.check; wv_site : string }
+(** Manifest-level waiver: findings of [wv_check] whose enclosing function
+    (or site suffix) matches [wv_site] — or any site when [wv_site] is [""]
+    — are reported waived. *)
+
+type module_rules = {
+  mr_file : string;  (** path suffix this entry applies to *)
+  mr_guards : guard list;
+  mr_wrappers : wrapper list;
+  mr_atomic_only : bool;
+      (** the module promises to synchronize with atomics only; any
+          [Mutex]/[Condition] use is an S5 finding *)
+  mr_waivers : waiver list;
+}
+
+val rules :
+  ?guards:guard list ->
+  ?wrappers:wrapper list ->
+  ?atomic_only:bool ->
+  ?waivers:waiver list ->
+  string ->
+  module_rules
+
+val default_manifest : module_rules list
+(** The guarded-by manifest for this repository — the machine-readable
+    counterpart of DESIGN.md's "Threading model & lock discipline". *)
+
+val rules_for : module_rules list -> string -> module_rules option
+
+(** {1 Reports} *)
+
+type file_report = {
+  fr_path : string;
+  fr_findings : Finding.t list;  (** sorted by line, waived included *)
+  fr_locks : int;  (** lock acquisitions seen (bare, combinator, wrapper) *)
+  fr_waits : int;  (** [Condition.wait] sites *)
+  fr_atomics : int;  (** [Atomic.*] applications *)
+}
+
+val violations : file_report -> Finding.t list
+(** Non-waived findings only. *)
+
+val file_clean : file_report -> bool
+
+val clean : file_report list -> bool
+(** No un-waived finding in any file. *)
+
+(** {1 Entry points} *)
+
+val lint_source : ?manifest:module_rules list -> path:string -> string -> file_report
+(** Lint OCaml source text.  [path] selects the manifest entry and prefixes
+    finding sites. *)
+
+val lint_file : ?manifest:module_rules list -> string -> file_report
+
+val discover : ?root:string -> ?roots:string list -> unit -> (string * string) list
+(** [(absolute-ish path, root-relative path)] of every [.ml] under [roots]
+    (default [lib] and [bin]) beneath [root], sorted, skipping [_*] and
+    hidden directories. *)
+
+val scan : ?manifest:module_rules list -> ?root:string -> ?roots:string list -> unit -> file_report list
+(** Lint every discovered file; [fr_path] is root-relative. *)

@@ -22,9 +22,9 @@ type t = {
   owners : string array;  (* shard -> "host:port" *)
 }
 
-let locked t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+(* srclint knows this wrapper (Srclint.default_manifest): anything run
+   through [locked] holds [m], which guards [epoch] and [owners]. *)
+let locked t f = Kex_sync.Sync.with_lock t.m f
 
 let create ~epoch ~owners =
   if Array.length owners = 0 then invalid_arg "Routing.create: no shards";
@@ -40,7 +40,7 @@ let initial ~addrs ~shards =
   let addrs = Array.of_list addrs in
   create ~epoch:1 ~owners:(Array.init shards (fun s -> addrs.(s mod n)))
 
-let shards t = Array.length t.owners
+let shards t = locked t (fun () -> Array.length t.owners)
 let epoch t = locked t (fun () -> t.epoch)
 let owner t shard = locked t (fun () -> t.owners.(shard))
 
@@ -83,5 +83,5 @@ let install t ~epoch ~owners =
 (* Same hash as the in-process sharded store, so "shard" means the same
    thing on every node and in every client. *)
 let shard_of_key t key =
-  let n = Array.length t.owners in
+  let n = locked t (fun () -> Array.length t.owners) in
   if n = 1 then 0 else Kex_resilient.Sharded_store.hash_key key mod n

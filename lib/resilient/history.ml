@@ -12,13 +12,12 @@ let record t ~tid ~op ~f =
   let invoked = Atomic.fetch_and_add t.clock 1 in
   let result = f () in
   let responded = Atomic.fetch_and_add t.clock 1 in
-  Mutex.lock t.lock;
-  t.recorded <- { tid; op; result; invoked; responded } :: t.recorded;
-  Mutex.unlock t.lock;
+  Kex_sync.Sync.with_lock t.lock (fun () ->
+      t.recorded <- { tid; op; result; invoked; responded } :: t.recorded);
   result
 
-let events t = List.rev t.recorded
-let length t = List.length t.recorded
+let events t = Kex_sync.Sync.with_lock t.lock (fun () -> List.rev t.recorded)
+let length t = Kex_sync.Sync.with_lock t.lock (fun () -> List.length t.recorded)
 
 let linearizable ~init ~apply t =
   let evs = Array.of_list (events t) in

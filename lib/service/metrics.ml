@@ -1,3 +1,10 @@
+(* Lock discipline: this module is declared atomic-only in srclint's
+   guarded-by manifest — every counter is an [Atomic.t] updated with
+   CAS loops / fetch_and_add, and introducing a [Mutex] here is an S5
+   finding.  The metrics plane is touched on every request by every
+   worker; a lock would serialize exactly the paths the k-exclusion
+   wrapper exists to keep parallel. *)
+
 type op_class = C_get | C_set | C_del | C_update | C_scan | C_moved
 
 let op_classes = [| C_get; C_set; C_del; C_update; C_scan; C_moved |]

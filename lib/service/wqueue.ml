@@ -1,3 +1,8 @@
+(* Lock discipline: every acquisition of [m] goes through [Sync.with_lock]
+   (srclint S1), every [Condition.wait] sits in a while re-check loop
+   (srclint S2).  [m] guards [front], [front_len], [q] and [closed] — see
+   the guarded-by manifest in Srclint.default_manifest. *)
+
 type 'a t = {
   m : Mutex.t;
   c : Condition.t;
@@ -12,86 +17,69 @@ let create () =
     q = Queue.create (); closed = false }
 
 let push t x =
-  Mutex.lock t.m;
-  let accepted = not t.closed in
-  if accepted then begin
-    Queue.push x t.q;
-    Condition.signal t.c
-  end;
-  Mutex.unlock t.m;
-  accepted
+  Kex_sync.Sync.with_lock t.m (fun () ->
+      let accepted = not t.closed in
+      if accepted then begin
+        Queue.push x t.q;
+        Condition.signal t.c
+      end;
+      accepted)
 
 let push_front t x =
-  Mutex.lock t.m;
-  let accepted = not t.closed in
-  if accepted then begin
-    t.front <- x :: t.front;
-    t.front_len <- t.front_len + 1;
-    Condition.signal t.c
-  end;
-  Mutex.unlock t.m;
-  accepted
+  Kex_sync.Sync.with_lock t.m (fun () ->
+      let accepted = not t.closed in
+      if accepted then begin
+        t.front <- x :: t.front;
+        t.front_len <- t.front_len + 1;
+        Condition.signal t.c
+      end;
+      accepted)
 
 let pop t =
-  Mutex.lock t.m;
-  let rec wait () =
-    match t.front with
-    | x :: rest ->
-        t.front <- rest;
-        t.front_len <- t.front_len - 1;
-        Some x
-    | [] ->
-        if not (Queue.is_empty t.q) then Some (Queue.pop t.q)
-        else if t.closed then None
-        else begin
-          Condition.wait t.c t.m;
-          wait ()
-        end
-  in
-  let r = wait () in
-  Mutex.unlock t.m;
-  r
+  Kex_sync.Sync.with_lock t.m (fun () ->
+      while t.front = [] && Queue.is_empty t.q && not t.closed do
+        Condition.wait t.c t.m
+      done;
+      match t.front with
+      | x :: rest ->
+          t.front <- rest;
+          t.front_len <- t.front_len - 1;
+          Some x
+      | [] -> if Queue.is_empty t.q then None else Some (Queue.pop t.q))
 
 (* Blocking batch pop: wait for the first item, then sweep up to [max]-1
    more that are already queued without waiting again.  Front (re-dispatch)
    items keep their priority and their order. *)
 let pop_batch t ~max =
   if max < 1 then invalid_arg "Wqueue.pop_batch: max must be positive";
-  Mutex.lock t.m;
-  while t.front = [] && Queue.is_empty t.q && not t.closed do
-    Condition.wait t.c t.m
-  done;
-  let rec sweep n acc =
-    if n >= max then List.rev acc
-    else
-      match t.front with
-      | x :: rest ->
-          t.front <- rest;
-          t.front_len <- t.front_len - 1;
-          sweep (n + 1) (x :: acc)
-      | [] ->
-          if Queue.is_empty t.q then List.rev acc
-          else sweep (n + 1) (Queue.pop t.q :: acc)
-  in
-  let batch = sweep 0 [] in
-  Mutex.unlock t.m;
-  batch
+  Kex_sync.Sync.with_lock t.m (fun () ->
+      while t.front = [] && Queue.is_empty t.q && not t.closed do
+        Condition.wait t.c t.m
+      done;
+      let rec sweep n acc =
+        if n >= max then List.rev acc
+        else
+          match t.front with
+          | x :: rest ->
+              t.front <- rest;
+              t.front_len <- t.front_len - 1;
+              sweep (n + 1) (x :: acc)
+          | [] ->
+              if Queue.is_empty t.q then List.rev acc
+              else sweep (n + 1) (Queue.pop t.q :: acc)
+      in
+      sweep 0 [])
 
 (* O(1): admission control calls this per request, and walking [front]
    under the mutex made every submit pay for the redispatch backlog. *)
-let length t =
-  Mutex.lock t.m;
-  let n = t.front_len + Queue.length t.q in
-  Mutex.unlock t.m;
-  n
+let length t = Kex_sync.Sync.with_lock t.m (fun () -> t.front_len + Queue.length t.q)
 
 let close t =
-  Mutex.lock t.m;
-  t.closed <- true;
-  let leftovers = t.front @ List.of_seq (Queue.to_seq t.q) in
-  t.front <- [];
-  t.front_len <- 0;
-  Queue.clear t.q;
-  Condition.broadcast t.c;
-  Mutex.unlock t.m;
-  leftovers
+  Kex_sync.Sync.with_lock t.m (fun () ->
+      t.closed <- true;
+      let leftovers = t.front @ List.of_seq (Queue.to_seq t.q) in
+      t.front <- [];
+      t.front_len <- 0;
+      Queue.clear t.q;
+      Condition.broadcast t.c;
+      leftovers)

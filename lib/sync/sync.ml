@@ -1,0 +1,11 @@
+(* The try-finally is spelled out (not delegated to Fun.protect) so the
+   srclint S1 pass can verify release on both exit paths by itself. *)
+let with_lock m f =
+  Mutex.lock m;
+  match f () with
+  | v ->
+      Mutex.unlock m;
+      v
+  | exception e ->
+      Mutex.unlock m;
+      raise e

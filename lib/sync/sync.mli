@@ -1,0 +1,19 @@
+(** The one blessed way to hold a [Mutex.t] in this codebase.
+
+    Every lock acquisition in [lib/] and [bin/] goes through [with_lock] (or
+    an equally exception-safe wrapper srclint recognizes: [Fun.protect] with
+    an unlocking [~finally], or an explicit match-with-exception finally).
+    Bare [Mutex.lock]/[Mutex.unlock] pairs leak the lock the moment anything
+    between them raises — the S1 check of [kexd srclint] rejects them, and
+    this combinator is the fix it prescribes.
+
+    The implementation is deliberately the explicit try-finally shape (match
+    ... with exception) rather than a call into [Fun.protect]: srclint's
+    path-sensitive S1 pass proves it releases on both the value and the
+    exception path, so the combinator itself needs no waiver. *)
+
+val with_lock : Mutex.t -> (unit -> 'a) -> 'a
+(** [with_lock m f] runs [f ()] with [m] held and releases [m] whether [f]
+    returns or raises.  [Condition.wait c m] may be used inside [f] (it
+    releases and reacquires [m] itself); keep the classic while-loop
+    re-check around it — srclint's S2 pass insists. *)
