@@ -109,6 +109,30 @@ let codec_tests () =
       dec_resp "text decode VAL" P.Text (P.Value (Some value));
       dec_resp "bin decode VAL" P.Binary (P.Value (Some value)) ]
 
+(* Reactor plumbing: the mailbox push+drain pair every worker→connection
+   delivery pays, and the self-pipe roundtrip that the wakeup dedup exists
+   to amortize — together they bound the per-response reactor overhead. *)
+let reactor_tests () =
+  let module M = Kex_service.Reactor.Mailbox in
+  let mb = M.create () in
+  let mailbox =
+    Test.make ~name:"reactor mailbox push+drain"
+      (Staged.stage (fun () ->
+           M.push mb 1;
+           match M.drain mb with
+           | [ _ ] -> ()
+           | _ -> failwith "mailbox bench: lost a message"))
+  in
+  let r, w = Unix.pipe () in
+  let byte = Bytes.make 1 '!' in
+  let wakeup =
+    Test.make ~name:"reactor wakeup pipe roundtrip"
+      (Staged.stage (fun () ->
+           ignore (Unix.write w byte 0 1);
+           ignore (Unix.read r byte 0 1)))
+  in
+  Test.make_grouped ~name:"reactor" [ mailbox; wakeup ]
+
 let tests () =
   Test.make_grouped ~name:"runtime"
     [ mcs_test ();
@@ -158,4 +182,19 @@ let run () =
   List.iter
     (fun (name, ns) ->
       Out.row "  %-32s %10.1f ns/op %10.2f Mops/s@." name ns (1000. /. ns))
-    (List.sort compare codec_rows)
+    (List.sort compare codec_rows);
+  Out.section "RT: reactor plumbing microbench (mailbox + wakeup pipe, ns/op)";
+  let reactor_raw = Benchmark.all cfg Instance.[ monotonic_clock ] (reactor_tests ()) in
+  let reactor_results = Analyze.all ols Instance.monotonic_clock reactor_raw in
+  let reactor_rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        let ns =
+          match Analyze.OLS.estimates est with Some (v :: _) -> v | Some [] | None -> nan
+        in
+        (name, ns) :: acc)
+      reactor_results []
+  in
+  List.iter
+    (fun (name, ns) -> Out.row "  %-32s %10.1f ns/op@." name ns)
+    (List.sort compare reactor_rows)

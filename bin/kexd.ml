@@ -319,7 +319,11 @@ let serve_cmd =
          requests get their responses coalesced per connection.  GETs are answered wait-free \
          by connection threads from each shard's published snapshot — no admission slot, so \
          reads stay live even on a fully wedged shard; $(b,--admission-reads) routes them \
-         through the wrapper like mutations instead." ]
+         through the wrapper like mutations instead.  Connections are owned by \
+         $(b,--reactors) poll(2) event-loop domains (accept round-robins across them, worker \
+         completions arrive through lock-free mailboxes, slow clients get backpressure from a \
+         bounded output buffer); $(b,--conn-threads) selects the thread-per-connection \
+         baseline instead." ]
   in
   let workers_arg =
     Arg.(value & opt int 4 & info [ "workers"; "w" ] ~doc:"worker domains per shard")
@@ -371,13 +375,31 @@ let serve_cmd =
       value & opt int 0
       & info [ "node" ] ~docv:"I" ~doc:"this node's index into the $(b,--cluster) list")
   in
-  let run port workers k shards algo chaos duration admission_reads cluster node quiet =
+  let reactors_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "reactors"; "R" ] ~docv:"R"
+          ~doc:"event-loop domains owning the connection plane (accept round-robins across \
+                them); 0 = one systhread per connection")
+  in
+  let conn_threads_arg =
+    Arg.(
+      value & flag
+      & info [ "conn-threads" ]
+          ~doc:"thread-per-connection baseline: shorthand for $(b,--reactors) 0")
+  in
+  let run port workers k shards algo chaos duration admission_reads cluster node reactors
+      conn_threads quiet =
     let log = if quiet then fun _ -> () else fun s -> print_endline s; flush stdout in
     match
       Kex_service.Server.run ?duration_s:duration
         { Kex_service.Server.port; workers; k; shards; algo; chaos;
           wait_free_reads = not admission_reads;
-          cluster = Option.map (fun addrs -> (node, addrs)) cluster; log }
+          cluster = Option.map (fun addrs -> (node, addrs)) cluster;
+          reactors = (if conn_threads then 0 else max 0 reactors);
+          out_hwm = Kex_service.Server.default_config.Kex_service.Server.out_hwm;
+          slow_drain_s = Kex_service.Server.default_config.Kex_service.Server.slow_drain_s;
+          log }
     with
     | () -> 0
     | exception Invalid_argument msg ->
@@ -390,7 +412,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ port_arg $ workers_arg $ k_arg $ shards_arg $ algo_arg $ chaos_arg
-      $ duration_arg $ admission_reads_arg $ cluster_arg $ node_arg $ quiet_arg)
+      $ duration_arg $ admission_reads_arg $ cluster_arg $ node_arg $ reactors_arg
+      $ conn_threads_arg $ quiet_arg)
 
 (* ------------------------------- loadgen ---------------------------------- *)
 
@@ -469,6 +492,14 @@ let loadgen_cmd =
       & info [ "pipeline" ] ~docv:"W"
           ~doc:"id-tagged requests in flight per connection (1 = v1 one-at-a-time wire)")
   in
+  let conns_per_client_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "conns-per-client"; "conns" ] ~docv:"N"
+          ~doc:"sockets per client domain (total connections = N x $(b,--connections)); > 1 \
+                select-multiplexes them in one domain, each with its own $(b,--pipeline) \
+                window on the id-tagged wire — the connection-scaling knob")
+  in
   let phase_marks_arg =
     Arg.(
       value
@@ -480,7 +511,7 @@ let loadgen_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v5)")
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the run record (schema kexclusion-serve/v6)")
   in
   let cluster_arg =
     Arg.(
@@ -506,11 +537,12 @@ let loadgen_cmd =
                 $(b,--expect-dead) nodes are exempt")
   in
   let run host port connections duration mix keys dist value_size value_size_max scan_len wire
-      seed timeout pipeline phase_marks json cluster expect_dead fail_on_errors quiet =
+      seed timeout pipeline conns_per_client phase_marks json cluster expect_dead fail_on_errors
+      quiet =
     let cfg =
       { Kex_service.Loadgen.host; port; connections; duration_s = duration; mix; keys; dist;
-        value_size; value_size_max; scan_len; seed; timeout_s = timeout; pipeline; wire;
-        phase_marks; cluster; expect_dead }
+        value_size; value_size_max; scan_len; seed; timeout_s = timeout; pipeline;
+        conns_per_client; wire; phase_marks; cluster; expect_dead }
     in
     match Kex_service.Loadgen.run cfg with
     | summary ->
@@ -536,8 +568,8 @@ let loadgen_cmd =
     Term.(
       const run $ host_arg $ port_arg $ conns_arg $ duration_arg $ mix_arg $ keys_arg
       $ dist_arg $ value_size_arg $ value_size_max_arg $ scan_len_arg $ wire_arg $ lg_seed_arg
-      $ timeout_arg $ pipeline_arg $ phase_marks_arg $ json_arg $ cluster_arg $ expect_dead_arg
-      $ fail_on_errors_arg $ quiet_arg)
+      $ timeout_arg $ pipeline_arg $ conns_per_client_arg $ phase_marks_arg $ json_arg
+      $ cluster_arg $ expect_dead_arg $ fail_on_errors_arg $ quiet_arg)
 
 (* ------------------------------ serve-sweep ------------------------------- *)
 
@@ -559,9 +591,15 @@ let serve_sweep_cmd =
          and are exempt from $(b,--fail-on-errors)).  Then it runs the wire quad: one server \
          at the same (max S, max W) cell preloaded with $(b,--wire-keys) keys, driven with \
          YCSB-B (get=95,set=5) over text-v1 vs binary-v2 framing, uniform vs Zipfian keys — \
-         no kills, so any error fails the gate.  Writes the kexclusion-serve/v4 record with \
-         the matrix under $(b,sweep), the read quad under $(b,read_path), the wire quad \
-         under $(b,wire) and the (max S, max W) matrix cell as the headline $(b,totals)." ]
+         no kills, so any error fails the gate.  Finally it runs the connection-scaling \
+         quad: the same (max S, max W) cell at C in {4, 64, 256} total connections (client \
+         domains each multiplexing C/4 sockets), thread-per-connection vs. $(b,--reactors) \
+         event-loop domains — no kills, every error fails the gate; the reactor plane is \
+         expected to hold its rate at C=256 where thread-per-connection pays a thread per \
+         socket.  Writes the kexclusion-serve/v6 record with the matrix under $(b,sweep), \
+         the read quad under $(b,read_path), the wire quad under $(b,wire), the \
+         connection-scaling cells under $(b,conn_scale) and the (max S, max W) matrix cell \
+         as the headline $(b,totals)." ]
   in
   let shards_list_arg =
     Arg.(value & opt (list int) [ 1; 2; 4 ] & info [ "shards-list" ] ~doc:"shard counts to sweep")
@@ -599,7 +637,13 @@ let serve_sweep_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-serve/v4 sweep record")
+      & info [ "json" ] ~docv:"FILE" ~doc:"write the kexclusion-serve/v6 sweep record")
+  in
+  let reactors_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "reactors"; "R" ]
+          ~doc:"reactor event-loop domains for the connection-scaling quad's reactor cells")
   in
   let wire_keys_arg =
     Arg.(
@@ -615,10 +659,11 @@ let serve_sweep_cmd =
           ~doc:"exit 1 if any cell saw a failed request (CI resilience assertion)")
   in
   let run shards_list pipeline_list workers k algo connections duration keys value_size seed
-      kills wire_keys json fail_on_errors quiet =
+      kills reactors wire_keys json fail_on_errors quiet =
     let kills = Option.value kills ~default:(max 0 (k - 1)) in
     let mix = [ ("get", 70); ("set", 20); ("update", 10) ] in
-    let run_cell ~shards ~pipeline ~mix ~wait_free_reads ~kills ~kill_at =
+    let run_cell ?(reactors = 0) ?(conns_per_client = 1) ~shards ~pipeline ~mix
+        ~wait_free_reads ~kills ~kill_at () =
       (* Untargeted kills pick the lowest-index live worker, i.e. they pile
          into shard 0 — the per-shard resilience experiment. *)
       let chaos =
@@ -629,7 +674,10 @@ let serve_sweep_cmd =
       let server =
         Kex_service.Server.start
           { Kex_service.Server.port = 0; workers; k; shards; algo; chaos; wait_free_reads;
-            cluster = None; log = (fun _ -> ()) }
+            cluster = None; reactors;
+            out_hwm = Kex_service.Server.default_config.Kex_service.Server.out_hwm;
+            slow_drain_s = Kex_service.Server.default_config.Kex_service.Server.slow_drain_s;
+            log = (fun _ -> ()) }
       in
       let cfg =
         { Kex_service.Loadgen.host = "127.0.0.1";
@@ -645,6 +693,7 @@ let serve_sweep_cmd =
           seed;
           timeout_s = 5.;
           pipeline;
+          conns_per_client;
           wire = Kex_service.Protocol.Text;
           phase_marks = (if kills > 0 then [ kill_at ] else []);
           cluster = [];
@@ -674,7 +723,7 @@ let serve_sweep_cmd =
             (fun pipeline ->
               let s =
                 run_cell ~shards ~pipeline ~mix ~wait_free_reads:true ~kills
-                  ~kill_at:(duration /. 2.)
+                  ~kill_at:(duration /. 2.) ()
               in
               if not quiet then
                 Format.printf "%-7d %-9d %9d %7d %12.0f %9d %9d@." shards pipeline
@@ -715,7 +764,7 @@ let serve_sweep_cmd =
           let kills = if wedged then workers else 0 in
           let s =
             run_cell ~shards:rp_shards ~pipeline:rp_pipeline ~mix ~wait_free_reads:wfr ~kills
-              ~kill_at:(duration /. 4.)
+              ~kill_at:(duration /. 4.) ()
           in
           if not quiet then
             Format.printf
@@ -744,7 +793,10 @@ let serve_sweep_cmd =
         let server =
           Kex_service.Server.start
             { Kex_service.Server.port = 0; workers; k; shards = rp_shards; algo; chaos = [];
-              wait_free_reads = true; cluster = None; log = (fun _ -> ()) }
+              wait_free_reads = true; cluster = None; reactors = 0;
+              out_hwm = Kex_service.Server.default_config.Kex_service.Server.out_hwm;
+              slow_drain_s = Kex_service.Server.default_config.Kex_service.Server.slow_drain_s;
+              log = (fun _ -> ()) }
         in
         let value = String.make (max 1 value_size) 'v' in
         Kex_service.Server.preload server
@@ -766,6 +818,7 @@ let serve_sweep_cmd =
                   seed;
                   timeout_s = 5.;
                   pipeline = rp_pipeline;
+                  conns_per_client = 1;
                   wire;
                   phase_marks = [];
                   cluster = [];
@@ -790,6 +843,119 @@ let serve_sweep_cmd =
         Kex_service.Server.stop server;
         cells
       end
+    in
+    (* The connection-scaling cells: the same (max S, max W) cell at C total
+       connections for C in {4, 64, 256} — the 4 client domains each
+       multiplex C/4 sockets — crossing thread-per-connection against the
+       reactor plane.  No kills: every error here fails the gate.  This is
+       the quad the reactor plane argues from: at C=4 the two are
+       interchangeable, at C=256 thread-per-connection pays a systhread per
+       socket (all serialized on the runtime lock) while the reactors
+       multiplex the same sockets on a fixed number of domains.  The cells
+       use the read-plane mix (get=95,set=5 with wait-free reads) so the
+       connection plane itself is what's priced: a mutation-heavy mix
+       bottlenecks both planes on the same shared shard admission and
+       washes the difference out.
+
+       Unlike every other cell, the server here runs OUT of process (the
+       sweep re-execs its own binary as [kexd serve]): in-process, client
+       and server domains share one runtime's stop-the-world GC barriers
+       and the planes' difference drowns in that coupling — and a child
+       process is the honest shape of the claim anyway, since the planes
+       are compared as deployed servers, not as library calls. *)
+    let algo_name =
+      match algo with
+      | Kex_runtime.Kex_lock.Naive -> "naive"
+      | Kex_runtime.Kex_lock.Inductive -> "inductive"
+      | Kex_runtime.Kex_lock.Tree -> "tree"
+      | Kex_runtime.Kex_lock.Fast_path -> "fastpath"
+      | Kex_runtime.Kex_lock.Graceful -> "graceful"
+      | Kex_runtime.Kex_lock.Dsm_fast_path -> "dsm-fastpath"
+    in
+    let run_cell_extern ~reactors ~conns_per_client ~shards ~pipeline ~mix () =
+      let start_child attempt =
+        let port = 7300 + (((Unix.getpid () * 7) + (attempt * 131)) mod 20000) in
+        let plane =
+          if reactors > 0 then [ "--reactors"; string_of_int reactors ]
+          else [ "--conn-threads" ]
+        in
+        let args =
+          [ "kexd"; "serve"; "--port"; string_of_int port; "--shards";
+            string_of_int shards; "--workers"; string_of_int workers; "-k";
+            string_of_int k; "--algo"; algo_name; "--duration";
+            (* Belt and braces: the child exits on its own even if the
+               parent dies before the SIGTERM below. *)
+            Printf.sprintf "%.0f" (duration +. 60.) ]
+          @ plane
+        in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+        let pid =
+          Unix.create_process Sys.executable_name (Array.of_list args) devnull devnull
+            devnull
+        in
+        Unix.close devnull;
+        let deadline = Unix.gettimeofday () +. 5. in
+        (* Ready when the child's listener accepts; a dead child (port
+           clash) shows up as waitpid reaping it. *)
+        let rec ready () =
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+          | () ->
+              Unix.close fd;
+              true
+          | exception Unix.Unix_error _ ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              if Unix.gettimeofday () > deadline then false
+              else if fst (Unix.waitpid [ Unix.WNOHANG ] pid) <> 0 then false
+              else begin
+                Thread.delay 0.02;
+                ready ()
+              end
+        in
+        if ready () then Some (pid, port)
+        else begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          None
+        end
+      in
+      let rec spawn attempt =
+        if attempt > 8 then failwith "conn-scale: could not start the child server"
+        else match start_child attempt with Some c -> c | None -> spawn (attempt + 1)
+      in
+      let pid, port = spawn 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          Kex_service.Loadgen.run
+            { Kex_service.Loadgen.host = "127.0.0.1"; port; connections;
+              duration_s = duration; mix; keys; dist = Kex_service.Keydist.Uniform;
+              value_size; value_size_max = 0; scan_len = 16; seed; timeout_s = 5.;
+              pipeline; conns_per_client; wire = Kex_service.Protocol.Text;
+              phase_marks = []; cluster = []; expect_dead = [] })
+    in
+    let conn_scale_cells =
+      Stdlib.List.concat_map
+        (fun conns ->
+          Stdlib.List.map
+            (fun (mode, r) ->
+              let conns_per_client = max 1 (conns / max 1 connections) in
+              let s =
+                run_cell_extern ~reactors:r ~conns_per_client ~shards:rp_shards
+                  ~pipeline:rp_pipeline ~mix:read_mix ()
+              in
+              if not quiet then
+                Format.printf
+                  "conns=%-4d plane=%-8s (S=%d W=%d R=%d) %9d req %7d err %12.0f req/s  p99 \
+                   %6d us@."
+                  conns mode rp_shards rp_pipeline r s.Kex_service.Loadgen.requests
+                  s.Kex_service.Loadgen.errors s.Kex_service.Loadgen.throughput_rps
+                  s.Kex_service.Loadgen.p99_us;
+              (mode, r, conns, s))
+            [ ("threads", 0); ("reactor", max 1 reactors) ])
+        [ 4; 64; 256 ]
     in
     (match (json, headline) with
     | Some file, Some (hs, hw, hsum) ->
@@ -835,9 +1001,24 @@ let serve_sweep_cmd =
               ("p50_us", Int s.p50_us);
               ("p99_us", Int s.p99_us) ]
         in
+        let conn_scale_json (mode, r, conns, (s : Kex_service.Loadgen.summary)) =
+          Obj
+            [ ("plane", String mode);
+              ("reactors", Int r);
+              ("conns", Int conns);
+              ("shards", Int rp_shards);
+              ("pipeline", Int rp_pipeline);
+              ("mix", String (Kex_service.Loadgen.mix_to_string read_mix));
+              ("kills", Int 0);
+              ("requests", Int s.requests);
+              ("errors", Int s.errors);
+              ("throughput_rps", Float s.throughput_rps);
+              ("p50_us", Int s.p50_us);
+              ("p99_us", Int s.p99_us) ]
+        in
         let doc =
           Obj
-            [ ("schema", String "kexclusion-serve/v4");
+            [ ("schema", String "kexclusion-serve/v6");
               ("git_rev", String (Kex_service.Provenance.git_rev ()));
               ("hostname", String (Kex_service.Provenance.hostname ()));
               ("ocaml", String Sys.ocaml_version);
@@ -854,11 +1035,13 @@ let serve_sweep_cmd =
                     ("value_size", Int value_size);
                     ("seed", Int seed);
                     ("kills", Int kills);
+                    ("reactors", Int reactors);
                     ("wire_keys", Int wire_keys) ] );
               ("totals", Kex_service.Loadgen.summary_json hsum);
               ("sweep", List (Stdlib.List.map cell_json cells));
               ("read_path", List (Stdlib.List.map read_cell_json read_cells));
-              ("wire", List (Stdlib.List.map wire_cell_json wire_cells)) ]
+              ("wire", List (Stdlib.List.map wire_cell_json wire_cells));
+              ("conn_scale", List (Stdlib.List.map conn_scale_json conn_scale_cells)) ]
         in
         let oc = open_out file in
         output_string oc (to_string ~indent:2 doc);
@@ -875,6 +1058,7 @@ let serve_sweep_cmd =
           (fun (label, _, _, s) -> if label = "admission-wedged" then None else Some s)
           read_cells
       @ Stdlib.List.map (fun (_, _, s) -> s) wire_cells
+      @ Stdlib.List.map (fun (_, _, _, s) -> s) conn_scale_cells
     in
     let total_errors =
       Stdlib.List.fold_left (fun acc s -> acc + s.Kex_service.Loadgen.errors) 0 all_summaries
@@ -898,7 +1082,7 @@ let serve_sweep_cmd =
     Term.(
       const run $ shards_list_arg $ pipeline_list_arg $ workers_arg $ k_arg $ algo_arg
       $ conns_arg $ duration_arg $ keys_arg $ value_size_arg $ seed_arg $ kills_arg
-      $ wire_keys_arg $ json_arg $ fail_on_errors_arg $ quiet_arg)
+      $ reactors_arg $ wire_keys_arg $ json_arg $ fail_on_errors_arg $ quiet_arg)
 
 (* ----------------------------- cluster-sweep ------------------------------ *)
 
@@ -970,7 +1154,10 @@ let cluster_sweep_cmd =
             Kex_service.Server.start
               { Kex_service.Server.port = 0; workers; k; shards;
                 algo = Kex_runtime.Kex_lock.Fast_path; chaos = chaos i;
-                wait_free_reads = true; cluster = None; log = (fun _ -> ()) })
+                wait_free_reads = true; cluster = None; reactors = 0;
+                out_hwm = Kex_service.Server.default_config.Kex_service.Server.out_hwm;
+                slow_drain_s = Kex_service.Server.default_config.Kex_service.Server.slow_drain_s;
+                log = (fun _ -> ()) })
       in
       let addrs =
         List.map (fun s -> Printf.sprintf "127.0.0.1:%d" (Kex_service.Server.port s)) servers
@@ -992,6 +1179,7 @@ let cluster_sweep_cmd =
         seed;
         timeout_s = 5.;
         pipeline;
+        conns_per_client = 1;
         wire = Kex_service.Protocol.Binary;
         phase_marks = marks;
         cluster = addrs;
@@ -1462,7 +1650,7 @@ let srclint_cmd =
 (* ----------------------------- bench-report ------------------------------- *)
 
 let bench_report_cmd =
-  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve v1-v5, sweep schemas)" in
+  let doc = "summarize a BENCH_*.json run record (bench v1/v2, serve v1-v6, sweep schemas)" in
   let file_arg = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let require_zero_errors_arg =
     Arg.(value & flag & info [ "require-zero-errors" ] ~doc:"exit 1 unless the record has 0 errors")
@@ -1605,6 +1793,21 @@ let bench_report_cmd =
                   cell)
               (member "migration" doc);
             Option.iter (fun cell -> pp_cluster_cell "kill-node" cell) (member "kill" doc);
+            (* v6 connection-scaling quad (thread plane vs reactor plane at
+               rising connection counts); absent from v1-v5 records. *)
+            List.iter
+              (fun cell ->
+                Format.printf
+                  "  conns=%-4d %-8s R=%d  %8d req %5d err  %9.0f req/s  p50 %6d  p99 %6d us@."
+                  (Option.value (member_int "conns" cell) ~default:0)
+                  (Option.value (member_str "plane" cell) ~default:"?")
+                  (Option.value (member_int "reactors" cell) ~default:0)
+                  (Option.value (member_int "requests" cell) ~default:0)
+                  (Option.value (member_int "errors" cell) ~default:0)
+                  (Option.value (member_number "throughput_rps" cell) ~default:0.)
+                  (Option.value (member_int "p50_us" cell) ~default:0)
+                  (Option.value (member_int "p99_us" cell) ~default:0))
+              (member_list "conn_scale" doc);
             errors
           end
           else begin

@@ -1,0 +1,69 @@
+/* poll(2) binding for the reactor event loop.
+ *
+ * The OCaml Unix library binds select(2) only; a reactor watching hundreds
+ * of connections wants poll's flat arrays (no FD_SETSIZE ceiling, buffers
+ * reusable across cycles).  Calling convention, chosen so the OCaml side
+ * allocates nothing per cycle:
+ *
+ *   kex_service_poll : file_descr array -> int array -> int -> int -> int
+ *
+ * The first n entries of the two parallel arrays are consulted; the int
+ * array carries the requested-events mask on entry (bit 0 = POLLIN, bit 1 =
+ * POLLOUT) and is overwritten with the returned-events mask (same bits,
+ * plus bit 2 for POLLERR|POLLHUP|POLLNVAL).  The pollfd array lives on the
+ * C heap for the duration of the call, so the OCaml arrays may move freely
+ * while the runtime lock is released around the syscall.  EINTR is folded
+ * into "0 fds ready, all revents clear" — the event loop re-enters poll on
+ * its next cycle anyway. */
+
+#include <errno.h>
+#include <poll.h>
+
+#include <caml/fail.h>
+#include <caml/memory.h>
+#include <caml/mlvalues.h>
+#include <caml/threads.h>
+
+CAMLprim value kex_service_poll(value vfds, value vflags, value vn, value vtimeout_ms)
+{
+  CAMLparam4(vfds, vflags, vn, vtimeout_ms);
+  int n = Int_val(vn);
+  int timeout = Int_val(vtimeout_ms);
+  int i, rc;
+  struct pollfd *pfds;
+
+  if (n < 0 || n > Wosize_val(vfds) || n > Wosize_val(vflags))
+    caml_invalid_argument("Netio.Poll.wait: n out of bounds");
+
+  pfds = caml_stat_alloc(sizeof(struct pollfd) * (n > 0 ? (size_t)n : 1));
+  for (i = 0; i < n; i++) {
+    int f = Int_val(Field(vflags, i));
+    pfds[i].fd = Int_val(Field(vfds, i));
+    pfds[i].events = (short)(((f & 1) ? POLLIN : 0) | ((f & 2) ? POLLOUT : 0));
+    pfds[i].revents = 0;
+  }
+
+  caml_release_runtime_system();
+  rc = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+
+  if (rc < 0) {
+    if (errno == EINTR) {
+      for (i = 0; i < n; i++) pfds[i].revents = 0;
+      rc = 0;
+    } else {
+      caml_stat_free(pfds);
+      caml_failwith("Netio.Poll.wait: poll(2) failed");
+    }
+  }
+
+  for (i = 0; i < n; i++) {
+    int r = 0;
+    if (pfds[i].revents & POLLIN) r |= 1;
+    if (pfds[i].revents & POLLOUT) r |= 2;
+    if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) r |= 4;
+    Store_field(vflags, i, Val_int(r));
+  }
+  caml_stat_free(pfds);
+  CAMLreturn(Val_int(rc));
+}

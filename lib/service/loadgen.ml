@@ -14,6 +14,11 @@
    window is charged to the request, not hidden.  W = 1 keeps the
    untagged one-at-a-time wire exchange, byte-identical to older clients.
 
+   With [conns_per_client] = N > 1 each client domain select-multiplexes N
+   sockets, each with its own W-window — the connection-scaling knob: C
+   total connections cost only C/N domains, so a sweep can push C to 256
+   without 256 domains.
+
    [wire] selects the framing: the v1 text protocol or the binary v2
    frames — same ops, same semantics, different codec cost.  RMW is a GET
    followed by a SET of the same key, charged as one request whose latency
@@ -36,6 +41,7 @@ type config = {
   seed : int;
   timeout_s : float;  (* per-request socket timeout *)
   pipeline : int;  (* requests in flight per connection; 1 = v1 contract *)
+  conns_per_client : int;  (* sockets per client domain; > 1 multiplexes *)
   wire : Protocol.wire;
   phase_marks : float list;  (* split [0..duration] for per-phase stats *)
   cluster : string list;  (* seed node addrs; non-empty switches on routing *)
@@ -56,6 +62,7 @@ let default_config =
     seed = 42;
     timeout_s = 2.;
     pipeline = 1;
+    conns_per_client = 1;
     wire = Protocol.Text;
     phase_marks = [];
     cluster = [];
@@ -429,6 +436,205 @@ let pipelined_loop cfg ~t0 ~conn_id samples =
        with Req_failed _ | Unix.Unix_error _ -> ()));
   drop_conn ()
 
+(* -------------------------- multi-conn client --------------------------- *)
+
+(* Connection-scaling path ([conns_per_client] > 1): one client domain
+   multiplexes N sockets with select, each socket keeping its own window of
+   [pipeline] id-tagged requests in flight — so C total connections cost
+   C/N domains, and a sweep can push C into the hundreds without spawning
+   hundreds of domains.  Requests are tagged even at W = 1 (the select loop
+   cannot block per-response), so this path always speaks the id-tagged
+   wire.  Each socket reconnects independently with the usual backoff; a
+   socket with traffic in flight and no bytes for [timeout_s] is failed. *)
+
+type mconn = {
+  mutable mc_sock : (Unix.file_descr * Protocol.Resp_decoder.t) option;
+  mc_inflight : (int, inflight) Hashtbl.t;
+  mc_followups : Buffer.t;  (* RMW write legs produced while draining *)
+  mutable mc_backoff : float;
+  mutable mc_retry_at : float;  (* no reconnect attempts before this *)
+  mutable mc_last_rx : float;  (* progress stamp for the request timeout *)
+}
+
+let multi_loop cfg ~t0 ~conn_id samples =
+  let g = gen_create cfg ~conn_id in
+  let deadline = t0 +. cfg.duration_s in
+  let window = max 1 cfg.pipeline in
+  let buf = Bytes.create 65536 in
+  let next_id = ref 0 in
+  let conns =
+    Array.init cfg.conns_per_client (fun _ ->
+        { mc_sock = None;
+          mc_inflight = Hashtbl.create (2 * window);
+          mc_followups = Buffer.create 256;
+          mc_backoff = backoff_init;
+          mc_retry_at = 0.;
+          mc_last_rx = 0. })
+  in
+  let record_sample inf ~lat_us ~ok =
+    samples_push samples ~t_off_ms:inf.if_t_off_ms ~lat_us ~kind:inf.if_kind ~ok
+  in
+  (* Socket death: every request in flight there becomes an error charged
+     from its enqueue, and the backoff window opens. *)
+  let fail_conn mc =
+    let now_us = Metrics.now_us () in
+    Hashtbl.iter
+      (fun _ inf -> record_sample inf ~lat_us:(now_us - inf.if_enq_us) ~ok:false)
+      mc.mc_inflight;
+    Hashtbl.reset mc.mc_inflight;
+    (match mc.mc_sock with
+    | Some (fd, _) -> ( try Unix.close fd with Unix.Unix_error _ -> ())
+    | None -> ());
+    mc.mc_sock <- None;
+    Buffer.clear mc.mc_followups;
+    mc.mc_retry_at <- Unix.gettimeofday () +. mc.mc_backoff;
+    mc.mc_backoff <- Float.min (mc.mc_backoff *. 2.) backoff_cap
+  in
+  let fill_buf = Buffer.create 1024 in
+  let fill mc fd =
+    if Hashtbl.length mc.mc_inflight < window then begin
+      let out = fill_buf in
+      Buffer.clear out;
+      while Hashtbl.length mc.mc_inflight < window do
+        let op = pick_op cfg g in
+        let id = !next_id in
+        incr next_id;
+        let enq = Unix.gettimeofday () in
+        Hashtbl.replace mc.mc_inflight id
+          { if_enq_us = Metrics.now_us ();
+            if_t_off_ms = int_of_float ((enq -. t0) *. 1000.);
+            if_kind = op.g_kind;
+            if_rmw = op.g_rmw };
+        Protocol.encode_request_wire out cfg.wire ~id:(Some id) op.g_req
+      done;
+      Netio.write_all fd (Buffer.contents out)
+    end
+  in
+  let rec drain mc dec =
+    match Protocol.Resp_decoder.next dec with
+    | Protocol.Dec_broken msg -> raise (Req_failed ("bad frame: " ^ msg))
+    | Protocol.Dec_skip (_, msg) -> raise (Req_failed ("bad response: " ^ msg))
+    | Protocol.Dec_more -> ()
+    | Protocol.Dec_frame (None, _) -> raise (Req_failed "untagged response on a pipelined stream")
+    | Protocol.Dec_frame (Some id, resp) ->
+        (match Hashtbl.find_opt mc.mc_inflight id with
+        | None -> raise (Req_failed (Printf.sprintf "response for unknown id %d" id))
+        | Some inf -> (
+            Hashtbl.remove mc.mc_inflight id;
+            match (inf.if_rmw, resp) with
+            | Some key, resp when (match resp with Protocol.Error _ -> false | _ -> true) ->
+                (* RMW write leg under a fresh id, original enqueue stamp. *)
+                let fid = !next_id in
+                incr next_id;
+                Hashtbl.replace mc.mc_inflight fid { inf with if_rmw = None };
+                Protocol.encode_request_wire mc.mc_followups cfg.wire ~id:(Some fid)
+                  (Protocol.Set (key, gen_value cfg g))
+            | _ ->
+                let lat_us = Metrics.now_us () - inf.if_enq_us in
+                record_sample inf ~lat_us
+                  ~ok:(match resp with Protocol.Error _ -> false | _ -> true)));
+        drain mc dec
+  in
+  let read_one mc fd dec =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | 0 -> fail_conn mc
+    | n -> (
+        mc.mc_last_rx <- Unix.gettimeofday ();
+        Protocol.Resp_decoder.feed_bytes dec buf ~off:0 ~len:n;
+        match
+          drain mc dec;
+          if Buffer.length mc.mc_followups > 0 then begin
+            Netio.write_all fd (Buffer.contents mc.mc_followups);
+            Buffer.clear mc.mc_followups
+          end
+        with
+        | () -> ()
+        | exception (Req_failed _ | Unix.Unix_error _) -> fail_conn mc)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error _ -> fail_conn mc
+  in
+  (* Readiness via the poll stub over preallocated scratch arrays: at 64+
+     sockets per domain, rebuilding select's fd lists (and the O(live x
+     ready) [List.memq] scan) every 20 ms phase costs more than the
+     requests themselves.  [pflags] is in-out, so it is rewritten on every
+     phase anyway. *)
+  let pfds = Array.make (max 1 cfg.conns_per_client) Unix.stdin in
+  let pflags = Array.make (max 1 cfg.conns_per_client) 0 in
+  let pmcs = Array.make (max 1 cfg.conns_per_client) None in
+  let read_phase ~timeout =
+    let n = ref 0 in
+    Array.iter
+      (fun mc ->
+        match mc.mc_sock with
+        | Some (fd, dec) ->
+            pfds.(!n) <- fd;
+            pflags.(!n) <- Netio.Poll.pollin;
+            pmcs.(!n) <- Some (mc, fd, dec);
+            incr n
+        | None -> ())
+      conns;
+    if !n = 0 then Thread.delay timeout
+    else begin
+      ignore (Netio.Poll.wait pfds pflags ~n:!n ~timeout_ms:(int_of_float (timeout *. 1000.)));
+      for i = 0 to !n - 1 do
+        match pmcs.(i) with
+        | Some (mc, fd, dec)
+          when pflags.(i) land (Netio.Poll.pollin lor Netio.Poll.pollerr) <> 0 ->
+            let still_current =
+              match mc.mc_sock with Some (fd', _) -> fd' == fd | None -> false
+            in
+            if still_current then read_one mc fd dec
+        | _ -> ()
+      done
+    end;
+    let now = Unix.gettimeofday () in
+    Array.iter
+      (fun mc ->
+        match mc.mc_sock with
+        | Some _ when Hashtbl.length mc.mc_inflight > 0 && now -. mc.mc_last_rx > cfg.timeout_s ->
+            fail_conn mc
+        | _ -> ())
+      conns
+  in
+  while Unix.gettimeofday () < deadline do
+    let now = Unix.gettimeofday () in
+    Array.iter
+      (fun mc ->
+        (* (Re)connect sockets whose backoff window has passed, then top the
+           window up; a connect refusal just re-opens the window (the other
+           sockets keep the domain busy, so no sleep here). *)
+        (match mc.mc_sock with
+        | None when now >= mc.mc_retry_at -> (
+            match connect cfg with
+            | fd ->
+                mc.mc_sock <- Some (fd, Protocol.Resp_decoder.create cfg.wire);
+                mc.mc_backoff <- backoff_init;
+                mc.mc_last_rx <- Unix.gettimeofday ()
+            | exception (Unix.Unix_error _ | Failure _) ->
+                mc.mc_retry_at <- now +. mc.mc_backoff;
+                mc.mc_backoff <- Float.min (mc.mc_backoff *. 2.) backoff_cap)
+        | _ -> ());
+        match mc.mc_sock with
+        | Some (fd, _) -> (
+            match fill mc fd with
+            | () -> ()
+            | exception (Req_failed _ | Unix.Unix_error _) -> fail_conn mc)
+        | None -> ())
+      conns;
+    read_phase ~timeout:0.02
+  done;
+  (* Deadline: give responses already on the wire one timeout to land, then
+     charge whatever never came back as errors. *)
+  let drain_deadline = Unix.gettimeofday () +. cfg.timeout_s in
+  while
+    Array.exists (fun mc -> Hashtbl.length mc.mc_inflight > 0) conns
+    && Unix.gettimeofday () < drain_deadline
+  do
+    read_phase ~timeout:0.02
+  done;
+  Array.iter fail_conn conns
+
 (* ----------------------------- cluster client ---------------------------- *)
 
 (* Cluster mode ([cluster] non-empty): the client holds the epoch-versioned
@@ -782,6 +988,7 @@ let cluster_loop cfg ~t0 ~conn_id samples cs =
 
 let client_loop cfg ~t0 ~conn_id samples cs =
   if cfg.cluster <> [] then cluster_loop cfg ~t0 ~conn_id samples cs
+  else if cfg.conns_per_client > 1 then multi_loop cfg ~t0 ~conn_id samples
   else if cfg.pipeline <= 1 then sync_loop cfg ~t0 ~conn_id samples
   else pipelined_loop cfg ~t0 ~conn_id samples
 
@@ -894,6 +1101,8 @@ let summarize cfg ~wall_s (all : samples list) =
 
 let run cfg =
   if cfg.pipeline < 1 then invalid_arg "Loadgen.run: pipeline must be positive";
+  if cfg.conns_per_client < 1 then
+    invalid_arg "Loadgen.run: conns_per_client must be positive";
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let t0 = Unix.gettimeofday () in
   let samples = List.init cfg.connections (fun _ -> samples_create ()) in
@@ -949,7 +1158,7 @@ let summary_json s =
 
 let to_json cfg s =
   Json.Obj
-    [ ("schema", Json.String "kexclusion-serve/v5");
+    [ ("schema", Json.String "kexclusion-serve/v6");
       ("git_rev", Json.String (Provenance.git_rev ()));
       ("hostname", Json.String (Provenance.hostname ()));
       ("ocaml", Json.String Sys.ocaml_version);
@@ -968,6 +1177,7 @@ let to_json cfg s =
             ("wire", Json.String (Protocol.wire_name cfg.wire));
             ("seed", Json.Int cfg.seed);
             ("pipeline", Json.Int cfg.pipeline);
+            ("conns_per_client", Json.Int cfg.conns_per_client);
             ("cluster", Json.List (List.map (fun a -> Json.String a) cfg.cluster));
             ("expect_dead", Json.List (List.map (fun a -> Json.String a) cfg.expect_dead)) ] );
       ("totals", summary_json s);

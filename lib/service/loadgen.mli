@@ -41,6 +41,11 @@ type config = {
   seed : int;  (** per-connection PRNGs derive from this *)
   timeout_s : float;
   pipeline : int;  (** requests in flight per connection; 1 = untagged *)
+  conns_per_client : int;
+      (** sockets per client domain (total connections = [connections *
+          conns_per_client]); > 1 switches the domain to a select loop
+          multiplexing its sockets, each with its own [pipeline] window,
+          always on the id-tagged wire — the connection-scaling knob *)
   wire : Protocol.wire;  (** text v1 or binary v2 framing *)
   phase_marks : float list;  (** split points (seconds) for per-phase stats *)
   cluster : string list;
@@ -94,12 +99,14 @@ val summary_json : summary -> Json.t
 (** The [totals] object alone — reused by the sweep record. *)
 
 val to_json : config -> summary -> Json.t
-(** Schema [kexclusion-serve/v5], provenance-stamped (git_rev, hostname).
+(** Schema [kexclusion-serve/v6], provenance-stamped (git_rev, hostname).
     v5 over v4: totals carry [redirects]/[expected_errors], the config
     block records [cluster]/[expect_dead], a [node_errors] section
     attributes errors per node, and sweep records may carry [cluster]/
-    [migration]/[kill] sections (the multi-node cells).  [bench-report]
-    reads any [kexclusion-serve/*] prefix. *)
+    [migration]/[kill] sections (the multi-node cells).  v6 over v5: the
+    config block records [conns_per_client], and sweep records may carry a
+    [conn_scale] section (thread-vs-reactor connection-scaling cells).
+    [bench-report] reads any [kexclusion-serve/*] prefix. *)
 
 val emit_json : file:string -> config -> summary -> unit
 val pp_summary : Format.formatter -> summary -> unit

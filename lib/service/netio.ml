@@ -28,13 +28,57 @@ let write_all fd s =
    readability and retries.  The asymmetry used to be a real bug — a
    SO_RCVTIMEO expiry inside the server's frame reader surfaced as a fatal
    error and tore down the connection mid-stream, where the matching write
-   path would have quietly waited and resumed. *)
-let rec read fd buf off len =
+   path would have quietly waited and resumed.
+
+   Without [?deadline] the wait is a single open-ended select rather than
+   the historical fixed 1s slice-and-retry, so a shutdown that closes the
+   peer no longer quantizes to whole seconds.  With [~deadline] (an
+   absolute [Unix.gettimeofday] instant) the wait is bounded: once the
+   deadline passes, the EAGAIN that interrupted us is re-raised so the
+   caller sees an ordinary would-block surface. *)
+let rec read ?deadline fd buf off len =
   match Unix.read fd buf off len with
   | n -> n
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read fd buf off len
-  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
-      (* Wait until data arrives; select itself may be interrupted. *)
-      (try ignore (Unix.select [ fd ] [] [] 1.0) with
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read ?deadline fd buf off len
+  | exception (Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) as e) ->
+      let timeout =
+        match deadline with
+        | None -> -1.0 (* negative select timeout = wait indefinitely *)
+        | Some d ->
+            let remaining = d -. Unix.gettimeofday () in
+            if remaining <= 0. then raise e else remaining
+      in
+      (try ignore (Unix.select [ fd ] [] [] timeout) with
       | Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      read fd buf off len
+      read ?deadline fd buf off len
+
+(* Nonblocking single-shot variants for reactor loops: readiness is the
+   event loop's job, so would-block returns instead of waiting. *)
+let rec read_nb fd buf off len =
+  match Unix.read fd buf off len with
+  | 0 -> `Eof
+  | n -> `Data n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_nb fd buf off len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> `Would_block
+
+let rec write_nb fd buf off len =
+  match Unix.write fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_nb fd buf off len
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> 0
+
+(* poll(2), which [Unix] does not bind.  A reactor watching hundreds of
+   sockets cannot afford select's FD_SETSIZE ceiling or its O(highest-fd)
+   kernel scan per call; poll is flat arrays in, flat arrays out, which is
+   also what lets the OCaml side reuse its buffers across loop iterations
+   with zero per-cycle allocation. *)
+module Poll = struct
+  let pollin = 1
+  let pollout = 2
+  let pollerr = 4
+
+  external poll_fds : Unix.file_descr array -> int array -> int -> int -> int
+    = "kex_service_poll"
+
+  let wait fds flags ~n ~timeout_ms = poll_fds fds flags n timeout_ms
+end

@@ -9,8 +9,44 @@ val write_all : Unix.file_descr -> string -> unit
     timeouts / nonblocking fds) and retries.  Raises on real errors
     ([EPIPE], [ECONNRESET], ...). *)
 
-val read : Unix.file_descr -> Bytes.t -> int -> int -> int
+val read : ?deadline:float -> Unix.file_descr -> Bytes.t -> int -> int -> int
 (** [Unix.read] retrying [EINTR], and — symmetric with {!write_all} —
     [EAGAIN]/[EWOULDBLOCK] (receive timeouts / nonblocking fds) after
-    waiting for readability.  Clients that want a receive timeout to
-    {e surface} should call [Unix.read] directly. *)
+    waiting for readability in one open-ended select (no fixed retry
+    slice).  [~deadline] is an absolute [Unix.gettimeofday] instant: once
+    it passes, the would-block error is re-raised instead of waiting, so
+    callers get a bounded read without per-fd timeout plumbing. *)
+
+val read_nb :
+  Unix.file_descr -> Bytes.t -> int -> int -> [ `Data of int | `Eof | `Would_block ]
+(** Single nonblocking read attempt ([EINTR] retried): [`Data n] for [n]
+    fresh bytes, [`Eof] on peer close, [`Would_block] when the socket has
+    nothing — the event loop, not this call, waits for readiness. *)
+
+val write_nb : Unix.file_descr -> Bytes.t -> int -> int -> int
+(** Single nonblocking write attempt ([EINTR] retried): bytes accepted by
+    the kernel, [0] when the socket would block.  Short counts are the
+    caller's carry-over to the next writable cycle.  Raises on real errors
+    ([EPIPE], [ECONNRESET], ...). *)
+
+(** Direct binding to poll(2), which [Unix] lacks: flat parallel arrays of
+    fds and event masks, reusable across event-loop cycles without
+    allocation, and none of select's [FD_SETSIZE] ceiling. *)
+module Poll : sig
+  val pollin : int
+  (** Event/revent bit: readable (POLLIN). *)
+
+  val pollout : int
+  (** Event/revent bit: writable (POLLOUT). *)
+
+  val pollerr : int
+  (** Revent bit: error/hangup/invalid (POLLERR | POLLHUP | POLLNVAL). *)
+
+  val wait : Unix.file_descr array -> int array -> n:int -> timeout_ms:int -> int
+  (** [wait fds flags ~n ~timeout_ms] polls the first [n] entries of [fds],
+      reading requested-event masks from [flags] and overwriting each entry
+      with the returned revents mask.  [timeout_ms < 0] waits indefinitely.
+      Returns the number of ready fds; [EINTR] surfaces as [0] with all
+      revents cleared.  Raises [Failure] only on programmer error
+      ([EINVAL]/[EFAULT]/[ENOMEM]). *)
+end

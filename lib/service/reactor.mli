@@ -1,0 +1,106 @@
+(** The reactor I/O plane: poll(2) event-loop domains multiplexing
+    non-blocking connections, replacing thread-per-connection.
+
+    Each reactor is one domain running one loop; it owns its connections'
+    decode/encode state outright, so that state needs no locks.  Producers
+    (admission workers, the acceptor, helper threads) reach the loop only
+    through {!post_write}/{!request_close}/{!add}: a lock-free mailbox push
+    plus a deduplicated self-pipe wakeup — one wakeup per drained batch,
+    not one per response.  The module is manifest-declared atomic-only:
+    no [Mutex] or [Condition] anywhere.
+
+    Output is bounded by policy: past [out_hwm] unsent bytes a connection
+    leaves the read set (backpressure), and if the peer then accepts
+    nothing for [slow_drain_s] seconds it is dropped.  Handlers run on the
+    loop thread; a handler that blocks (e.g. on a migration fence) stalls
+    every connection on that reactor, so anything slow must be handed to a
+    worker or helper thread and its answer posted back. *)
+
+(** The lock-free MPSC mailbox used for producer→reactor delivery: CAS-cons
+    push (any thread), single-consumer [drain] returning FIFO order.
+    Exposed for the qcheck interleaving suite and the microbench. *)
+module Mailbox : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val push : 'a t -> 'a -> unit
+  (** Lock-free, safe from any thread or domain. *)
+
+  val drain : 'a t -> 'a list
+  (** Take everything currently queued, oldest first.  Single consumer. *)
+end
+
+type 'a t
+(** A reactor: one event-loop domain plus its mailbox and wakeup pipe.
+    ['a] is the per-connection user state (the server's conn record). *)
+
+type 'a conn
+(** A connection owned by a reactor's loop. *)
+
+type 'a handlers = {
+  on_attach : 'a conn -> unit;
+      (** Loop thread, once per accepted connection, before any read —
+          stash the ['a conn] back-pointer here. *)
+  on_data : 'a conn -> Bytes.t -> int -> bool;
+      (** Loop thread: the first [len] bytes of the scratch buffer are
+          fresh input.  Return [false] to hang up (after a final drain of
+          queued output).  The buffer is reused; copy what you keep. *)
+  on_drained : 'a conn -> bool;
+      (** Loop thread: a draining connection's output is flushed — may it
+          close now, or is server-side work still in flight? *)
+  on_detach : 'a conn -> unit;
+      (** Loop thread, after the fd is closed: unregister server-side. *)
+}
+
+val create :
+  ?out_hwm:int ->
+  ?slow_drain_s:float ->
+  ?drain_grace_s:float ->
+  ?log:(string -> unit) ->
+  id:int ->
+  'a handlers ->
+  'a t
+(** [out_hwm] — unsent-output watermark that pauses reads (default 256
+    KiB); [slow_drain_s] — how long a paused connection may make no
+    progress before it is dropped; [drain_grace_s] — force-close deadline
+    for draining connections. *)
+
+val start : 'a t -> unit
+(** Spawn the loop domain. *)
+
+val stop : ?grace_s:float -> 'a t -> unit
+(** Ask the loop to drain every connection (bounded by [grace_s]), join
+    the domain, and release the wakeup pipe. *)
+
+val add : 'a t -> Unix.file_descr -> 'a -> unit
+(** Hand a freshly-accepted socket to the reactor (any thread).  The
+    reactor sets it non-blocking and owns it from here on. *)
+
+val post_write : 'a conn -> string -> unit
+(** Queue response bytes for delivery (any thread).  Dropped once the
+    connection is closed or closing. *)
+
+val request_close : 'a conn -> unit
+(** Ask the loop to drain and close the connection (any thread). *)
+
+val user : 'a conn -> 'a
+
+val append_string : 'a conn -> string -> unit
+(** Loop thread only (inside a handler): queue bytes without a mailbox
+    round-trip — the inline fast path for wait-free reads. *)
+
+val append_buffer : 'a conn -> Buffer.t -> unit
+(** Loop thread only: [append_string] from a [Buffer] without copying
+    through an intermediate string. *)
+
+val out_len : 'a conn -> int
+(** Loop thread only: unsent output bytes currently queued. *)
+
+val id : 'a t -> int
+
+val wakeups : 'a t -> int
+(** Self-pipe bytes written — wakeups actually paid, after dedup. *)
+
+val posts : 'a t -> int
+(** Mailbox messages pushed — the load the dedup is amortizing. *)

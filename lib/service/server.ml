@@ -49,6 +49,9 @@ type config = {
   chaos : Chaos.event list;
   wait_free_reads : bool;  (* GETs answered inline from the snapshot *)
   cluster : (int * string list) option;  (* (this node's index, all node addrs) *)
+  reactors : int;  (* event-loop domains owning connections; 0 = thread/conn *)
+  out_hwm : int;  (* reactor backpressure: unsent bytes that pause reads *)
+  slow_drain_s : float;  (* reactor: paused this long with no drain = dropped *)
   log : string -> unit;
 }
 
@@ -61,6 +64,9 @@ let default_config =
     chaos = [];
     wait_free_reads = true;
     cluster = None;
+    reactors = 0;
+    out_hwm = 256 * 1024;
+    slow_drain_s = 5.0;
     log = (fun _ -> ()) }
 
 (* Workers sweep at most this many items per admission; bounds both the
@@ -74,23 +80,40 @@ type mailbox = {
   mutable mb_resp : Protocol.response option;
 }
 
-(* A connection as response target.  [c_wm] serializes every write to the
-   socket (workers flush pipelined responses concurrently with the
-   connection thread's inline replies); [c_pending] counts dispatched
-   tagged requests not yet answered so the closing thread can drain them;
-   [c_alive] stops workers from writing into a closing socket. *)
+(* A connection as response target.  Two ownership regimes share this
+   record:
+
+   - thread mode ([c_rc = None]): [c_wm] serializes every write to the
+     socket (workers flush pipelined responses concurrently with the
+     connection thread's inline replies);
+   - reactor mode ([c_rc = Some rc]): the socket belongs to one reactor's
+     event loop, and a "write" is a lock-free mailbox post — the loop does
+     the actual syscall, so [c_wm] is never contended.
+
+   [c_pending] counts dispatched requests not yet answered so the closing
+   side (thread or reactor drain) can wait them out; [c_alive] stops
+   workers from writing into a closing socket. *)
 type conn = {
   c_fd : Unix.file_descr;
   c_wm : Mutex.t;
   c_pending : int Atomic.t;
   c_alive : bool Atomic.t;
+  c_dec : Protocol.Req_decoder.t;
   (* Which framing this connection speaks — sniffed from its first byte and
-     written once by the connection thread before any request is dispatched,
-     so the ring's mutex publishes it to every worker that replies here. *)
+     written once by the owning thread/reactor before any request is
+     dispatched, so the ring's mutex publishes it to every worker that
+     replies here. *)
   mutable c_wire : Protocol.wire;
+  (* Back-pointer into the owning reactor, set by its attach handler before
+     any byte is read — same publication argument as [c_wire]. *)
+  mutable c_rc : conn Reactor.conn option;
 }
 
-type reply = Sync of mailbox | Stream of conn * int  (* id to echo *)
+(* [Stream] carries the id to echo; [None] is an untagged v1 request on a
+   reactor connection, dispatched rather than awaited so the event loop
+   never blocks on a mailbox (the v1 one-in-flight contract keeps its
+   responses in order anyway). *)
+type reply = Sync of mailbox | Stream of conn * int option
 type item = { req : Protocol.request; reply : reply }
 
 (* One shard: its slice of the store (own admission wrapper), its ring, and
@@ -148,6 +171,7 @@ type t = {
   conns_m : Mutex.t;
   mutable conns : conn list;
   mutable conn_threads : Thread.t list;
+  mutable reactors : conn Reactor.t array;  (* [||] in thread mode *)
   started_at : float;
   mutable cluster : cluster option;
   crashed : bool Atomic.t;  (* kill-node chaos fired: abrupt teardown *)
@@ -168,7 +192,13 @@ let stats_pairs t =
       ("keys", Sharded.size t.store);
       ("ops_linearized", Sharded.operations t.store);
       ("apply_calls", Sharded.apply_calls t.store);
+      ("open_conns", Sync.with_lock t.conns_m (fun () -> List.length t.conns));
       ("uptime_ms", int_of_float ((Unix.gettimeofday () -. t.started_at) *. 1000.)) ]
+  @ (if Array.length t.reactors = 0 then []
+     else
+       [ ("reactors", Array.length t.reactors);
+         ("reactor_wakeups", Array.fold_left (fun a r -> a + Reactor.wakeups r) 0 t.reactors);
+         ("reactor_posts", Array.fold_left (fun a r -> a + Reactor.posts r) 0 t.reactors) ])
   @ Array.to_list
       (Array.map
          (fun s -> (Printf.sprintf "ops_shard_%d" s.sh_id, Kv_store.operations s.sh_store))
@@ -215,26 +245,34 @@ let await mb =
 
 (* --------------------------- response delivery -------------------------- *)
 
-(* Every socket write goes through the connection's write mutex so worker
-   flushes and inline (connection-thread) replies never interleave bytes.
-   The write itself has to happen under [c_wm] — releasing before the
-   syscall is exactly the interleaving the mutex exists to prevent — so the
-   S3 blocking-under-lock finding is waived here: the lock is per
-   connection and only write paths take it. *)
+(* Reactor connections: a "write" is a lock-free post into the owning
+   event loop, which batches it with everything else that arrived this
+   cycle into one coalesced syscall.  Thread connections: every socket
+   write goes through the connection's write mutex so worker flushes and
+   inline (connection-thread) replies never interleave bytes.  The write
+   itself has to happen under [c_wm] — releasing before the syscall is
+   exactly the interleaving the mutex exists to prevent — so the S3
+   blocking-under-lock finding is waived here: the lock is per connection
+   and only write paths take it. *)
 let[@srclint.allow S3] write_conn conn s =
-  if Atomic.get conn.c_alive then
-    Sync.with_lock conn.c_wm (fun () ->
-        try Netio.write_all conn.c_fd s with Unix.Unix_error _ -> ())
+  match conn.c_rc with
+  | Some rc -> Reactor.post_write rc s
+  | None ->
+      if Atomic.get conn.c_alive then
+        Sync.with_lock conn.c_wm (fun () ->
+            try Netio.write_all conn.c_fd s with Unix.Unix_error _ -> ())
 
 (* Deliver one finished item.  Mailbox items wake their connection thread;
    stream items are written directly (used for the un-coalesced paths:
-   shutdown refusals and error replies). *)
+   shutdown refusals and error replies).  The write is posted *before* the
+   pending-count drop so a draining reactor connection never closes with
+   this response still outside its output buffer. *)
 let deliver_item item resp =
   match item.reply with
   | Sync mb -> deliver mb resp
   | Stream (conn, id) ->
       let b = Buffer.create 64 in
-      Protocol.encode_response_wire b conn.c_wire ~id:(Some id) resp;
+      Protocol.encode_response_wire b conn.c_wire ~id resp;
       write_conn conn (Buffer.contents b);
       ignore (Atomic.fetch_and_add conn.c_pending (-1))
 
@@ -311,11 +349,11 @@ let exec_batch sh ~lpid items =
                its own wire's framing — no intermediate payload string. *)
             match List.find_opt (fun (c, _, _) -> c == conn) !flushes with
             | Some (_, buf, count) ->
-                Protocol.encode_response_wire buf conn.c_wire ~id:(Some id) resp;
+                Protocol.encode_response_wire buf conn.c_wire ~id resp;
                 incr count
             | None ->
                 let buf = Buffer.create 256 in
-                Protocol.encode_response_wire buf conn.c_wire ~id:(Some id) resp;
+                Protocol.encode_response_wire buf conn.c_wire ~id resp;
                 flushes := (conn, buf, ref 1) :: !flushes))
       store_items results;
     List.iter
@@ -721,6 +759,27 @@ let handle_request t conn out tag (req : Protocol.request) =
           Metrics.incr_errors t.conn_metrics;
           respond_now conn out tag (Protocol.Error msg))
   | Protocol.Topo -> respond_now conn out tag (topo_resp t)
+  | Protocol.Handoff (shard, addr) when conn.c_rc <> None ->
+      (* A handoff blocks for its whole fence+drain window — far too long
+         for an event loop.  Run it on a helper thread and post the reply
+         back through the reactor mailbox; [c_pending] keeps the
+         connection from draining shut underneath it. *)
+      Atomic.incr conn.c_pending;
+      ignore
+        (Thread.create
+           (fun () ->
+             let resp =
+               match handoff t ~shard ~addr with
+               | Ok () -> Protocol.Ok
+               | Error msg ->
+                   Metrics.incr_errors t.conn_metrics;
+                   Protocol.Error msg
+             in
+             let b = Buffer.create 64 in
+             Protocol.encode_response_wire b conn.c_wire ~id:tag resp;
+             write_conn conn (Buffer.contents b);
+             ignore (Atomic.fetch_and_add conn.c_pending (-1)))
+           ())
   | Protocol.Handoff (shard, addr) -> (
       (* Runs right here on the connection thread — bulk transfer, fence,
          drain, delta, flip.  Other shards (and this connection's earlier
@@ -768,7 +827,7 @@ let handle_request t conn out tag (req : Protocol.request) =
       let shard = shard_of_key t (key_of_req req) in
       let sh = t.shard_ctxs.(shard) in
       match tag with
-      | None -> (
+      | None when conn.c_rc = None -> (
           (* v1 contract: one in flight, in order — dispatch and wait. *)
           let mb = mailbox () in
           match dispatch_item t sh { req; reply = Sync mb } with
@@ -777,11 +836,14 @@ let handle_request t conn out tag (req : Protocol.request) =
           | Shutting_down ->
               Metrics.incr_errors t.conn_metrics;
               respond_now conn out None (Protocol.Error "server shutting down"))
-      | Some id -> (
-          (* Pipelined: dispatch and keep reading; a worker writes the
-             response (coalesced with its batch-mates). *)
+      | _ -> (
+          (* Pipelined — or untagged on a reactor, where blocking on a
+             mailbox would stall every connection of the loop: dispatch
+             and keep going; a worker writes the response (coalesced with
+             its batch-mates).  Untagged responses stay in order because
+             the v1 contract keeps one request in flight. *)
           Atomic.incr conn.c_pending;
-          match dispatch_item t sh { req; reply = Stream (conn, id) } with
+          match dispatch_item t sh { req; reply = Stream (conn, tag) } with
           | Pushed -> ()
           | Not_owner ->
               ignore (Atomic.fetch_and_add conn.c_pending (-1));
@@ -792,7 +854,7 @@ let handle_request t conn out tag (req : Protocol.request) =
               respond_now conn out tag (Protocol.Error "server shutting down")))
 
 let handle_conn t conn =
-  let dec = Protocol.Req_decoder.create () in
+  let dec = conn.c_dec in
   let buf = Bytes.create 8192 in
   let out = Buffer.create 1024 in
   let rec drain () =
@@ -852,22 +914,82 @@ let handle_conn t conn =
   Sync.with_lock t.conns_m (fun () ->
       t.conns <- List.filter (fun c -> c != conn) t.conns)
 
+(* The reactor side of the connection plane.  All four handlers run on the
+   owning reactor's loop domain; the only cross-thread traffic is the
+   mailbox they answer to.  [scratch] collects every inline reply produced
+   while draining one socket read (pipelined GETs, MOVED, parse errors...)
+   and lands in the connection's output buffer as one append — the reactor
+   counterpart of the connection thread's flush-per-drained-read. *)
+let reactor_handlers t =
+  let scratch = Buffer.create 4096 in
+  { Reactor.on_attach = (fun rc -> (Reactor.user rc).c_rc <- Some rc);
+    on_data =
+      (fun rc bytes len ->
+        let conn = Reactor.user rc in
+        let dec = conn.c_dec in
+        Protocol.Req_decoder.feed_bytes dec bytes ~off:0 ~len;
+        (match Protocol.Req_decoder.wire dec with
+        | Some w -> conn.c_wire <- w
+        | None -> ());
+        Buffer.clear scratch;
+        let rec drain () =
+          match Protocol.Req_decoder.next dec with
+          | Protocol.Dec_more -> true
+          | Protocol.Dec_frame (tag, req) ->
+              handle_request t conn scratch tag req;
+              drain ()
+          | Protocol.Dec_skip (tag, msg) ->
+              Metrics.incr_errors t.conn_metrics;
+              respond_now conn scratch tag (Protocol.Error ("parse: " ^ msg));
+              drain ()
+          | Protocol.Dec_broken msg ->
+              Metrics.incr_errors t.conn_metrics;
+              respond_now conn scratch None (Protocol.Error ("protocol: " ^ msg));
+              logf t "connection: closing garbage stream (%s)" msg;
+              false
+        in
+        let keep = drain () in
+        if Buffer.length scratch > 0 then Reactor.append_buffer rc scratch;
+        keep);
+    on_drained = (fun rc -> Atomic.get (Reactor.user rc).c_pending = 0);
+    on_detach =
+      (fun rc ->
+        let conn = Reactor.user rc in
+        Atomic.set conn.c_alive false;
+        Sync.with_lock t.conns_m (fun () ->
+            t.conns <- List.filter (fun c -> c != conn) t.conns)) }
+
+let new_conn fd =
+  { c_fd = fd;
+    c_wm = Mutex.create ();
+    c_pending = Atomic.make 0;
+    c_alive = Atomic.make true;
+    c_dec = Protocol.Req_decoder.create ();
+    c_wire = Protocol.Text;
+    c_rc = None }
+
 let accept_loop t =
+  let next_reactor = ref 0 in
+  let nreactors = Array.length t.reactors in
   let rec loop () =
     match Unix.accept t.listen_fd with
     | fd, _ ->
         Metrics.incr_connections t.conn_metrics;
-        let conn =
-          { c_fd = fd;
-            c_wm = Mutex.create ();
-            c_pending = Atomic.make 0;
-            c_alive = Atomic.make true;
-            c_wire = Protocol.Text }
-        in
-        Sync.with_lock t.conns_m (fun () ->
-            t.conns <- conn :: t.conns;
-            let th = Thread.create (fun () -> handle_conn t conn) () in
-            t.conn_threads <- th :: t.conn_threads);
+        let conn = new_conn fd in
+        if nreactors > 0 then begin
+          (* Register first, then hand the socket over: [crash] must be
+             able to sever this connection the instant the reactor owns
+             it.  The attach handler fills [c_rc] before the first read. *)
+          Sync.with_lock t.conns_m (fun () -> t.conns <- conn :: t.conns);
+          let r = t.reactors.(!next_reactor) in
+          next_reactor := (!next_reactor + 1) mod nreactors;
+          Reactor.add r fd conn
+        end
+        else
+          Sync.with_lock t.conns_m (fun () ->
+              t.conns <- conn :: t.conns;
+              let th = Thread.create (fun () -> handle_conn t conn) () in
+              t.conn_threads <- th :: t.conn_threads);
         loop ()
     | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) -> loop ()
     | exception Unix.Unix_error _ ->
@@ -948,6 +1070,7 @@ let start cfg =
       conns_m = Mutex.create ();
       conns = [];
       conn_threads = [];
+      reactors = [||];
       started_at = Unix.gettimeofday ();
       cluster = None;
       crashed = Atomic.make false }
@@ -959,10 +1082,20 @@ let start cfg =
            List.init cfg.workers (fun i ->
                let gid = (s * cfg.workers) + i in
                Domain.spawn (fun () -> worker_loop t t.shard_ctxs.(s) ~lpid:i ~gid))));
+  if cfg.reactors > 0 then begin
+    t.reactors <-
+      Array.init cfg.reactors (fun i ->
+          Reactor.create ~out_hwm:cfg.out_hwm ~slow_drain_s:cfg.slow_drain_s
+            ~log:cfg.log ~id:i (reactor_handlers t));
+    Array.iter Reactor.start t.reactors
+  end;
   t.listener <- Some (Thread.create (fun () -> accept_loop t) ());
   if cfg.chaos <> [] then t.chaos_thread <- Some (Thread.create (fun () -> chaos_loop t cfg.chaos) ());
-  logf t "kexd serve: listening on 127.0.0.1:%d (shards=%d workers=%d/shard k=%d algo in force)"
-    actual_port cfg.shards cfg.workers cfg.k;
+  logf t
+    "kexd serve: listening on 127.0.0.1:%d (shards=%d workers=%d/shard k=%d %s algo in force)"
+    actual_port cfg.shards cfg.workers cfg.k
+    (if cfg.reactors > 0 then Printf.sprintf "reactors=%d" cfg.reactors
+     else "thread-per-conn");
   t
 
 let stop ?(drain_timeout_s = 5.) t =
@@ -990,8 +1123,14 @@ let stop ?(drain_timeout_s = 5.) t =
       ignore (Atomic.fetch_and_add s.sh_inflight (-(List.length leftovers)));
       List.iter (fun item -> deliver_item item (Protocol.Error "server shutting down")) leftovers)
     t.shard_ctxs;
-  (* 5. Join workers, then sever idle connections so their threads exit. *)
+  (* 5. Join workers, then retire the connection plane.  Workers go first:
+     their final flushes post into reactor mailboxes, and the reactors'
+     graceful stop (drain each connection's output, bounded) needs those
+     posts already queued.  Reactor detach handlers empty their share of
+     [t.conns]; whatever remains is thread-mode, severed so its thread
+     exits. *)
   List.iter Domain.join t.worker_domains;
+  Array.iter (fun r -> Reactor.stop ~grace_s:drain_timeout_s r) t.reactors;
   let conns, conn_threads =
     Sync.with_lock t.conns_m (fun () -> (t.conns, t.conn_threads))
   in

@@ -28,10 +28,19 @@
     [wait_free_reads = false] to route GETs through admission like any
     other op (the measurement baseline).
 
-    Sockets are owned by per-connection threads, never by workers, so a
-    worker death cannot sever a connection.  Crashes are cooperative (OCaml
-    domains cannot be hard-killed): a killed worker parks forever holding
-    its slot and is only reaped at shutdown.
+    The connection plane has two modes.  With [reactors = 0], every
+    accepted socket gets its own systhread (the baseline path).  With
+    [reactors > 0], sockets are owned by [reactors] {!Reactor} event-loop
+    domains — accept round-robins across them, each loop multiplexes its
+    connections with poll(2), inline replies (wait-free GETs, SCAN,
+    control plane) are answered on the loop, and workers deliver
+    completions through a lock-free mailbox with one deduplicated wakeup
+    per drained batch.  Slow clients are backpressured by a bounded
+    output buffer ([out_hwm]/[slow_drain_s]) instead of growing the heap.
+    In both modes sockets are never owned by workers, so a worker death
+    cannot sever a connection.  Crashes are cooperative (OCaml domains
+    cannot be hard-killed): a killed worker parks forever holding its
+    slot and is only reaped at shutdown.
 
     {b Cluster mode} ([cluster] in the config, or {!enable_cluster}): N
     nodes form a shared-nothing cluster over the same [shards] global
@@ -62,12 +71,22 @@ type config = {
           [shards] then the {e global} shard count).  Only usable when
           ports are fixed up front; tests on ephemeral ports use
           {!enable_cluster} after {!start} instead. *)
+  reactors : int;
+      (** Event-loop domains owning the connection plane; [0] keeps the
+          thread-per-connection baseline. *)
+  out_hwm : int;
+      (** Reactor backpressure: unsent output bytes past which a
+          connection leaves the read set until it drains. *)
+  slow_drain_s : float;
+      (** Reactor backpressure: a connection paused this long with no
+          drain progress is dropped. *)
   log : string -> unit;  (** sink for progress lines; ignore for quiet *)
 }
 
 val default_config : config
 (** port 7070, 1 shard, 4 workers, k=2, [Fast_path], no chaos, wait-free
-    reads on, no cluster, silent. *)
+    reads on, no cluster, thread-per-connection (reactors 0, 256 KiB
+    watermark, 5s slow-drain), silent. *)
 
 type t
 

@@ -1,0 +1,199 @@
+(* The reactor plane in isolation: the lock-free mailbox under multi-domain
+   producers, and a whole event loop driven over a socketpair with responses
+   racing in from two sides — answered inline on the loop (the wait-free-GET
+   shape) or posted from helper threads through the mailbox + wakeup pipe
+   (the worker-completion shape).  No response may be lost or duplicated,
+   and ids must survive arbitrary interleavings. *)
+
+module Reactor = Kex_service.Reactor
+
+(* ------------------------------- mailbox -------------------------------- *)
+
+(* P producer domains push disjoint (producer, seq) streams while the
+   consumer drains concurrently: nothing lost, nothing duplicated, and each
+   producer's stream arrives in its own order (drain is FIFO per producer). *)
+let prop_mailbox_no_loss_no_dup =
+  QCheck.Test.make ~count:15 ~name:"mailbox: concurrent pushes all arrive exactly once, in order"
+    QCheck.(pair (int_range 1 4) (int_range 0 300))
+    (fun (producers, per) ->
+      let mb = Reactor.Mailbox.create () in
+      let doms =
+        List.init producers (fun p ->
+            Domain.spawn (fun () ->
+                for i = 0 to per - 1 do
+                  Reactor.Mailbox.push mb (p, i)
+                done))
+      in
+      (* Drain concurrently with the producers, then once more after the
+         joins to sweep the tail. *)
+      let acc = ref [] in
+      while List.length !acc < producers * per do
+        acc := !acc @ Reactor.Mailbox.drain mb
+      done;
+      List.iter Domain.join doms;
+      let leftovers = Reactor.Mailbox.drain mb in
+      let got = !acc @ leftovers in
+      let expect =
+        List.concat (List.init producers (fun p -> List.init per (fun i -> (p, i))))
+      in
+      List.sort compare got = List.sort compare expect
+      && List.for_all
+           (fun p ->
+             let seq = List.filter_map (fun (q, i) -> if q = p then Some i else None) got in
+             seq = List.sort compare seq)
+           (List.init producers Fun.id))
+
+(* ------------------------- loop interleavings --------------------------- *)
+
+(* Per-connection user state for the echo server below: the partial-line
+   accumulator (all decode state lives with the loop, like the real server). *)
+type u = { acc : Buffer.t }
+
+(* Pop complete '\n'-terminated lines out of [acc], leaving the remainder. *)
+let take_lines acc =
+  let s = Buffer.contents acc in
+  let rec go from lines =
+    match String.index_from_opt s from '\n' with
+    | Some i -> go (i + 1) (String.sub s from (i - from) :: lines)
+    | None ->
+        Buffer.clear acc;
+        Buffer.add_substring acc s from (String.length s - from);
+        List.rev lines
+  in
+  go 0 []
+
+let read_line_client fd buf rem =
+  let rec go () =
+    match String.index_opt !rem '\n' with
+    | Some i ->
+        let line = String.sub !rem 0 i in
+        rem := String.sub !rem (i + 1) (String.length !rem - i - 1);
+        line
+    | None -> (
+        match Unix.read fd buf 0 (Bytes.length buf) with
+        | 0 -> failwith "reactor closed the connection"
+        | n ->
+            rem := !rem ^ Bytes.sub_string buf 0 n;
+            go ())
+  in
+  go ()
+
+(* An echo reactor where each request line "i" is answered "i" either inline
+   on the loop (even ids) or by a helper thread that sleeps a pseudo-random
+   few ms and posts through the mailbox (odd ids) — completions therefore
+   interleave arbitrarily with socket readiness.  The client ships the ids
+   in pseudo-random chunk sizes.  Exactly one response per id must come
+   back; the inline (even) subsequence additionally keeps its send order,
+   because the loop answers those in arrival order. *)
+let run_echo_interleaving n seed =
+  let rng = Random.State.make [| seed |] in
+  let handlers =
+    { Reactor.on_attach = (fun _ -> ());
+      on_data =
+        (fun c bytes len ->
+          let u = Reactor.user c in
+          Buffer.add_subbytes u.acc bytes 0 len;
+          List.iter
+            (fun line ->
+              let id = int_of_string line in
+              if id mod 2 = 0 then Reactor.append_string c (line ^ "\n")
+              else
+                let delay = float_of_int (id mod 5) *. 0.001 in
+                ignore
+                  (Thread.create
+                     (fun () ->
+                       Thread.delay delay;
+                       Reactor.post_write c (line ^ "\n"))
+                     ()))
+            (take_lines u.acc);
+          true);
+      on_drained = (fun _ -> true);
+      on_detach = (fun _ -> ()) }
+  in
+  let r = Reactor.create ~id:0 handlers in
+  Reactor.start r;
+  let server_end, client_end = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Reactor.stop ~grace_s:1. r;
+      try Unix.close client_end with Unix.Unix_error _ -> ())
+    (fun () ->
+      Reactor.add r server_end { acc = Buffer.create 256 };
+      Unix.setsockopt_float client_end Unix.SO_RCVTIMEO 5.;
+      (* Ship ids 0..n-1 in random-sized chunks. *)
+      let payload = Buffer.create (n * 4) in
+      for i = 0 to n - 1 do
+        Buffer.add_string payload (string_of_int i);
+        Buffer.add_char payload '\n'
+      done;
+      let s = Buffer.contents payload in
+      let off = ref 0 in
+      while !off < String.length s do
+        let chunk = min (1 + Random.State.int rng 64) (String.length s - !off) in
+        let b = Bytes.of_string (String.sub s !off chunk) in
+        let rec wr o =
+          if o < Bytes.length b then wr (o + Unix.write client_end b o (Bytes.length b - o))
+        in
+        wr 0;
+        off := !off + chunk;
+        if Random.State.int rng 4 = 0 then Thread.delay 0.001
+      done;
+      (* Collect exactly n response lines. *)
+      let buf = Bytes.create 4096 in
+      let rem = ref "" in
+      let got = Array.init n (fun _ -> -1) in
+      for slot = 0 to n - 1 do
+        got.(slot) <- int_of_string (read_line_client client_end buf rem)
+      done;
+      let ids = Array.to_list got in
+      let ok_exactly_once =
+        List.sort compare ids = List.init n Fun.id
+      in
+      let evens = List.filter (fun i -> i mod 2 = 0) ids in
+      let ok_inline_order = evens = List.sort compare evens in
+      ok_exactly_once && ok_inline_order)
+
+let prop_echo_interleaving =
+  QCheck.Test.make ~count:12
+    ~name:"reactor: inline and mailbox-posted completions, exactly one response per id"
+    QCheck.(pair (int_range 1 250) small_int)
+    (fun (n, seed) -> run_echo_interleaving n seed)
+
+(* A response posted to a connection that is already gone must be dropped
+   silently, not crash the loop or leak into another connection. *)
+let test_post_after_close () =
+  let captured = ref None in
+  let handlers =
+    { Reactor.on_attach = (fun c -> captured := Some c);
+      on_data = (fun _ _ _ -> false);  (* hang up on first bytes *)
+      on_drained = (fun _ -> true);
+      on_detach = (fun _ -> ()) }
+  in
+  let r = Reactor.create ~id:1 handlers in
+  Reactor.start r;
+  let server_end, client_end = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      Reactor.stop ~grace_s:1. r;
+      try Unix.close client_end with Unix.Unix_error _ -> ())
+    (fun () ->
+      Reactor.add r server_end ();
+      ignore (Unix.write client_end (Bytes.of_string "x") 0 1);
+      (* Wait for the reactor to process the hangup. *)
+      Unix.setsockopt_float client_end Unix.SO_RCVTIMEO 5.;
+      (match Unix.read client_end (Bytes.create 8) 0 8 with
+      | 0 -> ()
+      | _ -> Alcotest.fail "expected the reactor to hang up"
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> ());
+      match !captured with
+      | None -> Alcotest.fail "on_attach never ran"
+      | Some c ->
+          (* Both producer entry points must be no-ops now. *)
+          Reactor.post_write c "ghost";
+          Reactor.request_close c;
+          Reactor.post_write c "ghost2")
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_mailbox_no_loss_no_dup;
+    QCheck_alcotest.to_alcotest prop_echo_interleaving;
+    Helpers.tc "post_write after close is dropped" test_post_after_close ]

@@ -628,6 +628,185 @@ let test_preload () =
                 kvs
           | r -> Alcotest.failf "preloaded SCAN answered %s" (P.print_response r)))
 
+(* ----------------------------- reactor plane ---------------------------- *)
+
+(* The same wire contract over the reactor connection plane: CRUD, errors,
+   and the untagged v1 exchange all behave identically to the
+   thread-per-connection baseline. *)
+let test_reactor_crud () =
+  with_server { quiet with workers = 2; k = 1; reactors = 2 } (fun t ->
+      let c = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c) (fun () ->
+          assert_resp "ping" P.Pong (rpc c P.Ping);
+          assert_resp "set" P.Ok (rpc c (P.Set ("a", "via reactor\nwith newline")));
+          assert_resp "get" (P.Value (Some "via reactor\nwith newline")) (rpc c (P.Get "a"));
+          assert_resp "update" (P.Int 7) (rpc c (P.Update ("ctr", 7)));
+          assert_resp "del" (P.Deleted true) (rpc c (P.Del "a"));
+          send_raw c (P.frame "FLY me");
+          (match recv c with
+          | P.Error _ -> ()
+          | r -> Alcotest.failf "garbage payload answered %s" (P.print_response r));
+          match rpc c P.Stats with
+          | P.Stats_reply pairs ->
+              let get name =
+                match List.assoc_opt name pairs with
+                | Some v -> v
+                | None -> Alcotest.failf "no %S in STATS" name
+              in
+              Alcotest.(check int) "both reactors running" 2 (get "reactors");
+              Alcotest.(check bool) "wakeups happened" true (get "reactor_wakeups" > 0)
+          | r -> Alcotest.failf "STATS answered %s" (P.print_response r)))
+
+let test_reactor_pipelined_window () =
+  with_server { quiet with workers = 2; k = 2; shards = 2; reactors = 2 } (fun t ->
+      let c = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c) (fun () ->
+          let w = 32 in
+          let out = Buffer.create 512 in
+          for id = 0 to w - 1 do
+            Buffer.add_string out
+              (P.frame
+                 (P.print_request_tagged ~id (P.Update (Printf.sprintf "rk%d" (id mod 5), 1))))
+          done;
+          send_raw c (Buffer.contents out);
+          let seen = Hashtbl.create w in
+          for _ = 1 to w do
+            let id, resp = recv_tagged c in
+            if Hashtbl.mem seen id then Alcotest.failf "duplicate response id %d" id;
+            Hashtbl.replace seen id resp
+          done;
+          for id = 0 to w - 1 do
+            match Hashtbl.find_opt seen id with
+            | Some (P.Int _) -> ()
+            | Some r -> Alcotest.failf "id %d answered %s" id (P.print_response r)
+            | None -> Alcotest.failf "no response for id %d" id
+          done;
+          assert_resp "untagged after pipelined" P.Pong (rpc c P.Ping)))
+
+(* The wedged-shard availability headline must survive the plane swap: all k
+   workers dead, mutations time out, and reactor-inline GETs keep answering
+   the exact acknowledged values. *)
+let test_reactor_get_survives_wedged_shard () =
+  let workers = 2 and k = 2 in
+  with_server { quiet with workers; k; reactors = 1 } (fun t ->
+      let c = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close c) (fun () ->
+          assert_resp "seed set" P.Ok (rpc c (P.Set ("a", "alive")));
+          (match Server.kill_worker t 0 with Ok () -> () | Error e -> Alcotest.fail e);
+          (match Server.kill_worker t 1 with Ok () -> () | Error e -> Alcotest.fail e);
+          Unix.setsockopt_float c.fd Unix.SO_RCVTIMEO 1.0;
+          let rec wedge tries =
+            if tries > 10 then Alcotest.fail "shard never wedged"
+            else
+              match rpc c (P.Update ("ctr", 1)) with
+              | exception Timeout -> ()
+              | P.Int _ -> wedge (tries + 1)
+              | r -> Alcotest.failf "mutation answered %s" (P.print_response r)
+          in
+          wedge 0;
+          let deadline = Unix.gettimeofday () +. 5. in
+          while stat "deaths" t < k && Unix.gettimeofday () < deadline do
+            Thread.delay 0.02
+          done;
+          Alcotest.(check int) "all k workers dead" k (stat "deaths" t);
+          (* Unlike the thread plane, the same connection stays usable: the
+             reactor loop never blocked on the wedged update (it was
+             dispatched, not awaited), so GETs answer right here. *)
+          let reader = connect (Server.port t) in
+          Fun.protect ~finally:(fun () -> close reader) (fun () ->
+              for i = 1 to 50 do
+                assert_resp (Printf.sprintf "wedged GET %d" i) (P.Value (Some "alive"))
+                  (rpc reader (P.Get "a"))
+              done;
+              Alcotest.(check bool) "GETs served inline" true (stat "inline_reads" t >= 50))))
+
+(* Backpressure e2e: a client that never reads while the reactor owes it
+   data must be paused at the output watermark and eventually dropped —
+   without stalling other connections on the same reactor and without
+   leaking its connection slot. *)
+let test_reactor_slow_client_dropped () =
+  with_server
+    { quiet with
+      workers = 2; k = 1; reactors = 1; out_hwm = 2048; slow_drain_s = 0.3 }
+    (fun t ->
+      let admin = connect (Server.port t) in
+      Fun.protect ~finally:(fun () -> close admin) (fun () ->
+          let big = String.make 4096 'v' in
+          assert_resp "seed big value" P.Ok (rpc admin (P.Set ("big", big)));
+          (* The slow client asks for ~16 MB of responses and reads none —
+             enough that the kernel's socket buffers can't hide it and the
+             reactor's own output buffer must absorb the overflow. *)
+          let slow = connect (Server.port t) in
+          let out = Buffer.create 131072 in
+          for id = 0 to 3999 do
+            Buffer.add_string out (P.frame (P.print_request_tagged ~id (P.Get "big")))
+          done;
+          send_raw slow (Buffer.contents out);
+          (* Meanwhile the healthy connection on the same reactor keeps
+             answering promptly. *)
+          for i = 1 to 20 do
+            assert_resp (Printf.sprintf "healthy ping %d" i) P.Pong (rpc admin P.Ping);
+            Thread.delay 0.01
+          done;
+          (* The drop must land while the client still refuses to read: wait
+             for the connection count to settle back to the healthy
+             connection alone (reading the slow socket here would drain the
+             reactor's buffer and rescue the client from the watermark). *)
+          let deadline = Unix.gettimeofday () +. 5. in
+          let rec settle () =
+            if stat "open_conns" t <= 1 then ()
+            else if Unix.gettimeofday () > deadline then
+              Alcotest.failf "slow client never dropped: open_conns = %d"
+                (stat "open_conns" t)
+            else begin
+              Thread.delay 0.05;
+              settle ()
+            end
+          in
+          settle ();
+          (* The client sees the drop as EOF/reset within a bounded window
+             once it finally drains what the kernel already buffered. *)
+          Unix.setsockopt_float slow.fd Unix.SO_RCVTIMEO 5.0;
+          let junk = Bytes.create 65536 in
+          let rec drained () =
+            match Unix.read slow.fd junk 0 (Bytes.length junk) with
+            | 0 -> ()
+            | _ -> drained ()
+            | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+            | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                Alcotest.fail "dropped connection still readable after 5s"
+          in
+          drained ();
+          close slow))
+
+(* Chaos kill-worker under 128 concurrent connections on the reactor plane:
+   k-1 deaths must stay client-invisible — zero errors across every
+   multiplexed connection. *)
+let test_reactor_chaos_kill_c128 () =
+  let chaos =
+    [ { Kex_service.Chaos.at_s = 0.4; action = Kex_service.Chaos.Kill_worker; target = None } ]
+  in
+  with_server { quiet with workers = 2; k = 2; shards = 2; reactors = 2; chaos } (fun t ->
+      let cfg =
+        { Kex_service.Loadgen.default_config with
+          port = Server.port t;
+          connections = 4;
+          conns_per_client = 32;
+          pipeline = 4;
+          duration_s = 1.2;
+          keys = 200;
+          mix = [ ("get", 70); ("set", 20); ("update", 10) ];
+          seed = 11 }
+      in
+      let s = Kex_service.Loadgen.run cfg in
+      Alcotest.(check int) "zero client-visible errors" 0 s.Kex_service.Loadgen.errors;
+      Alcotest.(check bool) "made progress" true (s.Kex_service.Loadgen.requests > 1000);
+      let deadline = Unix.gettimeofday () +. 3. in
+      while stat "deaths" t < 1 && Unix.gettimeofday () < deadline do
+        Thread.delay 0.02
+      done;
+      Alcotest.(check int) "the kill actually landed" 1 (stat "deaths" t))
+
 let suite =
   [ Helpers.tc "CRUD over a socket" test_crud_over_socket;
     Helpers.tc "garbage stream dropped" test_garbage_stream_dropped;
@@ -645,4 +824,12 @@ let suite =
     Helpers.tc "oversized frames rejected on both wires" test_oversized_frame_rejected;
     Helpers.tc_slow "SCAN survives a fully wedged shard" test_scan_survives_wedged_shard;
     Helpers.tc_slow "loadgen YCSB mix on the binary wire" test_loadgen_binary_ycsb;
-    Helpers.tc "preload feeds GET and SCAN" test_preload ]
+    Helpers.tc "preload feeds GET and SCAN" test_preload;
+    Helpers.tc "reactor: CRUD and stats over the event loop" test_reactor_crud;
+    Helpers.tc "reactor: pipelined window, out-of-order by id" test_reactor_pipelined_window;
+    Helpers.tc_slow "reactor: GETs survive a fully wedged shard"
+      test_reactor_get_survives_wedged_shard;
+    Helpers.tc_slow "reactor: slow client paused then dropped, no stall, no leak"
+      test_reactor_slow_client_dropped;
+    Helpers.tc_slow "reactor: chaos kill-worker at C=128, zero errors"
+      test_reactor_chaos_kill_c128 ]
